@@ -1,0 +1,102 @@
+//===- bench_crossover.cpp - Symbolic vs explicit-state crossover ----------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Quantifies the paper's central scaling argument (§2/§4):
+//
+//   "the automata in Figure 1 have a joint configuration space on the
+//    order of 2^128 ≈ 10^38 states! So, naive bisimulation-based
+//    approaches will never be tractable for realistic automata."
+//
+// We sweep the Figure 1 MPLS pair over label widths and race the symbolic
+// checker against the classical explicit-state pipeline (materialize the
+// configuration DFA, then Hopcroft–Karp / Hopcroft / Paige–Tarjan). The
+// expected shape: explicit methods grow exponentially in the label width
+// and hit the state budget within a few doublings, while the symbolic
+// checker's iteration count is *independent* of the width and its runtime
+// grows only with formula (bitvector) sizes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/HopcroftKarp.h"
+#include "core/Checker.h"
+#include "parsers/CaseStudies.h"
+
+#include <cstdio>
+
+using namespace leapfrog;
+using namespace leapfrog::algorithms;
+
+namespace {
+
+constexpr size_t ConfigBudget = 1u << 19; // ~500k configurations.
+
+const char *verdictStr(ExplicitCheckResult::Verdict V) {
+  switch (V) {
+  case ExplicitCheckResult::Verdict::Equivalent:
+    return "equivalent";
+  case ExplicitCheckResult::Verdict::NotEquivalent:
+    return "NOT equiv";
+  case ExplicitCheckResult::Verdict::ResourceLimit:
+    return "DNF";
+  }
+  return "?";
+}
+
+void runWidth(size_t LabelBits) {
+  p4a::Automaton Ref = parsers::mplsReferenceScaled(LabelBits);
+  p4a::Automaton Vec = parsers::mplsVectorizedScaled(LabelBits);
+  p4a::Config InitL = p4a::initialConfig(
+      p4a::StateRef::normal(*Ref.findState("q1")), p4a::Store(Ref));
+  p4a::Config InitR = p4a::initialConfig(
+      p4a::StateRef::normal(*Vec.findState("q3")), p4a::Store(Vec));
+
+  std::printf("label width %zu (joint store %zu bits)\n", LabelBits,
+              Ref.totalHeaderBits() + Vec.totalHeaderBits());
+
+  struct Row {
+    const char *Name;
+    ExplicitAlgorithm Algo;
+  };
+  const Row Rows[] = {
+      {"explicit Hopcroft-Karp", ExplicitAlgorithm::HopcroftKarp},
+      {"explicit Hopcroft", ExplicitAlgorithm::Hopcroft},
+      {"explicit Paige-Tarjan", ExplicitAlgorithm::PaigeTarjan},
+  };
+  for (const Row &R : Rows) {
+    ExplicitCheckResult Res = checkEquivalenceExplicit(
+        Ref, InitL, Vec, InitR, ConfigBudget, R.Algo);
+    std::printf("  %-24s %10s  dfa states %9zu  %8.2f s\n", R.Name,
+                verdictStr(Res.V), Res.DfaStates,
+                double(Res.WallMicros) / 1e6);
+    if (Res.V == ExplicitCheckResult::Verdict::ResourceLimit)
+      break; // The siblings share the extraction cost and fail the same way.
+  }
+
+  core::CheckResult Sym =
+      core::checkLanguageEquivalence(Ref, "q1", Vec, "q3");
+  std::printf("  %-24s %10s  iterations %9zu  %8.2f s  (%zu SMT queries)\n\n",
+              "symbolic (Leapfrog)",
+              Sym.equivalent() ? "equivalent" : "NOT equiv",
+              Sym.Stats.Iterations, double(Sym.Stats.WallMicros) / 1e6,
+              Sym.Stats.SmtQueries);
+}
+
+} // namespace
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::printf(
+      "Crossover: explicit-state baselines vs the symbolic checker on the\n"
+      "Figure 1 family, scaling the MPLS label width. Explicit methods\n"
+      "materialize the configuration DFA (budget %zu states) and go DNF\n"
+      "once 2^(header bits) passes the budget; the symbolic checker's\n"
+      "iteration count stays constant.\n\n",
+      ConfigBudget);
+  for (size_t W : {2, 4, 6, 8, 10, 16, 32})
+    runWidth(W);
+  return 0;
+}

@@ -1,0 +1,157 @@
+//===- header_stacks.cpp - Surface extensions end to end ------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's §2 stores MPLS labels by overwriting one header because "our
+// language does not support header stacks directly, although they can be
+// emulated", and §7.3 lists header stacks, subparser calls and lookahead
+// as future work. This example exercises all three through the surface
+// front-end:
+//
+//  * the MPLS label chomper is a *recursive subparser* call,
+//  * labels land in a real *header stack* (lbl[0], lbl[1], ...),
+//  * the UDP state peeks its type nibble with *lookahead*.
+//
+// Elaboration compiles the surface program to a plain P4 automaton, and the
+// ordinary symbolic checker then proves it equivalent to a hand-unrolled
+// reference — so every theorem the checker produces extends to surface
+// parsers for free.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Checker.h"
+#include "frontend/Elaborate.h"
+#include "p4a/Parser.h"
+
+#include <cstdio>
+
+using namespace leapfrog;
+using namespace leapfrog::frontend;
+
+namespace {
+
+/// Builds the surface program: MPLS labels into a 3-slot stack via a
+/// recursive subparser, then UDP with a lookahead on the type nibble.
+SurfaceProgram buildSurfaceParser() {
+  SurfaceProgram P;
+  P.addHeader("eth", 8);
+  P.addStack("lbl", /*Slots=*/3, /*Bits=*/8);
+  P.addHeader("ty", 4);
+  P.addHeader("udp", 16);
+
+  // Main: ethernet-ish prefix, then call the label chomper; its accept
+  // resumes at parse_udp.
+  SurfaceState Start;
+  Start.Name = "start";
+  Start.Ops = {SurfaceOp::extract("eth")};
+  Start.Tz = SurfaceTransition::mkGoto(
+      SurfaceTarget::call("mpls", "parse_udp"));
+  P.addState(std::move(Start));
+
+  SurfaceState Udp;
+  Udp.Name = "parse_udp";
+  // Peek the first nibble without consuming, then extract the full UDP
+  // header; accept only type 0b0101.
+  Udp.Ops = {SurfaceOp::lookahead("ty"), SurfaceOp::extract("udp")};
+  Udp.Tz = SurfaceTransition::mkSelect(
+      {SExpr::mkHeader("ty")},
+      {{{p4a::Pattern::exact(Bitvector::fromString("0101"))},
+        SurfaceTarget::accept()},
+       {{p4a::Pattern::wildcard()}, SurfaceTarget::reject()}});
+  P.addState(std::move(Udp));
+  P.setEntry("start");
+
+  // The chomper: extract a label into the next stack slot; bit 0 set
+  // means bottom-of-stack (accept, i.e. resume in the caller), otherwise
+  // recurse. Extracting a fourth label overflows the stack and rejects.
+  SubParser Mpls;
+  Mpls.Name = "mpls";
+  Mpls.Entry = "chomp";
+  SurfaceState Chomp;
+  Chomp.Name = "chomp";
+  Chomp.Ops = {SurfaceOp::extractNext("lbl")};
+  Chomp.Tz = SurfaceTransition::mkSelect(
+      {SExpr::mkSlice(SExpr::mkStackLast("lbl"), 0, 0)},
+      {{{p4a::Pattern::exact(Bitvector::fromString("1"))},
+        SurfaceTarget::accept()},
+       {{p4a::Pattern::wildcard()}, SurfaceTarget::call("mpls")}});
+  Mpls.States.push_back(std::move(Chomp));
+  P.addSubParser(std::move(Mpls));
+  return P;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Surface extensions: header stacks, subparser calls, "
+              "lookahead ==\n\n");
+
+  SurfaceProgram Surface = buildSurfaceParser();
+  ElaborationResult Elab = elaborate(Surface);
+  if (!Elab.ok()) {
+    for (const std::string &E : Elab.Errors)
+      std::fprintf(stderr, "error: %s\n", E.c_str());
+    return 1;
+  }
+  std::printf("surface program elaborated to a plain P4 automaton:\n"
+              "  entry state: %s\n  states: %zu   headers: %zu   store "
+              "bits: %zu\n\n",
+              Elab.Entry.c_str(), Elab.Aut.numStates(),
+              Elab.Aut.numHeaders(), Elab.Aut.totalHeaderBits());
+  std::printf("%s\n", Elab.Aut.print().c_str());
+
+  // The hand-unrolled reference a P4 programmer would write today: one
+  // state per stack slot, an explicit overflow state, no lookahead.
+  p4a::Automaton Reference = p4a::parseAutomatonOrDie(R"(
+    state start { extract(eth, 8); goto l0 }
+    state l0 {
+      extract(a, 8);
+      select(a[0:0]) {
+        1 => parse_udp
+        _ => l1
+      }
+    }
+    state l1 {
+      extract(b, 8);
+      select(b[0:0]) {
+        1 => parse_udp
+        _ => l2
+      }
+    }
+    state l2 {
+      extract(c, 8);
+      select(c[0:0]) {
+        1 => parse_udp
+        _ => overflow
+      }
+    }
+    state overflow { extract(spill, 8); goto reject }
+    state parse_udp {
+      extract(udp, 16);
+      select(udp[0:3]) {
+        0101 => accept
+        _ => reject
+      }
+    }
+  )");
+
+  std::printf("checking equivalence against the hand-unrolled reference "
+              "parser...\n");
+  core::CheckResult Res = core::checkLanguageEquivalence(
+      Elab.Aut, Elab.Entry, Reference, "start");
+  if (!Res.equivalent()) {
+    std::printf("NOT equivalent: %s\n", Res.FailureReason.c_str());
+    return 1;
+  }
+  std::printf("equivalent. (%zu iterations, %zu SMT queries, %.2f s)\n",
+              Res.Stats.Iterations, Res.Stats.SmtQueries,
+              double(Res.Stats.WallMicros) / 1e6);
+  std::printf("\nthe elaborated parser carries the same certificate "
+              "machinery as any\nother P4A: %zu conjuncts in the "
+              "bisimulation.\n",
+              Res.Certificate.Relation.size());
+  return 0;
+}

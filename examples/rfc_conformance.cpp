@@ -1,0 +1,123 @@
+//===- rfc_conformance.cpp - RFC conformance via equivalence ---------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's closing future-work paragraph:
+//
+//   "one could imagine writing a library of reference implementations for
+//    protocols defined in RFCs, and checking that real-world
+//    implementations conform to those standards."
+//
+// This example does exactly that. The reference parser is composed from
+// the RFC library (Ethernet II per RFC 894, IPv4 per RFC 791 with the full
+// IHL-driven options handling, UDP per RFC 768). The "vendor" parser is an
+// independently written, hand-optimized implementation that fuses the
+// Ethernet and no-options IPv4 headers into a single 272-bit extraction —
+// the state-merging idiom hardware compilers use (paper Figure 7). The
+// checker proves the optimization sound; a second vendor variant with a
+// subtle IHL bug is refuted.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Checker.h"
+#include "frontend/Elaborate.h"
+#include "p4a/Parser.h"
+#include "parsers/Rfc.h"
+
+#include <cstdio>
+
+using namespace leapfrog;
+using namespace leapfrog::rfc;
+using namespace leapfrog::frontend;
+
+namespace {
+
+/// Ethernet → IPv4 (with options) → UDP, from the RFC library.
+ElaborationResult referenceParser() {
+  SurfaceProgram P;
+  addEthernet(P, "eth", "ether",
+              {{ethertype::Ipv4, SurfaceTarget::state("ip")}});
+  addIpv4(P, "ip", "ip4", {{ipproto::Udp, SurfaceTarget::state("udp")}});
+  addUdp(P, "udp", "udp_hdr");
+  P.setEntry("eth");
+  return elaborateOrDie(P);
+}
+
+/// The vendor's fused fast path. \p BuggyIhl additionally lets IHL = 4
+/// through on the fast path — the kind of off-by-one a hand-written
+/// bounds check invites.
+p4a::Automaton vendorParser(bool BuggyIhl) {
+  std::string Src = R"(
+    state fast {
+      extract(eth_ip, 272);
+      select(eth_ip[96:111], eth_ip[116:119], eth_ip[184:191]) {
+        (0000100000000000, 0101, 00010001) => parse_udp
+  )";
+  if (BuggyIhl)
+    Src += "        (0000100000000000, 0100, 00010001) => parse_udp\n";
+  for (int Ihl = 6; Ihl <= 15; ++Ihl)
+    Src += "        (0000100000000000, " + beBits(uint64_t(Ihl), 4).str() +
+           ", 00010001) => opt" + std::to_string(Ihl) + "\n";
+  Src += R"(
+        (_, _, _) => reject
+      }
+    }
+  )";
+  for (int Ihl = 6; Ihl <= 15; ++Ihl)
+    Src += "state opt" + std::to_string(Ihl) + " {\n  extract(opts" +
+           std::to_string(Ihl) + ", " + std::to_string((Ihl - 5) * 32) +
+           ");\n  goto parse_udp\n}\n";
+  Src += R"(
+    state parse_udp {
+      extract(udp, 64);
+      goto accept
+    }
+  )";
+  return p4a::parseAutomatonOrDie(Src);
+}
+
+} // namespace
+
+int main() {
+  std::printf("== RFC conformance checking ==\n\n");
+
+  ElaborationResult Ref = referenceParser();
+  std::printf("reference (RFC 894 + RFC 791 + RFC 768): %zu states, %zu "
+              "store bits\n",
+              Ref.Aut.numStates(), Ref.Aut.totalHeaderBits());
+
+  p4a::Automaton Good = vendorParser(/*BuggyIhl=*/false);
+  std::printf("vendor fast-path parser: %zu states (Ethernet+IPv4 fused "
+              "into one 272-bit read)\n\n",
+              Good.numStates());
+
+  std::printf("[1/2] proving the vendor optimization conforms...\n");
+  core::CheckResult Res =
+      core::checkLanguageEquivalence(Ref.Aut, Ref.Entry, Good, "fast");
+  if (!Res.equivalent()) {
+    std::printf("  UNEXPECTED: %s\n", Res.FailureReason.c_str());
+    return 1;
+  }
+  std::printf("  conformant: accepts exactly the RFC language "
+              "(%zu iterations, %zu SMT queries, %.2f s)\n\n",
+              Res.Stats.Iterations, Res.Stats.SmtQueries,
+              double(Res.Stats.WallMicros) / 1e6);
+
+  std::printf("[2/2] seeding an IHL bounds bug (IHL=4 accepted on the "
+              "fast path)...\n");
+  p4a::Automaton Bad = vendorParser(/*BuggyIhl=*/true);
+  core::CheckResult BadRes =
+      core::checkLanguageEquivalence(Ref.Aut, Ref.Entry, Bad, "fast");
+  if (BadRes.V != core::Verdict::NotEquivalent) {
+    std::printf("  UNEXPECTED: bug not caught\n");
+    return 1;
+  }
+  std::printf("  caught: %s\n", BadRes.FailureReason.c_str());
+  std::printf("\nThe reference library turns RFC prose into checkable "
+              "automata; any parser\nthat claims to implement the "
+              "standard can be validated push-button.\n");
+  return 0;
+}

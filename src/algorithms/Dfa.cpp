@@ -1,0 +1,96 @@
+//===- Dfa.cpp - Explicit configuration DFAs --------------------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/Dfa.h"
+
+#include <unordered_map>
+
+using namespace leapfrog;
+using namespace leapfrog::algorithms;
+
+uint32_t Dfa::run(uint32_t From, const Bitvector &Word) const {
+  uint32_t S = From;
+  for (size_t I = 0; I < Word.size(); ++I)
+    S = Next[S][Word.bit(I)];
+  return S;
+}
+
+bool Dfa::wellFormed() const {
+  if (Accepting.size() != Next.size())
+    return false;
+  if (Initial >= Next.size() && !Next.empty())
+    return false;
+  for (const std::array<uint32_t, 2> &Edges : Next)
+    for (uint32_t T : Edges)
+      if (T >= Next.size())
+        return false;
+  return true;
+}
+
+namespace {
+
+struct ConfigHash {
+  size_t operator()(const p4a::Config &C) const { return C.hash(); }
+};
+
+} // namespace
+
+DfaExtraction algorithms::extractConfigDfa(const p4a::Automaton &Aut,
+                                           const p4a::Config &Init,
+                                           size_t Limit) {
+  DfaExtraction Out;
+  std::unordered_map<p4a::Config, uint32_t, ConfigHash> Index;
+
+  auto Intern = [&](const p4a::Config &C) -> std::optional<uint32_t> {
+    auto It = Index.find(C);
+    if (It != Index.end())
+      return It->second;
+    if (Out.States.size() >= Limit)
+      return std::nullopt;
+    uint32_t Id = uint32_t(Out.States.size());
+    Index.emplace(C, Id);
+    Out.States.push_back(C);
+    Out.D.Next.push_back({0, 0});
+    Out.D.Accepting.push_back(C.accepting());
+    return Id;
+  };
+
+  std::optional<uint32_t> Start = Intern(Init);
+  if (!Start) {
+    Out.Complete = false;
+    return Out;
+  }
+  Out.D.Initial = *Start;
+
+  // BFS over the worklist of interned-but-unexpanded states. The States
+  // vector doubles as the queue: expansion order is discovery order.
+  for (size_t Head = 0; Head < Out.States.size(); ++Head) {
+    for (int B = 0; B < 2; ++B) {
+      p4a::Config Succ = p4a::step(Aut, Out.States[Head], B == 1);
+      std::optional<uint32_t> Id = Intern(Succ);
+      if (!Id) {
+        Out.Complete = false;
+        return Out;
+      }
+      Out.D.Next[Head][B] = *Id;
+    }
+  }
+  return Out;
+}
+
+Dfa algorithms::disjointUnion(const Dfa &A, const Dfa &B, uint32_t *OffsetB) {
+  Dfa Out = A;
+  uint32_t Shift = uint32_t(A.numStates());
+  if (OffsetB)
+    *OffsetB = Shift;
+  Out.Next.reserve(A.numStates() + B.numStates());
+  for (size_t S = 0; S < B.numStates(); ++S) {
+    Out.Next.push_back({B.Next[S][0] + Shift, B.Next[S][1] + Shift});
+    Out.Accepting.push_back(B.Accepting[S]);
+  }
+  return Out;
+}

@@ -1,0 +1,127 @@
+//===- HopcroftKarp.cpp - Union-find DFA equivalence ------------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/HopcroftKarp.h"
+
+#include <chrono>
+#include <deque>
+#include <numeric>
+
+using namespace leapfrog;
+using namespace leapfrog::algorithms;
+
+namespace {
+
+/// Union-find with path halving and union by size.
+class UnionFind {
+public:
+  explicit UnionFind(size_t N) : Parent(N), Size(N, 1) {
+    std::iota(Parent.begin(), Parent.end(), 0);
+  }
+
+  uint32_t find(uint32_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+
+  /// Merges the classes of \p A and \p B; returns false if already merged.
+  bool merge(uint32_t A, uint32_t B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return false;
+    if (Size[A] < Size[B])
+      std::swap(A, B);
+    Parent[B] = A;
+    Size[A] += Size[B];
+    return true;
+  }
+
+private:
+  std::vector<uint32_t> Parent;
+  std::vector<uint32_t> Size;
+};
+
+} // namespace
+
+bool algorithms::hkEquivalent(const Dfa &D, uint32_t S1, uint32_t S2,
+                              HkStats *Stats) {
+  UnionFind Uf(D.numStates());
+  std::deque<std::pair<uint32_t, uint32_t>> Work;
+  if (Uf.merge(S1, S2))
+    Work.emplace_back(S1, S2);
+
+  while (!Work.empty()) {
+    auto [A, B] = Work.front();
+    Work.pop_front();
+    if (Stats)
+      ++Stats->Pairs;
+    if (D.Accepting[A] != D.Accepting[B])
+      return false;
+    for (int L = 0; L < 2; ++L) {
+      uint32_t TA = D.Next[A][L], TB = D.Next[B][L];
+      if (Uf.merge(TA, TB)) {
+        if (Stats)
+          ++Stats->Unions;
+        Work.emplace_back(TA, TB);
+      }
+    }
+  }
+  return true;
+}
+
+ExplicitCheckResult algorithms::checkEquivalenceExplicit(
+    const p4a::Automaton &Left, const p4a::Config &InitL,
+    const p4a::Automaton &Right, const p4a::Config &InitR,
+    size_t ConfigLimit, ExplicitAlgorithm Algo) {
+  ExplicitCheckResult Out;
+  auto Start = std::chrono::steady_clock::now();
+  auto Finish = [&](ExplicitCheckResult::Verdict V) {
+    Out.V = V;
+    auto End = std::chrono::steady_clock::now();
+    Out.WallMicros = uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+            .count());
+    return Out;
+  };
+
+  DfaExtraction L = extractConfigDfa(Left, InitL, ConfigLimit);
+  if (!L.Complete)
+    return Finish(ExplicitCheckResult::Verdict::ResourceLimit);
+  size_t Remaining = ConfigLimit - L.States.size();
+  DfaExtraction R = extractConfigDfa(Right, InitR, Remaining);
+  if (!R.Complete)
+    return Finish(ExplicitCheckResult::Verdict::ResourceLimit);
+
+  uint32_t Offset = 0;
+  Dfa Joint = disjointUnion(L.D, R.D, &Offset);
+  Out.DfaStates = Joint.numStates();
+  uint32_t I1 = L.D.Initial;
+  uint32_t I2 = R.D.Initial + Offset;
+
+  bool Equiv;
+  switch (Algo) {
+  case ExplicitAlgorithm::HopcroftKarp:
+    Equiv = hkEquivalent(Joint, I1, I2, &Out.Hk);
+    break;
+  case ExplicitAlgorithm::Moore:
+    Equiv = mooreRefine(Joint, &Out.Refine).sameClass(I1, I2);
+    break;
+  case ExplicitAlgorithm::Hopcroft:
+    Equiv = hopcroftRefine(Joint, &Out.Refine).sameClass(I1, I2);
+    break;
+  case ExplicitAlgorithm::PaigeTarjan:
+    Equiv = paigeTarjanRefine(dfaToLts(Joint), &Out.Refine)
+                .sameClass(I1, I2);
+    break;
+  }
+  return Finish(Equiv ? ExplicitCheckResult::Verdict::Equivalent
+                      : ExplicitCheckResult::Verdict::NotEquivalent);
+}

@@ -1,0 +1,493 @@
+//===- Minimize.cpp - Partition refinement on explicit DFAs ----------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "algorithms/Minimize.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+using namespace leapfrog;
+using namespace leapfrog::algorithms;
+
+//===----------------------------------------------------------------------===//
+// Moore
+//===----------------------------------------------------------------------===//
+
+Partition algorithms::mooreRefine(const Dfa &D, RefineStats *Stats) {
+  size_t N = D.numStates();
+  Partition P;
+  P.ClassOf.resize(N);
+  for (size_t S = 0; S < N; ++S)
+    P.ClassOf[S] = D.Accepting[S] ? 1 : 0;
+  P.NumClasses = N == 0 ? 0 : 2;
+
+  // Refine by (class, class of 0-successor, class of 1-successor)
+  // signatures until the class count stops growing. Class counts increase
+  // monotonically and are bounded by N, so this terminates.
+  for (;;) {
+    if (Stats)
+      ++Stats->Rounds;
+    std::unordered_map<uint64_t, uint32_t> SigClass;
+    std::vector<uint32_t> NewClass(N);
+    for (size_t S = 0; S < N; ++S) {
+      uint64_t Sig = P.ClassOf[S];
+      Sig = Sig * 0x100000001b3ull + P.ClassOf[D.Next[S][0]];
+      Sig = Sig * 0x100000001b3ull + P.ClassOf[D.Next[S][1]];
+      auto [It, Inserted] =
+          SigClass.emplace(Sig, uint32_t(SigClass.size()));
+      NewClass[S] = It->second;
+      (void)Inserted;
+    }
+    if (SigClass.size() == P.NumClasses)
+      return P;
+    if (Stats && SigClass.size() > P.NumClasses)
+      Stats->Splits += SigClass.size() - P.NumClasses;
+    P.ClassOf = std::move(NewClass);
+    P.NumClasses = SigClass.size();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Hopcroft
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Mutable block partition with O(1) moves: per-block member vectors plus
+/// per-state positions, so splitting moves only the touched states.
+class BlockPartition {
+public:
+  explicit BlockPartition(const std::vector<uint32_t> &InitialBlock) {
+    size_t N = InitialBlock.size();
+    BlockOf = InitialBlock;
+    uint32_t MaxB = 0;
+    for (uint32_t B : InitialBlock)
+      MaxB = std::max(MaxB, B);
+    Members.resize(N == 0 ? 0 : MaxB + 1);
+    Pos.resize(N);
+    for (uint32_t S = 0; S < N; ++S) {
+      Pos[S] = uint32_t(Members[InitialBlock[S]].size());
+      Members[InitialBlock[S]].push_back(S);
+    }
+  }
+
+  size_t numBlocks() const { return Members.size(); }
+  size_t blockSize(uint32_t B) const { return Members[B].size(); }
+  const std::vector<uint32_t> &members(uint32_t B) const {
+    return Members[B];
+  }
+  uint32_t blockOf(uint32_t S) const { return BlockOf[S]; }
+
+  /// Moves \p S from its block into block \p To (which must exist).
+  void move(uint32_t S, uint32_t To) {
+    uint32_t From = BlockOf[S];
+    std::vector<uint32_t> &M = Members[From];
+    uint32_t P = Pos[S];
+    M[P] = M.back();
+    Pos[M[P]] = P;
+    M.pop_back();
+    Pos[S] = uint32_t(Members[To].size());
+    Members[To].push_back(S);
+    BlockOf[S] = To;
+  }
+
+  /// Creates a fresh empty block and returns its index.
+  uint32_t freshBlock() {
+    Members.emplace_back();
+    return uint32_t(Members.size()) - 1;
+  }
+
+  Partition toPartition() const {
+    Partition P;
+    P.ClassOf = BlockOf;
+    // Blocks may be empty after splits; renumber densely.
+    std::vector<uint32_t> Dense(Members.size(), UINT32_MAX);
+    uint32_t Next = 0;
+    for (uint32_t &C : P.ClassOf) {
+      if (Dense[C] == UINT32_MAX)
+        Dense[C] = Next++;
+      C = Dense[C];
+    }
+    P.NumClasses = Next;
+    return P;
+  }
+
+private:
+  std::vector<std::vector<uint32_t>> Members;
+  std::vector<uint32_t> BlockOf;
+  std::vector<uint32_t> Pos;
+};
+
+} // namespace
+
+Partition algorithms::hopcroftRefine(const Dfa &D, RefineStats *Stats) {
+  size_t N = D.numStates();
+  if (N == 0)
+    return Partition{};
+
+  // Inverse edges per letter.
+  std::array<std::vector<std::vector<uint32_t>>, 2> Preds;
+  for (int B = 0; B < 2; ++B)
+    Preds[B].resize(N);
+  for (uint32_t S = 0; S < N; ++S)
+    for (int B = 0; B < 2; ++B)
+      Preds[B][D.Next[S][B]].push_back(S);
+
+  std::vector<uint32_t> Init(N);
+  for (size_t S = 0; S < N; ++S)
+    Init[S] = D.Accepting[S] ? 1 : 0;
+  BlockPartition P(Init);
+
+  // Worklist of (block, letter) splitters. Seeding with both initial
+  // blocks (rather than only the smaller) is safe and simpler; the
+  // smaller-half rule below is what carries the n log n bound.
+  std::deque<std::pair<uint32_t, int>> Work;
+  std::vector<std::array<bool, 2>> InWork(2, {false, false});
+  auto PushWork = [&](uint32_t Block, int Letter) {
+    if (InWork.size() <= Block)
+      InWork.resize(Block + 1, {false, false});
+    if (!InWork[Block][Letter]) {
+      InWork[Block][Letter] = true;
+      Work.emplace_back(Block, Letter);
+    }
+  };
+  for (uint32_t B : {0u, 1u})
+    if (B < P.numBlocks() && P.blockSize(B) > 0)
+      for (int L = 0; L < 2; ++L)
+        PushWork(B, L);
+
+  std::vector<uint32_t> TouchCount; // Per block: members with an edge in.
+  std::vector<uint32_t> TouchedBlocks;
+  std::vector<uint32_t> TouchedStates;
+  std::vector<char> IsTouched(N, 0);
+
+  while (!Work.empty()) {
+    auto [Splitter, Letter] = Work.front();
+    Work.pop_front();
+    InWork[Splitter][Letter] = false;
+    if (Stats)
+      ++Stats->Rounds;
+
+    // X = δ⁻¹(Splitter, Letter); group by block.
+    TouchedStates.clear();
+    TouchedBlocks.clear();
+    if (TouchCount.size() < P.numBlocks())
+      TouchCount.resize(P.numBlocks(), 0);
+    for (uint32_t T : P.members(Splitter)) {
+      for (uint32_t S : Preds[Letter][T]) {
+        if (IsTouched[S])
+          continue;
+        IsTouched[S] = 1;
+        TouchedStates.push_back(S);
+        uint32_t B = P.blockOf(S);
+        if (TouchCount[B]++ == 0)
+          TouchedBlocks.push_back(B);
+      }
+    }
+
+    for (uint32_t B : TouchedBlocks) {
+      uint32_t Cnt = TouchCount[B];
+      TouchCount[B] = 0;
+      if (Cnt == P.blockSize(B))
+        continue; // Entirely inside X: no split.
+      // Split the touched members of B out into a fresh block.
+      uint32_t NewB = P.freshBlock();
+      if (Stats)
+        ++Stats->Splits;
+      // Collect first: moving while iterating invalidates members(B).
+      std::vector<uint32_t> ToMove;
+      for (uint32_t S : P.members(B))
+        if (IsTouched[S])
+          ToMove.push_back(S);
+      for (uint32_t S : ToMove)
+        P.move(S, NewB);
+      // Worklist update: if (B, l) is pending, both halves must be
+      // processed; otherwise the smaller half suffices.
+      for (int L = 0; L < 2; ++L) {
+        if (InWork.size() <= B)
+          InWork.resize(B + 1, {false, false});
+        if (InWork[B][L]) {
+          PushWork(NewB, L);
+        } else {
+          PushWork(P.blockSize(B) <= P.blockSize(NewB) ? B : NewB, L);
+        }
+      }
+    }
+    for (uint32_t S : TouchedStates)
+      IsTouched[S] = 0;
+  }
+  return P.toPartition();
+}
+
+//===----------------------------------------------------------------------===//
+// Paige–Tarjan
+//===----------------------------------------------------------------------===//
+
+Lts algorithms::dfaToLts(const Dfa &D) {
+  Lts L;
+  L.NumStates = D.numStates();
+  L.Edges.resize(2);
+  for (uint32_t S = 0; S < D.numStates(); ++S)
+    for (int B = 0; B < 2; ++B)
+      L.Edges[B].emplace_back(S, D.Next[S][B]);
+  L.InitialBlock.resize(D.numStates());
+  for (size_t S = 0; S < D.numStates(); ++S)
+    L.InitialBlock[S] = D.Accepting[S] ? 1 : 0;
+  return L;
+}
+
+namespace {
+
+/// The Paige–Tarjan machinery: a fine partition Q of states grouped into a
+/// coarse partition X of Q-blocks, with per-(state, X-block, label) edge
+/// counts enabling the three-way split. Compound X-blocks (≥ 2 Q-blocks)
+/// wait in a worklist; each round extracts the smaller half.
+class PaigeTarjan {
+public:
+  PaigeTarjan(const Lts &L, RefineStats *Stats)
+      : L(L), Q(normalizeInitial(L)), Stats(Stats) {
+    size_t NumLabels = L.Edges.size();
+    Preds.resize(NumLabels);
+    for (size_t Lab = 0; Lab < NumLabels; ++Lab) {
+      Preds[Lab].resize(L.NumStates);
+      for (auto [From, To] : L.Edges[Lab])
+        Preds[Lab][To].push_back(From);
+    }
+  }
+
+  Partition run() {
+    // Initial stability preprocessing: each Q-block must be stable with
+    // respect to the universe, i.e. members agree per label on whether
+    // they have any outgoing edge. Split by out-degree signature.
+    splitByUniverseDegrees();
+
+    // One coarse block holding every Q-block.
+    uint32_t X0 = freshXBlock();
+    for (uint32_t QB = 0; QB < Q.numBlocks(); ++QB)
+      if (Q.blockSize(QB) > 0)
+        attachQBlock(QB, X0);
+    // Universe counts: count(x, X0, l) = outdegree_l(x).
+    for (size_t Lab = 0; Lab < L.Edges.size(); ++Lab)
+      for (auto [From, To] : L.Edges[Lab]) {
+        (void)To;
+        bumpCount(From, X0, Lab, 1);
+      }
+    maybeEnqueueCompound(X0);
+
+    while (!Compound.empty()) {
+      uint32_t S = Compound.front();
+      Compound.pop_front();
+      InCompound[S] = false;
+      if (XMembers[S].size() < 2)
+        continue;
+      if (Stats)
+        ++Stats->Rounds;
+      refineAgainst(S);
+    }
+    return Q.toPartition();
+  }
+
+private:
+  static std::vector<uint32_t> normalizeInitial(const Lts &L) {
+    return L.InitialBlock;
+  }
+
+  uint32_t freshXBlock() {
+    XMembers.emplace_back();
+    InCompound.push_back(false);
+    return uint32_t(XMembers.size()) - 1;
+  }
+
+  void attachQBlock(uint32_t QB, uint32_t XB) {
+    if (XBlockOf.size() <= QB)
+      XBlockOf.resize(QB + 1, UINT32_MAX);
+    XBlockOf[QB] = XB;
+    XMembers[XB].push_back(QB);
+  }
+
+  void detachQBlock(uint32_t QB, uint32_t XB) {
+    std::vector<uint32_t> &M = XMembers[XB];
+    auto It = std::find(M.begin(), M.end(), QB);
+    assert(It != M.end() && "Q-block not in its X-block");
+    *It = M.back();
+    M.pop_back();
+  }
+
+  void maybeEnqueueCompound(uint32_t XB) {
+    if (XMembers[XB].size() >= 2 && !InCompound[XB]) {
+      InCompound[XB] = true;
+      Compound.push_back(XB);
+    }
+  }
+
+  uint64_t countKey(uint32_t State, uint32_t XB, size_t Label) const {
+    return (uint64_t(XB) * L.Edges.size() + Label) * L.NumStates + State;
+  }
+  void bumpCount(uint32_t State, uint32_t XB, size_t Label, int Delta) {
+    uint64_t Key = countKey(State, XB, Label);
+    auto It = Counts.find(Key);
+    if (It == Counts.end()) {
+      if (Delta > 0)
+        Counts.emplace(Key, uint32_t(Delta));
+      return;
+    }
+    It->second = uint32_t(int(It->second) + Delta);
+    if (It->second == 0)
+      Counts.erase(It);
+  }
+  uint32_t getCount(uint32_t State, uint32_t XB, size_t Label) const {
+    auto It = Counts.find(countKey(State, XB, Label));
+    return It == Counts.end() ? 0 : It->second;
+  }
+
+  void splitByUniverseDegrees() {
+    for (size_t Lab = 0; Lab < L.Edges.size(); ++Lab) {
+      std::vector<uint32_t> OutDeg(L.NumStates, 0);
+      for (auto [From, To] : L.Edges[Lab]) {
+        (void)To;
+        ++OutDeg[From];
+      }
+      // Split every Q-block by out-degree-zero vs non-zero.
+      for (uint32_t QB = 0, E = uint32_t(Q.numBlocks()); QB < E; ++QB) {
+        size_t WithEdges = 0;
+        for (uint32_t S : Q.members(QB))
+          WithEdges += OutDeg[S] > 0;
+        if (WithEdges == 0 || WithEdges == Q.blockSize(QB))
+          continue;
+        uint32_t NewB = Q.freshBlock();
+        if (Stats)
+          ++Stats->Splits;
+        std::vector<uint32_t> ToMove;
+        for (uint32_t S : Q.members(QB))
+          if (OutDeg[S] > 0)
+            ToMove.push_back(S);
+        for (uint32_t S : ToMove)
+          Q.move(S, NewB);
+      }
+    }
+  }
+
+  /// One PT round: extract the smaller Q-block B from compound X-block S,
+  /// then split every Q-block three ways per label against B and S \ B.
+  void refineAgainst(uint32_t S) {
+    // B := smaller of the first two Q-blocks of S.
+    uint32_t B = XMembers[S][0];
+    if (Q.blockSize(XMembers[S][1]) < Q.blockSize(B))
+      B = XMembers[S][1];
+    detachQBlock(B, S);
+    uint32_t XB = freshXBlock();
+    attachQBlock(B, XB);
+    maybeEnqueueCompound(S); // S may still be compound.
+
+    // Snapshot the splitter's state set now: the splits below may divide
+    // B itself (self-edges), which changes Q-block membership but not the
+    // set of states the X-block XB covers — and it is that set the counts
+    // and the refinement are defined against.
+    std::vector<uint32_t> BStates(Q.members(B).begin(),
+                                  Q.members(B).end());
+
+    for (size_t Lab = 0; Lab < L.Edges.size(); ++Lab) {
+      // count(x, B) for predecessors of B's members.
+      std::unordered_map<uint32_t, uint32_t> CountB;
+      for (uint32_t T : BStates)
+        for (uint32_t P : Preds[Lab][T])
+          ++CountB[P];
+
+      // Phase 1: split Q-blocks into (touched, untouched).
+      std::unordered_map<uint32_t, std::vector<uint32_t>> TouchedPerBlock;
+      for (auto [State, Cnt] : CountB) {
+        (void)Cnt;
+        TouchedPerBlock[Q.blockOf(State)].push_back(State);
+      }
+      std::vector<uint32_t> BlocksToThreeWay;
+      for (auto &[QB, Touched] : TouchedPerBlock) {
+        if (Touched.size() == Q.blockSize(QB)) {
+          BlocksToThreeWay.push_back(QB);
+          continue;
+        }
+        uint32_t NewB = splitOut(QB, Touched);
+        BlocksToThreeWay.push_back(NewB);
+      }
+
+      // Phase 2 (three-way): within each fully-touched block, separate
+      // states whose every l-edge into S∪B lands in B (count(x,B) ==
+      // count(x, S∪B)) from states that also reach S \ B. The stored
+      // counts for S are still the pre-split values count(x, S∪B).
+      for (uint32_t QB : BlocksToThreeWay) {
+        std::vector<uint32_t> OnlyB;
+        for (uint32_t State : Q.members(QB))
+          if (CountB[State] == getCount(State, S, Lab))
+            OnlyB.push_back(State);
+        if (!OnlyB.empty() && OnlyB.size() != Q.blockSize(QB))
+          splitOut(QB, OnlyB);
+      }
+
+      // Count maintenance: count(x, S) -= count(x, B);
+      // count(x, XB) = count(x, B).
+      for (auto [State, Cnt] : CountB) {
+        bumpCount(State, S, Lab, -int(Cnt));
+        bumpCount(State, XB, Lab, int(Cnt));
+      }
+    }
+  }
+
+  /// Splits \p Touched out of Q-block \p QB into a fresh Q-block that
+  /// joins the same X-block; enqueues the X-block if it became compound.
+  uint32_t splitOut(uint32_t QB, const std::vector<uint32_t> &Touched) {
+    uint32_t NewB = Q.freshBlock();
+    if (Stats)
+      ++Stats->Splits;
+    for (uint32_t State : Touched)
+      Q.move(State, NewB);
+    uint32_t XB = XBlockOf[QB];
+    attachQBlock(NewB, XB);
+    maybeEnqueueCompound(XB);
+    return NewB;
+  }
+
+  const Lts &L;
+  BlockPartition Q;
+  RefineStats *Stats;
+
+  std::vector<std::vector<std::vector<uint32_t>>> Preds; ///< [label][state].
+  std::vector<std::vector<uint32_t>> XMembers; ///< X-block → Q-block ids.
+  std::vector<uint32_t> XBlockOf;              ///< Q-block → X-block.
+  std::deque<uint32_t> Compound;
+  std::vector<char> InCompound;
+  std::unordered_map<uint64_t, uint32_t> Counts;
+};
+
+} // namespace
+
+Partition algorithms::paigeTarjanRefine(const Lts &L, RefineStats *Stats) {
+  if (L.NumStates == 0)
+    return Partition{};
+  return PaigeTarjan(L, Stats).run();
+}
+
+Dfa algorithms::quotient(const Dfa &D, const Partition &P) {
+  Dfa Out;
+  Out.Next.resize(P.NumClasses, {UINT32_MAX, UINT32_MAX});
+  Out.Accepting.assign(P.NumClasses, false);
+  std::vector<bool> Seen(P.NumClasses, false);
+  for (uint32_t S = 0; S < D.numStates(); ++S) {
+    uint32_t C = P.ClassOf[S];
+    std::array<uint32_t, 2> Succ = {P.ClassOf[D.Next[S][0]],
+                                    P.ClassOf[D.Next[S][1]]};
+    if (!Seen[C]) {
+      Seen[C] = true;
+      Out.Next[C] = Succ;
+      Out.Accepting[C] = D.Accepting[S];
+    } else {
+      assert(Out.Next[C] == Succ && Out.Accepting[C] == D.Accepting[S] &&
+             "partition is not stable: quotient is ill-defined");
+    }
+  }
+  Out.Initial = P.ClassOf[D.Initial];
+  return Out;
+}

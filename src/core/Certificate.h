@@ -1,0 +1,82 @@
+//===- Certificate.h - Replayable equivalence certificates ------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Leapfrog's headline feature is that equivalence proofs are *reusable
+/// certificates* checked by the Coq kernel (§6.4). Our C++ analogue is the
+/// EquivalenceCertificate: the complete conjunct set R produced by the
+/// search, together with the property φ it certifies. replayCertificate()
+/// re-validates, without trusting the search that produced R, that
+///
+///   (1) initiation — every conjunct of the (independently re-derived)
+///       initial relation I is entailed by ⋀R, so related pairs are
+///       equally accepting;
+///   (2) consecution — for every ψ ∈ R, every formula in WP(ψ) is entailed
+///       by ⋀R, so ⋀R is closed under (leap) steps;
+///   (3) inclusion — φ ⊨ ⋀R.
+///
+/// Together these make ⋀R a symbolic bisimulation with leaps containing φ
+/// (Definition 5.4 + Lemma 5.6), hence configurations relatable by φ are
+/// language-equivalent. The replay checker trusts only the lowering chain
+/// and the solver — the same TCB shape as the paper's plugin + SMT solver
+/// (§6.4) — and notably does *not* trust the search: the test suite
+/// demonstrates that replay with a sound solver rejects certificates
+/// fabricated by an unsound one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_CORE_CERTIFICATE_H
+#define LEAPFROG_CORE_CERTIFICATE_H
+
+#include "core/Spec.h"
+#include "logic/ConfRel.h"
+#include "smt/Solver.h"
+
+#include <string>
+#include <vector>
+
+namespace leapfrog {
+namespace core {
+
+/// A self-contained proof object for one equivalence (or relational)
+/// property of a pair of P4 automata.
+struct EquivalenceCertificate {
+  /// The certified property φ, including its initial-relation mode
+  /// (external filtering / relational specs replay with the same I).
+  InitialSpec Spec;
+  /// The certified symbolic bisimulation with leaps, as conjuncts.
+  std::vector<logic::GuardedFormula> Relation;
+  /// Which optimizations the WP re-derivation must use; leaps change the
+  /// shape of consecution obligations, so replay must match.
+  bool UseLeaps = true;
+  bool UseReachability = true;
+
+  /// Human-readable rendering (for docs, debugging and golden tests).
+  std::string str(const p4a::Automaton &Left,
+                  const p4a::Automaton &Right) const;
+};
+
+/// Outcome of certificate replay.
+struct ReplayResult {
+  bool Valid = false;
+  /// Empty when valid; otherwise which obligation failed, e.g.
+  /// "consecution: WP of conjunct #3 source ⟨q1,0⟩/⟨q3,0⟩ not entailed".
+  std::string FailureReason;
+  size_t ObligationsChecked = 0;
+};
+
+/// Re-validates \p Cert against the automata from scratch (see file
+/// comment). \p Solver defaults to smt::defaultSolver().
+ReplayResult replayCertificate(const p4a::Automaton &Left,
+                               const p4a::Automaton &Right,
+                               const EquivalenceCertificate &Cert,
+                               smt::SmtSolver *Solver = nullptr);
+
+} // namespace core
+} // namespace leapfrog
+
+#endif // LEAPFROG_CORE_CERTIFICATE_H

@@ -1,0 +1,263 @@
+//===- Checker.cpp - Symbolic equivalence checking (Algorithm 1) ----------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Checker.h"
+
+#include "core/WeakestPrecondition.h"
+#include "logic/Lower.h"
+#include "p4a/Typing.h"
+#include "support/Hashing.h"
+
+#include <chrono>
+#include <deque>
+#include <unordered_set>
+
+using namespace leapfrog;
+using namespace leapfrog::core;
+using namespace leapfrog::logic;
+
+InitialSpec core::languageEquivalenceSpec(const p4a::Automaton &Left,
+                                          p4a::StateRef QL,
+                                          const p4a::Automaton &Right,
+                                          p4a::StateRef QR) {
+  (void)Left;
+  (void)Right;
+  InitialSpec Spec;
+  Spec.TP = TemplatePair{Template{QL, 0}, Template{QR, 0}};
+  Spec.Premise = Pure::mkTrue();
+  return Spec;
+}
+
+namespace {
+
+/// Syntactic identity key for frontier deduplication. Two formulas with
+/// the same rendering are interchangeable in R/T, so pushing both wastes
+/// an SMT query.
+std::string formulaKey(const GuardedFormula &G) {
+  return std::to_string(G.TP.hash()) + "|" + G.Phi->str();
+}
+
+} // namespace
+
+CheckResult core::checkWithSpec(const p4a::Automaton &Left,
+                                const p4a::Automaton &Right,
+                                const InitialSpec &Spec,
+                                const CheckOptions &Options) {
+  assert(p4a::isWellTyped(Left) && "left automaton is ill-typed");
+  assert(p4a::isWellTyped(Right) && "right automaton is ill-typed");
+
+  auto Start = std::chrono::steady_clock::now();
+  smt::SmtSolver &Solver =
+      Options.Solver ? *Options.Solver : smt::defaultSolver();
+  uint64_t SolverMicrosBefore = Solver.stats().TotalMicros;
+
+  CheckResult Result;
+  CheckStats &St = Result.Stats;
+  St.TemplatesLeft = allTemplates(Left).size();
+  St.TemplatesRight = allTemplates(Right).size();
+
+  // §5.1/§5.3: restrict attention to abstractly reachable template pairs.
+  std::vector<TemplatePair> Pairs =
+      Options.UseReachability
+          ? computeReach(Left, Right, Spec.TP, Options.UseLeaps)
+          : allPairs(Left, Right);
+  St.ReachPairs = Pairs.size();
+
+  // Frontier T: initial relation I, then extra user conjuncts (§7.1).
+  std::deque<GuardedFormula> T;
+  std::unordered_set<std::string> Seen;
+  auto Push = [&](GuardedFormula G) {
+    if (G.Phi->kind() == Pure::Kind::True)
+      return; // Trivial conjunct: entailed by anything.
+    // Deduplicate up to α-renaming: WP mints fresh variables on every
+    // application, so the same precondition re-derived later differs only
+    // in names. The formula itself keeps its original names — a WP child
+    // shares its parent conjunct's variables, and that identity is what
+    // lets the entailment check discharge the child against the parent
+    // (see logic::canonicalize for why renaming must not be applied to
+    // the stored formula).
+    if (!Seen.insert(formulaKey(canonicalize(G))).second)
+      return;
+    T.push_back(std::move(G));
+    St.PeakFrontier = std::max(St.PeakFrontier, T.size());
+  };
+  for (GuardedFormula &G : buildInitialConjuncts(Spec, Pairs))
+    Push(std::move(G));
+
+  std::vector<GuardedFormula> R;
+  size_t FreshCounter = 0;
+
+  PureRef Premise =
+      Spec.Premise ? Spec.Premise : Pure::mkTrue();
+
+  // Main worklist (Algorithm 1 / the pre_bisimulation relation, Fig. 4).
+  auto OverBudget = [&](const char *What) {
+    Result.V = Verdict::ResourceLimit;
+    Result.FailureReason = std::string(What) + " limit reached with " +
+                           std::to_string(T.size()) +
+                           " frontier conjuncts outstanding";
+    St.FinalConjuncts = R.size();
+    auto Now = std::chrono::steady_clock::now();
+    St.WallMicros = uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(Now - Start)
+            .count());
+    St.SolverMicros = Solver.stats().TotalMicros - SolverMicrosBefore;
+  };
+
+  while (!T.empty()) {
+    if (++St.Iterations > Options.MaxIterations) {
+      OverBudget("iteration");
+      return Result;
+    }
+    if (Options.MaxWallMicros != 0 && (St.Iterations & 0xf) == 0) {
+      auto Now = std::chrono::steady_clock::now();
+      if (uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                       Now - Start)
+                       .count()) > Options.MaxWallMicros) {
+        OverBudget("wall-clock");
+        return Result;
+      }
+    }
+    GuardedFormula Psi = std::move(T.front());
+    T.pop_front();
+
+    // Entailment ⋀R ⊨ ψ, lowered through the Figure 6 chain. The smart
+    // constructors may already have collapsed the query to a constant.
+    LowerResult Lowered = lowerEntailment(Left, Right, R, Psi);
+    bool Entailed;
+    if (Lowered.Query->kind() == smt::BvFormula::Kind::True) {
+      Entailed = true;
+    } else if (Lowered.Query->kind() == smt::BvFormula::Kind::False) {
+      Entailed = false;
+    } else {
+      ++St.SmtQueries;
+      Entailed = Solver.isValid(Lowered.Query);
+    }
+
+    if (Entailed) {
+      ++St.Skips;
+      if (Options.RecordTrace)
+        Result.Trace.push_back(TraceStep{TraceStep::Kind::Skip, Psi, 0});
+      continue;
+    }
+
+    // Extend: ψ is a novel restriction; its preconditions join the
+    // frontier so closure under (leap) steps is re-established.
+    ++St.Extends;
+    R.push_back(Psi);
+
+    // Early refutation. Every symbolic bisimulation entails ⋀R ∧ ⋀T
+    // (invariant (3) in the proof of Theorem 4.6), so if φ already fails
+    // against this conjunct no bisimulation can contain φ and the final
+    // Done check is doomed — report NotEquivalent now. This also keeps
+    // the checker total on inequivalent parsers with loops, where the
+    // frontier itself need not drain (see DESIGN.md §5).
+    if (Psi.TP == Spec.TP) {
+      smt::BvFormulaRef Query = lowerPure(
+          Left, Right, Spec.TP, Pure::mkImplies(Premise, Psi.Phi));
+      bool Valid = Query->kind() == smt::BvFormula::Kind::True;
+      if (!Valid && Query->kind() != smt::BvFormula::Kind::False) {
+        ++St.SmtQueries;
+        Valid = Solver.isValid(Query);
+      }
+      if (!Valid) {
+        Result.V = Verdict::NotEquivalent;
+        Result.FailureReason = "refuted: phi does not entail conjunct " +
+                               Psi.str(Left, Right);
+        St.FinalConjuncts = R.size();
+        auto EndRefuted = std::chrono::steady_clock::now();
+        St.WallMicros =
+            uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                         EndRefuted - Start)
+                         .count());
+        St.SolverMicros = Solver.stats().TotalMicros - SolverMicrosBefore;
+        return Result;
+      }
+    }
+
+    std::vector<GuardedFormula> Wp = weakestPrecondition(
+        Left, Right, Psi, Pairs, Options.UseLeaps, FreshCounter);
+    if (Options.RecordTrace)
+      Result.Trace.push_back(
+          TraceStep{TraceStep::Kind::Extend, Psi, Wp.size()});
+    for (GuardedFormula &G : Wp)
+      Push(std::move(G));
+  }
+
+  // Done: check φ ⊨ ⋀R. Conjuncts guarded by other template pairs hold
+  // vacuously on φ's configurations; for matching guards the premise must
+  // imply the conjunct.
+  Result.V = Verdict::Equivalent;
+  for (const GuardedFormula &Conjunct : R) {
+    if (Conjunct.TP != Spec.TP)
+      continue;
+    smt::BvFormulaRef Query = lowerPure(
+        Left, Right, Spec.TP, Pure::mkImplies(Premise, Conjunct.Phi));
+    bool Valid;
+    if (Query->kind() == smt::BvFormula::Kind::True) {
+      Valid = true;
+    } else if (Query->kind() == smt::BvFormula::Kind::False) {
+      Valid = false;
+    } else {
+      ++St.SmtQueries;
+      Valid = Solver.isValid(Query);
+    }
+    if (!Valid) {
+      Result.V = Verdict::NotEquivalent;
+      Result.FailureReason =
+          "final check failed: phi does not entail conjunct " +
+          Conjunct.str(Left, Right);
+      break;
+    }
+  }
+  if (Options.RecordTrace)
+    Result.Trace.push_back(
+        TraceStep{TraceStep::Kind::Done,
+                  GuardedFormula{Spec.TP, Pure::mkTrue()}, 0});
+
+  St.FinalConjuncts = R.size();
+  for (const GuardedFormula &G : R)
+    St.FormulaNodes += G.Phi->size();
+
+  if (Result.V == Verdict::Equivalent) {
+    EquivalenceCertificate &Cert = Result.Certificate;
+    Cert.Spec = Spec;
+    Cert.Spec.Premise = Premise;
+    Cert.Relation = R;
+    Cert.UseLeaps = Options.UseLeaps;
+    Cert.UseReachability = Options.UseReachability;
+  }
+
+  auto End = std::chrono::steady_clock::now();
+  St.WallMicros = uint64_t(
+      std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+          .count());
+  St.SolverMicros = Solver.stats().TotalMicros - SolverMicrosBefore;
+  return Result;
+}
+
+CheckResult core::checkLanguageEquivalence(const p4a::Automaton &Left,
+                                           p4a::StateRef QL,
+                                           const p4a::Automaton &Right,
+                                           p4a::StateRef QR,
+                                           const CheckOptions &Options) {
+  return checkWithSpec(Left, Right,
+                       languageEquivalenceSpec(Left, QL, Right, QR),
+                       Options);
+}
+
+CheckResult core::checkLanguageEquivalence(const p4a::Automaton &Left,
+                                           const std::string &QL,
+                                           const p4a::Automaton &Right,
+                                           const std::string &QR,
+                                           const CheckOptions &Options) {
+  auto L = Left.findState(QL);
+  auto R = Right.findState(QR);
+  assert(L && R && "start state name not found");
+  return checkLanguageEquivalence(Left, p4a::StateRef::normal(*L), Right,
+                                  p4a::StateRef::normal(*R), Options);
+}

@@ -1,0 +1,136 @@
+//===- Checker.h - Symbolic equivalence checking (Algorithm 1) --*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point of the library: the symbolic equivalence checker
+/// of paper §4–§5 (Algorithm 1), which computes the weakest symbolic
+/// bisimulation (with leaps) as a set of template-guarded conjuncts R.
+///
+/// The worklist loop mirrors the paper's pre_bisimulation inductive
+/// relation (Figure 4): each popped conjunct is either *skipped* (already
+/// entailed by ⋀R — an SMT query) or *extended* (added to R, its weakest
+/// preconditions pushed). On an empty worklist, the final *done* check
+/// φ ⊨ ⋀R decides the verdict. Every decision is recorded in a trace, and
+/// on success the checker emits an EquivalenceCertificate that can be
+/// re-validated independently of the search (Certificate.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_CORE_CHECKER_H
+#define LEAPFROG_CORE_CHECKER_H
+
+#include "core/Certificate.h"
+#include "core/Reachability.h"
+#include "core/Spec.h"
+#include "logic/ConfRel.h"
+#include "smt/Solver.h"
+
+#include <string>
+#include <vector>
+
+namespace leapfrog {
+namespace core {
+
+using logic::GuardedFormula;
+using logic::PureRef;
+using logic::TemplatePair;
+
+/// Tuning knobs, including the §5 optimizations as ablation switches.
+struct CheckOptions {
+  /// Multi-step weakest preconditions (§5.2). Off = bit-by-bit WP.
+  bool UseLeaps = true;
+  /// Template-pair reachability pruning (§5.1). Off = full product.
+  bool UseReachability = true;
+  /// Safety valve on worklist iterations (the paper's Coq proof search has
+  /// no such cap; ours reports Verdict::ResourceLimit instead of hanging).
+  size_t MaxIterations = 1u << 20;
+  /// Wall-clock budget in microseconds; 0 = unlimited. Like MaxIterations,
+  /// exceeding it yields Verdict::ResourceLimit — the analogue of the
+  /// paper's out-of-memory outcome on the Service Provider study.
+  uint64_t MaxWallMicros = 0;
+  /// Solver backend; nullptr = smt::defaultSolver().
+  smt::SmtSolver *Solver = nullptr;
+  /// Record one TraceStep per loop iteration (costs memory on big runs).
+  bool RecordTrace = false;
+};
+
+/// Builds the standard language-equivalence spec for two start states.
+InitialSpec languageEquivalenceSpec(const p4a::Automaton &Left,
+                                    p4a::StateRef QL,
+                                    const p4a::Automaton &Right,
+                                    p4a::StateRef QR);
+
+enum class Verdict {
+  Equivalent,    ///< φ entails the weakest symbolic bisimulation.
+  NotEquivalent, ///< The final (or an initial) check refuted φ.
+  ResourceLimit, ///< MaxIterations hit before the frontier drained.
+};
+
+/// One step of the proof-search trace (paper Figure 4's constructors).
+struct TraceStep {
+  enum class Kind { Skip, Extend, Done } K;
+  GuardedFormula Psi; ///< The conjunct considered (empty formula on Done).
+  size_t WpCount = 0; ///< Extend: how many preconditions were pushed.
+};
+
+/// Counters the benchmark harness reports (Table 2 columns and §7.3
+/// discussion material).
+struct CheckStats {
+  size_t Iterations = 0;
+  size_t Extends = 0;
+  size_t Skips = 0;
+  size_t SmtQueries = 0;
+  size_t ReachPairs = 0;
+  size_t TemplatesLeft = 0;
+  size_t TemplatesRight = 0;
+  size_t FinalConjuncts = 0;
+  size_t PeakFrontier = 0;
+  size_t FormulaNodes = 0; ///< Σ sizes of conjuncts in final R.
+  uint64_t WallMicros = 0;
+  uint64_t SolverMicros = 0;
+};
+
+struct CheckResult {
+  Verdict V = Verdict::NotEquivalent;
+  CheckStats Stats;
+  /// Valid when V == Equivalent; re-check with replayCertificate().
+  EquivalenceCertificate Certificate;
+  /// On NotEquivalent: which conjunct refuted φ, for diagnostics.
+  std::string FailureReason;
+  std::vector<TraceStep> Trace; ///< Populated iff RecordTrace.
+
+  bool equivalent() const { return V == Verdict::Equivalent; }
+};
+
+/// Runs Algorithm 1 for the property \p Spec over \p Left / \p Right.
+/// The automata must be well-typed (⊢A); asserts otherwise.
+CheckResult checkWithSpec(const p4a::Automaton &Left,
+                          const p4a::Automaton &Right,
+                          const InitialSpec &Spec,
+                          const CheckOptions &Options = CheckOptions());
+
+/// Language equivalence of two start states "regardless of initial store":
+/// L(⟨QL, s1, ε⟩) = L(⟨QR, s2, ε⟩) for all s1, s2 (paper §4).
+CheckResult checkLanguageEquivalence(const p4a::Automaton &Left,
+                                     p4a::StateRef QL,
+                                     const p4a::Automaton &Right,
+                                     p4a::StateRef QR,
+                                     const CheckOptions &Options =
+                                         CheckOptions());
+
+/// Convenience overload resolving states by name; asserts they exist.
+CheckResult checkLanguageEquivalence(const p4a::Automaton &Left,
+                                     const std::string &QL,
+                                     const p4a::Automaton &Right,
+                                     const std::string &QR,
+                                     const CheckOptions &Options =
+                                         CheckOptions());
+
+} // namespace core
+} // namespace leapfrog
+
+#endif // LEAPFROG_CORE_CHECKER_H

@@ -1,0 +1,109 @@
+//===- Reachability.cpp - Template abstraction and reachability -----------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Reachability.h"
+
+#include <deque>
+#include <limits>
+#include <unordered_set>
+
+using namespace leapfrog;
+using namespace leapfrog::core;
+
+std::vector<Template> core::allTemplates(const p4a::Automaton &Aut) {
+  std::vector<Template> Ts;
+  for (p4a::StateId Q = 0; Q < Aut.numStates(); ++Q) {
+    size_t Bits = Aut.opBits(Q);
+    assert(Bits >= 1 && "state consumes no bits (⊢A violated)");
+    for (size_t N = 0; N < Bits; ++N)
+      Ts.push_back(Template{p4a::StateRef::normal(Q), N});
+  }
+  Ts.push_back(Template::accept());
+  Ts.push_back(Template::reject());
+  return Ts;
+}
+
+size_t core::templateDeficit(const p4a::Automaton &Aut, Template T) {
+  if (T.Q.isTerminal())
+    return std::numeric_limits<size_t>::max();
+  size_t Bits = Aut.opBits(T.Q.Id);
+  assert(T.N < Bits && "template buffer length out of range");
+  return Bits - T.N;
+}
+
+size_t core::leapSize(const p4a::Automaton &Left, const p4a::Automaton &Right,
+                      TemplatePair TP) {
+  size_t DL = templateDeficit(Left, TP.L);
+  size_t DR = templateDeficit(Right, TP.R);
+  size_t K = std::min(DL, DR);
+  // Both sides terminal: one step, straight to reject (Definition 5.3).
+  if (K == std::numeric_limits<size_t>::max())
+    return 1;
+  return K;
+}
+
+std::vector<Template> core::templateSuccessors(const p4a::Automaton &Aut,
+                                               Template T, size_t K) {
+  assert(K >= 1 && "successor computation requires at least one step");
+  std::vector<Template> Posts;
+  if (T.Q.isTerminal()) {
+    // Terminal configurations step to reject and stay there.
+    Posts.push_back(Template::reject());
+    return Posts;
+  }
+  size_t D = templateDeficit(Aut, T);
+  assert(K <= D && "leap overshoots this side's transition");
+  if (K < D) {
+    Posts.push_back(Template{T.Q, T.N + K});
+    return Posts;
+  }
+  // The buffer fills: the block runs and the transition actuates.
+  for (p4a::StateRef Succ : Aut.successors(T.Q.Id))
+    Posts.push_back(Template{Succ, 0});
+  return Posts;
+}
+
+std::vector<TemplatePair> core::computeReach(const p4a::Automaton &Left,
+                                             const p4a::Automaton &Right,
+                                             TemplatePair Start,
+                                             bool UseLeaps) {
+  struct PairHasher {
+    size_t operator()(const TemplatePair &TP) const { return TP.hash(); }
+  };
+  std::unordered_set<TemplatePair, PairHasher> Seen;
+  std::vector<TemplatePair> Order;
+  std::deque<TemplatePair> Work;
+
+  auto Push = [&](TemplatePair TP) {
+    if (Seen.insert(TP).second) {
+      Order.push_back(TP);
+      Work.push_back(TP);
+    }
+  };
+  Push(Start);
+
+  while (!Work.empty()) {
+    TemplatePair TP = Work.front();
+    Work.pop_front();
+    size_t K = UseLeaps ? leapSize(Left, Right, TP) : 1;
+    // In bit-level mode a side whose deficit exceeds 1 merely buffers;
+    // templateSuccessors handles both regimes uniformly given K ≤ deficit.
+    for (Template PL : templateSuccessors(Left, TP.L, K))
+      for (Template PR : templateSuccessors(Right, TP.R, K))
+        Push(TemplatePair{PL, PR});
+  }
+  return Order;
+}
+
+std::vector<TemplatePair> core::allPairs(const p4a::Automaton &Left,
+                                         const p4a::Automaton &Right) {
+  std::vector<TemplatePair> Pairs;
+  for (Template TL : allTemplates(Left))
+    for (Template TR : allTemplates(Right))
+      Pairs.push_back(TemplatePair{TL, TR});
+  return Pairs;
+}

@@ -1,0 +1,76 @@
+//===- Reachability.h - Template abstraction and reachability ---*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The template-level abstract interpretation of §5.1 and the leap sizes
+/// of §5.2. Templates ⟨q, n⟩ abstract configurations by dropping the store
+/// and buffer *contents*, keeping only the state and buffer *length*; the
+/// abstract step σ over-approximates δ, so the template pairs reachable
+/// from the initial pair over-approximate the configuration pairs the
+/// checker must constrain. Pruning the rest "lets us avoid spurious search
+/// steps through unreachable configurations" (§2) — the ablation benchmark
+/// shows the paper's observation that the algorithm does not finish
+/// without it (§7.3).
+///
+/// Both σ and reachability come in bit-level (k = 1) and leap (k = ♯)
+/// flavours, selected by a flag, implementing the "combined optimization"
+/// of §5.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_CORE_REACHABILITY_H
+#define LEAPFROG_CORE_REACHABILITY_H
+
+#include "logic/ConfRel.h"
+
+#include <vector>
+
+namespace leapfrog {
+namespace core {
+
+using logic::Template;
+using logic::TemplatePair;
+
+/// All templates of \p Aut: ⟨q, n⟩ for every user state q and every
+/// 0 ≤ n < ||op(q)||, plus ⟨accept, 0⟩ and ⟨reject, 0⟩ (Definition 4.7).
+std::vector<Template> allTemplates(const p4a::Automaton &Aut);
+
+/// Bits a configuration described by \p T still needs before its state
+/// block fires: ||op(q)|| − n for user states (always ≥ 1), or SIZE_MAX
+/// for terminal states (they never fire a block).
+size_t templateDeficit(const p4a::Automaton &Aut, Template T);
+
+/// The leap size ♯ of Definition 5.3, lifted to templates (it only depends
+/// on states and buffer lengths): the number of steps until the next
+/// "real" state-to-state transition on either side.
+size_t leapSize(const p4a::Automaton &Left, const p4a::Automaton &Right,
+                TemplatePair TP);
+
+/// σ lifted to \p K consecutive steps: the templates that configurations
+/// described by \p T can be in after exactly K bits. Requires K ≤ deficit
+/// (the leap regime): buffering sides advance deterministically, a side
+/// whose buffer fills transitions to each syntactic successor, terminal
+/// sides collapse to ⟨reject, 0⟩.
+std::vector<Template> templateSuccessors(const p4a::Automaton &Aut,
+                                         Template T, size_t K);
+
+/// reach_φ (§5.1, computed with leaps per §5.3 when \p UseLeaps): the
+/// least set of template pairs containing \p Start and closed under the
+/// joint abstract step. Deterministic order (BFS discovery).
+std::vector<TemplatePair> computeReach(const p4a::Automaton &Left,
+                                       const p4a::Automaton &Right,
+                                       TemplatePair Start, bool UseLeaps);
+
+/// The full template-pair product (the unpruned domain used when the
+/// reachability optimization is ablated).
+std::vector<TemplatePair> allPairs(const p4a::Automaton &Left,
+                                   const p4a::Automaton &Right);
+
+} // namespace core
+} // namespace leapfrog
+
+#endif // LEAPFROG_CORE_REACHABILITY_H

@@ -1,0 +1,51 @@
+//===- Spec.cpp - Property specifications for the checker -----------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Spec.h"
+
+using namespace leapfrog;
+using namespace leapfrog::core;
+using namespace leapfrog::logic;
+
+std::vector<GuardedFormula>
+core::buildInitialConjuncts(const InitialSpec &Spec,
+                            const std::vector<TemplatePair> &Pairs) {
+  std::vector<GuardedFormula> I;
+
+  if (Spec.Mode != AcceptanceMode::Custom) {
+    PureRef QL = Spec.Mode == AcceptanceMode::Qualified && Spec.LeftQualifier
+                     ? Spec.LeftQualifier
+                     : Pure::mkTrue();
+    PureRef QR = Spec.Mode == AcceptanceMode::Qualified && Spec.RightQualifier
+                     ? Spec.RightQualifier
+                     : Pure::mkTrue();
+    for (TemplatePair TP : Pairs) {
+      bool LA = TP.L.isAccept();
+      bool RA = TP.R.isAccept();
+      // Filtered acceptance: a side accepts iff its terminal state is
+      // accept *and* its qualifier holds of the final store. Related
+      // pairs must filtered-accept equally.
+      if (LA && RA) {
+        // qualL ⟺ qualR. With True qualifiers this folds to True and is
+        // dropped by the frontier (Standard mode adds nothing here).
+        PureRef Iff = Pure::mkAnd(Pure::mkImplies(QL, QR),
+                                  Pure::mkImplies(QR, QL));
+        if (Iff->kind() != Pure::Kind::True)
+          I.push_back(GuardedFormula{TP, Iff});
+      } else if (LA && !RA) {
+        // Left must not (filtered-)accept: ¬qualL. Standard: ⊥.
+        I.push_back(GuardedFormula{TP, Pure::mkNot(QL)});
+      } else if (!LA && RA) {
+        I.push_back(GuardedFormula{TP, Pure::mkNot(QR)});
+      }
+    }
+  }
+
+  for (const GuardedFormula &G : Spec.ExtraInitial)
+    I.push_back(G);
+  return I;
+}

@@ -1,0 +1,79 @@
+//===- Spec.h - Property specifications for the checker ---------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property specifications: the formula φ of Algorithm 1 and the initial
+/// relation I it is checked against. Besides plain language equivalence
+/// (Lemma 4.10's I), the §7.1 case studies instantiate I differently:
+///
+///   - *external filtering* qualifies acceptance with a store predicate —
+///     a packet "counts" as accepted only if the final store satisfies the
+///     filter (e.g. the Ethernet type is IPv4 or IPv6);
+///   - *relational verification* replaces I entirely with a custom
+///     relation between accepting stores (e.g. header correspondence).
+///
+/// All three modes feed Algorithm 1 unchanged; only the seed conjuncts of
+/// the frontier differ (paper §4.2: "In Section 7, we consider
+/// instantiations of I that can be used to verify different but related
+/// properties").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_CORE_SPEC_H
+#define LEAPFROG_CORE_SPEC_H
+
+#include "core/Reachability.h"
+#include "logic/ConfRel.h"
+
+#include <vector>
+
+namespace leapfrog {
+namespace core {
+
+using logic::GuardedFormula;
+using logic::PureRef;
+
+/// How the initial relation treats acceptance.
+enum class AcceptanceMode {
+  /// Lemma 4.10: related pairs must be equally accepting.
+  Standard,
+  /// Acceptance is qualified by per-side store predicates (external
+  /// filtering, §7.1): a side "accepts" only when its qualifier holds of
+  /// the final store.
+  Qualified,
+  /// No built-in acceptance conjuncts; I is exactly ExtraInitial
+  /// (relational verification, §7.1).
+  Custom,
+};
+
+/// The property φ plus the initial relation I.
+struct InitialSpec {
+  /// Guard of φ — usually ⟨q1, 0⟩ / ⟨q2, 0⟩ for the two start states.
+  logic::TemplatePair TP;
+  /// Pure part of φ. Null/True = relate all initial stores (§4).
+  PureRef Premise;
+  AcceptanceMode Mode = AcceptanceMode::Standard;
+  /// Qualified mode only: per-side acceptance predicates over the final
+  /// store (pure formulas mentioning only that side's headers).
+  PureRef LeftQualifier;
+  PureRef RightQualifier;
+  /// Conjuncts appended to I in every mode.
+  std::vector<GuardedFormula> ExtraInitial;
+};
+
+/// Builds the conjuncts of I over the template-pair domain \p Pairs per
+/// \p Spec's mode (Lemma 4.10 / Theorem 5.2 for Standard; the filtered-
+/// acceptance generalization for Qualified; ExtraInitial alone for
+/// Custom).
+std::vector<GuardedFormula>
+buildInitialConjuncts(const InitialSpec &Spec,
+                      const std::vector<TemplatePair> &Pairs);
+
+} // namespace core
+} // namespace leapfrog
+
+#endif // LEAPFROG_CORE_SPEC_H

@@ -1,0 +1,807 @@
+//===- Elaborate.cpp - Surface-to-P4A elaboration ---------------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Elaborate.h"
+
+#include "p4a/Typing.h"
+
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <set>
+
+using namespace leapfrog;
+using namespace leapfrog::frontend;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Pass 1: call inlining
+//===----------------------------------------------------------------------===//
+
+/// Instantiates subparsers on demand, memoized on (callee, continuation).
+/// The continuation is rendered into the memo key, so two call sites with
+/// the same callee and continuation share one instance — which is what
+/// turns tail-recursive subparser calls into loops.
+class Inliner {
+public:
+  Inliner(const SurfaceProgram &Program, std::vector<std::string> &Errors)
+      : Program(Program), Errors(Errors) {
+    for (const SubParser &P : Program.subParsers())
+      Subs[P.Name] = &P;
+  }
+
+  /// Returns the flattened state list; main states keep their names.
+  std::vector<SurfaceState> run(std::string &EntryOut) {
+    std::set<std::string> MainNames;
+    for (const SurfaceState &S : Program.mainStates())
+      MainNames.insert(S.Name);
+    for (const SurfaceState &S : Program.mainStates()) {
+      SurfaceState Copy = S;
+      rewriteState(Copy, /*Prefix=*/"", MainNames,
+                   SurfaceTarget::accept());
+      Flat.push_back(std::move(Copy));
+    }
+    EntryOut = Program.entry();
+    if (!Program.entry().empty() && !MainNames.count(Program.entry()))
+      Errors.push_back("entry state '" + Program.entry() +
+                       "' is not a main-parser state");
+    return std::move(Flat);
+  }
+
+private:
+  static constexpr size_t MaxDepth = 64;
+
+  static std::string targetKey(const SurfaceTarget &T) {
+    switch (T.K) {
+    case SurfaceTarget::Kind::State:
+      return "s:" + T.StateName;
+    case SurfaceTarget::Kind::Accept:
+      return "accept";
+    case SurfaceTarget::Kind::Reject:
+      return "reject";
+    case SurfaceTarget::Kind::Call:
+      return "call"; // Unreachable: calls are resolved before keying.
+    }
+    return "?";
+  }
+
+  /// Rewrites one target in the scope given by \p Prefix / \p LocalNames.
+  /// \p CalleeAccept is what `accept` means in this scope (the
+  /// continuation for subparser instances, plain accept for main).
+  SurfaceTarget rewriteTarget(const SurfaceTarget &T,
+                              const std::string &Prefix,
+                              const std::set<std::string> &LocalNames,
+                              const SurfaceTarget &CalleeAccept) {
+    switch (T.K) {
+    case SurfaceTarget::Kind::Reject:
+      return T;
+    case SurfaceTarget::Kind::Accept:
+      return CalleeAccept;
+    case SurfaceTarget::Kind::State: {
+      if (!LocalNames.count(T.StateName)) {
+        Errors.push_back("unknown state '" + T.StateName + "' in scope '" +
+                         (Prefix.empty() ? "<main>" : Prefix) + "'");
+        return SurfaceTarget::reject();
+      }
+      return SurfaceTarget::state(Prefix + T.StateName);
+    }
+    case SurfaceTarget::Kind::Call: {
+      // Resolve the continuation in the *caller's* scope first.
+      SurfaceTarget Cont =
+          T.ContinueAt.empty()
+              ? CalleeAccept
+              : rewriteTarget(SurfaceTarget::state(T.ContinueAt), Prefix,
+                              LocalNames, CalleeAccept);
+      return instantiate(T.Callee, Cont);
+    }
+    }
+    return SurfaceTarget::reject();
+  }
+
+  void rewriteState(SurfaceState &S, const std::string &Prefix,
+                    const std::set<std::string> &LocalNames,
+                    const SurfaceTarget &CalleeAccept) {
+    auto Rewrite = [&](SurfaceTarget &T) {
+      T = rewriteTarget(T, Prefix, LocalNames, CalleeAccept);
+    };
+    if (S.Tz.IsGoto)
+      Rewrite(S.Tz.GotoTarget);
+    else
+      for (SurfaceCase &C : S.Tz.Cases)
+        Rewrite(C.Target);
+  }
+
+  /// Creates (or reuses) the instance of \p Callee whose accept resumes at
+  /// \p Continuation; returns the instance's entry state as a target.
+  SurfaceTarget instantiate(const std::string &Callee,
+                            const SurfaceTarget &Continuation) {
+    auto SubIt = Subs.find(Callee);
+    if (SubIt == Subs.end()) {
+      Errors.push_back("call to unknown subparser '" + Callee + "'");
+      return SurfaceTarget::reject();
+    }
+    const SubParser &Sub = *SubIt->second;
+
+    std::string Key = Callee + "\x01" + targetKey(Continuation);
+    auto MemoIt = Memo.find(Key);
+    if (MemoIt != Memo.end())
+      return SurfaceTarget::state(MemoIt->second);
+
+    if (Depth >= MaxDepth) {
+      Errors.push_back(
+          "subparser call nesting exceeds depth " +
+          std::to_string(MaxDepth) + " while expanding '" + Callee +
+          "' — the continuation chain grows on every level, so the call "
+          "structure is not expressible as a finite automaton");
+      return SurfaceTarget::reject();
+    }
+
+    std::string Prefix = Callee + "$" + std::to_string(Instances++) + "$";
+    std::string EntryName = Prefix + Sub.Entry;
+    // Register before expanding the body: recursive calls with the same
+    // continuation then resolve to this very instance (a loop).
+    Memo.emplace(Key, EntryName);
+
+    std::set<std::string> LocalNames;
+    for (const SurfaceState &S : Sub.States)
+      LocalNames.insert(S.Name);
+    if (!LocalNames.count(Sub.Entry))
+      Errors.push_back("subparser '" + Callee + "' entry state '" +
+                       Sub.Entry + "' does not exist");
+
+    ++Depth;
+    for (const SurfaceState &S : Sub.States) {
+      SurfaceState Copy = S;
+      Copy.Name = Prefix + S.Name;
+      rewriteState(Copy, Prefix, LocalNames, Continuation);
+      Flat.push_back(std::move(Copy));
+    }
+    --Depth;
+    return SurfaceTarget::state(EntryName);
+  }
+
+  const SurfaceProgram &Program;
+  std::vector<std::string> &Errors;
+  std::map<std::string, const SubParser *> Subs;
+  std::map<std::string, std::string> Memo; ///< (callee, cont) → entry.
+  std::vector<SurfaceState> Flat;
+  size_t Instances = 0;
+  size_t Depth = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Pass 2: stack unrolling
+//===----------------------------------------------------------------------===//
+
+/// Duplicates states per reachable stack-index tuple, resolving stack
+/// operations and references against the tracked indices.
+class StackUnroller {
+public:
+  StackUnroller(const SurfaceProgram &Program,
+                std::vector<SurfaceState> Input,
+                std::map<std::string, size_t> &HeaderBits,
+                std::vector<std::string> &Errors)
+      : Program(Program), HeaderBits(HeaderBits), Errors(Errors) {
+    for (SurfaceState &S : Input) {
+      if (!ByName.emplace(S.Name, std::move(S)).second)
+        Errors.push_back("duplicate state name '" + S.Name + "'");
+    }
+    for (const auto &[Name, Decl] : Program.stacks()) {
+      StackNames.push_back(Name);
+      for (size_t I = 0; I < Decl.Slots; ++I)
+        HeaderBits[slotHeader(Name, I)] = Decl.Bits;
+      HeaderBits[ovfHeader(Name)] = Decl.Bits;
+    }
+  }
+
+  static std::string slotHeader(const std::string &Stack, size_t I) {
+    return Stack + "$" + std::to_string(I);
+  }
+  static std::string ovfHeader(const std::string &Stack) {
+    return Stack + "$ovf";
+  }
+
+  std::vector<SurfaceState> run(std::string &Entry) {
+    if (StackNames.empty()) {
+      // No stacks: pass through (but still validate element references).
+      std::vector<SurfaceState> Out;
+      for (auto &[Name, S] : ByName) {
+        (void)Name;
+        validateNoStackRefs(S);
+        Out.push_back(S);
+      }
+      return Out;
+    }
+    if (ByName.find(Entry) == ByName.end()) {
+      Errors.push_back("entry state '" + Entry + "' does not exist");
+      return {};
+    }
+
+    std::vector<size_t> ZeroIdx(StackNames.size(), 0);
+    Entry = enqueue(Entry, ZeroIdx);
+    while (!Work.empty()) {
+      auto [Name, Idx] = Work.front();
+      Work.pop_front();
+      expand(Name, Idx);
+    }
+    return std::move(Out);
+  }
+
+private:
+  using IndexTuple = std::vector<size_t>;
+
+  std::string copyName(const std::string &Base, const IndexTuple &Idx) {
+    std::string Name = Base + "@";
+    for (size_t I : Idx)
+      Name += std::to_string(I) + ".";
+    Name.pop_back();
+    return Name;
+  }
+
+  size_t stackPos(const std::string &Stack) {
+    for (size_t I = 0; I < StackNames.size(); ++I)
+      if (StackNames[I] == Stack)
+        return I;
+    return SIZE_MAX;
+  }
+
+  /// Interns the copy of \p Base at \p Idx, scheduling expansion if new.
+  std::string enqueue(const std::string &Base, const IndexTuple &Idx) {
+    std::string Name = copyName(Base, Idx);
+    if (Seen.insert(Name).second)
+      Work.emplace_back(Base, Idx);
+    return Name;
+  }
+
+  /// Resolves stack references in \p E at \p Idx. Sets \p Invalid on
+  /// underflow (s.last with index 0).
+  SExprRef resolveExpr(const SExprRef &E, const IndexTuple &Idx,
+                       bool &Invalid) {
+    switch (E->kind()) {
+    case SExpr::Kind::Header:
+    case SExpr::Kind::Literal:
+      return E;
+    case SExpr::Kind::StackLast: {
+      size_t P = stackPos(E->name());
+      if (P == SIZE_MAX) {
+        Errors.push_back("reference to undeclared stack '" + E->name() +
+                         "'");
+        Invalid = true;
+        return E;
+      }
+      if (Idx[P] == 0) {
+        Invalid = true; // Underflow: no element has been extracted.
+        return E;
+      }
+      return SExpr::mkHeader(slotHeader(E->name(), Idx[P] - 1));
+    }
+    case SExpr::Kind::StackElem: {
+      size_t P = stackPos(E->name());
+      if (P == SIZE_MAX) {
+        Errors.push_back("reference to undeclared stack '" + E->name() +
+                         "'");
+        Invalid = true;
+        return E;
+      }
+      size_t Slots = Program.stacks().at(E->name()).Slots;
+      if (E->stackIndex() >= Slots) {
+        Errors.push_back("stack element " + E->name() + "[" +
+                         std::to_string(E->stackIndex()) +
+                         "] is out of range (stack has " +
+                         std::to_string(Slots) + " slots)");
+        Invalid = true;
+        return E;
+      }
+      return SExpr::mkHeader(slotHeader(E->name(), E->stackIndex()));
+    }
+    case SExpr::Kind::Slice: {
+      SExprRef Op = resolveExpr(E->sliceOperand(), Idx, Invalid);
+      return SExpr::mkSlice(Op, E->sliceLo(), E->sliceHi());
+    }
+    case SExpr::Kind::Concat: {
+      SExprRef L = resolveExpr(E->concatLhs(), Idx, Invalid);
+      SExprRef R = resolveExpr(E->concatRhs(), Idx, Invalid);
+      return SExpr::mkConcat(L, R);
+    }
+    }
+    return E;
+  }
+
+  void validateNoStackRefs(const SurfaceState &S) {
+    IndexTuple Empty;
+    bool Invalid = false;
+    for (const SurfaceOp &O : S.Ops) {
+      if (O.K == SurfaceOp::Kind::ExtractNext)
+        Errors.push_back("state '" + S.Name + "' extracts into stack '" +
+                         O.Target + "', which is not declared");
+      if (O.K == SurfaceOp::Kind::Assign)
+        (void)resolveExpr(O.Value, Empty, Invalid);
+    }
+    if (!S.Tz.IsGoto)
+      for (const SExprRef &D : S.Tz.Discriminants)
+        (void)resolveExpr(D, Empty, Invalid);
+  }
+
+  void expand(const std::string &Base, const IndexTuple &InIdx) {
+    const SurfaceState &Orig = ByName.at(Base);
+    SurfaceState Copy;
+    Copy.Name = copyName(Base, InIdx);
+
+    IndexTuple Idx = InIdx;
+    bool Dead = false; // Overflow/underflow: state still consumes its
+                       // bits, but transitions to reject.
+    for (const SurfaceOp &O : Orig.Ops) {
+      switch (O.K) {
+      case SurfaceOp::Kind::Extract:
+      case SurfaceOp::Kind::Lookahead:
+        Copy.Ops.push_back(O);
+        break;
+      case SurfaceOp::Kind::ExtractNext: {
+        size_t P = stackPos(O.Target);
+        if (P == SIZE_MAX) {
+          Errors.push_back("state '" + Base + "' extracts into '" +
+                           O.Target + "', which is not a declared stack");
+          return;
+        }
+        size_t Slots = Program.stacks().at(O.Target).Slots;
+        if (Idx[P] >= Slots) {
+          // Overflow: the bits are still consumed (into the scratch
+          // overflow header) but the packet is rejected.
+          Copy.Ops.push_back(SurfaceOp::extract(ovfHeader(O.Target)));
+          Dead = true;
+        } else {
+          Copy.Ops.push_back(
+              SurfaceOp::extract(slotHeader(O.Target, Idx[P])));
+          Idx[P] += 1;
+        }
+        break;
+      }
+      case SurfaceOp::Kind::Assign: {
+        if (Dead)
+          break; // Assignments are unobservable past a reject.
+        bool Invalid = false;
+        SExprRef V = resolveExpr(O.Value, Idx, Invalid);
+        if (Invalid)
+          Dead = true;
+        else
+          Copy.Ops.push_back(SurfaceOp::assign(O.Target, V));
+        break;
+      }
+      }
+    }
+
+    if (Dead) {
+      Copy.Tz = SurfaceTransition::mkGoto(SurfaceTarget::reject());
+      Out.push_back(std::move(Copy));
+      return;
+    }
+
+    // Transition: resolve discriminants at the post-op index, retarget
+    // states to their copies at that index.
+    auto Retarget = [&](const SurfaceTarget &T) -> SurfaceTarget {
+      if (T.K != SurfaceTarget::Kind::State)
+        return T;
+      if (ByName.find(T.StateName) == ByName.end()) {
+        Errors.push_back("unknown state '" + T.StateName + "'");
+        return SurfaceTarget::reject();
+      }
+      return SurfaceTarget::state(enqueue(T.StateName, Idx));
+    };
+    if (Orig.Tz.IsGoto) {
+      Copy.Tz = SurfaceTransition::mkGoto(Retarget(Orig.Tz.GotoTarget));
+    } else {
+      bool Invalid = false;
+      std::vector<SExprRef> Ds;
+      for (const SExprRef &D : Orig.Tz.Discriminants)
+        Ds.push_back(resolveExpr(D, Idx, Invalid));
+      if (Invalid) {
+        Copy.Tz = SurfaceTransition::mkGoto(SurfaceTarget::reject());
+      } else {
+        std::vector<SurfaceCase> Cases;
+        for (const SurfaceCase &C : Orig.Tz.Cases)
+          Cases.push_back(SurfaceCase{C.Pats, Retarget(C.Target)});
+        Copy.Tz = SurfaceTransition::mkSelect(std::move(Ds),
+                                              std::move(Cases));
+      }
+    }
+    Out.push_back(std::move(Copy));
+  }
+
+  const SurfaceProgram &Program;
+  std::map<std::string, size_t> &HeaderBits;
+  std::vector<std::string> &Errors;
+  std::map<std::string, SurfaceState> ByName;
+  std::vector<std::string> StackNames;
+  std::deque<std::pair<std::string, IndexTuple>> Work;
+  std::set<std::string> Seen;
+  std::vector<SurfaceState> Out;
+};
+
+//===----------------------------------------------------------------------===//
+// Pass 3: lookahead lowering
+//===----------------------------------------------------------------------===//
+
+/// Rewrites each state using lookahead into extracts followed by
+/// reassembly assignments.
+void lowerLookahead(std::vector<SurfaceState> &States,
+                    const std::map<std::string, size_t> &HeaderBits,
+                    std::vector<std::string> &Errors) {
+  for (SurfaceState &S : States) {
+    bool HasLookahead = false;
+    for (const SurfaceOp &O : S.Ops)
+      HasLookahead |= O.K == SurfaceOp::Kind::Lookahead;
+    if (!HasLookahead)
+      continue;
+
+    // Shape check: lookaheads first, then extracts, then assignments.
+    // This is the natural state layout; relaxing it would let an
+    // assignment observe the lookahead target before the reassembly
+    // assignment we generate, silently changing semantics.
+    enum Phase { Las, Extracts, Assigns } Phase = Las;
+    std::vector<std::string> LaTargets;
+    std::vector<std::string> ExtractSeq;
+    std::vector<SurfaceOp> Rest;
+    bool Bad = false;
+    for (const SurfaceOp &O : S.Ops) {
+      switch (O.K) {
+      case SurfaceOp::Kind::Lookahead:
+        if (Phase != Las) {
+          Errors.push_back("state '" + S.Name +
+                           "': lookahead must precede all extracts and "
+                           "assignments");
+          Bad = true;
+        }
+        LaTargets.push_back(O.Target);
+        break;
+      case SurfaceOp::Kind::Extract:
+        if (Phase == Assigns) {
+          Errors.push_back("state '" + S.Name +
+                           "': extracts may not follow assignments when "
+                           "the state uses lookahead");
+          Bad = true;
+        }
+        Phase = Extracts;
+        ExtractSeq.push_back(O.Target);
+        Rest.push_back(O);
+        break;
+      case SurfaceOp::Kind::Assign:
+        Phase = Assigns;
+        Rest.push_back(O);
+        break;
+      case SurfaceOp::Kind::ExtractNext:
+        Errors.push_back("internal: stack op survived unrolling");
+        Bad = true;
+        break;
+      }
+    }
+    if (Bad)
+      continue;
+
+    // The reassembly reads the extracted headers, so extracting twice
+    // into one header would lose the first chunk.
+    std::set<std::string> Dup(ExtractSeq.begin(), ExtractSeq.end());
+    if (Dup.size() != ExtractSeq.size()) {
+      Errors.push_back("state '" + S.Name +
+                       "': lookahead requires distinct extract targets");
+      continue;
+    }
+
+    size_t TotalBits = 0;
+    for (const std::string &H : ExtractSeq) {
+      auto It = HeaderBits.find(H);
+      TotalBits += It == HeaderBits.end() ? 0 : It->second;
+    }
+
+    // Emit: extracts (in order), one reassembly per lookahead, then the
+    // remaining assignments in their original order.
+    std::vector<SurfaceOp> NewOps;
+    std::vector<SurfaceOp> TailAssigns;
+    for (SurfaceOp &O : Rest)
+      (O.K == SurfaceOp::Kind::Extract ? NewOps : TailAssigns)
+          .push_back(std::move(O));
+
+    for (const std::string &La : LaTargets) {
+      auto It = HeaderBits.find(La);
+      if (It == HeaderBits.end()) {
+        Errors.push_back("state '" + S.Name + "': lookahead target '" +
+                         La + "' is not a declared header");
+        continue;
+      }
+      size_t N = It->second;
+      if (N > TotalBits) {
+        Errors.push_back(
+            "state '" + S.Name + "': lookahead of " + std::to_string(N) +
+            " bits exceeds the state's extraction of " +
+            std::to_string(TotalBits) +
+            " bits (split the following state or widen this one)");
+        continue;
+      }
+      // h := (e1 ++ ... ++ ek)[0 : N-1], covering just enough extracts.
+      SExprRef E;
+      size_t Covered = 0;
+      for (const std::string &H : ExtractSeq) {
+        if (Covered >= N)
+          break;
+        SExprRef Part = SExpr::mkHeader(H);
+        E = E ? SExpr::mkConcat(E, Part) : Part;
+        Covered += HeaderBits.at(H);
+      }
+      if (Covered > N)
+        E = SExpr::mkSlice(E, 0, N - 1);
+      NewOps.push_back(SurfaceOp::assign(La, E));
+    }
+    for (SurfaceOp &O : TailAssigns)
+      NewOps.push_back(std::move(O));
+    S.Ops = std::move(NewOps);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pass 4: conversion to p4a::Automaton
+//===----------------------------------------------------------------------===//
+
+class Converter {
+public:
+  Converter(const std::map<std::string, size_t> &HeaderBits,
+            std::vector<std::string> &Errors)
+      : HeaderBits(HeaderBits), Errors(Errors) {}
+
+  p4a::Automaton convert(const std::vector<SurfaceState> &States) {
+    p4a::Automaton Aut;
+    // Declare only headers some state actually touches: unrolling
+    // declares a slot header per stack element, but unreachable index
+    // contexts would otherwise bloat the store (and the Table-2 "Total
+    // bits" accounting) with never-referenced headers.
+    std::set<std::string> Used;
+    auto MarkExpr = [&](const SExprRef &E, auto &&Self) -> void {
+      switch (E->kind()) {
+      case SExpr::Kind::Header:
+      case SExpr::Kind::StackLast:
+      case SExpr::Kind::StackElem:
+        Used.insert(E->name());
+        break;
+      case SExpr::Kind::Literal:
+        break;
+      case SExpr::Kind::Slice:
+        Self(E->sliceOperand(), Self);
+        break;
+      case SExpr::Kind::Concat:
+        Self(E->concatLhs(), Self);
+        Self(E->concatRhs(), Self);
+        break;
+      }
+    };
+    for (const SurfaceState &S : States) {
+      for (const SurfaceOp &O : S.Ops) {
+        Used.insert(O.Target);
+        if (O.Value)
+          MarkExpr(O.Value, MarkExpr);
+      }
+      if (!S.Tz.IsGoto)
+        for (const SExprRef &D : S.Tz.Discriminants)
+          MarkExpr(D, MarkExpr);
+    }
+    for (const auto &[Name, Bits] : HeaderBits) {
+      if (!Used.count(Name))
+        continue;
+      if (Bits == 0) {
+        Errors.push_back("header '" + Name + "' has zero width");
+        continue;
+      }
+      Aut.addHeader(Name, Bits);
+    }
+    std::map<std::string, p4a::StateId> Ids;
+    for (const SurfaceState &S : States)
+      Ids[S.Name] = Aut.declareState(S.Name);
+
+    auto Target = [&](const SurfaceTarget &T) -> p4a::StateRef {
+      switch (T.K) {
+      case SurfaceTarget::Kind::Accept:
+        return p4a::StateRef::accept();
+      case SurfaceTarget::Kind::Reject:
+        return p4a::StateRef::reject();
+      case SurfaceTarget::Kind::State: {
+        auto It = Ids.find(T.StateName);
+        if (It == Ids.end()) {
+          Errors.push_back("unknown state '" + T.StateName + "'");
+          return p4a::StateRef::reject();
+        }
+        return p4a::StateRef::normal(It->second);
+      }
+      case SurfaceTarget::Kind::Call:
+        Errors.push_back("internal: call target survived inlining");
+        return p4a::StateRef::reject();
+      }
+      return p4a::StateRef::reject();
+    };
+
+    for (const SurfaceState &S : States) {
+      std::vector<p4a::Op> Ops;
+      for (const SurfaceOp &O : S.Ops) {
+        switch (O.K) {
+        case SurfaceOp::Kind::Extract: {
+          auto H = header(Aut, O.Target, S.Name);
+          if (H)
+            Ops.push_back(p4a::Op::extract(*H));
+          break;
+        }
+        case SurfaceOp::Kind::Assign: {
+          auto H = header(Aut, O.Target, S.Name);
+          p4a::ExprRef E = convertExpr(Aut, O.Value, S.Name);
+          if (H && E)
+            Ops.push_back(p4a::Op::assign(*H, E));
+          break;
+        }
+        case SurfaceOp::Kind::Lookahead:
+        case SurfaceOp::Kind::ExtractNext:
+          Errors.push_back("internal: unlowered op in state '" + S.Name +
+                           "'");
+          break;
+        }
+      }
+      p4a::Transition Tz;
+      if (S.Tz.IsGoto) {
+        Tz = p4a::Transition::mkGoto(Target(S.Tz.GotoTarget));
+      } else {
+        std::vector<p4a::ExprRef> Ds;
+        for (const SExprRef &D : S.Tz.Discriminants)
+          if (p4a::ExprRef E = convertExpr(Aut, D, S.Name))
+            Ds.push_back(E);
+        std::vector<p4a::SelectCase> Cases;
+        for (const SurfaceCase &C : S.Tz.Cases)
+          Cases.push_back(p4a::SelectCase{C.Pats, Target(C.Target)});
+        Tz = p4a::Transition::mkSelect(std::move(Ds), std::move(Cases));
+      }
+      Aut.setState(Ids[S.Name], std::move(Ops), std::move(Tz));
+    }
+    return Aut;
+  }
+
+private:
+  std::optional<p4a::HeaderId> header(p4a::Automaton &Aut,
+                                      const std::string &Name,
+                                      const std::string &StateName) {
+    auto H = Aut.findHeader(Name);
+    if (!H)
+      Errors.push_back("state '" + StateName +
+                       "' references undeclared header '" + Name + "'");
+    return H;
+  }
+
+  p4a::ExprRef convertExpr(p4a::Automaton &Aut, const SExprRef &E,
+                           const std::string &StateName) {
+    switch (E->kind()) {
+    case SExpr::Kind::Header: {
+      auto H = header(Aut, E->name(), StateName);
+      return H ? p4a::Expr::mkHeader(*H) : nullptr;
+    }
+    case SExpr::Kind::Literal:
+      return p4a::Expr::mkLiteral(E->literal());
+    case SExpr::Kind::Slice: {
+      p4a::ExprRef Op = convertExpr(Aut, E->sliceOperand(), StateName);
+      return Op ? p4a::Expr::mkSlice(Op, E->sliceLo(), E->sliceHi())
+                : nullptr;
+    }
+    case SExpr::Kind::Concat: {
+      p4a::ExprRef L = convertExpr(Aut, E->concatLhs(), StateName);
+      p4a::ExprRef R = convertExpr(Aut, E->concatRhs(), StateName);
+      return L && R ? p4a::Expr::mkConcat(L, R) : nullptr;
+    }
+    case SExpr::Kind::StackLast:
+    case SExpr::Kind::StackElem:
+      Errors.push_back("internal: unresolved stack reference in state '" +
+                       StateName + "'");
+      return nullptr;
+    }
+    return nullptr;
+  }
+
+  const std::map<std::string, size_t> &HeaderBits;
+  std::vector<std::string> &Errors;
+};
+
+/// Drops states unreachable from the entry. Inlining and unrolling both
+/// over-approximate (memoized instances may lose all callers once their
+/// continuations resolve; unrolling enqueues lazily so it is already
+/// tight), and p4a typing rejects automata with undefined reachable
+/// states either way — this keeps the output minimal and the state count
+/// honest for Table-2-style reporting.
+std::vector<SurfaceState>
+pruneUnreachable(std::vector<SurfaceState> States,
+                 const std::string &Entry) {
+  std::map<std::string, const SurfaceState *> ByName;
+  for (const SurfaceState &S : States)
+    ByName[S.Name] = &S;
+  std::set<std::string> Live;
+  std::deque<std::string> Work;
+  auto Visit = [&](const SurfaceTarget &T) {
+    if (T.K == SurfaceTarget::Kind::State && Live.insert(T.StateName).second)
+      Work.push_back(T.StateName);
+  };
+  if (ByName.count(Entry)) {
+    Live.insert(Entry);
+    Work.push_back(Entry);
+  }
+  while (!Work.empty()) {
+    auto It = ByName.find(Work.front());
+    Work.pop_front();
+    if (It == ByName.end())
+      continue;
+    const SurfaceState &S = *It->second;
+    if (S.Tz.IsGoto)
+      Visit(S.Tz.GotoTarget);
+    else
+      for (const SurfaceCase &C : S.Tz.Cases)
+        Visit(C.Target);
+  }
+  std::vector<SurfaceState> Out;
+  for (SurfaceState &S : States)
+    if (Live.count(S.Name))
+      Out.push_back(std::move(S));
+  return Out;
+}
+
+} // namespace
+
+ElaborationResult frontend::elaborate(const SurfaceProgram &Program) {
+  ElaborationResult Res;
+
+  std::map<std::string, size_t> HeaderBits(Program.headers().begin(),
+                                           Program.headers().end());
+  for (const auto &[Name, Decl] : Program.stacks()) {
+    if (Program.headers().count(Name))
+      Res.Errors.push_back("'" + Name +
+                           "' is declared both as header and stack");
+    if (Decl.Slots == 0 || Decl.Bits == 0)
+      Res.Errors.push_back("stack '" + Name +
+                           "' needs at least one slot and one bit");
+  }
+
+  // Pass 1: inline subparser calls.
+  std::string Entry;
+  std::vector<SurfaceState> Flat =
+      Inliner(Program, Res.Errors).run(Entry);
+
+  // Pass 2: unroll header stacks.
+  StackUnroller Unroller(Program, std::move(Flat), HeaderBits, Res.Errors);
+  std::vector<SurfaceState> Unrolled = Unroller.run(Entry);
+
+  // Pass 3: lower lookahead into reassembly assignments.
+  lowerLookahead(Unrolled, HeaderBits, Res.Errors);
+
+  if (!Res.Errors.empty())
+    return Res;
+
+  // Pass 4: prune and convert.
+  Unrolled = pruneUnreachable(std::move(Unrolled), Entry);
+  if (Unrolled.empty()) {
+    Res.Errors.push_back("no states reachable from entry '" + Entry + "'");
+    return Res;
+  }
+  Res.Aut = Converter(HeaderBits, Res.Errors).convert(Unrolled);
+  Res.Entry = Entry;
+  if (!Res.Errors.empty())
+    return Res;
+
+  if (!p4a::isWellTyped(Res.Aut))
+    Res.Errors.push_back(
+        "elaborated automaton is ill-typed (⊬A) — most commonly a state "
+        "that extracts no bits, which the paper's model forbids "
+        "(§3.1: \"at least one call to extract\")");
+  return Res;
+}
+
+ElaborationResult frontend::elaborateOrDie(const SurfaceProgram &Program) {
+  ElaborationResult Res = elaborate(Program);
+  if (!Res.ok()) {
+    for (const std::string &E : Res.Errors)
+      std::fprintf(stderr, "elaborate: %s\n", E.c_str());
+    assert(false && "elaboration failed");
+  }
+  return Res;
+}

@@ -1,0 +1,74 @@
+//===- Elaborate.h - Surface-to-P4A elaboration -----------------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles surface programs (Surface.h) into plain P4 automata through
+/// three passes, each eliminating one extension:
+///
+///  1. Call inlining — every `call P, continue at k` target is replaced by
+///     a fresh instance of P's states whose accept transitions are rewired
+///     to k. Instances are memoized on (callee, continuation), so parsers
+///     that re-enter a subparser with the same continuation elaborate to
+///     loops rather than infinite expansions; genuinely unbounded call
+///     nesting (a continuation chain that grows on every level) is
+///     rejected with a depth diagnostic.
+///
+///  2. Stack unrolling — each state that touches a header stack is
+///     duplicated per reachable stack-index tuple; `extract(s.next)` at
+///     index i writes the slot header s$i and moves its successors to
+///     index i+1. Overflow (extract past the last slot) and underflow
+///     (`s.last` with no element extracted) transition to reject,
+///     mirroring P4's verify-style error semantics while still consuming
+///     the state's bits. This realizes the paper's §2 remark that header
+///     stacks "can be emulated".
+///
+///  3. Lookahead lowering — `h := lookahead` peeks sz(h) upcoming bits.
+///     Since the state extracts those bits anyway (enforced: the lookahead
+///     width must fit in the state's extraction), the peek becomes a
+///     reassembly assignment h := (e1 ++ ... ++ ek)[0 : sz(h)−1] placed
+///     after the extracts.
+///
+/// The result is an ordinary p4a::Automaton, so equivalence checking — and
+/// any certificate it produces — applies to surface parsers verbatim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_FRONTEND_ELABORATE_H
+#define LEAPFROG_FRONTEND_ELABORATE_H
+
+#include "frontend/Surface.h"
+
+#include <string>
+#include <vector>
+
+namespace leapfrog {
+namespace frontend {
+
+/// Outcome of elaboration. The automaton is meaningful only when ok().
+struct ElaborationResult {
+  p4a::Automaton Aut;
+  /// Elaborated name of the surface entry state (stack unrolling renames
+  /// states when the program declares stacks).
+  std::string Entry;
+  std::vector<std::string> Errors;
+
+  bool ok() const { return Errors.empty(); }
+};
+
+/// Runs the full pipeline on \p Program. All diagnostics are collected
+/// rather than thrown; on any error the partially-built automaton must
+/// not be used.
+ElaborationResult elaborate(const SurfaceProgram &Program);
+
+/// Like elaborate(), but asserts success, printing diagnostics to stderr
+/// on failure. For tests and examples.
+ElaborationResult elaborateOrDie(const SurfaceProgram &Program);
+
+} // namespace frontend
+} // namespace leapfrog
+
+#endif // LEAPFROG_FRONTEND_ELABORATE_H

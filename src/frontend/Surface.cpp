@@ -1,0 +1,58 @@
+//===- Surface.cpp - Extended surface syntax for parsers -------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Surface.h"
+
+using namespace leapfrog;
+using namespace leapfrog::frontend;
+
+SExprRef SExpr::mkHeader(std::string Name) {
+  auto E = std::shared_ptr<SExpr>(new SExpr());
+  E->K = Kind::Header;
+  E->Name = std::move(Name);
+  return E;
+}
+
+SExprRef SExpr::mkStackLast(std::string Stack) {
+  auto E = std::shared_ptr<SExpr>(new SExpr());
+  E->K = Kind::StackLast;
+  E->Name = std::move(Stack);
+  return E;
+}
+
+SExprRef SExpr::mkStackElem(std::string Stack, size_t Index) {
+  auto E = std::shared_ptr<SExpr>(new SExpr());
+  E->K = Kind::StackElem;
+  E->Name = std::move(Stack);
+  E->Index = Index;
+  return E;
+}
+
+SExprRef SExpr::mkLiteral(Bitvector BV) {
+  auto E = std::shared_ptr<SExpr>(new SExpr());
+  E->K = Kind::Literal;
+  E->Lit = std::move(BV);
+  return E;
+}
+
+SExprRef SExpr::mkSlice(SExprRef Operand, size_t Lo, size_t Hi) {
+  assert(Lo <= Hi && "slice bounds out of order");
+  auto E = std::shared_ptr<SExpr>(new SExpr());
+  E->K = Kind::Slice;
+  E->Lhs = std::move(Operand);
+  E->Lo = Lo;
+  E->Hi = Hi;
+  return E;
+}
+
+SExprRef SExpr::mkConcat(SExprRef L, SExprRef R) {
+  auto E = std::shared_ptr<SExpr>(new SExpr());
+  E->K = Kind::Concat;
+  E->Lhs = std::move(L);
+  E->Rhs = std::move(R);
+  return E;
+}

@@ -1,0 +1,245 @@
+//===- Surface.h - Extended surface syntax for parsers ----------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A surface-level parser language extending P4 automata with the three P4
+/// features the paper's §7.3 names as absent from the core model:
+///
+///   "P4 parsers support arrays (in the form of header stacks), subparser
+///    calls, and parser lookahead, all of which are not part of our
+///    definition of P4 automata. More work is necessary to see whether
+///    P4As can be extended to support or simulate these features."
+///
+/// All three are *simulated* by elaboration into plain P4As (Elaborate.h):
+///
+///  * header stacks  — `extract(stack.next)` / `stack.last` / `stack[i]`,
+///    unrolled by duplicating states per stack index (the paper's §2
+///    remark that stacks "can be emulated");
+///  * subparser calls — transition targets of the form "call P, then
+///    continue at k", eliminated by inlining;
+///  * lookahead      — `h := lookahead` peeks sz(h) bits without
+///    consuming, lowered to a reassembly assignment over the bits the
+///    state extracts anyway.
+///
+/// Because elaboration produces ordinary P4As, the equivalence checker —
+/// and every theorem it produces — applies to surface parsers unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_FRONTEND_SURFACE_H
+#define LEAPFROG_FRONTEND_SURFACE_H
+
+#include "p4a/Syntax.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace leapfrog {
+namespace frontend {
+
+class SExpr;
+using SExprRef = std::shared_ptr<const SExpr>;
+
+/// A surface expression: the p4a expression grammar, name-based, plus
+/// stack element references (`stack.last`, `stack[i]`) that elaboration
+/// resolves against the tracked stack index.
+class SExpr {
+public:
+  enum class Kind { Header, StackLast, StackElem, Literal, Slice, Concat };
+
+  Kind kind() const { return K; }
+
+  const std::string &name() const {
+    assert((K == Kind::Header || K == Kind::StackLast ||
+            K == Kind::StackElem) &&
+           "expression has no name");
+    return Name;
+  }
+  size_t stackIndex() const {
+    assert(K == Kind::StackElem && "not a stack element");
+    return Index;
+  }
+  const Bitvector &literal() const {
+    assert(K == Kind::Literal && "not a literal");
+    return Lit;
+  }
+  const SExprRef &sliceOperand() const {
+    assert(K == Kind::Slice && "not a slice");
+    return Lhs;
+  }
+  size_t sliceLo() const { return Lo; }
+  size_t sliceHi() const { return Hi; }
+  const SExprRef &concatLhs() const {
+    assert(K == Kind::Concat && "not a concat");
+    return Lhs;
+  }
+  const SExprRef &concatRhs() const {
+    assert(K == Kind::Concat && "not a concat");
+    return Rhs;
+  }
+
+  static SExprRef mkHeader(std::string Name);
+  /// `stack.last`: the most recently extracted element of \p Stack.
+  static SExprRef mkStackLast(std::string Stack);
+  /// `stack[i]`: the i-th element of \p Stack (0-based).
+  static SExprRef mkStackElem(std::string Stack, size_t Index);
+  static SExprRef mkLiteral(Bitvector BV);
+  static SExprRef mkSlice(SExprRef E, size_t Lo, size_t Hi);
+  static SExprRef mkConcat(SExprRef L, SExprRef R);
+
+private:
+  SExpr() = default;
+
+  Kind K = Kind::Literal;
+  std::string Name;
+  size_t Index = 0;
+  Bitvector Lit;
+  SExprRef Lhs, Rhs;
+  size_t Lo = 0, Hi = 0;
+};
+
+/// A surface operation.
+struct SurfaceOp {
+  enum class Kind {
+    Extract,     ///< extract(header)
+    ExtractNext, ///< extract(stack.next): fill the next free slot
+    Assign,      ///< header := expr
+    Lookahead,   ///< header := lookahead: peek sz(header) bits
+  };
+
+  Kind K;
+  std::string Target; ///< Header name (Extract/Assign/Lookahead) or stack.
+  SExprRef Value;     ///< Assign only.
+
+  static SurfaceOp extract(std::string H) {
+    return SurfaceOp{Kind::Extract, std::move(H), nullptr};
+  }
+  static SurfaceOp extractNext(std::string Stack) {
+    return SurfaceOp{Kind::ExtractNext, std::move(Stack), nullptr};
+  }
+  static SurfaceOp assign(std::string H, SExprRef E) {
+    return SurfaceOp{Kind::Assign, std::move(H), std::move(E)};
+  }
+  static SurfaceOp lookahead(std::string H) {
+    return SurfaceOp{Kind::Lookahead, std::move(H), nullptr};
+  }
+};
+
+/// A transition target: a state, a terminal, or a subparser call with an
+/// explicit continuation.
+struct SurfaceTarget {
+  enum class Kind { State, Accept, Reject, Call };
+
+  Kind K = Kind::Reject;
+  std::string StateName; ///< Kind::State.
+  std::string Callee;    ///< Kind::Call: subparser to run.
+  /// Kind::Call: where the callee's accept resumes; empty = accept.
+  std::string ContinueAt;
+
+  static SurfaceTarget state(std::string Name) {
+    SurfaceTarget T;
+    T.K = Kind::State;
+    T.StateName = std::move(Name);
+    return T;
+  }
+  static SurfaceTarget accept() { return SurfaceTarget{Kind::Accept, {}, {}, {}}; }
+  static SurfaceTarget reject() { return SurfaceTarget{Kind::Reject, {}, {}, {}}; }
+  static SurfaceTarget call(std::string Callee, std::string ContinueAt = "") {
+    SurfaceTarget T;
+    T.K = Kind::Call;
+    T.Callee = std::move(Callee);
+    T.ContinueAt = std::move(ContinueAt);
+    return T;
+  }
+};
+
+struct SurfaceCase {
+  std::vector<p4a::Pattern> Pats;
+  SurfaceTarget Target;
+};
+
+struct SurfaceTransition {
+  bool IsGoto = true;
+  SurfaceTarget GotoTarget = SurfaceTarget::reject();
+  std::vector<SExprRef> Discriminants;
+  std::vector<SurfaceCase> Cases;
+
+  static SurfaceTransition mkGoto(SurfaceTarget T) {
+    SurfaceTransition Tz;
+    Tz.IsGoto = true;
+    Tz.GotoTarget = std::move(T);
+    return Tz;
+  }
+  static SurfaceTransition mkSelect(std::vector<SExprRef> Discriminants,
+                                    std::vector<SurfaceCase> Cases) {
+    SurfaceTransition Tz;
+    Tz.IsGoto = false;
+    Tz.Discriminants = std::move(Discriminants);
+    Tz.Cases = std::move(Cases);
+    return Tz;
+  }
+};
+
+struct SurfaceState {
+  std::string Name;
+  std::vector<SurfaceOp> Ops;
+  SurfaceTransition Tz;
+};
+
+/// A named subparser: a state list with a designated entry state. State
+/// names are scoped to the subparser.
+struct SubParser {
+  std::string Name;
+  std::string Entry;
+  std::vector<SurfaceState> States;
+};
+
+/// A surface program: global header/stack declarations, the main parser's
+/// states, and any subparsers reachable via call targets.
+class SurfaceProgram {
+public:
+  /// Declares a header named \p Name of \p Bits bits (idempotent;
+  /// conflicting widths are an elaboration error).
+  void addHeader(const std::string &Name, size_t Bits) {
+    Headers[Name] = Bits;
+  }
+
+  /// Declares a stack of \p Slots elements, each \p Bits wide.
+  void addStack(const std::string &Name, size_t Slots, size_t Bits) {
+    Stacks[Name] = {Slots, Bits};
+  }
+
+  void addState(SurfaceState S) { Main.push_back(std::move(S)); }
+  void addSubParser(SubParser P) { Subs.push_back(std::move(P)); }
+  void setEntry(std::string State) { Entry = std::move(State); }
+
+  struct StackDecl {
+    size_t Slots = 0;
+    size_t Bits = 0;
+  };
+
+  const std::map<std::string, size_t> &headers() const { return Headers; }
+  const std::map<std::string, StackDecl> &stacks() const { return Stacks; }
+  const std::vector<SurfaceState> &mainStates() const { return Main; }
+  const std::vector<SubParser> &subParsers() const { return Subs; }
+  const std::string &entry() const { return Entry; }
+
+private:
+  std::map<std::string, size_t> Headers;
+  std::map<std::string, StackDecl> Stacks;
+  std::vector<SurfaceState> Main;
+  std::vector<SubParser> Subs;
+  std::string Entry;
+};
+
+} // namespace frontend
+} // namespace leapfrog
+
+#endif // LEAPFROG_FRONTEND_SURFACE_H

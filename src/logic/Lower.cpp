@@ -1,0 +1,48 @@
+//===- Lower.cpp - The ConfRel → SMT compilation chain --------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Lower.h"
+
+using namespace leapfrog;
+using namespace leapfrog::logic;
+
+LowerResult logic::lowerEntailment(const p4a::Automaton &Left,
+                                   const p4a::Automaton &Right,
+                                   const std::vector<GuardedFormula> &Premises,
+                                   const GuardedFormula &Goal) {
+  LowerResult Result;
+  Result.PremisesTotal = Premises.size();
+
+  // Stage 2: template filtering. A premise guarded by a different template
+  // pair is vacuously true on every configuration pair with floor Goal.TP,
+  // so it contributes nothing to this entailment (§6.2).
+  PureRef Premise = Pure::mkTrue();
+  for (const GuardedFormula &P : Premises) {
+    if (P.TP != Goal.TP)
+      continue;
+    Premise = Pure::mkAnd(Premise, P.Phi);
+    ++Result.PremisesKept;
+  }
+  Result.FilteredPremise = Premise;
+
+  // Stage 3: FOL compilation of the full implication under the guard.
+  Ctx C{&Left, &Right, Goal.TP};
+  folconf::FormulaRef Impl =
+      folconf::fromPure(C, Pure::mkImplies(Premise, Goal.Phi));
+  Result.Intermediate = Impl;
+
+  // Stage 4: store elimination.
+  Result.Query = folconf::eliminateStores(C, Impl);
+  return Result;
+}
+
+smt::BvFormulaRef logic::lowerPure(const p4a::Automaton &Left,
+                                   const p4a::Automaton &Right,
+                                   TemplatePair TP, const PureRef &F) {
+  Ctx C{&Left, &Right, TP};
+  return folconf::eliminateStores(C, folconf::fromPure(C, F));
+}

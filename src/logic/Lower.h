@@ -1,0 +1,68 @@
+//===- Lower.h - The ConfRel → SMT compilation chain ------------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The complete lowering pipeline of Figure 6, from a high-level ConfRel
+/// entailment ⋀R ⊨ ψ down to a FOL(BV) validity query:
+///
+///   1. algebraic simplifications — applied by the smart constructors
+///      during formula construction (ConfRel.h);
+///   2. template filtering (ConfRel → ConfRelSimp) — premises whose guard
+///      differs from the goal's guard hold vacuously on every
+///      configuration pair the goal constrains, so they are discarded;
+///   3. FOL compilation (ConfRelSimp → FOL(Conf)) — state and buffer-
+///      length assertions are resolved against the guard and slices are
+///      exactified (FolConf.h);
+///   4. store elimination (FOL(Conf) → FOL(BV)) — finite-map selections
+///      become flat bitvector variables (FolConf.h).
+///
+/// The resulting query's *validity over all variable assignments* is the
+/// truth of the entailment; the solver decides it as UNSAT of the
+/// negation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_LOGIC_LOWER_H
+#define LEAPFROG_LOGIC_LOWER_H
+
+#include "logic/FolConf.h"
+
+namespace leapfrog {
+namespace logic {
+
+/// Artifacts of lowering one entailment; the intermediate stages are kept
+/// for inspection, testing and the bench harness's size reporting.
+struct LowerResult {
+  /// Valid (over all assignments) iff the entailment holds.
+  smt::BvFormulaRef Query;
+  /// Stage 2 output: the filtered premise conjunction (ConfRelSimp).
+  PureRef FilteredPremise;
+  /// Stage 3 output for the full implication premise ⇒ goal.
+  folconf::FormulaRef Intermediate;
+  /// How many premises the goal's guard kept vs. received.
+  size_t PremisesKept = 0;
+  size_t PremisesTotal = 0;
+};
+
+/// Lowers the entailment  ⋀Premises ⊨ (Goal.TP ⇒ Goal.Phi)  to FOL(BV).
+/// Premises may carry arbitrary guards; only those matching Goal.TP
+/// survive filtering.
+LowerResult lowerEntailment(const p4a::Automaton &Left,
+                            const p4a::Automaton &Right,
+                            const std::vector<GuardedFormula> &Premises,
+                            const GuardedFormula &Goal);
+
+/// Lowers a single pure formula under \p TP to FOL(BV) (used for the final
+/// φ ⊨ ⋀R check, where φ's premise implies each matching conjunct).
+smt::BvFormulaRef lowerPure(const p4a::Automaton &Left,
+                            const p4a::Automaton &Right, TemplatePair TP,
+                            const PureRef &F);
+
+} // namespace logic
+} // namespace leapfrog
+
+#endif // LEAPFROG_LOGIC_LOWER_H

@@ -1,0 +1,185 @@
+//===- Concrete.cpp - Brute-force equivalence oracle ----------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "p4a/Concrete.h"
+
+#include <deque>
+#include <unordered_map>
+
+using namespace leapfrog;
+using namespace leapfrog::p4a;
+
+namespace {
+
+/// Interns configurations of one side (automaton) into dense ids.
+class ConfigTable {
+public:
+  size_t intern(const Config &C) {
+    auto [It, Inserted] = Index.emplace(Key{C}, Configs.size());
+    if (Inserted)
+      Configs.push_back(C);
+    return It->second;
+  }
+
+  const Config &get(size_t Id) const { return Configs[Id]; }
+
+private:
+  struct Key {
+    Config C;
+    bool operator==(const Key &O) const { return C == O.C; }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const { return K.C.hash(); }
+  };
+
+  std::vector<Config> Configs;
+  std::unordered_map<Key, size_t, KeyHash> Index;
+};
+
+/// Union-find over (side, config-id) pairs; side 0 = left automaton.
+class UnionFind {
+public:
+  size_t node(int Side, size_t Id) {
+    auto [It, Inserted] = Index.emplace(std::make_pair(Side, Id),
+                                        Parent.size());
+    if (Inserted)
+      Parent.push_back(Parent.size());
+    return It->second;
+  }
+
+  size_t find(size_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+
+  /// Returns false if already merged.
+  bool merge(size_t A, size_t B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return false;
+    Parent[A] = B;
+    return true;
+  }
+
+private:
+  std::vector<size_t> Parent;
+  std::unordered_map<std::pair<int, size_t>, size_t, PairHash> Index;
+};
+
+} // namespace
+
+bool concrete::configEquiv(const Automaton &A1, const Config &C1,
+                           const Automaton &A2, const Config &C2) {
+  ConfigTable T1, T2;
+  UnionFind UF;
+  std::deque<std::pair<size_t, size_t>> Work;
+  Work.emplace_back(T1.intern(C1), T2.intern(C2));
+  UF.merge(UF.node(0, Work.front().first), UF.node(1, Work.front().second));
+
+  while (!Work.empty()) {
+    auto [I1, I2] = Work.front();
+    Work.pop_front();
+    // Copy: interning below may grow the tables and move their storage.
+    Config L = T1.get(I1);
+    Config R = T2.get(I2);
+    if (L.accepting() != R.accepting())
+      return false;
+    // Both-rejecting sink configurations have empty languages; stepping
+    // them further cannot distinguish anything and would loop over stores.
+    if (L.Q.isReject() && R.Q.isReject())
+      continue;
+    for (bool Bit : {false, true}) {
+      size_t N1 = T1.intern(step(A1, L, Bit));
+      size_t N2 = T2.intern(step(A2, R, Bit));
+      if (UF.merge(UF.node(0, N1), UF.node(1, N2)))
+        Work.emplace_back(N1, N2);
+    }
+  }
+  return true;
+}
+
+bool concrete::stateEquivAllStores(const Automaton &A1, StateRef Q1,
+                                   const Automaton &A2, StateRef Q2,
+                                   size_t MaxStoreBits) {
+  size_t B1 = A1.totalHeaderBits();
+  size_t B2 = A2.totalHeaderBits();
+  assert(B1 + B2 <= MaxStoreBits &&
+         "store enumeration would explode; use the symbolic checker");
+  (void)MaxStoreBits;
+  for (uint64_t V1 = 0; V1 < (uint64_t(1) << B1); ++V1) {
+    Store S1 = Store::fromBits(A1, Bitvector::fromUint(V1, B1));
+    for (uint64_t V2 = 0; V2 < (uint64_t(1) << B2); ++V2) {
+      Store S2 = Store::fromBits(A2, Bitvector::fromUint(V2, B2));
+      if (!configEquiv(A1, initialConfig(Q1, S1), A2, initialConfig(Q2, S2)))
+        return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Bitvector> concrete::acceptedWords(const Automaton &Aut,
+                                               StateRef Q, const Store &S,
+                                               size_t MaxLen) {
+  std::vector<Bitvector> Accepted;
+  // BFS over (config, word) frontier, extending one bit at a time; we keep
+  // explicit words because acceptance depends on exact length.
+  std::vector<std::pair<Config, Bitvector>> Frontier;
+  Frontier.emplace_back(initialConfig(Q, S), Bitvector());
+  if (Frontier.front().first.accepting())
+    Accepted.push_back(Bitvector());
+  for (size_t Len = 1; Len <= MaxLen; ++Len) {
+    std::vector<std::pair<Config, Bitvector>> Next;
+    Next.reserve(Frontier.size() * 2);
+    for (const auto &[C, W] : Frontier) {
+      // Reject sinks can never accept again; prune.
+      if (C.Q.isReject())
+        continue;
+      for (bool Bit : {false, true}) {
+        Config C2 = step(Aut, C, Bit);
+        Bitvector W2 = W;
+        W2.pushBack(Bit);
+        if (C2.accepting())
+          Accepted.push_back(W2);
+        Next.emplace_back(std::move(C2), std::move(W2));
+      }
+    }
+    Frontier = std::move(Next);
+  }
+  return Accepted;
+}
+
+size_t concrete::reachableConfigCount(const Automaton &Aut, StateRef Q,
+                                      const Store &S, size_t Limit) {
+  struct Key {
+    Config C;
+    bool operator==(const Key &O) const { return C == O.C; }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const { return K.C.hash(); }
+  };
+  std::unordered_map<Key, bool, KeyHash> Seen;
+  std::deque<Config> Work;
+  Config C0 = initialConfig(Q, S);
+  Seen.emplace(Key{C0}, true);
+  Work.push_back(C0);
+  while (!Work.empty() && Seen.size() < Limit) {
+    Config C = Work.front();
+    Work.pop_front();
+    for (bool Bit : {false, true}) {
+      Config N = step(Aut, C, Bit);
+      auto [It, Inserted] = Seen.emplace(Key{N}, true);
+      (void)It;
+      if (Inserted)
+        Work.push_back(N);
+    }
+  }
+  return Seen.size();
+}

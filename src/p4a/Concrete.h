@@ -1,0 +1,58 @@
+//===- Concrete.h - Brute-force equivalence oracle ---------------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete decision procedures over the configuration DFA ⟨C, δ, F⟩ of §3.2.
+/// These enumerate configurations explicitly, so they only scale to the tiny
+/// automata used in tests — exactly the state-space explosion the paper's
+/// symbolic algorithm exists to avoid (§4: "|C| ≥ 10^38" for Figure 1).
+/// They serve as the trusted oracle for validating the symbolic checker,
+/// and as the paper's framing baseline for the benchmark ablations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_P4A_CONCRETE_H
+#define LEAPFROG_P4A_CONCRETE_H
+
+#include "p4a/Semantics.h"
+
+#include <vector>
+
+namespace leapfrog {
+namespace p4a {
+namespace concrete {
+
+/// Decides L(C1) = L(C2) exactly, via Hopcroft–Karp's almost-linear
+/// union-find algorithm [Hopcroft & Karp 1971] run over the configurations
+/// reachable from the pair. Terminates because C is finite.
+bool configEquiv(const Automaton &A1, const Config &C1, const Automaton &A2,
+                 const Config &C2);
+
+/// Decides ∀s1 ∈ S1, s2 ∈ S2: L(⟨Q1,s1,ε⟩) = L(⟨Q2,s2,ε⟩) by enumerating
+/// every pair of initial stores — the concrete meaning of the checker's
+/// initial formula q1< ∧ 0< ∧ q2> ∧ 0> (§5.1). Asserts the two automata
+/// have at most \p MaxStoreBits header bits combined (default 14) to bound
+/// the enumeration.
+bool stateEquivAllStores(const Automaton &A1, StateRef Q1,
+                         const Automaton &A2, StateRef Q2,
+                         size_t MaxStoreBits = 14);
+
+/// All accepted words of length at most \p MaxLen from ⟨Q, S, ε⟩, in
+/// length-then-lexicographic order. Exponential; for tests only.
+std::vector<Bitvector> acceptedWords(const Automaton &Aut, StateRef Q,
+                                     const Store &S, size_t MaxLen);
+
+/// Counts configurations reachable from ⟨Q, S, ε⟩ (diagnostic for tests and
+/// the state-space numbers quoted in benchmark output).
+size_t reachableConfigCount(const Automaton &Aut, StateRef Q, const Store &S,
+                            size_t Limit = 1u << 20);
+
+} // namespace concrete
+} // namespace p4a
+} // namespace leapfrog
+
+#endif // LEAPFROG_P4A_CONCRETE_H

@@ -1,0 +1,65 @@
+//===- Parser.h - Textual front-end for P4 automata -------------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A parser for the surface syntax used throughout the paper's figures, so
+/// case studies can be transcribed verbatim:
+///
+/// \code
+///   state q1 {
+///     extract(mpls, 32);
+///     select(mpls[23:23]) {
+///       0 => q1
+///       1 => q2
+///     }
+///   }
+///   state q2 {
+///     extract(udp, 64);
+///     goto accept
+///   }
+/// \endcode
+///
+/// Literals: `0b0101`, `0x86dd` (4 bits/digit), or bare binary `0001`.
+/// Assignments are written `h := e`; concatenation is `e1 ++ e2`; slices
+/// are `e[lo:hi]` with the paper's inclusive bounds. Optional
+/// `header name : bits;` declarations allow assigning to headers that are
+/// never extracted. `//` and `#` start line comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_P4A_PARSER_H
+#define LEAPFROG_P4A_PARSER_H
+
+#include "p4a/Syntax.h"
+
+#include <string>
+#include <vector>
+
+namespace leapfrog {
+namespace p4a {
+
+/// Result of parsing: the automaton (valid only if Errors is empty) plus
+/// any diagnostics, each prefixed with a line number.
+struct ParseResult {
+  Automaton Aut;
+  std::vector<std::string> Errors;
+
+  bool ok() const { return Errors.empty(); }
+};
+
+/// Parses \p Source into a P4 automaton. On success the result also
+/// type-checks (⊢A); typing violations are reported as errors.
+ParseResult parseAutomaton(const std::string &Source);
+
+/// Convenience for tests and the built-in case studies: parses \p Source
+/// and asserts success, printing diagnostics to stderr on failure.
+Automaton parseAutomatonOrDie(const std::string &Source);
+
+} // namespace p4a
+} // namespace leapfrog
+
+#endif // LEAPFROG_P4A_PARSER_H

@@ -1,0 +1,136 @@
+//===- Semantics.cpp - P4 automaton concrete semantics --------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "p4a/Semantics.h"
+
+using namespace leapfrog;
+using namespace leapfrog::p4a;
+
+Store::Store(const Automaton &Aut) {
+  Values.reserve(Aut.numHeaders());
+  for (HeaderId H = 0; H < Aut.numHeaders(); ++H)
+    Values.emplace_back(Aut.headerSize(H));
+}
+
+Store Store::fromBits(const Automaton &Aut, const Bitvector &Raw) {
+  Store S(Aut);
+  size_t Offset = 0;
+  for (HeaderId H = 0; H < Aut.numHeaders(); ++H) {
+    size_t Sz = Aut.headerSize(H);
+    Bitvector V(Sz);
+    for (size_t I = 0; I < Sz; ++I)
+      if (Offset + I < Raw.size())
+        V.setBit(I, Raw.bit(Offset + I));
+    S.Values[H] = std::move(V);
+    Offset += Sz;
+  }
+  return S;
+}
+
+Bitvector Store::toBits() const {
+  Bitvector All;
+  for (const Bitvector &V : Values)
+    All = All.concat(V);
+  return All;
+}
+
+size_t Store::hash() const {
+  size_t H = 0;
+  for (const Bitvector &V : Values)
+    hashCombine(H, V.hash());
+  return H;
+}
+
+Bitvector p4a::evalExpr(const Automaton &Aut, const Store &S,
+                        const ExprRef &E) {
+  assert(E && "evaluating null expression");
+  switch (E->kind()) {
+  case Expr::Kind::Header:
+    return S.get(E->header());
+  case Expr::Kind::Literal:
+    return E->literal();
+  case Expr::Kind::Slice:
+    return evalExpr(Aut, S, E->sliceOperand()).slice(E->sliceLo(),
+                                                     E->sliceHi());
+  case Expr::Kind::Concat:
+    return evalExpr(Aut, S, E->concatLhs())
+        .concat(evalExpr(Aut, S, E->concatRhs()));
+  }
+  assert(false && "unknown expression kind");
+  return Bitvector();
+}
+
+Store p4a::evalOps(const Automaton &Aut, const std::vector<Op> &Ops, Store S,
+                   const Bitvector &Input) {
+  size_t Cursor = 0;
+  for (const Op &O : Ops) {
+    if (O.K == Op::Kind::Extract) {
+      size_t Sz = Aut.headerSize(O.Target);
+      assert(Cursor + Sz <= Input.size() &&
+             "operation block given too few bits (⊢O violated)");
+      S.set(O.Target, Input.extract(Cursor, Cursor + Sz));
+      Cursor += Sz;
+    } else {
+      Bitvector V = evalExpr(Aut, S, O.Value);
+      assert(V.size() == Aut.headerSize(O.Target) &&
+             "assignment width mismatch (⊢O violated)");
+      S.set(O.Target, std::move(V));
+    }
+  }
+  assert(Cursor == Input.size() &&
+         "operation block left unconsumed bits (⊢O violated)");
+  return S;
+}
+
+StateRef p4a::evalTransition(const Automaton &Aut, const Transition &Tz,
+                             const Store &S) {
+  if (Tz.IsGoto)
+    return Tz.GotoTarget;
+  std::vector<Bitvector> Values;
+  Values.reserve(Tz.Discriminants.size());
+  for (const ExprRef &E : Tz.Discriminants)
+    Values.push_back(evalExpr(Aut, S, E));
+  for (const SelectCase &C : Tz.Cases) {
+    assert(C.Pats.size() == Values.size() &&
+           "select case arity mismatch (⊢T violated)");
+    bool All = true;
+    for (size_t I = 0; I < Values.size(); ++I)
+      All &= C.Pats[I].matches(Values[I]);
+    if (All)
+      return C.Target;
+  }
+  return StateRef::reject();
+}
+
+Config p4a::step(const Automaton &Aut, Config C, bool Bit) {
+  // Terminal configurations step unconditionally to reject (accept must not
+  // parse further input; see the remark after Definition 3.5).
+  if (C.Q.isTerminal()) {
+    C.Q = StateRef::reject();
+    return C;
+  }
+  size_t Needed = Aut.opBits(C.Q.Id);
+  C.Buf.pushBack(Bit);
+  if (C.Buf.size() < Needed)
+    return C;
+  assert(C.Buf.size() == Needed && "buffer overran the operation block");
+  const State &St = Aut.state(C.Q.Id);
+  Store S2 = evalOps(Aut, St.Ops, std::move(C.S), C.Buf);
+  StateRef Next = evalTransition(Aut, St.Tz, S2);
+  return Config{Next, std::move(S2), Bitvector()};
+}
+
+Config p4a::multiStep(const Automaton &Aut, Config C, const Bitvector &Word) {
+  for (size_t I = 0; I < Word.size(); ++I)
+    C = step(Aut, std::move(C), Word.bit(I));
+  return C;
+}
+
+bool p4a::accepts(const Automaton &Aut, StateRef Q, const Store &S,
+                  const Bitvector &Word) {
+  return multiStep(Aut, initialConfig(Q, S), Word).accepting();
+}

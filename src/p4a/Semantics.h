@@ -1,0 +1,115 @@
+//===- Semantics.h - P4 automaton concrete semantics ------------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concrete (reference) semantics of P4 automata: stores, expression
+/// and operation evaluation, transition selection, and the bit-by-bit
+/// configuration dynamics of Definitions 3.1–3.6. This is the ground truth
+/// the symbolic checker is validated against in the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_P4A_SEMANTICS_H
+#define LEAPFROG_P4A_SEMANTICS_H
+
+#include "p4a/Syntax.h"
+#include "support/Hashing.h"
+
+#include <vector>
+
+namespace leapfrog {
+namespace p4a {
+
+/// A store s : H → {0,1}* with |s(h)| = sz(h), represented densely.
+class Store {
+public:
+  Store() = default;
+
+  /// Builds the all-zero store for \p Aut.
+  explicit Store(const Automaton &Aut);
+
+  /// Builds a store whose headers are filled from \p Raw, header 0 first.
+  /// \p Raw supplies totalHeaderBits() bits; missing bits default to zero.
+  static Store fromBits(const Automaton &Aut, const Bitvector &Raw);
+
+  const Bitvector &get(HeaderId H) const {
+    assert(H < Values.size() && "header id out of range");
+    return Values[H];
+  }
+
+  /// s[v/h] (Definition 3.2): functional update in place.
+  void set(HeaderId H, Bitvector V) {
+    assert(H < Values.size() && "header id out of range");
+    assert(V.size() == Values[H].size() && "assigned value has wrong width");
+    Values[H] = std::move(V);
+  }
+
+  size_t numHeaders() const { return Values.size(); }
+
+  /// All header bits concatenated, header 0 first (inverse of fromBits).
+  Bitvector toBits() const;
+
+  bool operator==(const Store &O) const { return Values == O.Values; }
+  size_t hash() const;
+
+private:
+  std::vector<Bitvector> Values;
+};
+
+/// Evaluates expression \p E in store \p S (⟦e⟧E, Definition 3.1).
+Bitvector evalExpr(const Automaton &Aut, const Store &S, const ExprRef &E);
+
+/// Runs a state's operation block on (\p S, \p Input) where \p Input has
+/// exactly opBits worth of data; returns the updated store (⟦op⟧O,
+/// Definition 3.2; the leftover bitstring is always epsilon for well-typed
+/// inputs, so it is not returned).
+Store evalOps(const Automaton &Aut, const std::vector<Op> &Ops, Store S,
+              const Bitvector &Input);
+
+/// Evaluates a transition block in \p S (⟦tz⟧T, Definition 3.3).
+StateRef evalTransition(const Automaton &Aut, const Transition &Tz,
+                        const Store &S);
+
+/// A configuration ⟨q, s, w⟩ (Definition 3.4): the current state, the store,
+/// and the buffer of bits read since the last transition. Invariant:
+/// |w| < ||op(q)|| when q is a user state; w = ε when q is terminal.
+struct Config {
+  StateRef Q;
+  Store S;
+  Bitvector Buf;
+
+  bool accepting() const { return Q.isAccept() && Buf.empty(); }
+
+  bool operator==(const Config &O) const {
+    return Q == O.Q && S == O.S && Buf == O.Buf;
+  }
+  size_t hash() const {
+    return hashAll(static_cast<int>(Q.K), Q.Id, S.hash(), Buf.hash());
+  }
+};
+
+/// The step function δ : C × {0,1} → C (Definition 3.5). Reads one bit:
+/// either buffers it, or — when the buffer fills ||op(q)|| — runs the state
+/// block and actuates the transition. Terminal states step to reject.
+Config step(const Automaton &Aut, Config C, bool Bit);
+
+/// δ* (Definition 3.6): runs \p Word through \p C bit by bit.
+Config multiStep(const Automaton &Aut, Config C, const Bitvector &Word);
+
+/// True iff \p Word ∈ L(⟨Q, S, ε⟩) (Definition 3.6).
+bool accepts(const Automaton &Aut, StateRef Q, const Store &S,
+             const Bitvector &Word);
+
+/// Initial configuration ⟨Q, S, ε⟩.
+inline Config initialConfig(StateRef Q, Store S) {
+  return Config{Q, std::move(S), Bitvector()};
+}
+
+} // namespace p4a
+} // namespace leapfrog
+
+#endif // LEAPFROG_P4A_SEMANTICS_H

@@ -1,0 +1,255 @@
+//===- Syntax.cpp - P4 automaton abstract syntax --------------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "p4a/Syntax.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace leapfrog;
+using namespace leapfrog::p4a;
+
+ExprRef Expr::mkHeader(HeaderId H) {
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->K = Kind::Header;
+  E->Hdr = H;
+  return E;
+}
+
+ExprRef Expr::mkLiteral(Bitvector BV) {
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->K = Kind::Literal;
+  E->Lit = std::move(BV);
+  return E;
+}
+
+ExprRef Expr::mkSlice(ExprRef Operand, size_t Lo, size_t Hi) {
+  assert(Operand && "slice of null expression");
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->K = Kind::Slice;
+  E->Lhs = std::move(Operand);
+  E->Lo = Lo;
+  E->Hi = Hi;
+  return E;
+}
+
+ExprRef Expr::mkConcat(ExprRef L, ExprRef R) {
+  assert(L && R && "concat of null expression");
+  auto E = std::shared_ptr<Expr>(new Expr());
+  E->K = Kind::Concat;
+  E->Lhs = std::move(L);
+  E->Rhs = std::move(R);
+  return E;
+}
+
+HeaderId Automaton::addHeader(const std::string &Name, size_t Bits) {
+  assert(Bits > 0 && "headers must have positive size (sz : H -> N+)");
+  auto It = HeaderIndex.find(Name);
+  if (It != HeaderIndex.end()) {
+    assert(HeaderSizes[It->second] == Bits &&
+           "conflicting size for re-declared header");
+    return It->second;
+  }
+  HeaderId Id = static_cast<HeaderId>(HeaderNames.size());
+  HeaderNames.push_back(Name);
+  HeaderSizes.push_back(Bits);
+  HeaderIndex.emplace(Name, Id);
+  return Id;
+}
+
+StateId Automaton::addState(State S) {
+  assert(!StateIndex.count(S.Name) && "duplicate state name");
+  StateId Id = static_cast<StateId>(States.size());
+  StateIndex.emplace(S.Name, Id);
+  States.push_back(std::move(S));
+  return Id;
+}
+
+StateId Automaton::declareState(const std::string &Name) {
+  auto It = StateIndex.find(Name);
+  if (It != StateIndex.end())
+    return It->second;
+  State S;
+  S.Name = Name;
+  return addState(std::move(S));
+}
+
+void Automaton::setState(StateId Id, std::vector<Op> Ops, Transition Tz) {
+  assert(Id < States.size() && "state id out of range");
+  States[Id].Ops = std::move(Ops);
+  States[Id].Tz = std::move(Tz);
+}
+
+std::string Automaton::refName(StateRef R) const {
+  switch (R.K) {
+  case StateRef::Kind::Accept:
+    return "accept";
+  case StateRef::Kind::Reject:
+    return "reject";
+  case StateRef::Kind::Normal:
+    return stateName(R.Id);
+  }
+  assert(false && "unknown state ref kind");
+  return "";
+}
+
+std::optional<StateId> Automaton::findState(const std::string &Name) const {
+  auto It = StateIndex.find(Name);
+  if (It == StateIndex.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<HeaderId> Automaton::findHeader(const std::string &Name) const {
+  auto It = HeaderIndex.find(Name);
+  if (It == HeaderIndex.end())
+    return std::nullopt;
+  return It->second;
+}
+
+size_t Automaton::opBits(StateId Id) const {
+  size_t Bits = 0;
+  for (const Op &O : state(Id).Ops)
+    if (O.K == Op::Kind::Extract)
+      Bits += headerSize(O.Target);
+  return Bits;
+}
+
+std::vector<StateRef> Automaton::successors(StateId Id) const {
+  std::vector<StateRef> Succs;
+  auto Add = [&Succs](StateRef R) {
+    if (std::find(Succs.begin(), Succs.end(), R) == Succs.end())
+      Succs.push_back(R);
+  };
+  const Transition &Tz = state(Id).Tz;
+  if (Tz.IsGoto) {
+    Add(Tz.GotoTarget);
+    return Succs;
+  }
+  for (const SelectCase &C : Tz.Cases)
+    Add(C.Target);
+  // A select can always fall through to reject when no case matches, unless
+  // some case is all-wildcards (then matching stops there).
+  bool HasCatchAll = false;
+  for (const SelectCase &C : Tz.Cases) {
+    bool AllWild = true;
+    for (const Pattern &P : C.Pats)
+      AllWild &= P.isWildcard();
+    if (AllWild) {
+      HasCatchAll = true;
+      break;
+    }
+  }
+  if (!HasCatchAll)
+    Add(StateRef::reject());
+  return Succs;
+}
+
+size_t Automaton::totalHeaderBits() const {
+  size_t Total = 0;
+  for (size_t Sz : HeaderSizes)
+    Total += Sz;
+  return Total;
+}
+
+size_t Automaton::branchedBits() const {
+  size_t Total = 0;
+  for (const State &S : States) {
+    if (S.Tz.IsGoto)
+      continue;
+    for (const ExprRef &E : S.Tz.Discriminants)
+      if (auto W = exprWidth(*this, E))
+        Total += *W;
+  }
+  return Total;
+}
+
+std::optional<size_t> p4a::exprWidth(const Automaton &Aut, const ExprRef &E) {
+  if (!E)
+    return std::nullopt;
+  switch (E->kind()) {
+  case Expr::Kind::Header:
+    if (E->header() >= Aut.numHeaders())
+      return std::nullopt;
+    return Aut.headerSize(E->header());
+  case Expr::Kind::Literal:
+    return E->literal().size();
+  case Expr::Kind::Slice: {
+    auto W = exprWidth(Aut, E->sliceOperand());
+    if (!W)
+      return std::nullopt;
+    if (*W == 0)
+      return size_t(0);
+    size_t Lo = std::min(E->sliceLo(), *W - 1);
+    size_t Hi = std::min(E->sliceHi(), *W - 1);
+    if (Lo > Hi)
+      return size_t(0);
+    return Hi - Lo + 1;
+  }
+  case Expr::Kind::Concat: {
+    auto L = exprWidth(Aut, E->concatLhs());
+    auto R = exprWidth(Aut, E->concatRhs());
+    if (!L || !R)
+      return std::nullopt;
+    return *L + *R;
+  }
+  }
+  return std::nullopt;
+}
+
+std::string p4a::printExpr(const Automaton &Aut, const ExprRef &E) {
+  if (!E)
+    return "<null>";
+  switch (E->kind()) {
+  case Expr::Kind::Header:
+    return Aut.headerName(E->header());
+  case Expr::Kind::Literal:
+    return "0b" + E->literal().str();
+  case Expr::Kind::Slice:
+    return printExpr(Aut, E->sliceOperand()) + "[" +
+           std::to_string(E->sliceLo()) + ":" + std::to_string(E->sliceHi()) +
+           "]";
+  case Expr::Kind::Concat:
+    return "(" + printExpr(Aut, E->concatLhs()) + " ++ " +
+           printExpr(Aut, E->concatRhs()) + ")";
+  }
+  return "<unknown>";
+}
+
+std::string Automaton::print() const {
+  std::string Out;
+  for (const State &S : States) {
+    Out += "state " + S.Name + " {\n";
+    for (const Op &O : S.Ops) {
+      if (O.K == Op::Kind::Extract) {
+        Out += "  extract(" + headerName(O.Target) + ", " +
+               std::to_string(headerSize(O.Target)) + ");\n";
+      } else {
+        Out += "  " + headerName(O.Target) + " := " +
+               printExpr(*this, O.Value) + ";\n";
+      }
+    }
+    if (S.Tz.IsGoto) {
+      Out += "  goto " + refName(S.Tz.GotoTarget) + "\n";
+    } else {
+      std::vector<std::string> Ds;
+      for (const ExprRef &E : S.Tz.Discriminants)
+        Ds.push_back(printExpr(*this, E));
+      Out += "  select(" + join(Ds, ", ") + ") {\n";
+      for (const SelectCase &C : S.Tz.Cases) {
+        std::vector<std::string> Ps;
+        for (const Pattern &P : C.Pats)
+          Ps.push_back(P.isWildcard() ? "_" : "0b" + P.Exact->str());
+        Out += "    (" + join(Ps, ", ") + ") => " + refName(C.Target) + "\n";
+      }
+      Out += "  }\n";
+    }
+    Out += "}\n";
+  }
+  return Out;
+}

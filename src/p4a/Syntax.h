@@ -1,0 +1,282 @@
+//===- Syntax.h - P4 automaton abstract syntax ------------------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax of P4 automata (P4As), the parser model of paper §3 and
+/// Figure 2. A P4A is a finite state machine whose states run a block of
+/// operations (bit extraction and header assignment) over a store of
+/// fixed-width bitvector headers and then transition — unconditionally via
+/// goto, or by matching header expressions against patterns via select.
+///
+/// Headers and states are interned: the Automaton owns the name tables and
+/// all syntax refers to them by dense integer ids, which keeps the symbolic
+/// checker's hot paths allocation-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_P4A_SYNTAX_H
+#define LEAPFROG_P4A_SYNTAX_H
+
+#include "support/Bitvector.h"
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace leapfrog {
+namespace p4a {
+
+/// Dense id of a header variable within one Automaton.
+using HeaderId = unsigned;
+
+/// Dense id of a user state within one Automaton.
+using StateId = unsigned;
+
+/// A reference to a state, including the two distinguished terminal states.
+/// The paper's transition targets range over Q ∪ {accept, reject}.
+struct StateRef {
+  enum class Kind { Normal, Accept, Reject };
+
+  Kind K = Kind::Reject;
+  StateId Id = 0; ///< Valid only when K == Kind::Normal.
+
+  static StateRef normal(StateId Id) {
+    return StateRef{Kind::Normal, Id};
+  }
+  static StateRef accept() { return StateRef{Kind::Accept, 0}; }
+  static StateRef reject() { return StateRef{Kind::Reject, 0}; }
+
+  bool isNormal() const { return K == Kind::Normal; }
+  bool isAccept() const { return K == Kind::Accept; }
+  bool isReject() const { return K == Kind::Reject; }
+  bool isTerminal() const { return !isNormal(); }
+
+  bool operator==(const StateRef &O) const {
+    return K == O.K && (K != Kind::Normal || Id == O.Id);
+  }
+  bool operator!=(const StateRef &O) const { return !(*this == O); }
+  bool operator<(const StateRef &O) const {
+    if (K != O.K)
+      return K < O.K;
+    return K == Kind::Normal && Id < O.Id;
+  }
+};
+
+class Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+/// A header expression (Figure 2): headers, bitvector literals, slices and
+/// concatenations. Immutable; shared via ExprRef.
+class Expr {
+public:
+  enum class Kind { Header, Literal, Slice, Concat };
+
+  Kind kind() const { return K; }
+
+  /// The header referenced; valid only for Kind::Header.
+  HeaderId header() const {
+    assert(K == Kind::Header && "not a header expression");
+    return Hdr;
+  }
+
+  /// The literal value; valid only for Kind::Literal.
+  const Bitvector &literal() const {
+    assert(K == Kind::Literal && "not a literal expression");
+    return Lit;
+  }
+
+  /// Slice operand / bounds; valid only for Kind::Slice. Bounds follow the
+  /// paper's inclusive, clamped e[lo:hi] convention (Definition 3.1).
+  const ExprRef &sliceOperand() const {
+    assert(K == Kind::Slice && "not a slice expression");
+    return Lhs;
+  }
+  size_t sliceLo() const {
+    assert(K == Kind::Slice && "not a slice expression");
+    return Lo;
+  }
+  size_t sliceHi() const {
+    assert(K == Kind::Slice && "not a slice expression");
+    return Hi;
+  }
+
+  /// Concat operands; valid only for Kind::Concat. In e1 ++ e2, the bits of
+  /// e1 come first.
+  const ExprRef &concatLhs() const {
+    assert(K == Kind::Concat && "not a concat expression");
+    return Lhs;
+  }
+  const ExprRef &concatRhs() const {
+    assert(K == Kind::Concat && "not a concat expression");
+    return Rhs;
+  }
+
+  static ExprRef mkHeader(HeaderId H);
+  static ExprRef mkLiteral(Bitvector BV);
+  static ExprRef mkSlice(ExprRef E, size_t Lo, size_t Hi);
+  static ExprRef mkConcat(ExprRef L, ExprRef R);
+
+private:
+  Expr() = default;
+
+  Kind K = Kind::Literal;
+  HeaderId Hdr = 0;
+  Bitvector Lit;
+  ExprRef Lhs, Rhs;
+  size_t Lo = 0, Hi = 0;
+};
+
+/// A select pattern: an exact bitvector match or the wildcard `_`
+/// (Figure 2; Definition 3.3 gives ⟦bv⟧P = {bv} and ⟦_⟧P = {0,1}*).
+struct Pattern {
+  std::optional<Bitvector> Exact; ///< nullopt = wildcard.
+
+  static Pattern wildcard() { return Pattern{std::nullopt}; }
+  static Pattern exact(Bitvector BV) { return Pattern{std::move(BV)}; }
+
+  bool isWildcard() const { return !Exact.has_value(); }
+
+  /// True if \p Value is in the pattern's denotation.
+  bool matches(const Bitvector &Value) const {
+    return isWildcard() || *Exact == Value;
+  }
+};
+
+/// One case of a select statement: a tuple of patterns and a target state.
+struct SelectCase {
+  std::vector<Pattern> Pats;
+  StateRef Target;
+};
+
+/// A single operation: extract(h) or h := e. Sequencing is represented by
+/// the order of operations inside a state's block.
+struct Op {
+  enum class Kind { Extract, Assign };
+
+  Kind K;
+  HeaderId Target;
+  ExprRef Value; ///< Valid only for Kind::Assign.
+
+  static Op extract(HeaderId H) { return Op{Kind::Extract, H, nullptr}; }
+  static Op assign(HeaderId H, ExprRef E) {
+    return Op{Kind::Assign, H, std::move(E)};
+  }
+};
+
+/// A transition block: goto(q) or select(e1,..,ek){cases}. A select whose
+/// cases all fail transitions to reject (Definition 3.3).
+struct Transition {
+  bool IsGoto = true;
+  StateRef GotoTarget = StateRef::reject();
+  std::vector<ExprRef> Discriminants; ///< Select scrutinee tuple.
+  std::vector<SelectCase> Cases;
+
+  static Transition mkGoto(StateRef Target) {
+    Transition T;
+    T.IsGoto = true;
+    T.GotoTarget = Target;
+    return T;
+  }
+  static Transition mkSelect(std::vector<ExprRef> Discriminants,
+                             std::vector<SelectCase> Cases) {
+    Transition T;
+    T.IsGoto = false;
+    T.Discriminants = std::move(Discriminants);
+    T.Cases = std::move(Cases);
+    return T;
+  }
+};
+
+/// A named state with its operation block and transition block.
+struct State {
+  std::string Name;
+  std::vector<Op> Ops;
+  Transition Tz;
+};
+
+/// A P4 automaton: header declarations plus states. Corresponds to `aut`
+/// in Figure 2 and `Syntax.t` in the paper's Coq development (Table 1).
+class Automaton {
+public:
+  /// Declares (or re-finds) a header named \p Name of \p Bits bits.
+  /// Asserts the size is positive and consistent with prior declarations.
+  HeaderId addHeader(const std::string &Name, size_t Bits);
+
+  /// Adds a state; returns its id. State names must be unique.
+  StateId addState(State S);
+
+  /// Declares an empty named state up front so transitions can forward-
+  /// reference it; the body must be filled in later via setState.
+  StateId declareState(const std::string &Name);
+  void setState(StateId Id, std::vector<Op> Ops, Transition Tz);
+
+  size_t numStates() const { return States.size(); }
+  size_t numHeaders() const { return HeaderSizes.size(); }
+
+  const State &state(StateId Id) const {
+    assert(Id < States.size() && "state id out of range");
+    return States[Id];
+  }
+  const std::string &stateName(StateId Id) const { return state(Id).Name; }
+
+  /// Pretty name for any StateRef, including accept/reject.
+  std::string refName(StateRef R) const;
+
+  size_t headerSize(HeaderId H) const {
+    assert(H < HeaderSizes.size() && "header id out of range");
+    return HeaderSizes[H];
+  }
+  const std::string &headerName(HeaderId H) const {
+    assert(H < HeaderNames.size() && "header id out of range");
+    return HeaderNames[H];
+  }
+
+  std::optional<StateId> findState(const std::string &Name) const;
+  std::optional<HeaderId> findHeader(const std::string &Name) const;
+
+  /// ||op(q)||: the number of packet bits state \p Id consumes
+  /// (Definition 3.2). Every well-typed state has opBits >= 1.
+  size_t opBits(StateId Id) const;
+
+  /// ρ(tz(q)): the set of states reachable in one transition from \p Id
+  /// (§5.1). Includes terminal targets.
+  std::vector<StateRef> successors(StateId Id) const;
+
+  /// Total store width in bits (Σ sz(h)); the "Total" column of Table 2
+  /// counts this over both automata.
+  size_t totalHeaderBits() const;
+
+  /// Number of bits inspected by select discriminants across all states;
+  /// the "Branched" column of Table 2.
+  size_t branchedBits() const;
+
+  /// Renders the automaton in the textual DSL accepted by p4a::parseAutomaton.
+  std::string print() const;
+
+private:
+  std::vector<std::string> HeaderNames;
+  std::vector<size_t> HeaderSizes;
+  std::unordered_map<std::string, HeaderId> HeaderIndex;
+
+  std::vector<State> States;
+  std::unordered_map<std::string, StateId> StateIndex;
+};
+
+/// Width of \p E under \p Aut's header sizes, or nullopt if ill-formed
+/// (the typing judgement ⊢E of Definition 3.1).
+std::optional<size_t> exprWidth(const Automaton &Aut, const ExprRef &E);
+
+/// Renders \p E using \p Aut's header names.
+std::string printExpr(const Automaton &Aut, const ExprRef &E);
+
+} // namespace p4a
+} // namespace leapfrog
+
+#endif // LEAPFROG_P4A_SYNTAX_H

@@ -1,0 +1,103 @@
+//===- Typing.cpp - P4 automaton well-formedness checks -------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "p4a/Typing.h"
+
+using namespace leapfrog;
+using namespace leapfrog::p4a;
+
+namespace {
+
+void checkState(const Automaton &Aut, StateId Id,
+                std::vector<std::string> &Diags) {
+  const State &S = Aut.state(Id);
+  auto Emit = [&](const std::string &Msg) {
+    Diags.push_back("state '" + S.Name + "': " + Msg);
+  };
+
+  // ⊢A requires every state to consume at least one bit (footnote 4):
+  // transitions fire on the final buffered bit, so a zero-bit state could
+  // never actuate its transition.
+  size_t Extracted = 0;
+  for (const Op &O : S.Ops) {
+    if (O.K == Op::Kind::Extract) {
+      if (O.Target >= Aut.numHeaders()) {
+        Emit("extract references unknown header");
+        continue;
+      }
+      Extracted += Aut.headerSize(O.Target);
+      continue;
+    }
+    // Assignment: ⊢O requires the value width to equal the target's size.
+    if (O.Target >= Aut.numHeaders()) {
+      Emit("assignment targets unknown header");
+      continue;
+    }
+    auto W = exprWidth(Aut, O.Value);
+    if (!W) {
+      Emit("assignment value is ill-formed");
+      continue;
+    }
+    if (*W != Aut.headerSize(O.Target))
+      Emit("assignment to '" + Aut.headerName(O.Target) + "' has width " +
+           std::to_string(*W) + " but the header is " +
+           std::to_string(Aut.headerSize(O.Target)) + " bits");
+  }
+  if (Extracted == 0)
+    Emit("must extract at least one bit (||op(q)|| >= 1)");
+
+  // ⊢T: select discriminants must be well-formed; every case must have
+  // matching arity and pattern widths; goto targets must exist.
+  auto CheckTarget = [&](StateRef R) {
+    if (R.isNormal() && R.Id >= Aut.numStates())
+      Emit("transition targets unknown state id " + std::to_string(R.Id));
+  };
+  const Transition &Tz = S.Tz;
+  if (Tz.IsGoto) {
+    CheckTarget(Tz.GotoTarget);
+    return;
+  }
+  std::vector<size_t> Widths;
+  for (const ExprRef &E : Tz.Discriminants) {
+    auto W = exprWidth(Aut, E);
+    if (!W) {
+      Emit("select discriminant is ill-formed");
+      Widths.push_back(0);
+    } else {
+      Widths.push_back(*W);
+    }
+  }
+  for (const SelectCase &C : Tz.Cases) {
+    CheckTarget(C.Target);
+    if (C.Pats.size() != Tz.Discriminants.size()) {
+      Emit("select case arity " + std::to_string(C.Pats.size()) +
+           " does not match discriminant arity " +
+           std::to_string(Tz.Discriminants.size()));
+      continue;
+    }
+    for (size_t I = 0; I < C.Pats.size(); ++I) {
+      const Pattern &P = C.Pats[I];
+      if (!P.isWildcard() && P.Exact->size() != Widths[I])
+        Emit("pattern width " + std::to_string(P.Exact->size()) +
+             " does not match discriminant width " +
+             std::to_string(Widths[I]));
+    }
+  }
+}
+
+} // namespace
+
+std::vector<std::string> p4a::typeCheck(const Automaton &Aut) {
+  std::vector<std::string> Diags;
+  if (Aut.numStates() == 0)
+    Diags.push_back("automaton has no states");
+  for (StateId Id = 0; Id < Aut.numStates(); ++Id)
+    checkState(Aut, Id, Diags);
+  return Diags;
+}
+
+bool p4a::isWellTyped(const Automaton &Aut) { return typeCheck(Aut).empty(); }

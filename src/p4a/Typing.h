@@ -1,0 +1,38 @@
+//===- Typing.h - P4 automaton well-formedness checks -----------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typing judgements of §3 (⊢E, ⊢O, ⊢T, ⊢A), realized as a diagnostic
+/// pass. ⊢A guarantees that the configuration step function δ is total:
+/// every state extracts at least one bit (so transitions can actuate,
+/// footnote 4), assignments are width-correct, and select patterns match
+/// their discriminants' widths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_P4A_TYPING_H
+#define LEAPFROG_P4A_TYPING_H
+
+#include "p4a/Syntax.h"
+
+#include <string>
+#include <vector>
+
+namespace leapfrog {
+namespace p4a {
+
+/// Checks ⊢A for \p Aut. Returns a list of human-readable diagnostics;
+/// empty means the automaton is well-typed.
+std::vector<std::string> typeCheck(const Automaton &Aut);
+
+/// Convenience wrapper: true iff typeCheck(Aut) is empty.
+bool isWellTyped(const Automaton &Aut);
+
+} // namespace p4a
+} // namespace leapfrog
+
+#endif // LEAPFROG_P4A_TYPING_H

@@ -1,0 +1,111 @@
+//===- CaseStudies.h - All evaluation parsers -------------------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for every P4 automaton of the paper's evaluation (§7,
+/// Table 2, Figures 1, 7, 9–12, and the parser-gen scenarios of §7.2).
+/// Each parser is transcribed in the textual DSL (p4a/Parser.h) so the
+/// source can be compared against the paper's figures line by line; the
+/// sources are exposed too so tests can exercise the round trip.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_PARSERS_CASESTUDIES_H
+#define LEAPFROG_PARSERS_CASESTUDIES_H
+
+#include "p4a/Syntax.h"
+
+#include <string>
+#include <vector>
+
+namespace leapfrog {
+namespace parsers {
+
+// --- Figure 1: MPLS speculative loop ("Speculative loop" in Table 2) ---
+
+/// Reference MPLS/UDP parser (states q1, q2).
+p4a::Automaton mplsReference();
+/// Vectorized parser extracting two labels at a time (states q3–q5).
+p4a::Automaton mplsVectorized();
+
+/// The Figure 1 pair scaled to an arbitrary label width: labels are
+/// \p LabelBits wide (≥ 2) with the bottom-of-stack marker in the middle
+/// bit, and the UDP payload is 2·LabelBits. At LabelBits = 32 these are
+/// exactly mplsReference()/mplsVectorized(). Used by the crossover
+/// benchmark to scale the configuration space while keeping the control
+/// structure fixed.
+p4a::Automaton mplsReferenceScaled(size_t LabelBits);
+p4a::Automaton mplsVectorizedScaled(size_t LabelBits);
+
+// --- Figure 7: stylized IP + TCP/UDP ("State Rearrangement") ---
+
+/// Reference parser with separate UDP/TCP suffix states.
+p4a::Automaton rearrangeReference();
+/// Optimized parser extracting the shared 32-bit prefix eagerly.
+p4a::Automaton rearrangeCombined();
+
+// --- Figure 9: Ethernet + optional VLAN ("Header initialization") ---
+
+/// Parser assigning a default VLAN tag when none is present; checked for
+/// initial-store independence by self-comparison.
+p4a::Automaton vlanParser();
+/// A deliberately buggy variant that forgets the default assignment —
+/// its acceptance *does* depend on the uninitialized vlan header, so the
+/// self-comparison must fail (used by tests and the negative bench rows).
+p4a::Automaton vlanParserBuggy();
+
+// --- Figure 10: sloppy vs strict Ethernet/IP ("External filtering" and
+// --- "Relational verification") ---
+
+/// Lenient parser: any non-IPv4 Ethernet type is treated as IPv6.
+p4a::Automaton sloppyEthernetIp();
+/// Strict parser: unknown Ethernet types are rejected.
+p4a::Automaton strictEthernetIp();
+
+// --- Figures 11/12: IP options ("Variable-length parsing") ---
+
+/// Generic TLV parser handling up to \p NumOptions options of 0–6 bytes.
+/// The paper's Figure 11 is the 3-option instance; smaller instances keep
+/// tests fast.
+p4a::Automaton ipOptionsGeneric(size_t NumOptions = 3);
+/// Specialized parser with a dedicated Timestamp-option state per slot
+/// (Figure 12).
+p4a::Automaton ipOptionsTimestamp(size_t NumOptions = 3);
+
+// --- §7.2: parser-gen scenarios (Gibb et al. 2013) ---
+
+/// Edge router parser: Ethernet, 2×VLAN, 2×MPLS, IPv4(+options), IPv6,
+/// GRE, TCP, UDP, ICMP.
+p4a::Automaton gibbEdge();
+/// Core (service-provider) router parser: Ethernet, 2×MPLS, Ethernet-in-
+/// MPLS, IPv4/IPv6, TCP/UDP.
+p4a::Automaton gibbServiceProvider();
+/// Datacenter top-of-rack parser: Ethernet, VLAN, IPv4/IPv6, NVGRE,
+/// VXLAN, inner Ethernet, TCP/UDP.
+p4a::Automaton gibbDatacenter();
+/// Enterprise campus parser: Ethernet, VLAN, IPv4/IPv6, ARP, RCP,
+/// TCP/UDP/ICMP.
+p4a::Automaton gibbEnterprise();
+
+/// A named (automaton, start state) pair plus its role in Table 2.
+struct CaseStudy {
+  std::string Name;       ///< Table 2 row name.
+  std::string Category;   ///< "Utility" or "Applicability".
+  p4a::Automaton Left;
+  std::string LeftStart;
+  p4a::Automaton Right;
+  std::string RightStart;
+};
+
+/// All Table 2 self-comparison / equivalence pairs buildable without the
+/// pgen substrate (the Translation Validation row lives in pgen/).
+std::vector<CaseStudy> allCaseStudies();
+
+} // namespace parsers
+} // namespace leapfrog
+
+#endif // LEAPFROG_PARSERS_CASESTUDIES_H

@@ -1,0 +1,43 @@
+//===- Registry.cpp - Case-study registry ---------------------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parsers/CaseStudies.h"
+
+using namespace leapfrog;
+using namespace leapfrog::parsers;
+
+std::vector<CaseStudy> parsers::allCaseStudies() {
+  std::vector<CaseStudy> Studies;
+
+  Studies.push_back({"State Rearrangement", "Utility", rearrangeReference(),
+                     "parse_ip", rearrangeCombined(), "parse_combined"});
+  // Two option slots per the prose ("up to two generic options"), which
+  // also matches Table 2's 30-state count.
+  Studies.push_back({"Variable-length parsing", "Utility",
+                     ipOptionsGeneric(2), "parse_0", ipOptionsTimestamp(2),
+                     "parse_0"});
+  Studies.push_back({"Header initialization", "Utility", vlanParser(),
+                     "parse_eth", vlanParser(), "parse_eth"});
+  Studies.push_back({"Speculative loop", "Utility", mplsReference(), "q1",
+                     mplsVectorized(), "q3"});
+  Studies.push_back({"Relational verification", "Utility",
+                     sloppyEthernetIp(), "parse_eth", strictEthernetIp(),
+                     "parse_eth"});
+  Studies.push_back({"External filtering", "Utility", sloppyEthernetIp(),
+                     "parse_eth", strictEthernetIp(), "parse_eth"});
+
+  Studies.push_back({"Edge", "Applicability", gibbEdge(), "eth", gibbEdge(),
+                     "eth"});
+  Studies.push_back({"Service Provider", "Applicability",
+                     gibbServiceProvider(), "eth", gibbServiceProvider(),
+                     "eth"});
+  Studies.push_back({"Datacenter", "Applicability", gibbDatacenter(), "eth",
+                     gibbDatacenter(), "eth"});
+  Studies.push_back({"Enterprise", "Applicability", gibbEnterprise(), "eth",
+                     gibbEnterprise(), "eth"});
+  return Studies;
+}

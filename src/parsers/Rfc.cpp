@@ -1,0 +1,258 @@
+//===- Rfc.cpp - RFC reference parser library --------------------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "parsers/Rfc.h"
+
+using namespace leapfrog;
+using namespace leapfrog::rfc;
+using namespace leapfrog::frontend;
+
+Bitvector rfc::beBits(uint64_t Value, size_t Width) {
+  Bitvector Out(Width);
+  for (size_t I = 0; I < Width; ++I)
+    Out.setBit(I, (Value >> (Width - 1 - I)) & 1);
+  return Out;
+}
+
+namespace {
+
+p4a::Pattern pat(uint64_t Value, size_t Width) {
+  return p4a::Pattern::exact(beBits(Value, Width));
+}
+
+/// A select over one field slice with a default case.
+SurfaceTransition dispatchOn(SExprRef Field, size_t Width,
+                             const std::vector<Dispatch> &Table,
+                             const SurfaceTarget &Default) {
+  std::vector<SurfaceCase> Cases;
+  for (const Dispatch &D : Table)
+    Cases.push_back(SurfaceCase{{pat(D.Value, Width)}, D.Target});
+  Cases.push_back(SurfaceCase{{p4a::Pattern::wildcard()}, Default});
+  return SurfaceTransition::mkSelect({std::move(Field)}, std::move(Cases));
+}
+
+SExprRef slice(const std::string &Header, size_t Lo, size_t Hi) {
+  return SExpr::mkSlice(SExpr::mkHeader(Header), Lo, Hi);
+}
+
+} // namespace
+
+void rfc::addEthernet(SurfaceProgram &P, const std::string &State,
+                      const std::string &Header,
+                      const std::vector<Dispatch> &ByEtherType,
+                      SurfaceTarget Default) {
+  // dst(48) src(48) ethertype(16) — RFC 894 framing.
+  P.addHeader(Header, 112);
+  SurfaceState S;
+  S.Name = State;
+  S.Ops = {SurfaceOp::extract(Header)};
+  S.Tz = dispatchOn(slice(Header, 96, 111), 16, ByEtherType, Default);
+  P.addState(std::move(S));
+}
+
+void rfc::addVlan(SurfaceProgram &P, const std::string &State,
+                  const std::string &Header,
+                  const std::vector<Dispatch> &ByEtherType,
+                  SurfaceTarget Default) {
+  // TCI(16) inner-ethertype(16) — IEEE 802.1Q.
+  P.addHeader(Header, 32);
+  SurfaceState S;
+  S.Name = State;
+  S.Ops = {SurfaceOp::extract(Header)};
+  S.Tz = dispatchOn(slice(Header, 16, 31), 16, ByEtherType, Default);
+  P.addState(std::move(S));
+}
+
+void rfc::addIpv4(SurfaceProgram &P, const std::string &State,
+                  const std::string &Header,
+                  const std::vector<Dispatch> &ByProtocol,
+                  SurfaceTarget Default) {
+  // version(4) ihl(4) tos(8) len(16) id(16) flags+frag(16) ttl(8)
+  // proto(8) cksum(16) src(32) dst(32) = 160 bits — RFC 791 §3.1.
+  P.addHeader(Header, 160);
+  SurfaceState S;
+  S.Name = State;
+  S.Ops = {SurfaceOp::extract(Header)};
+
+  // Two-level dispatch fused into one select: (IHL, Protocol). IHL = 5
+  // has no options, so its cases dispatch on the protocol immediately
+  // (the model requires every state to extract, ruling out an empty
+  // pass-through state); IHL 6–15 branch to per-length option states.
+  // IHL < 5 violates the RFC minimum and falls through to reject.
+  std::vector<SurfaceCase> Cases;
+  for (const Dispatch &D : ByProtocol)
+    Cases.push_back(SurfaceCase{{pat(5, 4), pat(D.Value, 8)}, D.Target});
+  Cases.push_back(
+      SurfaceCase{{pat(5, 4), p4a::Pattern::wildcard()}, Default});
+  for (uint64_t Ihl = 6; Ihl <= 15; ++Ihl) {
+    std::string OptState = State + "_opt" + std::to_string(Ihl);
+    Cases.push_back(SurfaceCase{{pat(Ihl, 4), p4a::Pattern::wildcard()},
+                                SurfaceTarget::state(OptState)});
+
+    std::string OptHeader = Header + "_opt" + std::to_string(Ihl);
+    P.addHeader(OptHeader, (Ihl - 5) * 32);
+    SurfaceState Opt;
+    Opt.Name = OptState;
+    Opt.Ops = {SurfaceOp::extract(OptHeader)};
+    Opt.Tz = dispatchOn(slice(Header, 72, 79), 8, ByProtocol, Default);
+    P.addState(std::move(Opt));
+  }
+  Cases.push_back(SurfaceCase{
+      {p4a::Pattern::wildcard(), p4a::Pattern::wildcard()},
+      SurfaceTarget::reject()});
+  S.Tz = SurfaceTransition::mkSelect(
+      {slice(Header, 4, 7), slice(Header, 72, 79)}, std::move(Cases));
+  P.addState(std::move(S));
+}
+
+void rfc::addIpv6(SurfaceProgram &P, const std::string &State,
+                  const std::string &Header,
+                  const std::vector<Dispatch> &ByNextHeader,
+                  SurfaceTarget Default) {
+  // version(4) tc(8) flow(20) len(16) next(8) hops(8) src(128) dst(128)
+  // = 320 bits — RFC 8200 §3.
+  P.addHeader(Header, 320);
+  SurfaceState S;
+  S.Name = State;
+  S.Ops = {SurfaceOp::extract(Header)};
+  S.Tz = dispatchOn(slice(Header, 48, 55), 8, ByNextHeader, Default);
+  P.addState(std::move(S));
+}
+
+void rfc::addUdp(SurfaceProgram &P, const std::string &State,
+                 const std::string &Header, SurfaceTarget Next) {
+  // srcport(16) dstport(16) len(16) cksum(16) — RFC 768.
+  P.addHeader(Header, 64);
+  SurfaceState S;
+  S.Name = State;
+  S.Ops = {SurfaceOp::extract(Header)};
+  S.Tz = SurfaceTransition::mkGoto(std::move(Next));
+  P.addState(std::move(S));
+}
+
+void rfc::addTcp(SurfaceProgram &P, const std::string &State,
+                 const std::string &Header, SurfaceTarget Next) {
+  // srcport(16) dstport(16) seq(32) ack(32) offset(4) rsvd(4) flags(8)
+  // window(16) cksum(16) urgent(16) = 160 bits — RFC 9293 §3.1.
+  P.addHeader(Header, 160);
+  SurfaceState S;
+  S.Name = State;
+  S.Ops = {SurfaceOp::extract(Header)};
+
+  std::vector<SurfaceCase> Cases;
+  Cases.push_back(SurfaceCase{{pat(5, 4)}, Next});
+  for (uint64_t Off = 6; Off <= 15; ++Off) {
+    std::string OptState = State + "_opt" + std::to_string(Off);
+    Cases.push_back(
+        SurfaceCase{{pat(Off, 4)}, SurfaceTarget::state(OptState)});
+
+    std::string OptHeader = Header + "_opt" + std::to_string(Off);
+    P.addHeader(OptHeader, (Off - 5) * 32);
+    SurfaceState Opt;
+    Opt.Name = OptState;
+    Opt.Ops = {SurfaceOp::extract(OptHeader)};
+    Opt.Tz = SurfaceTransition::mkGoto(Next);
+    P.addState(std::move(Opt));
+  }
+  // Data offsets 0–4 are malformed (the fixed header alone is 5 words).
+  Cases.push_back(
+      SurfaceCase{{p4a::Pattern::wildcard()}, SurfaceTarget::reject()});
+  S.Tz = SurfaceTransition::mkSelect({slice(Header, 96, 99)},
+                                     std::move(Cases));
+  P.addState(std::move(S));
+}
+
+void rfc::addIcmp(SurfaceProgram &P, const std::string &State,
+                  const std::string &Header, SurfaceTarget Next) {
+  // type(8) code(8) cksum(16) rest(32) — RFC 792.
+  P.addHeader(Header, 64);
+  SurfaceState S;
+  S.Name = State;
+  S.Ops = {SurfaceOp::extract(Header)};
+  S.Tz = SurfaceTransition::mkGoto(std::move(Next));
+  P.addState(std::move(S));
+}
+
+void rfc::addArp(SurfaceProgram &P, const std::string &State,
+                 const std::string &Header, SurfaceTarget Next) {
+  // htype(16) ptype(16) hlen(8) plen(8) oper(16) sha(48) spa(32)
+  // tha(48) tpa(32) = 224 bits — RFC 826 for IPv4-over-Ethernet.
+  P.addHeader(Header, 224);
+  SurfaceState S;
+  S.Name = State;
+  S.Ops = {SurfaceOp::extract(Header)};
+  S.Tz = SurfaceTransition::mkGoto(std::move(Next));
+  P.addState(std::move(S));
+}
+
+void rfc::addGre(SurfaceProgram &P, const std::string &State,
+                 const std::string &Header,
+                 const std::vector<Dispatch> &ByProtocolType,
+                 SurfaceTarget Default) {
+  // C(1) reserved(12) version(3) protocol(16) = 32 bits — RFC 2784 §2.1;
+  // C = 1 appends checksum(16) + reserved1(16).
+  P.addHeader(Header, 32);
+  SurfaceState S;
+  S.Name = State;
+  S.Ops = {SurfaceOp::extract(Header)};
+
+  std::string CkState = State + "_cksum";
+  std::string CkHeader = Header + "_cksum";
+  P.addHeader(CkHeader, 32);
+
+  std::vector<SurfaceCase> Cases;
+  for (const Dispatch &D : ByProtocolType)
+    Cases.push_back(SurfaceCase{{pat(0, 1), pat(D.Value, 16)}, D.Target});
+  Cases.push_back(
+      SurfaceCase{{pat(0, 1), p4a::Pattern::wildcard()}, Default});
+  Cases.push_back(SurfaceCase{
+      {pat(1, 1), p4a::Pattern::wildcard()}, SurfaceTarget::state(CkState)});
+  S.Tz = SurfaceTransition::mkSelect(
+      {slice(Header, 0, 0), slice(Header, 16, 31)}, std::move(Cases));
+  P.addState(std::move(S));
+
+  SurfaceState Ck;
+  Ck.Name = CkState;
+  Ck.Ops = {SurfaceOp::extract(CkHeader)};
+  Ck.Tz = dispatchOn(slice(Header, 16, 31), 16, ByProtocolType, Default);
+  P.addState(std::move(Ck));
+}
+
+void rfc::addVxlan(SurfaceProgram &P, const std::string &State,
+                   const std::string &Header, SurfaceTarget Next) {
+  // flags(8) reserved(24) vni(24) reserved(8) = 64 bits — RFC 7348 §5.
+  P.addHeader(Header, 64);
+  SurfaceState S;
+  S.Name = State;
+  S.Ops = {SurfaceOp::extract(Header)};
+  S.Tz = SurfaceTransition::mkGoto(std::move(Next));
+  P.addState(std::move(S));
+}
+
+SurfaceProgram rfc::standardEnterpriseStack() {
+  SurfaceProgram P;
+  auto St = [](const char *Name) { return SurfaceTarget::state(Name); };
+
+  addEthernet(P, "eth", "ether",
+              {{ethertype::Arp, St("arp")},
+               {ethertype::Vlan, St("vlan")},
+               {ethertype::Ipv4, St("ipv4")},
+               {ethertype::Ipv6, St("ipv6")}});
+  addVlan(P, "vlan", "vlan_tag",
+          {{ethertype::Ipv4, St("ipv4")}, {ethertype::Ipv6, St("ipv6")}});
+  addArp(P, "arp", "arp_hdr");
+  std::vector<Dispatch> L4 = {{ipproto::Tcp, St("tcp")},
+                              {ipproto::Udp, St("udp")},
+                              {ipproto::Icmp, St("icmp")}};
+  addIpv4(P, "ipv4", "ip4", L4);
+  addIpv6(P, "ipv6", "ip6", L4);
+  addTcp(P, "tcp", "tcp_hdr");
+  addUdp(P, "udp", "udp_hdr");
+  addIcmp(P, "icmp", "icmp_hdr");
+  P.setEntry("eth");
+  return P;
+}

@@ -1,0 +1,77 @@
+//===- Scaled.cpp - Width-parameterized case-study families ----------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Figure 1 MPLS pair with the label width as a parameter. The paper's
+/// scaling argument (§4) is that configuration-space size is exponential
+/// in header bits while the symbolic representation is not; these families
+/// let the benchmarks sweep that axis directly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parsers/CaseStudies.h"
+
+#include "p4a/Parser.h"
+
+#include <cassert>
+#include <string>
+
+using namespace leapfrog;
+using namespace leapfrog::parsers;
+
+namespace {
+
+std::string slice(size_t Bit) {
+  return "[" + std::to_string(Bit) + ":" + std::to_string(Bit) + "]";
+}
+
+} // namespace
+
+p4a::Automaton parsers::mplsReferenceScaled(size_t LabelBits) {
+  assert(LabelBits >= 2 && "need at least a marker bit and a payload bit");
+  size_t Marker = LabelBits / 2;
+  std::string W = std::to_string(LabelBits);
+  std::string W2 = std::to_string(2 * LabelBits);
+  return p4a::parseAutomatonOrDie(
+      "state q1 {\n"
+      "  extract(mpls, " + W + ");\n"
+      "  select(mpls" + slice(Marker) + ") {\n"
+      "    0 => q1\n"
+      "    1 => q2\n"
+      "  }\n"
+      "}\n"
+      "state q2 {\n"
+      "  extract(udp, " + W2 + ");\n"
+      "  goto accept\n"
+      "}\n");
+}
+
+p4a::Automaton parsers::mplsVectorizedScaled(size_t LabelBits) {
+  assert(LabelBits >= 2 && "need at least a marker bit and a payload bit");
+  size_t Marker = LabelBits / 2;
+  std::string W = std::to_string(LabelBits);
+  std::string W2 = std::to_string(2 * LabelBits);
+  return p4a::parseAutomatonOrDie(
+      "state q3 {\n"
+      "  extract(old, " + W + ");\n"
+      "  extract(new, " + W + ");\n"
+      "  select(old" + slice(Marker) + ", new" + slice(Marker) + ") {\n"
+      "    (0, 0) => q3\n"
+      "    (0, 1) => q4\n"
+      "    (1, _) => q5\n"
+      "  }\n"
+      "}\n"
+      "state q4 {\n"
+      "  extract(udp, " + W2 + ");\n"
+      "  goto accept\n"
+      "}\n"
+      "state q5 {\n"
+      "  extract(tmp, " + W + ");\n"
+      "  udp := new ++ tmp;\n"
+      "  goto accept\n"
+      "}\n");
+}

@@ -1,0 +1,221 @@
+//===- SmallParsers.cpp - Figures 1, 7, 9, 10 -----------------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The utility case-study parsers, transcribed from the paper's figures.
+/// Where a figure contains an obvious typo (noted inline) we implement the
+/// semantics the accompanying prose describes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "parsers/CaseStudies.h"
+
+#include "p4a/Parser.h"
+
+using namespace leapfrog;
+using namespace leapfrog::parsers;
+
+p4a::Automaton parsers::mplsReference() {
+  // Figure 1, left: one MPLS label at a time; bit 23 of the label is the
+  // bottom-of-stack marker.
+  return p4a::parseAutomatonOrDie(R"(
+    state q1 {
+      extract(mpls, 32);
+      select(mpls[23:23]) {
+        0 => q1
+        1 => q2
+      }
+    }
+    state q2 {
+      extract(udp, 64);
+      goto accept
+    }
+  )");
+}
+
+p4a::Automaton parsers::mplsVectorized() {
+  // Figure 1, right: two labels per iteration; overshooting by one label
+  // re-marshals the surplus 32 bits into the UDP header (state q5).
+  return p4a::parseAutomatonOrDie(R"(
+    state q3 {
+      extract(old, 32);
+      extract(new, 32);
+      select(old[23:23], new[23:23]) {
+        (0, 0) => q3
+        (0, 1) => q4
+        (1, _) => q5
+      }
+    }
+    state q4 {
+      extract(udp, 64);
+      goto accept
+    }
+    state q5 {
+      extract(tmp, 32);
+      udp := new ++ tmp;
+      goto accept
+    }
+  )");
+}
+
+p4a::Automaton parsers::rearrangeReference() {
+  // Figure 7, left: a stylized IP header; bits 40–43 select UDP vs TCP.
+  return p4a::parseAutomatonOrDie(R"(
+    state parse_ip {
+      extract(ip, 64);
+      select(ip[40:43]) {
+        0001 => parse_udp
+        0000 => parse_tcp
+      }
+    }
+    state parse_udp {
+      extract(udp, 32);
+      goto accept
+    }
+    state parse_tcp {
+      extract(tcp, 64);
+      goto accept
+    }
+  )");
+}
+
+p4a::Automaton parsers::rearrangeCombined() {
+  // Figure 7, right: the 32-bit prefix shared by UDP and TCP is extracted
+  // eagerly; only the TCP-specific suffix needs another state.
+  return p4a::parseAutomatonOrDie(R"(
+    state parse_combined {
+      extract(ip, 64);
+      extract(pref, 32);
+      select(ip[40:43]) {
+        0001 => accept
+        0000 => parse_suff
+      }
+    }
+    state parse_suff {
+      extract(suff, 32);
+      goto accept
+    }
+  )");
+}
+
+p4a::Automaton parsers::vlanParser() {
+  // Figure 9: Ethernet with an optional VLAN tag; a missing tag gets the
+  // default value so parse_udp never branches on an uninitialized header.
+  // (The figure writes `vlan := 0x0000`, a 16-bit literal for the 32-bit
+  // header; we write the intended 32-bit zero.)
+  return p4a::parseAutomatonOrDie(R"(
+    header vlan : 32;
+    state parse_eth {
+      extract(ether, 112);
+      select(ether[0:0]) {
+        0 => default_vlan
+        1 => parse_vlan
+      }
+    }
+    state default_vlan {
+      vlan := 0x00000000;
+      extract(ip, 160);
+      goto parse_udp
+    }
+    state parse_vlan {
+      extract(vlan, 32);
+      goto parse_ip
+    }
+    state parse_ip {
+      extract(ip, 160);
+      goto parse_udp
+    }
+    state parse_udp {
+      extract(udp, 64);
+      select(vlan[0:3]) {
+        1111 => reject
+        _ => accept
+      }
+    }
+  )");
+}
+
+p4a::Automaton parsers::vlanParserBuggy() {
+  // The bug the Header Initialization study exists to catch: the default
+  // path forgets to assign vlan, so parse_udp's branch reads whatever the
+  // initial store contained and acceptance depends on it.
+  return p4a::parseAutomatonOrDie(R"(
+    header vlan : 32;
+    state parse_eth {
+      extract(ether, 112);
+      select(ether[0:0]) {
+        0 => default_vlan
+        1 => parse_vlan
+      }
+    }
+    state default_vlan {
+      extract(ip, 160);
+      goto parse_udp
+    }
+    state parse_vlan {
+      extract(vlan, 32);
+      goto parse_ip
+    }
+    state parse_ip {
+      extract(ip, 160);
+      goto parse_udp
+    }
+    state parse_udp {
+      extract(udp, 64);
+      select(vlan[0:3]) {
+        1111 => reject
+        _ => accept
+      }
+    }
+  )");
+}
+
+p4a::Automaton parsers::sloppyEthernetIp() {
+  // Figure 10, left, per the prose: "a lenient parser that assumes the
+  // input packet is IPv6 if it is not IPv4". (The figure's extract names
+  // are swapped; widths 288/128 are kept as printed so the bit counts
+  // match Table 2's Total of 1056.)
+  return p4a::parseAutomatonOrDie(R"(
+    state parse_eth {
+      extract(ether, 112);
+      select(ether[96:111]) {
+        0x8600 => parse_ipv4
+        _      => parse_ipv6
+      }
+    }
+    state parse_ipv6 {
+      extract(ipv6, 288);
+      goto accept
+    }
+    state parse_ipv4 {
+      extract(ipv4, 128);
+      goto accept
+    }
+  )");
+}
+
+p4a::Automaton parsers::strictEthernetIp() {
+  // Figure 10, right: unknown Ethernet types are rejected outright.
+  return p4a::parseAutomatonOrDie(R"(
+    state parse_eth {
+      extract(ether, 112);
+      select(ether[96:111]) {
+        0x86dd => parse_ipv6
+        0x8600 => parse_ipv4
+        _      => reject
+      }
+    }
+    state parse_ipv6 {
+      extract(ipv6, 288);
+      goto accept
+    }
+    state parse_ipv4 {
+      extract(ipv4, 128);
+      goto accept
+    }
+  )");
+}

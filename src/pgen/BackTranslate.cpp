@@ -1,0 +1,180 @@
+//===- BackTranslate.cpp - Hardware tables back to P4 automata ------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pgen/BackTranslate.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace leapfrog;
+using namespace leapfrog::pgen;
+using p4a::StateRef;
+
+namespace {
+
+class BackTranslator {
+public:
+  explicit BackTranslator(const HwTable &Table) : Table(Table) {
+    // One root P4A state per hardware state, in id order so forward
+    // references resolve.
+    std::map<uint16_t, std::vector<const TcamEntry *>> ByState;
+    for (const TcamEntry &E : Table.Entries)
+      ByState[E.State].push_back(&E);
+    for (const auto &[Id, Entries] : ByState)
+      Res.Aut.declareState(rootName(Id));
+    for (const auto &[Id, Entries] : ByState)
+      buildChunk(rootName(Id), Entries, /*ConsumedBytes=*/0);
+    Res.StartState = rootName(0);
+    if (ByState.find(0) == ByState.end())
+      diag("hardware state 0 has no entries");
+  }
+
+  BackTranslateResult take() { return std::move(Res); }
+
+private:
+  static std::string rootName(uint16_t Id) {
+    return "hw" + std::to_string(Id);
+  }
+
+  void diag(const std::string &Msg) { Res.Diagnostics.push_back(Msg); }
+
+  StateRef targetOf(uint16_t Next) {
+    if (Next == HwAccept)
+      return StateRef::accept();
+    if (Next == HwReject)
+      return StateRef::reject();
+    return StateRef::normal(Res.Aut.declareState(rootName(Next)));
+  }
+
+  /// Is window bit \p Pos set in the entry's mask / value?
+  static bool maskBit(const TcamEntry &E, size_t Pos) {
+    return Pos / 8 < E.MatchMask.size() &&
+           (E.MatchMask[Pos / 8] & (0x80 >> (Pos % 8)));
+  }
+  static bool valueBit(const TcamEntry &E, size_t Pos) {
+    return Pos / 8 < E.MatchValue.size() &&
+           (E.MatchValue[Pos / 8] & (0x80 >> (Pos % 8)));
+  }
+
+  /// Builds the P4A state \p Name deciding among \p Entries, all of which
+  /// have advance > \p ConsumedBytes and agree on their mask bits below
+  /// ConsumedBytes (already matched by ancestors).
+  void buildChunk(const std::string &Name,
+                  const std::vector<const TcamEntry *> &Entries,
+                  size_t ConsumedBytes) {
+    if (Res.Diagnostics.size() >= 10)
+      return;
+    assert(!Entries.empty() && "chunk without entries");
+    size_t MinAdv = SIZE_MAX;
+    for (const TcamEntry *E : Entries)
+      MinAdv = std::min(MinAdv, E->AdvanceBytes);
+    if (MinAdv <= ConsumedBytes || MinAdv == SIZE_MAX) {
+      diag("state '" + Name + "': inconsistent advances");
+      return;
+    }
+    size_t ChunkBytes = MinAdv - ConsumedBytes;
+    p4a::StateId Id = Res.Aut.declareState(Name);
+    p4a::HeaderId Window = Res.Aut.addHeader(
+        Name + "_w" + std::to_string(ConsumedBytes), ChunkBytes * 8);
+    std::vector<p4a::Op> Ops{p4a::Op::extract(Window)};
+
+    // Discriminant bits: union of mask bits within this chunk.
+    std::vector<size_t> D;
+    for (size_t Pos = ConsumedBytes * 8; Pos < MinAdv * 8; ++Pos)
+      for (const TcamEntry *E : Entries)
+        if (maskBit(*E, Pos)) {
+          D.push_back(Pos);
+          break;
+        }
+
+    // Group consecutive longer entries sharing a visible-bit pattern.
+    struct Group {
+      std::string Key;
+      std::vector<const TcamEntry *> Members;
+      std::string ContinuationName;
+    };
+    std::vector<p4a::SelectCase> Cases;
+    std::vector<Group> Groups;
+    size_t NextGroup = 0;
+    auto PatternOf = [&](const TcamEntry &E) {
+      p4a::SelectCase C;
+      std::string Key;
+      for (size_t Pos : D) {
+        if (!maskBit(E, Pos)) {
+          C.Pats.push_back(p4a::Pattern::wildcard());
+          Key += '_';
+        } else {
+          bool V = valueBit(E, Pos);
+          C.Pats.push_back(
+              p4a::Pattern::exact(Bitvector::fromUint(V, 1)));
+          Key += V ? '1' : '0';
+        }
+      }
+      return std::make_pair(std::move(C), std::move(Key));
+    };
+
+    // TrailingGroup is the group the previous entry joined, if the run of
+    // consecutive same-pattern longer entries is still open.
+    int TrailingGroup = -1;
+    for (const TcamEntry *E : Entries) {
+      auto [Case, Key] = PatternOf(*E);
+      if (E->AdvanceBytes == MinAdv) {
+        Case.Target = targetOf(E->NextState);
+        Cases.push_back(std::move(Case));
+        TrailingGroup = -1;
+        continue;
+      }
+      // Longer (merged) entry: joins the open trailing group when the
+      // visible pattern matches, else opens a new continuation state.
+      if (TrailingGroup >= 0 && Groups[TrailingGroup].Key == Key) {
+        Groups[TrailingGroup].Members.push_back(E);
+        continue;
+      }
+      Group G;
+      G.Key = Key;
+      G.Members.push_back(E);
+      G.ContinuationName = Name + "_x" + std::to_string(NextGroup++);
+      Case.Target =
+          StateRef::normal(Res.Aut.declareState(G.ContinuationName));
+      Cases.push_back(std::move(Case));
+      TrailingGroup = int(Groups.size());
+      Groups.push_back(std::move(G));
+    }
+
+    // Discriminants: one 1-bit slice of the window per decision bit.
+    std::vector<p4a::ExprRef> Discriminants;
+    for (size_t Pos : D) {
+      size_t Local = Pos - ConsumedBytes * 8;
+      Discriminants.push_back(p4a::Expr::mkSlice(
+          p4a::Expr::mkHeader(Window), Local, Local));
+    }
+
+    p4a::Transition Tz;
+    if (Discriminants.empty() && Cases.size() >= 1) {
+      // No decision bits: priority makes the first entry unconditional.
+      Tz = p4a::Transition::mkGoto(Cases.front().Target);
+    } else if (Cases.empty()) {
+      Tz = p4a::Transition::mkGoto(StateRef::reject());
+    } else {
+      Tz = p4a::Transition::mkSelect(std::move(Discriminants),
+                                     std::move(Cases));
+    }
+    Res.Aut.setState(Id, std::move(Ops), std::move(Tz));
+
+    for (const Group &G : Groups)
+      buildChunk(G.ContinuationName, G.Members, MinAdv);
+  }
+
+  const HwTable &Table;
+  BackTranslateResult Res;
+};
+
+} // namespace
+
+BackTranslateResult pgen::backTranslate(const HwTable &Table) {
+  return BackTranslator(Table).take();
+}

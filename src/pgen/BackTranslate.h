@@ -1,0 +1,54 @@
+//===- BackTranslate.h - Hardware tables back to P4 automata ----*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The second leg of the Figure 8 pipeline: translating a TCAM program
+/// back into a P4 automaton so Leapfrog can compare it against the source
+/// parser. The paper calls this translation "fuzzy" (footnote 7) because
+/// hardware tables are more permissive than P4As — entries of one state
+/// may consume different byte counts (from state merging) and look ahead
+/// speculatively. The back-translation reconstructs that structure as a
+/// chain of chunk states: each hardware state becomes a state extracting
+/// the smallest advance among its entries, selecting on the union of
+/// masked bits visible in that window, and routing longer (merged)
+/// entries to continuation states that extract the remainder.
+///
+/// The translation is *not* trusted: the equivalence checker decides
+/// whether  original ≈ backTranslate(compile(original))  holds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_PGEN_BACKTRANSLATE_H
+#define LEAPFROG_PGEN_BACKTRANSLATE_H
+
+#include "p4a/Syntax.h"
+#include "pgen/Hw.h"
+
+#include <string>
+#include <vector>
+
+namespace leapfrog {
+namespace pgen {
+
+/// Result of back-translation; Aut is meaningful only when ok().
+struct BackTranslateResult {
+  p4a::Automaton Aut;
+  std::string StartState; ///< P4A state corresponding to hardware state 0.
+  std::vector<std::string> Diagnostics;
+
+  bool ok() const { return Diagnostics.empty(); }
+};
+
+/// Reconstructs a P4 automaton from \p Table. Requires the "grouped"
+/// entry discipline produced by compileToHw (merged entries of one prefix
+/// appear consecutively); violations are diagnosed.
+BackTranslateResult backTranslate(const HwTable &Table);
+
+} // namespace pgen
+} // namespace leapfrog
+
+#endif // LEAPFROG_PGEN_BACKTRANSLATE_H

@@ -1,0 +1,238 @@
+//===- Compile.cpp - Compiling P4 automata to hardware tables -------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pgen/Compile.h"
+
+#include <deque>
+#include <map>
+
+using namespace leapfrog;
+using namespace leapfrog::pgen;
+using p4a::StateId;
+using p4a::StateRef;
+
+namespace {
+
+/// A bit constrained by the accumulated match condition.
+struct CondBit {
+  size_t Pos;
+  bool Value;
+};
+
+class Compiler {
+public:
+  Compiler(const p4a::Automaton &Aut, StateId Start) : Aut(Aut) {
+    idFor(StateRef::normal(Start));
+    while (!Work.empty() && Res.Diagnostics.size() < 10) {
+      StateId Root = Work.front();
+      Work.pop_front();
+      emitPath(HwIds[Root], {Root}, {});
+    }
+    Res.Table.NumStates = Res.StateNames.size();
+  }
+
+  CompileResult take() { return std::move(Res); }
+
+private:
+  void diag(const std::string &Msg) { Res.Diagnostics.push_back(Msg); }
+
+  /// Hardware id for a transition target; queues new roots.
+  uint16_t idFor(StateRef T) {
+    if (T.isAccept())
+      return HwAccept;
+    if (T.isReject())
+      return HwReject;
+    auto It = HwIds.find(T.Id);
+    if (It != HwIds.end())
+      return It->second;
+    uint16_t Id = uint16_t(Res.StateNames.size());
+    assert(Id < HwReject && "hardware state ids exhausted");
+    HwIds.emplace(T.Id, Id);
+    Res.StateNames.push_back(Aut.stateName(T.Id));
+    Work.push_back(T.Id);
+    return Id;
+  }
+
+  /// Header → window bit offset of its most recent extraction along the
+  /// path; windowBits returns the total path window.
+  std::map<p4a::HeaderId, size_t>
+  pathOffsets(const std::vector<StateId> &Path, size_t &WindowBits) {
+    std::map<p4a::HeaderId, size_t> Offs;
+    size_t Cursor = 0;
+    for (StateId Q : Path)
+      for (const p4a::Op &O : Aut.state(Q).Ops) {
+        if (O.K != p4a::Op::Kind::Extract) {
+          diag("state '" + Aut.stateName(Q) +
+               "': assignments are not supported by the hardware target");
+          continue;
+        }
+        Offs[O.Target] = Cursor;
+        Cursor += Aut.headerSize(O.Target);
+      }
+    WindowBits = Cursor;
+    return Offs;
+  }
+
+  /// Resolves a discriminant expression to window bit positions
+  /// (MSB-first), or nullopt if it references data outside the window.
+  std::optional<std::vector<size_t>>
+  exprBits(const p4a::ExprRef &E,
+           const std::map<p4a::HeaderId, size_t> &Offs) {
+    switch (E->kind()) {
+    case p4a::Expr::Kind::Header: {
+      auto It = Offs.find(E->header());
+      if (It == Offs.end())
+        return std::nullopt;
+      std::vector<size_t> Bits(Aut.headerSize(E->header()));
+      for (size_t I = 0; I < Bits.size(); ++I)
+        Bits[I] = It->second + I;
+      return Bits;
+    }
+    case p4a::Expr::Kind::Slice: {
+      auto Sub = exprBits(E->sliceOperand(), Offs);
+      if (!Sub || Sub->empty())
+        return Sub;
+      size_t Lo = std::min(E->sliceLo(), Sub->size() - 1);
+      size_t Hi = std::min(E->sliceHi(), Sub->size() - 1);
+      if (Lo > Hi)
+        return std::vector<size_t>{};
+      return std::vector<size_t>(Sub->begin() + Lo, Sub->begin() + Hi + 1);
+    }
+    case p4a::Expr::Kind::Concat: {
+      auto L = exprBits(E->concatLhs(), Offs);
+      auto R = exprBits(E->concatRhs(), Offs);
+      if (!L || !R)
+        return std::nullopt;
+      L->insert(L->end(), R->begin(), R->end());
+      return L;
+    }
+    case p4a::Expr::Kind::Literal:
+      return std::nullopt; // The TCAM matches packet bits, not constants.
+    }
+    return std::nullopt;
+  }
+
+  /// True if every select discriminant of \p Q resolves within \p Q's own
+  /// extraction window (no merge needed).
+  bool selfContained(StateId Q) {
+    const p4a::Transition &Tz = Aut.state(Q).Tz;
+    if (Tz.IsGoto)
+      return true;
+    size_t W = 0;
+    std::vector<StateId> Self{Q};
+    auto Offs = pathOffsets(Self, W);
+    for (const p4a::ExprRef &E : Tz.Discriminants)
+      if (!exprBits(E, Offs))
+        return false;
+    return true;
+  }
+
+  void emitEntry(uint16_t HwId, const std::vector<CondBit> &Bits,
+                 size_t WindowBits, uint16_t Next) {
+    assert(WindowBits % 8 == 0 && "window is not byte aligned");
+    TcamEntry E;
+    E.State = HwId;
+    E.AdvanceBytes = WindowBits / 8;
+    E.MatchMask.assign(E.AdvanceBytes, 0);
+    E.MatchValue.assign(E.AdvanceBytes, 0);
+    for (const CondBit &B : Bits) {
+      assert(B.Pos < WindowBits && "condition bit outside window");
+      uint8_t Bit = uint8_t(0x80 >> (B.Pos % 8));
+      bool Value = (E.MatchValue[B.Pos / 8] & Bit) != 0;
+      if ((E.MatchMask[B.Pos / 8] & Bit) && Value != B.Value)
+        return; // Contradictory condition: the entry can never match.
+      E.MatchMask[B.Pos / 8] |= Bit;
+      if (B.Value)
+        E.MatchValue[B.Pos / 8] |= Bit;
+    }
+    E.NextState = Next;
+    Res.Table.Entries.push_back(std::move(E));
+  }
+
+  /// Emits all entries of hardware state \p HwId for the merged \p Path,
+  /// matching under the accumulated condition \p Acc.
+  void emitPath(uint16_t HwId, std::vector<StateId> Path,
+                std::vector<CondBit> Acc) {
+    if (Path.size() > 6) {
+      diag("merge depth exceeded at state '" +
+           Aut.stateName(Path.back()) +
+           "' (cyclic select dependency?)");
+      return;
+    }
+    size_t WindowBits = 0;
+    auto Offs = pathOffsets(Path, WindowBits);
+    if (WindowBits % 8 != 0) {
+      diag("merged window for state '" + Aut.stateName(Path.back()) +
+           "' is " + std::to_string(WindowBits) +
+           " bits; hardware windows are whole bytes");
+      return;
+    }
+    StateId Q = Path.back();
+    const p4a::Transition &Tz = Aut.state(Q).Tz;
+
+    // Resolve one target: either a direct entry or a further merge, the
+    // latter followed by a "commit" entry so that packets long enough to
+    // select this case but too short for the merged window still reject —
+    // matching the automaton, which commits to the case before buffering.
+    auto Resolve = [&](StateRef T, std::vector<CondBit> Bits) {
+      if (T.isNormal() && !selfContained(T.Id)) {
+        std::vector<StateId> Extended = Path;
+        Extended.push_back(T.Id);
+        emitPath(HwId, std::move(Extended), Bits);
+        emitEntry(HwId, Bits, WindowBits, HwReject);
+        return;
+      }
+      emitEntry(HwId, Bits, WindowBits, idFor(T));
+    };
+
+    if (Tz.IsGoto) {
+      Resolve(Tz.GotoTarget, Acc);
+      return;
+    }
+
+    // Resolve discriminant bit positions once.
+    std::vector<std::vector<size_t>> DiscrBits;
+    for (const p4a::ExprRef &E : Tz.Discriminants) {
+      auto Bits = exprBits(E, Offs);
+      if (!Bits) {
+        diag("state '" + Aut.stateName(Q) +
+             "': select discriminant does not resolve within the merged "
+             "window");
+        return;
+      }
+      DiscrBits.push_back(std::move(*Bits));
+    }
+
+    for (const p4a::SelectCase &Case : Tz.Cases) {
+      std::vector<CondBit> Bits = Acc;
+      for (size_t I = 0; I < Case.Pats.size(); ++I) {
+        const p4a::Pattern &P = Case.Pats[I];
+        if (P.isWildcard())
+          continue;
+        assert(P.Exact->size() == DiscrBits[I].size() &&
+               "pattern width mismatch (⊢T violated)");
+        for (size_t B = 0; B < DiscrBits[I].size(); ++B)
+          Bits.push_back(CondBit{DiscrBits[I][B], P.Exact->bit(B)});
+      }
+      Resolve(Case.Target, std::move(Bits));
+    }
+    // Select fall-through: no case matched.
+    emitEntry(HwId, Acc, WindowBits, HwReject);
+  }
+
+  const p4a::Automaton &Aut;
+  CompileResult Res;
+  std::map<StateId, uint16_t> HwIds;
+  std::deque<StateId> Work;
+};
+
+} // namespace
+
+CompileResult pgen::compileToHw(const p4a::Automaton &Aut,
+                                p4a::StateId Start) {
+  return Compiler(Aut, Start).take();
+}

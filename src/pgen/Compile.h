@@ -1,0 +1,60 @@
+//===- Compile.h - Compiling P4 automata to hardware tables -----*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An independently-written compiler from (byte-aligned, assignment-free)
+/// P4 automata to the TCAM programs of Hw.h — the role parser-gen's
+/// compiler plays in the paper's translation-validation study (§7.2).
+/// Like parser-gen, it "models constraints at the hardware level ... and
+/// incorporates sophisticated optimizations to make the best use of
+/// limited resources (e.g., splitting and merging states)": a state whose
+/// select scrutinizes headers extracted by an *earlier* state cannot be
+/// matched by a single TCAM lookup window, so the compiler merges it into
+/// each predecessor path, multiplying entries and widening the window —
+/// exactly the kind of semantic-preserving-but-hard-to-eyeball
+/// transformation translation validation exists to check.
+///
+/// The compiler's output is deliberately *not* trusted anywhere: the
+/// pipeline is  P4A --compile--> HwTable --backTranslate--> P4A, and the
+/// Leapfrog checker decides whether the round trip preserved the language
+/// (Figure 8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_PGEN_COMPILE_H
+#define LEAPFROG_PGEN_COMPILE_H
+
+#include "p4a/Syntax.h"
+#include "pgen/Hw.h"
+
+#include <string>
+#include <vector>
+
+namespace leapfrog {
+namespace pgen {
+
+/// Result of compilation; Table is meaningful only when ok().
+struct CompileResult {
+  HwTable Table;
+  /// Human-readable name per hardware state id (the macro path it came
+  /// from), for debugging and the Figure 8 printer.
+  std::vector<std::string> StateNames;
+  std::vector<std::string> Diagnostics;
+
+  bool ok() const { return Diagnostics.empty(); }
+};
+
+/// Compiles \p Aut starting at \p Start. Requirements (diagnosed, not
+/// asserted): every reachable state consumes a whole number of bytes, has
+/// no assignment operations, and select discriminants are built from
+/// slices/concats of headers extracted on the current (merged) path.
+CompileResult compileToHw(const p4a::Automaton &Aut, p4a::StateId Start);
+
+} // namespace pgen
+} // namespace leapfrog
+
+#endif // LEAPFROG_PGEN_COMPILE_H

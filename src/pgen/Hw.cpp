@@ -1,0 +1,94 @@
+//===- Hw.cpp - parser-gen hardware parser tables -------------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pgen/Hw.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace leapfrog;
+using namespace leapfrog::pgen;
+
+bool TcamEntry::matches(uint16_t CurState, const std::vector<uint8_t> &Bytes,
+                        size_t Cursor) const {
+  if (CurState != State)
+    return false;
+  // An entry can only fire if the bytes it consumes are all present —
+  // this is what makes a TCAM program with merged (multi-state) entries
+  // agree with the bit-by-bit automaton semantics on truncated packets.
+  if (Cursor + AdvanceBytes > Bytes.size())
+    return false;
+  assert(MatchMask.size() <= AdvanceBytes &&
+         "mask looks past the consumed window");
+  for (size_t I = 0; I < MatchMask.size(); ++I)
+    if ((Bytes[Cursor + I] & MatchMask[I]) != (MatchValue[I] & MatchMask[I]))
+      return false;
+  return true;
+}
+
+size_t HwTable::windowBytes(uint16_t State) const {
+  size_t Max = 0;
+  for (const TcamEntry &E : Entries)
+    if (E.State == State)
+      Max = std::max(Max, E.AdvanceBytes);
+  return Max;
+}
+
+std::string HwTable::print() const {
+  std::string Out;
+  char Buf[64];
+  for (const TcamEntry &E : Entries) {
+    std::string Mask, Value;
+    for (size_t I = 0; I < E.MatchMask.size(); ++I) {
+      std::snprintf(Buf, sizeof(Buf), "%s%02x", I ? ", " : "",
+                    E.MatchMask[I]);
+      Mask += Buf;
+      std::snprintf(Buf, sizeof(Buf), "%s%02x", I ? ", " : "",
+                    E.MatchValue[I]);
+      Value += Buf;
+    }
+    std::snprintf(Buf, sizeof(Buf), "State: %3u  Match: ", unsigned(E.State));
+    Out += Buf;
+    Out += "([" + Mask + "], [" + Value + "])";
+    std::snprintf(Buf, sizeof(Buf), "  Next-State: %u/255  Adv: %zu\n",
+                  unsigned(E.NextState), E.AdvanceBytes);
+    Out += Buf;
+  }
+  return Out;
+}
+
+bool pgen::hwAccepts(const HwTable &Table, const Bitvector &Packet) {
+  assert(Packet.size() % 8 == 0 && "hardware parsers consume whole bytes");
+  std::vector<uint8_t> Bytes(Packet.size() / 8, 0);
+  for (size_t I = 0; I < Packet.size(); ++I)
+    if (Packet.bit(I))
+      Bytes[I / 8] |= uint8_t(0x80 >> (I % 8)); // Bit 0 is the byte's MSB.
+
+  uint16_t State = 0;
+  size_t Cursor = 0;
+  // Every entry consumes at least one byte, so cycles are bounded by the
+  // packet length; guard against malformed zero-advance tables anyway.
+  for (size_t Cycle = 0; Cycle <= Bytes.size() + 1; ++Cycle) {
+    const TcamEntry *Hit = nullptr;
+    for (const TcamEntry &E : Table.Entries)
+      if (E.matches(State, Bytes, Cursor)) {
+        Hit = &E;
+        break;
+      }
+    if (!Hit)
+      return false; // TCAM miss (includes running out of packet).
+    if (Hit->AdvanceBytes == 0)
+      return false; // Malformed table; refuse to spin.
+    Cursor += Hit->AdvanceBytes;
+    if (Hit->NextState == HwAccept)
+      return Cursor == Bytes.size();
+    if (Hit->NextState == HwReject)
+      return false;
+    State = Hit->NextState;
+  }
+  return false; // Cycle bound exceeded (defensive; unreachable).
+}

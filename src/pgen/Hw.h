@@ -1,0 +1,81 @@
+//===- Hw.h - parser-gen hardware parser tables -----------------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hardware-level packet parser in the style of parser-gen [Gibb et al.,
+/// ANCS 2013], the third-party compiler the paper validates in §7.2
+/// (Figure 8): a TCAM whose entries match on (current state, window
+/// bytes) under a per-entry bit mask, and on a hit advance the cursor and
+/// move to the next state.
+///
+/// The paper's translation-validation experiment needs (a) an
+/// independently written compiler from parse graphs to such tables whose
+/// output is *not* trusted, and (b) a back-translation from tables to P4
+/// automata whose result Leapfrog compares against the original parser.
+/// This module provides the table representation, its ground-truth
+/// interpreter, and the Figure 8-style printer; Compile.h and
+/// BackTranslate.h provide the two translations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_PGEN_HW_H
+#define LEAPFROG_PGEN_HW_H
+
+#include "support/Bitvector.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace leapfrog {
+namespace pgen {
+
+/// Distinguished hardware state ids (Figure 8 prints accept as 255).
+constexpr uint16_t HwAccept = 255;
+constexpr uint16_t HwReject = 254;
+
+/// One TCAM row: ternary match on the current state and the lookup
+/// window, plus the actions taken on a hit.
+struct TcamEntry {
+  uint16_t State = 0;                 ///< Exact match on the state id.
+  std::vector<uint8_t> MatchMask;     ///< Per-window-byte care bits.
+  std::vector<uint8_t> MatchValue;    ///< Expected values under the mask.
+  uint16_t NextState = HwReject;      ///< Target state / HwAccept/HwReject.
+  size_t AdvanceBytes = 0;            ///< Cursor advance on a hit.
+
+  /// True if this entry hits at \p Cursor in \p Bytes: the state matches,
+  /// all AdvanceBytes consumed bytes are present, and the masked window
+  /// bytes equal the expected values.
+  bool matches(uint16_t CurState, const std::vector<uint8_t> &Bytes,
+               size_t Cursor) const;
+};
+
+/// A complete hardware parser: a priority-ordered TCAM program.
+struct HwTable {
+  size_t NumStates = 0;               ///< User state ids are 0..NumStates-1.
+  std::vector<TcamEntry> Entries;     ///< First match wins.
+
+  /// Maximum lookup window of \p State (merged entries can consume more
+  /// than their siblings).
+  size_t windowBytes(uint16_t State) const;
+
+  /// Renders rows in the style of Figure 8:
+  ///   Match: ([ff,..],[08,..]) Next-State: 3/255 Adv: 14
+  std::string print() const;
+};
+
+/// Ground-truth interpreter: runs \p Packet (a bit string; its length must
+/// be a multiple of 8) through the table from state 0. The packet is
+/// accepted iff a transition to HwAccept consumes exactly the final byte.
+/// Running out of packet mid-window, exhausting the TCAM without a hit,
+/// or reaching HwReject all reject.
+bool hwAccepts(const HwTable &Table, const Bitvector &Packet);
+
+} // namespace pgen
+} // namespace leapfrog
+
+#endif // LEAPFROG_PGEN_HW_H

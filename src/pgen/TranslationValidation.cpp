@@ -1,0 +1,46 @@
+//===- TranslationValidation.cpp - The Figure 8 pipeline ------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "pgen/TranslationValidation.h"
+
+#include "parsers/CaseStudies.h"
+
+using namespace leapfrog;
+using namespace leapfrog::pgen;
+
+TranslationValidation
+pgen::buildTranslationValidation(const p4a::Automaton &Aut,
+                                 const std::string &Start) {
+  TranslationValidation TV;
+  TV.Original = Aut;
+  TV.OriginalStart = Start;
+
+  auto StartId = Aut.findState(Start);
+  if (!StartId) {
+    TV.Diagnostics.push_back("unknown start state '" + Start + "'");
+    return TV;
+  }
+  CompileResult Compiled = compileToHw(Aut, *StartId);
+  for (const std::string &D : Compiled.Diagnostics)
+    TV.Diagnostics.push_back("compile: " + D);
+  if (!TV.Diagnostics.empty())
+    return TV;
+  TV.Table = std::move(Compiled.Table);
+
+  BackTranslateResult Back = backTranslate(TV.Table);
+  for (const std::string &D : Back.Diagnostics)
+    TV.Diagnostics.push_back("back-translate: " + D);
+  if (!TV.Diagnostics.empty())
+    return TV;
+  TV.Reconstructed = std::move(Back.Aut);
+  TV.ReconstructedStart = Back.StartState;
+  return TV;
+}
+
+TranslationValidation pgen::buildEdgeTranslationValidation() {
+  return buildTranslationValidation(parsers::gibbEdge(), "eth");
+}

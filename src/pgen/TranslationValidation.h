@@ -1,0 +1,49 @@
+//===- TranslationValidation.h - The Figure 8 pipeline ----------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Glue for the §7.2 translation-validation experiment (Figure 8):
+/// compile a parser to hardware tables, translate the tables back into a
+/// P4 automaton, and hand both automata to the equivalence checker. The
+/// compiler and back-translator are untrusted; the checker's certificate
+/// is the validation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_PGEN_TRANSLATIONVALIDATION_H
+#define LEAPFROG_PGEN_TRANSLATIONVALIDATION_H
+
+#include "pgen/BackTranslate.h"
+#include "pgen/Compile.h"
+
+namespace leapfrog {
+namespace pgen {
+
+/// Artifacts of one compile/back-translate round trip.
+struct TranslationValidation {
+  p4a::Automaton Original;
+  std::string OriginalStart;
+  HwTable Table;
+  p4a::Automaton Reconstructed;
+  std::string ReconstructedStart;
+  std::vector<std::string> Diagnostics; ///< Empty on success.
+
+  bool ok() const { return Diagnostics.empty(); }
+};
+
+/// Runs compile + back-translate on (\p Aut, \p Start).
+TranslationValidation
+buildTranslationValidation(const p4a::Automaton &Aut,
+                           const std::string &Start);
+
+/// The paper's instance: the Edge router parser (§7.2, Figure 8).
+TranslationValidation buildEdgeTranslationValidation();
+
+} // namespace pgen
+} // namespace leapfrog
+
+#endif // LEAPFROG_PGEN_TRANSLATIONVALIDATION_H

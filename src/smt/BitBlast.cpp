@@ -1,0 +1,226 @@
+//===- BitBlast.cpp - FOL(BV) to CNF translation --------------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/BitBlast.h"
+
+using namespace leapfrog;
+using namespace leapfrog::smt;
+
+Lit BitBlaster::freshLit() { return Lit::mk(Solver.newVar(), false); }
+
+Lit BitBlaster::trueLit() {
+  if (TrueL == Lit::undef()) {
+    TrueL = freshLit();
+    Solver.addClause(TrueL);
+  }
+  return TrueL;
+}
+
+Lit BitBlaster::litForVarBit(const std::string &Name, size_t Width,
+                             size_t BitIndex) {
+  auto It = VarBits.find(Name);
+  if (It == VarBits.end()) {
+    std::vector<Var> Bits;
+    Bits.reserve(Width);
+    for (size_t I = 0; I < Width; ++I)
+      Bits.push_back(Solver.newVar());
+    It = VarBits.emplace(Name, std::move(Bits)).first;
+  }
+  assert(It->second.size() == Width && "variable used at two widths");
+  assert(BitIndex < Width && "bit index out of range");
+  return Lit::mk(It->second[BitIndex], false);
+}
+
+std::vector<BitBlaster::BBit> BitBlaster::blastTerm(const BvTermRef &T) {
+  auto Cached = TermCache.find(T.get());
+  if (Cached != TermCache.end())
+    return Cached->second;
+
+  std::vector<BBit> Bits;
+  Bits.reserve(T->width());
+  switch (T->kind()) {
+  case BvTerm::Kind::Var:
+    for (size_t I = 0; I < T->width(); ++I)
+      Bits.push_back(BBit::mkLit(litForVarBit(T->varName(), T->width(), I)));
+    break;
+  case BvTerm::Kind::Const:
+    for (size_t I = 0; I < T->width(); ++I)
+      Bits.push_back(BBit::mkConst(T->constValue().bit(I)));
+    break;
+  case BvTerm::Kind::Concat: {
+    Bits = blastTerm(T->lhs());
+    std::vector<BBit> R = blastTerm(T->rhs());
+    Bits.insert(Bits.end(), R.begin(), R.end());
+    break;
+  }
+  case BvTerm::Kind::Extract: {
+    std::vector<BBit> Op = blastTerm(T->extractOperand());
+    for (size_t I = T->extractLo(); I <= T->extractHi(); ++I)
+      Bits.push_back(Op[I]);
+    break;
+  }
+  }
+  assert(Bits.size() == T->width() && "blasted width mismatch");
+  TermCache.emplace(T.get(), Bits);
+  return Bits;
+}
+
+Lit BitBlaster::blastFormula(const BvFormulaRef &F) {
+  auto Cached = FormulaCache.find(F.get());
+  if (Cached != FormulaCache.end())
+    return Cached->second;
+
+  Lit Result = Lit::undef();
+  switch (F->kind()) {
+  case BvFormula::Kind::True:
+    Result = trueLit();
+    break;
+  case BvFormula::Kind::False:
+    Result = ~trueLit();
+    break;
+  case BvFormula::Kind::Eq: {
+    std::vector<BBit> L = blastTerm(F->eqLhs());
+    std::vector<BBit> R = blastTerm(F->eqRhs());
+    assert(L.size() == R.size() && "equality width mismatch");
+    // G <-> AND_i (L_i <-> R_i). Constant bits fold.
+    std::vector<Lit> PerBit;
+    bool KnownFalse = false;
+    for (size_t I = 0; I < L.size() && !KnownFalse; ++I) {
+      const BBit &A = L[I], &B = R[I];
+      if (!A.IsConst && !B.IsConst && A.L == B.L)
+        continue; // Same literal on both sides: trivially equal.
+      if (A.IsConst && B.IsConst) {
+        if (A.ConstVal != B.ConstVal)
+          KnownFalse = true;
+        continue;
+      }
+      if (A.IsConst || B.IsConst) {
+        // One side fixed: the equivalence is a literal (possibly negated).
+        const BBit &C = A.IsConst ? A : B;
+        const BBit &V = A.IsConst ? B : A;
+        PerBit.push_back(C.ConstVal ? V.L : ~V.L);
+        continue;
+      }
+      // Both symbolic: E <-> (A <-> B).
+      Lit E = freshLit();
+      Solver.addClause(~E, ~A.L, B.L);
+      Solver.addClause(~E, A.L, ~B.L);
+      Solver.addClause(E, A.L, B.L);
+      Solver.addClause(E, ~A.L, ~B.L);
+      PerBit.push_back(E);
+    }
+    if (KnownFalse) {
+      Result = ~trueLit();
+      break;
+    }
+    if (PerBit.empty()) {
+      Result = trueLit();
+      break;
+    }
+    if (PerBit.size() == 1) {
+      Result = PerBit[0];
+      break;
+    }
+    Lit G = freshLit();
+    std::vector<Lit> LongClause{G};
+    for (Lit E : PerBit) {
+      Solver.addClause(~G, E);
+      LongClause.push_back(~E);
+    }
+    Solver.addClause(std::move(LongClause));
+    Result = G;
+    break;
+  }
+  case BvFormula::Kind::Not:
+    Result = ~blastFormula(F->sub());
+    break;
+  case BvFormula::Kind::And: {
+    Lit A = blastFormula(F->lhs());
+    Lit B = blastFormula(F->rhs());
+    Lit G = freshLit();
+    Solver.addClause(~G, A);
+    Solver.addClause(~G, B);
+    Solver.addClause(G, ~A, ~B);
+    Result = G;
+    break;
+  }
+  case BvFormula::Kind::Or: {
+    Lit A = blastFormula(F->lhs());
+    Lit B = blastFormula(F->rhs());
+    Lit G = freshLit();
+    Solver.addClause(G, ~A);
+    Solver.addClause(G, ~B);
+    Solver.addClause(~G, A, B);
+    Result = G;
+    break;
+  }
+  case BvFormula::Kind::Implies: {
+    Lit A = blastFormula(F->lhs());
+    Lit B = blastFormula(F->rhs());
+    Lit G = freshLit();
+    Solver.addClause(G, A);
+    Solver.addClause(G, ~B);
+    Solver.addClause(~G, ~A, B);
+    Result = G;
+    break;
+  }
+  }
+  FormulaCache.emplace(F.get(), Result);
+  return Result;
+}
+
+void BitBlaster::assertFormula(const BvFormulaRef &F) {
+  switch (F->kind()) {
+  case BvFormula::Kind::True:
+    return;
+  case BvFormula::Kind::False:
+    Solver.addClause(std::vector<Lit>{}); // Empty clause: unsatisfiable.
+    return;
+  case BvFormula::Kind::And:
+    assertFormula(F->lhs());
+    assertFormula(F->rhs());
+    return;
+  case BvFormula::Kind::Eq: {
+    // Direct clausal encoding, two binary clauses per symbolic bit pair.
+    std::vector<BBit> L = blastTerm(F->eqLhs());
+    std::vector<BBit> R = blastTerm(F->eqRhs());
+    for (size_t I = 0; I < L.size(); ++I) {
+      const BBit &A = L[I], &B = R[I];
+      if (A.IsConst && B.IsConst) {
+        if (A.ConstVal != B.ConstVal)
+          Solver.addClause(std::vector<Lit>{});
+        continue;
+      }
+      if (A.IsConst || B.IsConst) {
+        const BBit &C = A.IsConst ? A : B;
+        const BBit &V = A.IsConst ? B : A;
+        Solver.addClause(C.ConstVal ? V.L : ~V.L);
+        continue;
+      }
+      Solver.addClause(~A.L, B.L);
+      Solver.addClause(A.L, ~B.L);
+    }
+    return;
+  }
+  case BvFormula::Kind::Not:
+  case BvFormula::Kind::Or:
+  case BvFormula::Kind::Implies:
+    Solver.addClause(blastFormula(F));
+    return;
+  }
+}
+
+Bitvector BitBlaster::modelValue(const std::string &Name, size_t Width) {
+  Bitvector Value(Width);
+  auto It = VarBits.find(Name);
+  if (It == VarBits.end())
+    return Value; // Never constrained: any value works; report zero.
+  assert(It->second.size() == Width && "variable used at two widths");
+  for (size_t I = 0; I < Width; ++I)
+    Value.setBit(I, Solver.modelValue(It->second[I]));
+  return Value;
+}

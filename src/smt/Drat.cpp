@@ -1,0 +1,246 @@
+//===- Drat.cpp - DRUP proof logging and checking --------------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Drat.h"
+
+#include <algorithm>
+
+using namespace leapfrog;
+using namespace leapfrog::smt;
+
+namespace {
+
+/// DIMACS rendering of a literal: 1-based variable, negative when negated.
+std::string dimacs(Lit L) {
+  return std::to_string(L.negated() ? -(L.var() + 1) : L.var() + 1);
+}
+
+std::string clauseLine(const std::vector<Lit> &C) {
+  std::string Out;
+  for (Lit L : C) {
+    Out += dimacs(L);
+    Out += ' ';
+  }
+  Out += '0';
+  return Out;
+}
+
+} // namespace
+
+std::string DratProof::str() const {
+  // The textual format lists only derived clauses; inputs live in the
+  // DIMACS problem file. We render a comment header with the input count
+  // so the output is self-describing.
+  std::string Out = "c DRUP proof, " + std::to_string(Inputs.size()) +
+                    " input clauses, " + std::to_string(Lemmas.size()) +
+                    " lemmas\n";
+  for (const std::vector<Lit> &L : Lemmas) {
+    Out += clauseLine(L);
+    Out += '\n';
+  }
+  return Out;
+}
+
+void DratChecker::growTo(Var V) {
+  while (int(Assigns.size()) <= V) {
+    Assigns.push_back(LBool::Undef);
+    Watches.emplace_back();
+    Watches.emplace_back();
+  }
+}
+
+bool DratChecker::enqueue(Lit L) {
+  LBool Val = value(L);
+  if (Val == LBool::False)
+    return false;
+  if (Val == LBool::Undef) {
+    Assigns[L.var()] = fromBool(!L.negated());
+    Trail.push_back(L);
+  }
+  return true;
+}
+
+bool DratChecker::addClause(const std::vector<Lit> &C) {
+  for (Lit L : C)
+    growTo(L.var());
+  if (C.empty()) {
+    RootConflict = true;
+    return false;
+  }
+  // Root-satisfied clauses still need watches: the satisfying assignment
+  // is permanent, so they can never propagate, but keeping the database
+  // uniform is simpler and the cost is negligible at our query sizes.
+  if (C.size() == 1) {
+    if (!enqueue(C[0])) {
+      RootConflict = true;
+      return false;
+    }
+    if (propagate()) {
+      RootConflict = true;
+      return false;
+    }
+    return true;
+  }
+  int Id = int(Clauses.size());
+  Clauses.push_back(C);
+  // Prefer watching non-false literals so the invariant "a watch is false
+  // only if the clause is unit/conflicting" is established on entry.
+  std::vector<Lit> &Stored = Clauses.back();
+  size_t W = 0;
+  for (size_t I = 0; I < Stored.size() && W < 2; ++I)
+    if (value(Stored[I]) != LBool::False)
+      std::swap(Stored[W++], Stored[I]);
+  Watches[(~Stored[0]).index()].push_back(Id);
+  Watches[(~Stored[1]).index()].push_back(Id);
+  if (W < 2) {
+    // Unit or conflicting under the root assignment.
+    if (!enqueue(Stored[0]) || propagate()) {
+      RootConflict = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DratChecker::propagate() {
+  while (QueueHead < Trail.size()) {
+    Lit P = Trail[QueueHead++];
+    ++S.Propagations;
+    std::vector<int> &WList = Watches[P.index()];
+    size_t Keep = 0;
+    for (size_t I = 0; I < WList.size(); ++I) {
+      int Id = WList[I];
+      std::vector<Lit> &C = Clauses[Id];
+      if (C[0] == ~P)
+        std::swap(C[0], C[1]);
+      if (value(C[0]) == LBool::True) {
+        WList[Keep++] = Id;
+        continue;
+      }
+      bool FoundWatch = false;
+      for (size_t K = 2; K < C.size(); ++K) {
+        if (value(C[K]) != LBool::False) {
+          std::swap(C[1], C[K]);
+          Watches[(~C[1]).index()].push_back(Id);
+          FoundWatch = true;
+          break;
+        }
+      }
+      if (FoundWatch)
+        continue;
+      WList[Keep++] = Id;
+      if (!enqueue(C[0])) {
+        for (size_t K = I + 1; K < WList.size(); ++K)
+          WList[Keep++] = WList[K];
+        WList.resize(Keep);
+        QueueHead = Trail.size();
+        return true;
+      }
+    }
+    WList.resize(Keep);
+  }
+  return false;
+}
+
+bool DratChecker::lemmaIsRup(const std::vector<Lit> &Lemma) {
+  // Assume the negation of every lemma literal on top of the root trail,
+  // propagate, and demand a conflict. The trail above the saved mark is
+  // rolled back afterwards; root-level facts persist.
+  size_t TrailMark = Trail.size();
+  size_t HeadMark = QueueHead;
+  bool Conflict = false;
+  for (Lit L : Lemma) {
+    growTo(L.var());
+    if (!enqueue(~L)) {
+      // ~L is already false, i.e. L holds at root: the lemma is entailed
+      // outright and the RUP check succeeds immediately. This also covers
+      // tautological lemmas (x ∨ ¬x).
+      Conflict = true;
+      break;
+    }
+  }
+  if (!Conflict)
+    Conflict = propagate();
+  for (size_t I = Trail.size(); I > TrailMark; --I)
+    Assigns[Trail[I - 1].var()] = LBool::Undef;
+  Trail.resize(TrailMark);
+  QueueHead = HeadMark;
+  return Conflict;
+}
+
+bool DratChecker::check(const DratProof &Proof, std::string *Error) {
+  Clauses.clear();
+  Watches.clear();
+  Assigns.clear();
+  Trail.clear();
+  QueueHead = 0;
+  RootConflict = false;
+  S = Stats();
+
+  for (const std::vector<Lit> &C : Proof.Inputs) {
+    if (!addClause(C))
+      return true; // Inputs alone are unsat by propagation; any proof works.
+  }
+  if (propagate())
+    return true;
+
+  for (size_t I = 0; I < Proof.Lemmas.size(); ++I) {
+    const std::vector<Lit> &Lemma = Proof.Lemmas[I];
+    ++S.LemmasChecked;
+    if (Lemma.empty()) {
+      // Terminal step: the database itself must propagate to conflict.
+      // Since the trail is never rolled back past the root, a conflict
+      // found while adding clauses or checking lemmas has already set
+      // RootConflict; otherwise, re-propagating finds nothing new and the
+      // claim is bogus.
+      if (RootConflict || propagate())
+        return true;
+      if (Error)
+        *Error = "lemma " + std::to_string(I) +
+                 " is the empty clause, but the database does not "
+                 "propagate to a conflict";
+      return false;
+    }
+    if (!lemmaIsRup(Lemma)) {
+      if (Error)
+        *Error = "lemma " + std::to_string(I) + " (" + clauseLine(Lemma) +
+                 ") is not RUP";
+      return false;
+    }
+    if (!addClause(Lemma))
+      return true; // Adding the lemma exposed a root conflict: unsat.
+    if (propagate())
+      return true;
+  }
+  if (Error)
+    *Error = "proof contains no empty clause";
+  return false;
+}
+
+bool smt::solveWithCheckedProof(size_t NumVars,
+                                const std::vector<std::vector<Lit>> &Clauses,
+                                DratProof *ProofOut) {
+  SatSolver Solver;
+  DratProof Proof;
+  Solver.setProofLog(&Proof);
+  for (size_t I = 0; I < NumVars; ++I)
+    Solver.newVar();
+  bool Ok = true;
+  for (const std::vector<Lit> &C : Clauses)
+    Ok = Solver.addClause(C) && Ok;
+  bool IsSat = Ok && Solver.solve();
+  if (!IsSat) {
+    DratChecker Checker;
+    std::string Error;
+    bool Verified = Checker.check(Proof, &Error);
+    assert(Verified && "solver claimed UNSAT but the DRUP proof failed");
+    (void)Verified;
+  }
+  if (ProofOut)
+    *ProofOut = std::move(Proof);
+  return IsSat;
+}

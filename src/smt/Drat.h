@@ -1,0 +1,116 @@
+//===- Drat.h - DRUP proof logging and checking -----------------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Clausal proof logging for the CDCL solver and an independent proof
+/// checker, addressing the paper's §6.4 trusted-computing-base discussion:
+///
+///   "The SMT solver and plugin [...] could be removed from the TCB by
+///    implementing proof reconstruction."
+///
+/// The paper trusts the solver's UNSAT answers. Here every UNSAT answer can
+/// instead be accompanied by a DRUP proof — the sequence of clauses the
+/// solver learnt, ending in the empty clause — and replayed by
+/// DratChecker, a separate unit-propagation engine that shares no solving
+/// code with SatSolver. Each lemma is validated by *reverse unit
+/// propagation* (RUP): asserting its negation must yield a conflict by
+/// unit propagation over the input clauses and previously accepted lemmas.
+/// Since our solver never deletes clauses, plain DRUP (the deletion-free
+/// fragment of DRAT) suffices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_SMT_DRAT_H
+#define LEAPFROG_SMT_DRAT_H
+
+#include "smt/Sat.h"
+
+#include <string>
+#include <vector>
+
+namespace leapfrog {
+namespace smt {
+
+/// A DRUP proof: the input clause set plus the derived lemmas, in
+/// derivation order. A proof of unsatisfiability ends with (or contains)
+/// the empty clause.
+struct DratProof {
+  /// Original clauses, exactly as handed to the solver.
+  std::vector<std::vector<Lit>> Inputs;
+  /// Derived clauses, in the order the solver produced them. Each must be
+  /// RUP with respect to Inputs plus all earlier lemmas.
+  std::vector<std::vector<Lit>> Lemmas;
+
+  /// True when some lemma is the empty clause (claimed unsatisfiability).
+  bool claimsUnsat() const {
+    for (const std::vector<Lit> &L : Lemmas)
+      if (L.empty())
+        return true;
+    return false;
+  }
+
+  /// Serializes in the textual DRUP format understood by standard proof
+  /// checkers (one clause per line, DIMACS literals, "0" terminated).
+  std::string str() const;
+};
+
+/// Replays a DratProof against its input clauses with an independent
+/// watched-literal propagation engine. On success, the empty clause is
+/// RUP-derivable, so the input set is unsatisfiable — regardless of any
+/// bug in SatSolver.
+class DratChecker {
+public:
+  /// Verifies \p Proof. Returns true iff every lemma is RUP with respect
+  /// to the clauses before it and some lemma is empty. On failure, \p Error
+  /// (if non-null) receives a diagnostic naming the offending lemma.
+  bool check(const DratProof &Proof, std::string *Error = nullptr);
+
+  /// Statistics from the last check() call.
+  struct Stats {
+    size_t LemmasChecked = 0;
+    uint64_t Propagations = 0;
+  };
+  const Stats &stats() const { return S; }
+
+private:
+  /// Ensures Assigns/Watches cover variables up to \p V.
+  void growTo(Var V);
+  /// Loads one clause into the database; returns false on immediate
+  /// root-level conflict (empty clause or contradicting unit).
+  bool addClause(const std::vector<Lit> &C);
+  /// Runs unit propagation from QueueHead; returns true on conflict.
+  bool propagate();
+  /// Checks one lemma by reverse unit propagation.
+  bool lemmaIsRup(const std::vector<Lit> &Lemma);
+
+  LBool value(Lit L) const {
+    LBool V = Assigns[L.var()];
+    return L.negated() ? negate(V) : V;
+  }
+  bool enqueue(Lit L); ///< False if L is already false (conflict).
+
+  std::vector<std::vector<Lit>> Clauses;
+  std::vector<std::vector<int>> Watches; ///< Indexed by Lit::index().
+  std::vector<LBool> Assigns;
+  std::vector<Lit> Trail;
+  size_t QueueHead = 0;
+  bool RootConflict = false;
+  Stats S;
+};
+
+/// Convenience wrapper: solves \p Clauses over \p NumVars variables with
+/// proof logging enabled and, on UNSAT, replays the proof. Returns the
+/// SAT/UNSAT verdict; aborts via assert if the solver claims UNSAT but the
+/// proof does not check (a solver soundness bug).
+bool solveWithCheckedProof(size_t NumVars,
+                           const std::vector<std::vector<Lit>> &Clauses,
+                           DratProof *ProofOut = nullptr);
+
+} // namespace smt
+} // namespace leapfrog
+
+#endif // LEAPFROG_SMT_DRAT_H

@@ -1,0 +1,368 @@
+//===- Sat.cpp - CDCL SAT solver ------------------------------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Sat.h"
+
+#include "smt/Drat.h"
+
+#include <algorithm>
+
+using namespace leapfrog;
+using namespace leapfrog::smt;
+
+void SatSolver::logInput(const std::vector<Lit> &C) {
+  if (Proof)
+    Proof->Inputs.push_back(C);
+}
+
+void SatSolver::logLemma(std::vector<Lit> C) {
+  if (Proof)
+    Proof->Lemmas.push_back(std::move(C));
+}
+
+Var SatSolver::newVar() {
+  Var V = int(Assigns.size());
+  Assigns.push_back(LBool::Undef);
+  SavedPhase.push_back(false);
+  Levels.push_back(0);
+  Reasons.push_back(NoReason);
+  Activity.push_back(0.0);
+  Seen.push_back(0);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  HeapPos.push_back(-1);
+  heapInsert(V);
+  return V;
+}
+
+void SatSolver::percolateUp(int I) {
+  Var V = Heap[I];
+  while (I > 0) {
+    int Parent = (I - 1) >> 1;
+    if (!heapLess(V, Heap[Parent]))
+      break;
+    Heap[I] = Heap[Parent];
+    HeapPos[Heap[I]] = I;
+    I = Parent;
+  }
+  Heap[I] = V;
+  HeapPos[V] = I;
+}
+
+void SatSolver::percolateDown(int I) {
+  Var V = Heap[I];
+  int N = int(Heap.size());
+  for (;;) {
+    int Child = 2 * I + 1;
+    if (Child >= N)
+      break;
+    if (Child + 1 < N && heapLess(Heap[Child + 1], Heap[Child]))
+      ++Child;
+    if (!heapLess(Heap[Child], V))
+      break;
+    Heap[I] = Heap[Child];
+    HeapPos[Heap[I]] = I;
+    I = Child;
+  }
+  Heap[I] = V;
+  HeapPos[V] = I;
+}
+
+void SatSolver::heapInsert(Var V) {
+  if (HeapPos[V] >= 0)
+    return;
+  Heap.push_back(V);
+  HeapPos[V] = int(Heap.size()) - 1;
+  percolateUp(HeapPos[V]);
+}
+
+Var SatSolver::heapPop() {
+  if (Heap.empty())
+    return -1;
+  Var Top = Heap[0];
+  HeapPos[Top] = -1;
+  Heap[0] = Heap.back();
+  Heap.pop_back();
+  if (!Heap.empty()) {
+    HeapPos[Heap[0]] = 0;
+    percolateDown(0);
+  }
+  return Top;
+}
+
+bool SatSolver::addClause(std::vector<Lit> Lits) {
+  assert(decisionLevel() == 0 && "clauses must be added before solving");
+  if (Unsat)
+    return false;
+  logInput(Lits);
+  size_t InputSize = Lits.size();
+  // Normalize: sort, drop duplicates, detect tautologies, drop literals
+  // already false at level 0, and succeed on literals already true.
+  std::sort(Lits.begin(), Lits.end(),
+            [](Lit A, Lit B) { return A.X < B.X; });
+  std::vector<Lit> Out;
+  Lit Prev = Lit::undef();
+  for (Lit L : Lits) {
+    assert(L.var() >= 0 && size_t(L.var()) < Assigns.size() &&
+           "literal references unallocated variable");
+    if (L == Prev)
+      continue;
+    if (Prev != Lit::undef() && L == ~Prev)
+      return true; // Tautology.
+    if (value(L) == LBool::True)
+      return true; // Satisfied at level 0.
+    if (value(L) == LBool::False)
+      continue; // Falsified at level 0; drop.
+    Out.push_back(L);
+    Prev = L;
+  }
+  // The normalized clause is RUP with respect to the database (dropped
+  // literals are falsified by level-0 propagation, which the checker
+  // reproduces), so logging it keeps the proof aligned with the clause
+  // the solver actually reasons with.
+  if (Out.size() != InputSize)
+    logLemma(Out);
+  if (Out.empty()) {
+    Unsat = true;
+    return false;
+  }
+  if (Out.size() == 1) {
+    enqueue(Out[0], NoReason);
+    if (propagate() != NoReason) {
+      logLemma({});
+      Unsat = true;
+      return false;
+    }
+    return true;
+  }
+  Clauses.push_back(Clause{std::move(Out), /*Learnt=*/false});
+  attachClause(int(Clauses.size()) - 1);
+  return true;
+}
+
+void SatSolver::attachClause(ClauseRef CR) {
+  const Clause &C = Clauses[CR];
+  assert(C.Lits.size() >= 2 && "watching a short clause");
+  Watches[(~C.Lits[0]).index()].push_back(CR);
+  Watches[(~C.Lits[1]).index()].push_back(CR);
+}
+
+void SatSolver::enqueue(Lit L, ClauseRef Reason) {
+  assert(value(L) == LBool::Undef && "enqueue of assigned literal");
+  Assigns[L.var()] = fromBool(!L.negated());
+  Levels[L.var()] = decisionLevel();
+  Reasons[L.var()] = Reason;
+  SavedPhase[L.var()] = !L.negated();
+  Trail.push_back(L);
+}
+
+SatSolver::ClauseRef SatSolver::propagate() {
+  while (QueueHead < Trail.size()) {
+    Lit P = Trail[QueueHead++];
+    ++S.Propagations;
+    // Clauses watching ~P must find a new watch or propagate/conflict.
+    std::vector<ClauseRef> &WList = Watches[P.index()];
+    size_t Keep = 0;
+    for (size_t I = 0; I < WList.size(); ++I) {
+      ClauseRef CR = WList[I];
+      Clause &C = Clauses[CR];
+      // Ensure the falsified literal is in slot 1.
+      if (C.Lits[0] == ~P)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C.Lits[1] == ~P && "watch list out of sync");
+      if (value(C.Lits[0]) == LBool::True) {
+        WList[Keep++] = CR;
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool FoundWatch = false;
+      for (size_t K = 2; K < C.Lits.size(); ++K) {
+        if (value(C.Lits[K]) != LBool::False) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[(~C.Lits[1]).index()].push_back(CR);
+          FoundWatch = true;
+          break;
+        }
+      }
+      if (FoundWatch)
+        continue;
+      // Unit or conflicting.
+      WList[Keep++] = CR;
+      if (value(C.Lits[0]) == LBool::False) {
+        // Conflict: restore remaining watches and report.
+        for (size_t K = I + 1; K < WList.size(); ++K)
+          WList[Keep++] = WList[K];
+        WList.resize(Keep);
+        QueueHead = Trail.size();
+        return CR;
+      }
+      enqueue(C.Lits[0], CR);
+    }
+    WList.resize(Keep);
+  }
+  return NoReason;
+}
+
+void SatSolver::bumpVar(Var V) {
+  Activity[V] += VarInc;
+  if (Activity[V] > RescaleThreshold) {
+    for (double &A : Activity)
+      A /= RescaleThreshold;
+    VarInc /= RescaleThreshold;
+    // Activities kept their relative order; the heap stays valid.
+  }
+  if (HeapPos[V] >= 0)
+    percolateUp(HeapPos[V]);
+}
+
+void SatSolver::analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
+                        int &BacktrackLevel) {
+  // First-UIP scheme: walk the trail backwards resolving antecedents until
+  // exactly one literal of the current decision level remains.
+  Learnt.clear();
+  Learnt.push_back(Lit::undef()); // Slot for the asserting literal.
+  int Counter = 0;
+  Lit P = Lit::undef();
+  size_t TrailIndex = Trail.size();
+  ClauseRef Reason = Conflict;
+
+  do {
+    assert(Reason != NoReason && "analysis escaped the implication graph");
+    const Clause &C = Clauses[Reason];
+    for (Lit Q : C.Lits) {
+      if (P != Lit::undef() && Q == P)
+        continue;
+      Var V = Q.var();
+      if (Seen[V] || Levels[V] == 0)
+        continue;
+      Seen[V] = 1;
+      bumpVar(V);
+      if (Levels[V] == decisionLevel()) {
+        ++Counter;
+      } else {
+        Learnt.push_back(Q);
+      }
+    }
+    // Select the next trail literal to resolve on.
+    while (!Seen[Trail[TrailIndex - 1].var()])
+      --TrailIndex;
+    --TrailIndex;
+    P = Trail[TrailIndex];
+    Seen[P.var()] = 0;
+    Reason = Reasons[P.var()];
+    --Counter;
+  } while (Counter > 0);
+  Learnt[0] = ~P;
+
+  // Compute the backtrack level: the second-highest level in the clause.
+  BacktrackLevel = 0;
+  if (Learnt.size() > 1) {
+    size_t MaxIdx = 1;
+    for (size_t I = 2; I < Learnt.size(); ++I)
+      if (Levels[Learnt[I].var()] > Levels[Learnt[MaxIdx].var()])
+        MaxIdx = I;
+    std::swap(Learnt[1], Learnt[MaxIdx]);
+    BacktrackLevel = Levels[Learnt[1].var()];
+  }
+  for (Lit L : Learnt)
+    Seen[L.var()] = 0;
+}
+
+void SatSolver::backtrack(int Level) {
+  if (decisionLevel() <= Level)
+    return;
+  for (size_t I = Trail.size(); I > size_t(TrailLim[Level]); --I) {
+    Var V = Trail[I - 1].var();
+    Assigns[V] = LBool::Undef;
+    Reasons[V] = NoReason;
+    heapInsert(V);
+  }
+  Trail.resize(TrailLim[Level]);
+  TrailLim.resize(Level);
+  QueueHead = Trail.size();
+}
+
+Lit SatSolver::pickBranchLit() {
+  // Pop the activity heap until an unassigned variable surfaces
+  // (assignments leave stale entries; they are skipped lazily).
+  for (;;) {
+    Var V = heapPop();
+    if (V < 0)
+      return Lit::undef();
+    if (Assigns[V] == LBool::Undef)
+      return Lit::mk(V, !SavedPhase[V]);
+  }
+}
+
+uint64_t SatSolver::luby(uint64_t I) {
+  // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... (MiniSat's finite
+  // subsequence formulation).
+  uint64_t Size = 1, Seq = 0;
+  while (Size < I + 1) {
+    ++Seq;
+    Size = 2 * Size + 1;
+  }
+  while (Size - 1 != I) {
+    Size = (Size - 1) >> 1;
+    --Seq;
+    I = I % Size;
+  }
+  return uint64_t(1) << Seq;
+}
+
+bool SatSolver::solve() {
+  if (Unsat)
+    return false;
+  if (propagate() != NoReason) {
+    logLemma({});
+    Unsat = true;
+    return false;
+  }
+  static constexpr uint64_t RestartBase = 64;
+  uint64_t RestartConflicts = RestartBase * luby(S.Restarts);
+  uint64_t ConflictsSinceRestart = 0;
+  std::vector<Lit> Learnt;
+
+  for (;;) {
+    ClauseRef Conflict = propagate();
+    if (Conflict != NoReason) {
+      ++S.Conflicts;
+      ++ConflictsSinceRestart;
+      if (decisionLevel() == 0) {
+        logLemma({});
+        Unsat = true;
+        return false;
+      }
+      int BacktrackLevel = 0;
+      analyze(Conflict, Learnt, BacktrackLevel);
+      logLemma(Learnt);
+      backtrack(BacktrackLevel);
+      if (Learnt.size() == 1) {
+        enqueue(Learnt[0], NoReason);
+      } else {
+        Clauses.push_back(Clause{Learnt, /*Learnt=*/true});
+        attachClause(int(Clauses.size()) - 1);
+        enqueue(Learnt[0], int(Clauses.size()) - 1);
+      }
+      decayVarActivity();
+      continue;
+    }
+    if (ConflictsSinceRestart >= RestartConflicts) {
+      ++S.Restarts;
+      ConflictsSinceRestart = 0;
+      RestartConflicts = RestartBase * luby(S.Restarts);
+      backtrack(0);
+      continue;
+    }
+    Lit Next = pickBranchLit();
+    if (Next == Lit::undef())
+      return true; // All variables assigned: SAT.
+    ++S.Decisions;
+    TrailLim.push_back(int(Trail.size()));
+    enqueue(Next, NoReason);
+  }
+}

@@ -1,0 +1,179 @@
+//===- Sat.h - CDCL SAT solver ----------------------------------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch CDCL SAT solver in the MiniSat lineage: two-watched-
+/// literal propagation, first-UIP clause learning, VSIDS branching with
+/// phase saving, and Luby restarts.
+///
+/// The paper discharges its verification conditions with off-the-shelf SMT
+/// solvers (Z3, CVC4, Boolector; §6.3). None is available in this
+/// environment, so this solver — together with the bit-blaster in
+/// BitBlast.h — plays their role: the Leapfrog entailments are universally
+/// quantified over finite bitvector valuations, hence their validity
+/// reduces to (un)satisfiability of a propositional formula.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_SMT_SAT_H
+#define LEAPFROG_SMT_SAT_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace leapfrog {
+namespace smt {
+
+struct DratProof;
+
+/// A propositional variable (0-based).
+using Var = int;
+
+/// A literal: variable times two, plus one if negated.
+struct Lit {
+  int X = -2;
+
+  static Lit mk(Var V, bool Negated) { return Lit{V * 2 + int(Negated)}; }
+
+  Var var() const { return X >> 1; }
+  bool negated() const { return X & 1; }
+  Lit operator~() const { return Lit{X ^ 1}; }
+  bool operator==(const Lit &O) const { return X == O.X; }
+  bool operator!=(const Lit &O) const { return X != O.X; }
+
+  /// Dense index for watch lists.
+  int index() const { return X; }
+
+  static Lit undef() { return Lit{-2}; }
+};
+
+/// Three-valued assignment.
+enum class LBool : int8_t { False = 0, True = 1, Undef = 2 };
+
+inline LBool fromBool(bool B) { return B ? LBool::True : LBool::False; }
+inline LBool negate(LBool B) {
+  if (B == LBool::Undef)
+    return B;
+  return B == LBool::True ? LBool::False : LBool::True;
+}
+
+/// CDCL solver. Usage: newVar() to allocate variables, addClause() to add
+/// clauses, then solve(); on SAT, modelValue() reads the model. A solver
+/// instance is single-shot: all clauses must be added before solve().
+class SatSolver {
+public:
+  /// Allocates a fresh variable.
+  Var newVar();
+
+  /// Adds a clause (disjunction of literals). Returns false if the clause
+  /// set is already unsatisfiable at level 0.
+  bool addClause(std::vector<Lit> Lits);
+
+  /// Convenience overloads for short clauses.
+  bool addClause(Lit A) { return addClause(std::vector<Lit>{A}); }
+  bool addClause(Lit A, Lit B) { return addClause(std::vector<Lit>{A, B}); }
+  bool addClause(Lit A, Lit B, Lit C) {
+    return addClause(std::vector<Lit>{A, B, C});
+  }
+
+  /// Decides satisfiability. May be called once per solver instance.
+  bool solve();
+
+  /// Value of \p V in the model; valid only after solve() returned true.
+  bool modelValue(Var V) const {
+    assert(Assigns[V] != LBool::Undef && "model incomplete");
+    return Assigns[V] == LBool::True;
+  }
+
+  size_t numVars() const { return Assigns.size(); }
+  size_t numClauses() const { return Clauses.size(); }
+
+  /// Enables DRUP proof logging into \p P (see Drat.h). Must be called
+  /// before the first addClause(). The proof records every input clause
+  /// and every derived clause; on UNSAT it ends with the empty clause, and
+  /// DratChecker can then validate the unsatisfiability claim without
+  /// trusting this solver.
+  void setProofLog(DratProof *P) {
+    assert(Clauses.empty() && Trail.empty() &&
+           "proof logging must start before the first clause");
+    Proof = P;
+  }
+
+  /// Statistics, reported by the benchmark harness.
+  struct Stats {
+    uint64_t Conflicts = 0;
+    uint64_t Decisions = 0;
+    uint64_t Propagations = 0;
+    uint64_t Restarts = 0;
+  };
+  const Stats &stats() const { return S; }
+
+private:
+  struct Clause {
+    std::vector<Lit> Lits;
+    bool Learnt = false;
+  };
+  using ClauseRef = int;
+  static constexpr ClauseRef NoReason = -1;
+
+  LBool value(Lit L) const {
+    LBool V = Assigns[L.var()];
+    return L.negated() ? negate(V) : V;
+  }
+
+  void enqueue(Lit L, ClauseRef Reason);
+  void heapInsert(Var V);
+  Var heapPop();
+  void percolateUp(int I);
+  void percolateDown(int I);
+  bool heapLess(Var A, Var B) const { return Activity[A] > Activity[B]; }
+  ClauseRef propagate();
+  void analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
+               int &BacktrackLevel);
+  void backtrack(int Level);
+  Lit pickBranchLit();
+  void bumpVar(Var V);
+  void decayVarActivity() { VarInc /= ActivityDecay; }
+  void attachClause(ClauseRef CR);
+  int decisionLevel() const { return int(TrailLim.size()); }
+  static uint64_t luby(uint64_t I);
+
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<ClauseRef>> Watches; ///< Indexed by Lit::index().
+  std::vector<LBool> Assigns;
+  std::vector<bool> SavedPhase;
+  std::vector<int> Levels;
+  std::vector<ClauseRef> Reasons;
+  std::vector<Lit> Trail;
+  std::vector<int> TrailLim;
+  size_t QueueHead = 0;
+
+  std::vector<double> Activity;
+  double VarInc = 1.0;
+  static constexpr double ActivityDecay = 0.95;
+  static constexpr double RescaleThreshold = 1e100;
+
+  /// Proof-log helpers; no-ops when logging is disabled. Defined out of
+  /// line because DratProof is incomplete here.
+  void logInput(const std::vector<Lit> &C);
+  void logLemma(std::vector<Lit> C);
+
+  std::vector<char> Seen; ///< Scratch for analyze().
+  /// Max-heap over variable activity for branching (MiniSat order heap).
+  std::vector<Var> Heap;
+  std::vector<int> HeapPos; ///< Position in Heap, or -1 when absent.
+  bool Unsat = false;
+  DratProof *Proof = nullptr;
+  Stats S;
+};
+
+} // namespace smt
+} // namespace leapfrog
+
+#endif // LEAPFROG_SMT_SAT_H

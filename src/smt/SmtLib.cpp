@@ -1,0 +1,89 @@
+//===- SmtLib.cpp - SMT-LIB2 pretty-printer -------------------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SmtLib.h"
+
+using namespace leapfrog;
+using namespace leapfrog::smt;
+
+std::string smt::sanitizeSymbol(const std::string &Name) {
+  std::string Out;
+  Out.reserve(Name.size());
+  for (char C : Name) {
+    if ((C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+        (C >= '0' && C <= '9') || C == '_' || C == '.' || C == '-') {
+      Out.push_back(C);
+      continue;
+    }
+    // Injectively escape other characters as !xx hex codes.
+    static const char *Hex = "0123456789abcdef";
+    Out.push_back('!');
+    Out.push_back(Hex[(C >> 4) & 0xf]);
+    Out.push_back(Hex[C & 0xf]);
+  }
+  if (Out.empty() || (Out[0] >= '0' && Out[0] <= '9'))
+    Out = "v!" + Out;
+  return Out;
+}
+
+std::string smt::toSmtLibTerm(const BvTermRef &T) {
+  switch (T->kind()) {
+  case BvTerm::Kind::Var:
+    return sanitizeSymbol(T->varName());
+  case BvTerm::Kind::Const:
+    return "#b" + T->constValue().str();
+  case BvTerm::Kind::Concat:
+    return "(concat " + toSmtLibTerm(T->lhs()) + " " +
+           toSmtLibTerm(T->rhs()) + ")";
+  case BvTerm::Kind::Extract: {
+    size_t W = T->extractOperand()->width();
+    size_t High = W - 1 - T->extractLo(); // MSB-first → LSB-first indices.
+    size_t Low = W - 1 - T->extractHi();
+    return "((_ extract " + std::to_string(High) + " " +
+           std::to_string(Low) + ") " + toSmtLibTerm(T->extractOperand()) +
+           ")";
+  }
+  }
+  return "<term>";
+}
+
+std::string smt::toSmtLibFormula(const BvFormulaRef &F) {
+  switch (F->kind()) {
+  case BvFormula::Kind::True:
+    return "true";
+  case BvFormula::Kind::False:
+    return "false";
+  case BvFormula::Kind::Eq:
+    return "(= " + toSmtLibTerm(F->eqLhs()) + " " + toSmtLibTerm(F->eqRhs()) +
+           ")";
+  case BvFormula::Kind::Not:
+    return "(not " + toSmtLibFormula(F->sub()) + ")";
+  case BvFormula::Kind::And:
+    return "(and " + toSmtLibFormula(F->lhs()) + " " +
+           toSmtLibFormula(F->rhs()) + ")";
+  case BvFormula::Kind::Or:
+    return "(or " + toSmtLibFormula(F->lhs()) + " " +
+           toSmtLibFormula(F->rhs()) + ")";
+  case BvFormula::Kind::Implies:
+    return "(=> " + toSmtLibFormula(F->lhs()) + " " +
+           toSmtLibFormula(F->rhs()) + ")";
+  }
+  return "<formula>";
+}
+
+std::string smt::toSmtLibScript(const BvFormulaRef &F, bool GetModel) {
+  std::string Out;
+  Out += "(set-logic QF_BV)\n";
+  for (const auto &[Name, Width] : collectVars(F))
+    Out += "(declare-const " + sanitizeSymbol(Name) + " (_ BitVec " +
+           std::to_string(Width) + "))\n";
+  Out += "(assert " + toSmtLibFormula(F) + ")\n";
+  Out += "(check-sat)\n";
+  if (GetModel)
+    Out += "(get-model)\n";
+  return Out;
+}

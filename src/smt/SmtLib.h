@@ -1,0 +1,51 @@
+//===- SmtLib.h - SMT-LIB2 pretty-printer -----------------------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes FOL(BV) formulas to SMT-LIB2 (QF_BV), the format the paper's
+/// custom Coq plugin emits for Z3/CVC4/Boolector (§6.3). The in-repo
+/// solver answers queries directly, but the printer lets every query be
+/// exported and cross-checked against an external solver when one is
+/// available, and is exercised by the test suite for syntactic fidelity.
+///
+/// Index translation: our bit 0 is the most significant bit, while
+/// SMT-LIB's (_ extract i j) indexes from the least significant bit, so a
+/// width-w term's inclusive slice [lo,hi] prints as
+/// (_ extract (w-1-lo) (w-1-hi)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_SMT_SMTLIB_H
+#define LEAPFROG_SMT_SMTLIB_H
+
+#include "smt/BvFormula.h"
+
+#include <string>
+
+namespace leapfrog {
+namespace smt {
+
+/// Renders one term as an SMT-LIB2 s-expression.
+std::string toSmtLibTerm(const BvTermRef &T);
+
+/// Renders one formula as an SMT-LIB2 s-expression (sort Bool).
+std::string toSmtLibFormula(const BvFormulaRef &F);
+
+/// Renders a complete check-sat script: set-logic QF_BV, declare-const for
+/// every free variable, a single assert, check-sat, and (optionally)
+/// get-model.
+std::string toSmtLibScript(const BvFormulaRef &F, bool GetModel = false);
+
+/// Sanitizes a variable name into a legal SMT-LIB simple symbol (the
+/// ConfRel compiler produces names like "h<mpls" that need quoting rules);
+/// deterministic and injective for the names this project generates.
+std::string sanitizeSymbol(const std::string &Name);
+
+} // namespace smt
+} // namespace leapfrog
+
+#endif // LEAPFROG_SMT_SMTLIB_H

@@ -1,0 +1,96 @@
+//===- Solver.h - SMT solving facade ----------------------------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solver interface the equivalence checker programs against — the role
+/// of the paper's Coq plugin plus external solver (Figure 6, the trusted
+/// "Plugin" and "Solver" boxes). The default backend bit-blasts to the
+/// in-repo CDCL solver; the interface is virtual so tests can inject a
+/// deliberately unsound backend and demonstrate that certificate replay
+/// (core/Certificate.h) catches it, mirroring the paper's TCB discussion
+/// in §6.4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_SMT_SOLVER_H
+#define LEAPFROG_SMT_SOLVER_H
+
+#include "smt/BvFormula.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace leapfrog {
+namespace smt {
+
+/// Outcome of a satisfiability query.
+enum class SatResult { Sat, Unsat };
+
+/// A satisfying assignment: variable name → value.
+using Model = std::vector<std::pair<std::string, Bitvector>>;
+
+/// Cumulative statistics across queries, reported by the bench harness
+/// (the paper's §7.3 "SMT Solver Performance" discussion).
+struct SolverStats {
+  uint64_t Queries = 0;
+  uint64_t SatAnswers = 0;
+  uint64_t UnsatAnswers = 0;
+  uint64_t TotalSatVars = 0;
+  uint64_t TotalSatClauses = 0;
+  uint64_t TotalMicros = 0;
+  uint64_t MaxMicros = 0;
+  std::vector<uint64_t> QueryMicros; ///< Per-query latencies.
+  /// Proof-certification counters (BitBlastSolver with CertifyUnsat).
+  uint64_t CertifiedUnsat = 0; ///< UNSAT answers validated by DratChecker.
+  uint64_t ProofLemmas = 0;    ///< Total lemmas across checked proofs.
+  uint64_t ProofMicros = 0;    ///< Time spent replaying proofs.
+};
+
+/// Abstract satisfiability backend for FOL(BV).
+class SmtSolver {
+public:
+  virtual ~SmtSolver() = default;
+
+  /// Decides satisfiability of \p F over its free variables; fills \p M
+  /// with a witness when satisfiable (pass nullptr to skip).
+  virtual SatResult checkSat(const BvFormulaRef &F, Model *M) = 0;
+
+  /// Validity of the universal closure: ∀x⃗. F, decided as UNSAT(¬F).
+  /// On invalidity, fills \p Counterexample if non-null.
+  bool isValid(const BvFormulaRef &F, Model *Counterexample = nullptr);
+
+  const SolverStats &stats() const { return Stats; }
+  void resetStats() { Stats = SolverStats(); }
+
+protected:
+  SolverStats Stats;
+};
+
+/// The default backend: bit-blasting + CDCL (see BitBlast.h, Sat.h).
+class BitBlastSolver : public SmtSolver {
+public:
+  SatResult checkSat(const BvFormulaRef &F, Model *M) override;
+
+  /// When set, every UNSAT answer is accompanied by a DRUP proof and
+  /// replayed through DratChecker before being reported (see Drat.h); a
+  /// failed replay aborts. This removes the CDCL solver from the trusted
+  /// base, the "proof reconstruction" step the paper's §6.4 leaves as
+  /// future work. SAT answers need no certification: the checker's callers
+  /// only act on validity (UNSAT of the negation), and SAT answers carry a
+  /// model that is checked against the formula by construction of the
+  /// bit-blaster's variable mapping.
+  bool CertifyUnsat = false;
+};
+
+/// Returns the process-wide default solver instance.
+SmtSolver &defaultSolver();
+
+} // namespace smt
+} // namespace leapfrog
+
+#endif // LEAPFROG_SMT_SOLVER_H

@@ -1,0 +1,47 @@
+//===- Hashing.h - Hash combining helpers -----------------------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small hash-combining utilities used by the memo tables in the symbolic
+/// equivalence checker (entailment cache, template pair sets).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_SUPPORT_HASHING_H
+#define LEAPFROG_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace leapfrog {
+
+/// Mixes \p Value into the running hash \p Seed (boost::hash_combine style,
+/// with a 64-bit golden-ratio constant).
+inline void hashCombine(size_t &Seed, size_t Value) {
+  Seed ^= Value + 0x9e3779b97f4a7c15ull + (Seed << 6) + (Seed >> 2);
+}
+
+/// Hashes all arguments together with std::hash and hashCombine.
+template <typename... Ts> size_t hashAll(const Ts &...Values) {
+  size_t Seed = 0;
+  (hashCombine(Seed, std::hash<Ts>{}(Values)), ...);
+  return Seed;
+}
+
+/// std::hash-able pair, for unordered containers keyed by two values.
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B> &P) const {
+    return hashAll(P.first, P.second);
+  }
+};
+
+} // namespace leapfrog
+
+#endif // LEAPFROG_SUPPORT_HASHING_H

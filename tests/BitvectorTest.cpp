@@ -1,0 +1,195 @@
+//===- BitvectorTest.cpp - Bit-string substrate tests ---------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit and property tests for Bitvector, with particular attention to
+/// the paper's clamped slice semantics (Definition 3.1): w[n1:n2] is the
+/// substring from min(n1,|w|-1) to min(n2,|w|-1) inclusive.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Bitvector.h"
+
+#include "support/Hashing.h"
+
+#include <gtest/gtest.h>
+
+using namespace leapfrog;
+
+namespace {
+
+TEST(Bitvector, EmptyIsEpsilon) {
+  Bitvector E;
+  EXPECT_EQ(E.size(), 0u);
+  EXPECT_TRUE(E.empty());
+  EXPECT_EQ(E.str(), "");
+  EXPECT_EQ(E, Bitvector::fromString(""));
+}
+
+TEST(Bitvector, FromUintIsMsbFirst) {
+  // 0b1011 as 4 bits: bit 0 (first on the wire) is the MSB.
+  Bitvector BV = Bitvector::fromUint(0b1011, 4);
+  EXPECT_EQ(BV.str(), "1011");
+  EXPECT_TRUE(BV.bit(0));
+  EXPECT_FALSE(BV.bit(1));
+  EXPECT_EQ(BV.toUint(), 0b1011u);
+}
+
+TEST(Bitvector, FromUintTruncates) {
+  EXPECT_EQ(Bitvector::fromUint(0xff, 4).str(), "1111");
+  EXPECT_EQ(Bitvector::fromUint(0x10, 4).str(), "0000");
+}
+
+TEST(Bitvector, FromStringIgnoresSeparators) {
+  EXPECT_EQ(Bitvector::fromString("10_10 01").str(), "101001");
+}
+
+TEST(Bitvector, PushBackGrowsAcrossWordBoundary) {
+  Bitvector BV;
+  for (size_t I = 0; I < 130; ++I)
+    BV.pushBack(I % 3 == 0);
+  EXPECT_EQ(BV.size(), 130u);
+  for (size_t I = 0; I < 130; ++I)
+    EXPECT_EQ(BV.bit(I), I % 3 == 0) << I;
+}
+
+TEST(Bitvector, ConcatOrder) {
+  Bitvector A = Bitvector::fromString("10");
+  Bitvector B = Bitvector::fromString("011");
+  EXPECT_EQ(A.concat(B).str(), "10011");
+  EXPECT_EQ(B.concat(A).str(), "01110");
+  EXPECT_EQ(A.concat(Bitvector()).str(), "10");
+  EXPECT_EQ(Bitvector().concat(A).str(), "10");
+}
+
+TEST(Bitvector, PaperSliceInRange) {
+  Bitvector W = Bitvector::fromString("10110010");
+  EXPECT_EQ(W.slice(2, 4).str(), "110");
+  EXPECT_EQ(W.slice(0, 7).str(), "10110010");
+  EXPECT_EQ(W.slice(7, 7).str(), "0");
+}
+
+TEST(Bitvector, PaperSliceClampsEnd) {
+  // min(n2, |w|-1): slicing past the end clamps to the last bit.
+  Bitvector W = Bitvector::fromString("1011");
+  EXPECT_EQ(W.slice(2, 100).str(), "11");
+  // min(n1, |w|-1): a start past the end clamps to the last bit.
+  EXPECT_EQ(W.slice(100, 200).str(), "1");
+}
+
+TEST(Bitvector, PaperSliceEmptyCases) {
+  EXPECT_EQ(Bitvector().slice(0, 5).size(), 0u);
+  // Start after end (post-clamping) is empty.
+  EXPECT_EQ(Bitvector::fromString("1011").slice(3, 1).size(), 0u);
+}
+
+TEST(Bitvector, ExtractExactAsserts) {
+  Bitvector W = Bitvector::fromString("110010");
+  EXPECT_EQ(W.extract(1, 4).str(), "100");
+  EXPECT_EQ(W.extract(0, 6).str(), "110010");
+  EXPECT_EQ(W.extract(3, 3).size(), 0u);
+  EXPECT_EQ(W.takeFront(2).str(), "11");
+  EXPECT_EQ(W.dropFront(2).str(), "0010");
+}
+
+TEST(Bitvector, EqualityAndHashAgree) {
+  Bitvector A = Bitvector::fromString("10101");
+  Bitvector B = Bitvector::fromString("10101");
+  Bitvector C = Bitvector::fromString("10100");
+  Bitvector D = Bitvector::fromString("101010"); // Same prefix, longer.
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+  EXPECT_NE(A, C);
+  EXPECT_NE(A, D);
+}
+
+TEST(Bitvector, OrderingIsLengthThenLex) {
+  EXPECT_LT(Bitvector::fromString("1"), Bitvector::fromString("00"));
+  EXPECT_LT(Bitvector::fromString("01"), Bitvector::fromString("10"));
+  EXPECT_FALSE(Bitvector::fromString("10") < Bitvector::fromString("10"));
+}
+
+TEST(Bitvector, AllBitvectorsEnumerates) {
+  std::vector<Bitvector> All = allBitvectors(3);
+  ASSERT_EQ(All.size(), 8u);
+  EXPECT_EQ(All[0].str(), "000");
+  EXPECT_EQ(All[5].str(), "101");
+  EXPECT_EQ(All[7].str(), "111");
+}
+
+//===----------------------------------------------------------------------===//
+// Properties over random vectors
+//===----------------------------------------------------------------------===//
+
+struct Rng {
+  uint64_t S;
+  explicit Rng(uint64_t Seed) : S(Seed * 0x9e3779b97f4a7c15ull + 1) {}
+  uint64_t next() {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  }
+  size_t below(size_t N) { return size_t(next() % N); }
+};
+
+Bitvector randomBv(Rng &R, size_t MaxLen) {
+  Bitvector BV;
+  size_t Len = R.below(MaxLen + 1);
+  for (size_t I = 0; I < Len; ++I)
+    BV.pushBack(R.below(2));
+  return BV;
+}
+
+class BitvectorProps : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitvectorProps, ConcatIsAssociativeAndLengthAdditive) {
+  Rng R{uint64_t(GetParam())};
+  Bitvector A = randomBv(R, 90), B = randomBv(R, 90), C = randomBv(R, 90);
+  EXPECT_EQ(A.concat(B).size(), A.size() + B.size());
+  EXPECT_EQ(A.concat(B).concat(C), A.concat(B.concat(C)));
+}
+
+TEST_P(BitvectorProps, SliceOfConcatSplitsAtBoundary) {
+  Rng R{uint64_t(GetParam())};
+  Bitvector A = randomBv(R, 40), B = randomBv(R, 40);
+  Bitvector AB = A.concat(B);
+  if (A.empty() || B.empty())
+    return;
+  // Exact-range split property used by the smart constructors.
+  EXPECT_EQ(AB.extract(0, A.size()), A);
+  EXPECT_EQ(AB.extract(A.size(), AB.size()), B);
+}
+
+TEST_P(BitvectorProps, SliceAgreesWithBitwiseDefinition) {
+  Rng R{uint64_t(GetParam())};
+  Bitvector W = randomBv(R, 70);
+  size_t N1 = R.below(80), N2 = R.below(80);
+  Bitvector S = W.slice(N1, N2);
+  if (W.empty()) {
+    EXPECT_TRUE(S.empty());
+    return;
+  }
+  size_t Lo = std::min(N1, W.size() - 1), Hi = std::min(N2, W.size() - 1);
+  if (Lo > Hi) {
+    EXPECT_TRUE(S.empty());
+    return;
+  }
+  ASSERT_EQ(S.size(), Hi - Lo + 1);
+  for (size_t I = 0; I < S.size(); ++I)
+    EXPECT_EQ(S.bit(I), W.bit(Lo + I));
+}
+
+TEST_P(BitvectorProps, RoundTripsThroughString) {
+  Rng R{uint64_t(GetParam())};
+  Bitvector W = randomBv(R, 150);
+  EXPECT_EQ(Bitvector::fromString(W.str()), W);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, BitvectorProps, ::testing::Range(0, 50));
+
+} // namespace

@@ -1,0 +1,190 @@
+//===- CertificateTest.cpp - Certificate replay tests ---------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the certificate story of §6.4: a successful check yields a
+/// certificate the independent replay checker validates; tampering with
+/// the relation (dropping conjuncts, weakening a conjunct, changing the
+/// spec) is rejected; and — the paper's TCB point — a search run over a
+/// deliberately unsound solver produces "proofs" that replay with a sound
+/// solver refuses to accept.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Certificate.h"
+#include "core/Checker.h"
+
+#include "p4a/Parser.h"
+#include "parsers/CaseStudies.h"
+
+#include <gtest/gtest.h>
+
+using namespace leapfrog;
+using namespace leapfrog::core;
+using namespace leapfrog::logic;
+
+namespace {
+
+TEST(Certificate, ReplaysOnCaseStudies) {
+  struct {
+    p4a::Automaton L, R;
+    const char *QL, *QR;
+  } Cases[] = {
+      {parsers::mplsReference(), parsers::mplsVectorized(), "q1", "q3"},
+      {parsers::rearrangeReference(), parsers::rearrangeCombined(),
+       "parse_ip", "parse_combined"},
+      {parsers::vlanParser(), parsers::vlanParser(), "parse_eth",
+       "parse_eth"},
+  };
+  for (auto &C : Cases) {
+    CheckResult Res = checkLanguageEquivalence(C.L, C.QL, C.R, C.QR);
+    ASSERT_TRUE(Res.equivalent()) << Res.FailureReason;
+    ReplayResult Replay = replayCertificate(C.L, C.R, Res.Certificate);
+    EXPECT_TRUE(Replay.Valid) << Replay.FailureReason;
+    EXPECT_GT(Replay.ObligationsChecked, 0u);
+  }
+}
+
+TEST(Certificate, ReplayMatchesAblationModes) {
+  p4a::Automaton L = parsers::rearrangeReference();
+  p4a::Automaton R = parsers::rearrangeCombined();
+  for (bool Leaps : {false, true}) {
+    CheckOptions O;
+    O.UseLeaps = Leaps;
+    CheckResult Res =
+        checkLanguageEquivalence(L, "parse_ip", R, "parse_combined", O);
+    ASSERT_TRUE(Res.equivalent()) << "leaps=" << Leaps;
+    ReplayResult Replay = replayCertificate(L, R, Res.Certificate);
+    EXPECT_TRUE(Replay.Valid)
+        << "leaps=" << Leaps << ": " << Replay.FailureReason;
+  }
+}
+
+TEST(Certificate, RejectsDroppedConjunct) {
+  p4a::Automaton L = parsers::mplsReference();
+  p4a::Automaton R = parsers::mplsVectorized();
+  CheckResult Res = checkLanguageEquivalence(L, "q1", R, "q3");
+  ASSERT_TRUE(Res.equivalent());
+  ASSERT_GT(Res.Certificate.Relation.size(), 1u);
+
+  // Dropping a load-bearing conjunct must break initiation or consecution.
+  // Not every single conjunct is individually load-bearing, so check that
+  // at least one removal is caught (in practice: most).
+  size_t Caught = 0;
+  for (size_t I = 0; I < Res.Certificate.Relation.size(); ++I) {
+    EquivalenceCertificate Tampered = Res.Certificate;
+    Tampered.Relation.erase(Tampered.Relation.begin() + I);
+    if (!replayCertificate(L, R, Tampered).Valid)
+      ++Caught;
+  }
+  EXPECT_GT(Caught, Res.Certificate.Relation.size() / 2);
+}
+
+TEST(Certificate, RejectsEmptiedRelation) {
+  p4a::Automaton L = parsers::mplsReference();
+  p4a::Automaton R = parsers::mplsVectorized();
+  CheckResult Res = checkLanguageEquivalence(L, "q1", R, "q3");
+  ASSERT_TRUE(Res.equivalent());
+  EquivalenceCertificate Tampered = Res.Certificate;
+  Tampered.Relation.clear();
+  ReplayResult Replay = replayCertificate(L, R, Tampered);
+  EXPECT_FALSE(Replay.Valid);
+  EXPECT_NE(Replay.FailureReason.find("initiation"), std::string::npos);
+}
+
+TEST(Certificate, RejectsForeignAutomata) {
+  // A certificate for the MPLS pair must not validate the (inequivalent)
+  // sloppy/strict pair.
+  p4a::Automaton L = parsers::mplsReference();
+  p4a::Automaton R = parsers::mplsVectorized();
+  CheckResult Res = checkLanguageEquivalence(L, "q1", R, "q3");
+  ASSERT_TRUE(Res.equivalent());
+
+  p4a::Automaton L2 = parsers::sloppyEthernetIp();
+  p4a::Automaton R2 = parsers::strictEthernetIp();
+  // Same state ids exist (both have a state 0), so replay runs — and must
+  // fail some obligation.
+  ReplayResult Replay = replayCertificate(L2, R2, Res.Certificate);
+  EXPECT_FALSE(Replay.Valid);
+}
+
+//===----------------------------------------------------------------------===//
+// The unsound-solver experiment (§6.4: the solver is trusted — a lying
+// solver must be caught by replay with a sound one)
+//===----------------------------------------------------------------------===//
+
+/// A solver that calls everything valid: isValid() == true for every
+/// query, i.e. checkSat answers Unsat unconditionally.
+class YesManSolver : public smt::SmtSolver {
+public:
+  smt::SatResult checkSat(const smt::BvFormulaRef &F,
+                          smt::Model *M) override {
+    (void)F;
+    (void)M;
+    ++Stats.Queries;
+    return smt::SatResult::Unsat;
+  }
+};
+
+TEST(Certificate, UnsoundSolverProofIsRejectedOnReplay) {
+  // With a yes-man solver the checker "proves" the inequivalent
+  // sloppy/strict pair: every entailment check succeeds, so the initial
+  // conjuncts are skipped and R stays trivially small.
+  p4a::Automaton L = parsers::sloppyEthernetIp();
+  p4a::Automaton R = parsers::strictEthernetIp();
+  YesManSolver Liar;
+  CheckOptions O;
+  O.Solver = &Liar;
+  CheckResult Res = checkLanguageEquivalence(L, "parse_eth", R, "parse_eth", O);
+  ASSERT_TRUE(Res.equivalent()) << "the unsound solver should have lied";
+
+  // Replay with the sound default solver rejects the fabricated proof.
+  ReplayResult Replay = replayCertificate(L, R, Res.Certificate);
+  EXPECT_FALSE(Replay.Valid);
+  EXPECT_FALSE(Replay.FailureReason.empty());
+}
+
+TEST(Certificate, QualifiedSpecReplaysWithItsOwnMode) {
+  // External filtering: the certificate must remember the qualified
+  // acceptance mode; replaying it re-derives the same initial relation.
+  p4a::Automaton L = parsers::sloppyEthernetIp();
+  p4a::Automaton R = parsers::strictEthernetIp();
+  auto Field = BitExpr::mkSlice(
+      BitExpr::mkHdr(Side::Left, *L.findHeader("ether")), 96, 111);
+  InitialSpec Spec = languageEquivalenceSpec(
+      L, p4a::StateRef::normal(*L.findState("parse_eth")), R,
+      p4a::StateRef::normal(*R.findState("parse_eth")));
+  Spec.Mode = AcceptanceMode::Qualified;
+  Spec.LeftQualifier = Pure::mkOr(
+      Pure::mkEq(Field, BitExpr::mkLit(Bitvector::fromUint(0x86dd, 16))),
+      Pure::mkEq(Field, BitExpr::mkLit(Bitvector::fromUint(0x8600, 16))));
+  Spec.RightQualifier = Pure::mkTrue();
+
+  CheckResult Res = checkWithSpec(L, R, Spec);
+  ASSERT_TRUE(Res.equivalent()) << Res.FailureReason;
+  ReplayResult Replay = replayCertificate(L, R, Res.Certificate);
+  EXPECT_TRUE(Replay.Valid) << Replay.FailureReason;
+
+  // Flipping the mode back to Standard must refute the same relation.
+  EquivalenceCertificate Tampered = Res.Certificate;
+  Tampered.Spec.Mode = AcceptanceMode::Standard;
+  EXPECT_FALSE(replayCertificate(L, R, Tampered).Valid);
+}
+
+TEST(Certificate, RendersHumanReadably) {
+  p4a::Automaton L = parsers::rearrangeReference();
+  p4a::Automaton R = parsers::rearrangeCombined();
+  CheckResult Res =
+      checkLanguageEquivalence(L, "parse_ip", R, "parse_combined");
+  ASSERT_TRUE(Res.equivalent());
+  std::string S = Res.Certificate.str(L, R);
+  EXPECT_NE(S.find("certificate for phi"), std::string::npos);
+  EXPECT_NE(S.find("parse_ip"), std::string::npos);
+  EXPECT_NE(S.find("conjuncts"), std::string::npos);
+}
+
+} // namespace

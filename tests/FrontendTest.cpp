@@ -1,0 +1,664 @@
+//===- FrontendTest.cpp - Surface elaboration tests ------------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the surface extensions of §7.3 (header stacks, subparser
+/// calls, lookahead): elaborated parsers must behave like hand-unrolled
+/// P4As — checked both concretely (packet by packet) and symbolically
+/// (full language equivalence via the checker) — and malformed surface
+/// programs must be rejected with diagnostics, not miscompiled.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Elaborate.h"
+
+#include "core/Checker.h"
+#include "p4a/Concrete.h"
+#include "p4a/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace leapfrog;
+using namespace leapfrog::frontend;
+
+namespace {
+
+Bitvector bv(const std::string &S) { return Bitvector::fromString(S); }
+
+p4a::Pattern pat(const std::string &S) {
+  return p4a::Pattern::exact(bv(S));
+}
+
+/// Checks full language equivalence of an elaborated surface parser and a
+/// hand-written reference, using the symbolic checker.
+void expectEquivalent(const ElaborationResult &Sur,
+                      const p4a::Automaton &Ref,
+                      const std::string &RefEntry) {
+  ASSERT_TRUE(Sur.ok());
+  core::CheckResult Res = core::checkLanguageEquivalence(
+      Sur.Aut, Sur.Entry, Ref, RefEntry);
+  EXPECT_TRUE(Res.equivalent()) << Res.FailureReason;
+}
+
+//===----------------------------------------------------------------------===//
+// Lookahead
+//===----------------------------------------------------------------------===//
+
+/// x := lookahead; extract h1, h2; branch on x — must equal branching on
+/// the prefix of h1 directly.
+TEST(Lookahead, BranchOnPeekedBitsEqualsBranchOnExtracted) {
+  SurfaceProgram P;
+  P.addHeader("x", 4);
+  P.addHeader("h1", 8);
+  P.addHeader("h2", 8);
+  SurfaceState S;
+  S.Name = "s";
+  S.Ops = {SurfaceOp::lookahead("x"), SurfaceOp::extract("h1"),
+           SurfaceOp::extract("h2")};
+  S.Tz = SurfaceTransition::mkSelect(
+      {SExpr::mkSlice(SExpr::mkHeader("x"), 0, 3)},
+      {{{pat("1010")}, SurfaceTarget::accept()},
+       {{p4a::Pattern::wildcard()}, SurfaceTarget::reject()}});
+  P.addState(std::move(S));
+  P.setEntry("s");
+
+  p4a::Automaton Ref = p4a::parseAutomatonOrDie(R"(
+    state s {
+      extract(h1, 8);
+      extract(h2, 8);
+      select(h1[0:3]) {
+        1010 => accept
+        _ => reject
+      }
+    }
+  )");
+  expectEquivalent(elaborate(P), Ref, "s");
+}
+
+TEST(Lookahead, PeekSpanningTwoExtractsReassembles) {
+  // A 12-bit lookahead over an 8-bit + 8-bit extraction: the reassembly
+  // must be h1 ++ h2[0:3].
+  SurfaceProgram P;
+  P.addHeader("x", 12);
+  P.addHeader("h1", 8);
+  P.addHeader("h2", 8);
+  SurfaceState S;
+  S.Name = "s";
+  S.Ops = {SurfaceOp::lookahead("x"), SurfaceOp::extract("h1"),
+           SurfaceOp::extract("h2")};
+  S.Tz = SurfaceTransition::mkSelect(
+      {SExpr::mkSlice(SExpr::mkHeader("x"), 8, 11)},
+      {{{pat("0110")}, SurfaceTarget::accept()},
+       {{p4a::Pattern::wildcard()}, SurfaceTarget::reject()}});
+  P.addState(std::move(S));
+  P.setEntry("s");
+
+  // x[8:11] is h2[0:3].
+  p4a::Automaton Ref = p4a::parseAutomatonOrDie(R"(
+    state s {
+      extract(h1, 8);
+      extract(h2, 8);
+      select(h2[0:3]) {
+        0110 => accept
+        _ => reject
+      }
+    }
+  )");
+  expectEquivalent(elaborate(P), Ref, "s");
+}
+
+TEST(Lookahead, ExactWidthPeekNeedsNoSlice) {
+  // Lookahead of exactly the state's extraction width.
+  SurfaceProgram P;
+  P.addHeader("x", 8);
+  P.addHeader("h", 8);
+  SurfaceState S;
+  S.Name = "s";
+  S.Ops = {SurfaceOp::lookahead("x"), SurfaceOp::extract("h")};
+  S.Tz = SurfaceTransition::mkSelect(
+      {SExpr::mkHeader("x")},
+      {{{pat("11110000")}, SurfaceTarget::accept()},
+       {{p4a::Pattern::wildcard()}, SurfaceTarget::reject()}});
+  P.addState(std::move(S));
+  P.setEntry("s");
+
+  p4a::Automaton Ref = p4a::parseAutomatonOrDie(R"(
+    state s {
+      extract(h, 8);
+      select(h) {
+        11110000 => accept
+        _ => reject
+      }
+    }
+  )");
+  expectEquivalent(elaborate(P), Ref, "s");
+}
+
+TEST(Lookahead, TooWideIsDiagnosed) {
+  SurfaceProgram P;
+  P.addHeader("x", 16);
+  P.addHeader("h", 8);
+  SurfaceState S;
+  S.Name = "s";
+  S.Ops = {SurfaceOp::lookahead("x"), SurfaceOp::extract("h")};
+  S.Tz = SurfaceTransition::mkGoto(SurfaceTarget::accept());
+  P.addState(std::move(S));
+  P.setEntry("s");
+  ElaborationResult R = elaborate(P);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("exceeds the state's extraction"),
+            std::string::npos)
+      << R.Errors[0];
+}
+
+TEST(Lookahead, AfterExtractIsDiagnosed) {
+  SurfaceProgram P;
+  P.addHeader("x", 4);
+  P.addHeader("h", 8);
+  SurfaceState S;
+  S.Name = "s";
+  S.Ops = {SurfaceOp::extract("h"), SurfaceOp::lookahead("x")};
+  S.Tz = SurfaceTransition::mkGoto(SurfaceTarget::accept());
+  P.addState(std::move(S));
+  P.setEntry("s");
+  ElaborationResult R = elaborate(P);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("must precede"), std::string::npos);
+}
+
+TEST(Lookahead, DuplicateExtractTargetIsDiagnosed) {
+  SurfaceProgram P;
+  P.addHeader("x", 4);
+  P.addHeader("h", 8);
+  SurfaceState S;
+  S.Name = "s";
+  S.Ops = {SurfaceOp::lookahead("x"), SurfaceOp::extract("h"),
+           SurfaceOp::extract("h")};
+  S.Tz = SurfaceTransition::mkGoto(SurfaceTarget::accept());
+  P.addState(std::move(S));
+  P.setEntry("s");
+  ElaborationResult R = elaborate(P);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("distinct extract targets"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Header stacks
+//===----------------------------------------------------------------------===//
+
+/// The MPLS idiom from the paper's §2, written with a real header stack:
+/// extract labels until the bottom-of-stack bit, at most Slots of them.
+SurfaceProgram mplsStackProgram(size_t Slots) {
+  SurfaceProgram P;
+  P.addStack("lbl", Slots, 4);
+  P.addHeader("udp", 8);
+  SurfaceState Loop;
+  Loop.Name = "loop";
+  Loop.Ops = {SurfaceOp::extractNext("lbl")};
+  Loop.Tz = SurfaceTransition::mkSelect(
+      {SExpr::mkSlice(SExpr::mkStackLast("lbl"), 0, 0)},
+      {{{pat("1")}, SurfaceTarget::state("done")},
+       {{p4a::Pattern::wildcard()}, SurfaceTarget::state("loop")}});
+  P.addState(std::move(Loop));
+  SurfaceState Done;
+  Done.Name = "done";
+  Done.Ops = {SurfaceOp::extract("udp")};
+  Done.Tz = SurfaceTransition::mkGoto(SurfaceTarget::accept());
+  P.addState(std::move(Done));
+  P.setEntry("loop");
+  return P;
+}
+
+TEST(Stacks, MplsStackMatchesHandUnrolledParser) {
+  ElaborationResult Sur = elaborate(mplsStackProgram(2));
+  ASSERT_TRUE(Sur.ok()) << Sur.Errors.size();
+
+  // Hand-unrolled: two label slots, a third label overflows (its bits are
+  // consumed, then reject).
+  p4a::Automaton Ref = p4a::parseAutomatonOrDie(R"(
+    state l0 {
+      extract(a, 4);
+      select(a[0:0]) {
+        1 => done
+        _ => l1
+      }
+    }
+    state l1 {
+      extract(b, 4);
+      select(b[0:0]) {
+        1 => done
+        _ => l2
+      }
+    }
+    state l2 {
+      extract(c, 4);
+      goto reject
+    }
+    state done {
+      extract(udp, 8);
+      goto accept
+    }
+  )");
+  expectEquivalent(Sur, Ref, "l0");
+}
+
+TEST(Stacks, ConcreteAcceptanceAndOverflow) {
+  ElaborationResult Sur = elaborate(mplsStackProgram(2));
+  ASSERT_TRUE(Sur.ok());
+  p4a::Store S(Sur.Aut);
+  p4a::StateRef Q =
+      p4a::StateRef::normal(*Sur.Aut.findState(Sur.Entry));
+
+  // One bottom-of-stack label + udp: accepted.
+  EXPECT_TRUE(p4a::accepts(Sur.Aut, Q, S, bv("100011110000")));
+  // Two labels (second is bottom) + udp: accepted.
+  EXPECT_TRUE(p4a::accepts(Sur.Aut, Q, S, bv("0000100011110000")));
+  // Three labels: overflow rejects even with the right trailer.
+  EXPECT_FALSE(
+      p4a::accepts(Sur.Aut, Q, S, bv("00000000100011110000")));
+  // Missing udp trailer: rejected.
+  EXPECT_FALSE(p4a::accepts(Sur.Aut, Q, S, bv("1000")));
+}
+
+TEST(Stacks, SlotHeadersReceiveTheLabels) {
+  ElaborationResult Sur = elaborate(mplsStackProgram(3));
+  ASSERT_TRUE(Sur.ok());
+  p4a::Store S(Sur.Aut);
+  p4a::StateRef Q =
+      p4a::StateRef::normal(*Sur.Aut.findState(Sur.Entry));
+  p4a::Config C = p4a::multiStep(
+      Sur.Aut, p4a::initialConfig(Q, S), bv("0011101111110000"));
+  ASSERT_TRUE(C.accepting());
+  auto Slot0 = Sur.Aut.findHeader("lbl$0");
+  auto Slot1 = Sur.Aut.findHeader("lbl$1");
+  ASSERT_TRUE(Slot0 && Slot1);
+  EXPECT_EQ(C.S.get(*Slot0), bv("0011"));
+  EXPECT_EQ(C.S.get(*Slot1), bv("1011"));
+}
+
+TEST(Stacks, StaticElementReference) {
+  // Branch on lbl[0] (the first label) in the final state.
+  SurfaceProgram P = mplsStackProgram(2);
+  SurfaceProgram P2;
+  P2.addStack("lbl", 2, 4);
+  P2.addHeader("udp", 8);
+  SurfaceState Loop;
+  Loop.Name = "loop";
+  Loop.Ops = {SurfaceOp::extractNext("lbl")};
+  Loop.Tz = SurfaceTransition::mkSelect(
+      {SExpr::mkSlice(SExpr::mkStackLast("lbl"), 0, 0)},
+      {{{pat("1")}, SurfaceTarget::state("done")},
+       {{p4a::Pattern::wildcard()}, SurfaceTarget::state("loop")}});
+  P2.addState(std::move(Loop));
+  SurfaceState Done;
+  Done.Name = "done";
+  Done.Ops = {SurfaceOp::extract("udp")};
+  // Accept only when the *first* label's top bit is 1.
+  Done.Tz = SurfaceTransition::mkSelect(
+      {SExpr::mkSlice(SExpr::mkStackElem("lbl", 0), 3, 3)},
+      {{{pat("1")}, SurfaceTarget::accept()},
+       {{p4a::Pattern::wildcard()}, SurfaceTarget::reject()}});
+  P2.addState(std::move(Done));
+  P2.setEntry("loop");
+
+  ElaborationResult Sur = elaborate(P2);
+  ASSERT_TRUE(Sur.ok());
+  p4a::Store S(Sur.Aut);
+  p4a::StateRef Q =
+      p4a::StateRef::normal(*Sur.Aut.findState(Sur.Entry));
+  // First label 1001 (bos, top bit 1): accepted.
+  EXPECT_TRUE(p4a::accepts(Sur.Aut, Q, S, bv("100111110000")));
+  // First label 1000 (bos, top bit 0): rejected.
+  EXPECT_FALSE(p4a::accepts(Sur.Aut, Q, S, bv("100011110000")));
+}
+
+TEST(Stacks, OutOfRangeElementIsDiagnosed) {
+  SurfaceProgram P;
+  P.addStack("lbl", 2, 4);
+  P.addHeader("udp", 8);
+  SurfaceState S;
+  S.Name = "s";
+  S.Ops = {SurfaceOp::extractNext("lbl")};
+  S.Tz = SurfaceTransition::mkSelect(
+      {SExpr::mkHeader("udp")},
+      {{{p4a::Pattern::wildcard()}, SurfaceTarget::accept()}});
+  S.Tz.Discriminants = {SExpr::mkStackElem("lbl", 5)};
+  P.addState(std::move(S));
+  P.setEntry("s");
+  ElaborationResult R = elaborate(P);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("out of range"), std::string::npos);
+}
+
+TEST(Stacks, UndeclaredStackIsDiagnosed) {
+  SurfaceProgram P;
+  P.addHeader("h", 4);
+  SurfaceState S;
+  S.Name = "s";
+  S.Ops = {SurfaceOp::extractNext("ghost")};
+  S.Tz = SurfaceTransition::mkGoto(SurfaceTarget::accept());
+  P.addState(std::move(S));
+  P.setEntry("s");
+  EXPECT_FALSE(elaborate(P).ok());
+}
+
+TEST(Stacks, HeaderStackNameClashIsDiagnosed) {
+  SurfaceProgram P;
+  P.addHeader("x", 4);
+  P.addStack("x", 2, 4);
+  SurfaceState S;
+  S.Name = "s";
+  S.Ops = {SurfaceOp::extract("x")};
+  S.Tz = SurfaceTransition::mkGoto(SurfaceTarget::accept());
+  P.addState(std::move(S));
+  P.setEntry("s");
+  ElaborationResult R = elaborate(P);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("both as header and stack"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Subparser calls
+//===----------------------------------------------------------------------===//
+
+TEST(Calls, SimpleCallInlinesToSequence) {
+  SurfaceProgram P;
+  P.addHeader("e", 8);
+  P.addHeader("udp", 8);
+  SurfaceState Eth;
+  Eth.Name = "eth";
+  Eth.Ops = {SurfaceOp::extract("e")};
+  Eth.Tz = SurfaceTransition::mkGoto(SurfaceTarget::call("udp_parser"));
+  P.addState(std::move(Eth));
+  P.setEntry("eth");
+  SubParser Udp;
+  Udp.Name = "udp_parser";
+  Udp.Entry = "u";
+  SurfaceState U;
+  U.Name = "u";
+  U.Ops = {SurfaceOp::extract("udp")};
+  U.Tz = SurfaceTransition::mkGoto(SurfaceTarget::accept());
+  Udp.States.push_back(std::move(U));
+  P.addSubParser(std::move(Udp));
+
+  p4a::Automaton Ref = p4a::parseAutomatonOrDie(R"(
+    state eth { extract(e, 8); goto u }
+    state u { extract(udp, 8); goto accept }
+  )");
+  expectEquivalent(elaborate(P), Ref, "eth");
+}
+
+TEST(Calls, ContinuationResumesInCaller) {
+  // call(sub, continue at k): sub's accept must flow to k, not accept.
+  SurfaceProgram P;
+  P.addHeader("a", 4);
+  P.addHeader("b", 4);
+  P.addHeader("c", 4);
+  SurfaceState S0;
+  S0.Name = "s0";
+  S0.Ops = {SurfaceOp::extract("a")};
+  S0.Tz = SurfaceTransition::mkGoto(SurfaceTarget::call("mid", "k"));
+  P.addState(std::move(S0));
+  SurfaceState K;
+  K.Name = "k";
+  K.Ops = {SurfaceOp::extract("c")};
+  K.Tz = SurfaceTransition::mkGoto(SurfaceTarget::accept());
+  P.addState(std::move(K));
+  P.setEntry("s0");
+  SubParser Mid;
+  Mid.Name = "mid";
+  Mid.Entry = "m";
+  SurfaceState M;
+  M.Name = "m";
+  M.Ops = {SurfaceOp::extract("b")};
+  M.Tz = SurfaceTransition::mkGoto(SurfaceTarget::accept());
+  Mid.States.push_back(std::move(M));
+  P.addSubParser(std::move(Mid));
+
+  p4a::Automaton Ref = p4a::parseAutomatonOrDie(R"(
+    state s0 { extract(a, 4); goto m }
+    state m { extract(b, 4); goto k }
+    state k { extract(c, 4); goto accept }
+  )");
+  expectEquivalent(elaborate(P), Ref, "s0");
+}
+
+TEST(Calls, TailRecursiveSubparserBecomesLoop) {
+  // A subparser that re-calls itself with the same continuation is a
+  // loop: the MPLS label chomper as a recursive subparser.
+  SurfaceProgram P;
+  P.addHeader("e", 4);
+  P.addHeader("lab", 4);
+  P.addHeader("udp", 8);
+  SurfaceState S;
+  S.Name = "start";
+  S.Ops = {SurfaceOp::extract("e")};
+  S.Tz = SurfaceTransition::mkGoto(SurfaceTarget::call("mpls", "fin"));
+  P.addState(std::move(S));
+  SurfaceState Fin;
+  Fin.Name = "fin";
+  Fin.Ops = {SurfaceOp::extract("udp")};
+  Fin.Tz = SurfaceTransition::mkGoto(SurfaceTarget::accept());
+  P.addState(std::move(Fin));
+  P.setEntry("start");
+
+  SubParser Mpls;
+  Mpls.Name = "mpls";
+  Mpls.Entry = "m";
+  SurfaceState M;
+  M.Name = "m";
+  M.Ops = {SurfaceOp::extract("lab")};
+  M.Tz = SurfaceTransition::mkSelect(
+      {SExpr::mkSlice(SExpr::mkHeader("lab"), 0, 0)},
+      {{{pat("1")}, SurfaceTarget::accept()},
+       {{p4a::Pattern::wildcard()}, SurfaceTarget::call("mpls")}});
+  Mpls.States.push_back(std::move(M));
+  P.addSubParser(std::move(Mpls));
+
+  ElaborationResult Sur = elaborate(P);
+  ASSERT_TRUE(Sur.ok());
+  // The recursion must fold into finitely many states (one instance).
+  EXPECT_LE(Sur.Aut.numStates(), 3u);
+
+  p4a::Automaton Ref = p4a::parseAutomatonOrDie(R"(
+    state start { extract(e, 4); goto m }
+    state m {
+      extract(lab, 4);
+      select(lab[0:0]) {
+        1 => fin
+        _ => m
+      }
+    }
+    state fin { extract(udp, 8); goto accept }
+  )");
+  expectEquivalent(Sur, Ref, "start");
+}
+
+TEST(Calls, UnboundedContinuationChainIsDiagnosed) {
+  // P calls itself continuing at a state *inside* the new instance: each
+  // level mints a fresh continuation, so inlining cannot terminate.
+  SurfaceProgram P;
+  P.addHeader("h", 2);
+  P.addHeader("g", 2);
+  SurfaceState S;
+  S.Name = "s";
+  S.Ops = {SurfaceOp::extract("h")};
+  S.Tz = SurfaceTransition::mkGoto(SurfaceTarget::call("p"));
+  P.addState(std::move(S));
+  P.setEntry("s");
+  SubParser Sub;
+  Sub.Name = "p";
+  Sub.Entry = "a";
+  SurfaceState A;
+  A.Name = "a";
+  A.Ops = {SurfaceOp::extract("h")};
+  A.Tz = SurfaceTransition::mkGoto(SurfaceTarget::call("p", "b"));
+  Sub.States.push_back(std::move(A));
+  SurfaceState B;
+  B.Name = "b";
+  B.Ops = {SurfaceOp::extract("g")};
+  B.Tz = SurfaceTransition::mkGoto(SurfaceTarget::accept());
+  Sub.States.push_back(std::move(B));
+  P.addSubParser(std::move(Sub));
+
+  ElaborationResult R = elaborate(P);
+  ASSERT_FALSE(R.ok());
+  bool Found = false;
+  for (const std::string &E : R.Errors)
+    Found |= E.find("nesting exceeds depth") != std::string::npos;
+  EXPECT_TRUE(Found);
+}
+
+TEST(Calls, UnknownCalleeIsDiagnosed) {
+  SurfaceProgram P;
+  P.addHeader("h", 2);
+  SurfaceState S;
+  S.Name = "s";
+  S.Ops = {SurfaceOp::extract("h")};
+  S.Tz = SurfaceTransition::mkGoto(SurfaceTarget::call("nope"));
+  P.addState(std::move(S));
+  P.setEntry("s");
+  ElaborationResult R = elaborate(P);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Errors[0].find("unknown subparser"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Combined: stack + lookahead + call in one program
+//===----------------------------------------------------------------------===//
+
+TEST(Integration, StackLookaheadCallCompose) {
+  // Ethernet-ish prefix, then a subparser chomps up to two 4-bit labels
+  // into a stack, then a state peeks the UDP type nibble via lookahead.
+  SurfaceProgram P;
+  P.addHeader("e", 4);
+  P.addStack("lbl", 2, 4);
+  P.addHeader("ty", 4);
+  P.addHeader("udp", 8);
+
+  SurfaceState S0;
+  S0.Name = "start";
+  S0.Ops = {SurfaceOp::extract("e")};
+  S0.Tz = SurfaceTransition::mkGoto(SurfaceTarget::call("labels", "fin"));
+  P.addState(std::move(S0));
+
+  SurfaceState Fin;
+  Fin.Name = "fin";
+  Fin.Ops = {SurfaceOp::lookahead("ty"), SurfaceOp::extract("udp")};
+  Fin.Tz = SurfaceTransition::mkSelect(
+      {SExpr::mkHeader("ty")},
+      {{{pat("0101")}, SurfaceTarget::accept()},
+       {{p4a::Pattern::wildcard()}, SurfaceTarget::reject()}});
+  P.addState(std::move(Fin));
+  P.setEntry("start");
+
+  SubParser Labels;
+  Labels.Name = "labels";
+  Labels.Entry = "l";
+  SurfaceState L;
+  L.Name = "l";
+  L.Ops = {SurfaceOp::extractNext("lbl")};
+  L.Tz = SurfaceTransition::mkSelect(
+      {SExpr::mkSlice(SExpr::mkStackLast("lbl"), 0, 0)},
+      {{{pat("1")}, SurfaceTarget::accept()},
+       {{p4a::Pattern::wildcard()}, SurfaceTarget::call("labels")}});
+  Labels.States.push_back(std::move(L));
+  P.addSubParser(std::move(Labels));
+
+  ElaborationResult Sur = elaborate(P);
+  ASSERT_TRUE(Sur.ok());
+
+  p4a::Automaton Ref = p4a::parseAutomatonOrDie(R"(
+    state start { extract(e, 4); goto l0 }
+    state l0 {
+      extract(a, 4);
+      select(a[0:0]) {
+        1 => fin
+        _ => l1
+      }
+    }
+    state l1 {
+      extract(b, 4);
+      select(b[0:0]) {
+        1 => fin
+        _ => ovf
+      }
+    }
+    state ovf { extract(c, 4); goto reject }
+    state fin {
+      extract(udp, 8);
+      select(udp[0:3]) {
+        0101 => accept
+        _ => reject
+      }
+    }
+  )");
+  expectEquivalent(Sur, Ref, "start");
+}
+
+//===----------------------------------------------------------------------===//
+// Structural checks
+//===----------------------------------------------------------------------===//
+
+TEST(Elaborate, UnreachableStatesArePruned) {
+  SurfaceProgram P;
+  P.addHeader("h", 2);
+  SurfaceState S;
+  S.Name = "s";
+  S.Ops = {SurfaceOp::extract("h")};
+  S.Tz = SurfaceTransition::mkGoto(SurfaceTarget::accept());
+  P.addState(std::move(S));
+  SurfaceState Dead;
+  Dead.Name = "dead";
+  Dead.Ops = {SurfaceOp::extract("h")};
+  Dead.Tz = SurfaceTransition::mkGoto(SurfaceTarget::reject());
+  P.addState(std::move(Dead));
+  P.setEntry("s");
+  ElaborationResult R = elaborate(P);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.Aut.numStates(), 1u);
+}
+
+TEST(Elaborate, UnusedSlotHeadersArePruned) {
+  // A 4-slot stack whose loop exits after at most 2 extracts: slots 2/3
+  // must not appear in the store.
+  ElaborationResult R = elaborate(mplsStackProgram(4));
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Aut.findHeader("lbl$0").has_value());
+  // Slot 3 is only reachable through three non-bottom labels; it IS
+  // reachable here. What must not exist is anything past the slot count.
+  EXPECT_FALSE(R.Aut.findHeader("lbl$4").has_value());
+}
+
+TEST(Elaborate, MissingEntryIsDiagnosed) {
+  SurfaceProgram P;
+  P.addHeader("h", 2);
+  SurfaceState S;
+  S.Name = "s";
+  S.Ops = {SurfaceOp::extract("h")};
+  S.Tz = SurfaceTransition::mkGoto(SurfaceTarget::accept());
+  P.addState(std::move(S));
+  P.setEntry("ghost");
+  EXPECT_FALSE(elaborate(P).ok());
+}
+
+TEST(Elaborate, ZeroSlotStackIsDiagnosed) {
+  SurfaceProgram P;
+  P.addStack("lbl", 0, 4);
+  P.addHeader("h", 2);
+  SurfaceState S;
+  S.Name = "s";
+  S.Ops = {SurfaceOp::extract("h")};
+  S.Tz = SurfaceTransition::mkGoto(SurfaceTarget::accept());
+  P.addState(std::move(S));
+  P.setEntry("s");
+  EXPECT_FALSE(elaborate(P).ok());
+}
+
+} // namespace

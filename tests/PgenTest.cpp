@@ -1,0 +1,338 @@
+//===- PgenTest.cpp - Hardware substrate and Figure 8 pipeline tests ------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the parser-gen substrate: TCAM entry matching, the table
+/// interpreter, the compiler from P4 automata (including the state-merge
+/// transformation for cross-state select dependencies), the
+/// back-translation to P4 automata, and differential tests establishing
+/// that every stage preserves the packet language on random packets —
+/// the concrete counterpart of the symbolic translation-validation
+/// experiment (§7.2, Figure 8).
+///
+//===----------------------------------------------------------------------===//
+
+#include "pgen/TranslationValidation.h"
+
+#include "core/Checker.h"
+#include "p4a/Typing.h"
+
+#include "p4a/Parser.h"
+#include "p4a/Semantics.h"
+#include "parsers/CaseStudies.h"
+
+#include <gtest/gtest.h>
+
+using namespace leapfrog;
+using namespace leapfrog::pgen;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// TCAM primitives
+//===----------------------------------------------------------------------===//
+
+TEST(Tcam, EntryMatchingRespectsMask) {
+  TcamEntry E;
+  E.State = 3;
+  E.MatchMask = {0xf0, 0x00};
+  E.MatchValue = {0xa0, 0xff}; // Second byte is don't-care.
+  E.AdvanceBytes = 2;
+  std::vector<uint8_t> Bytes{0xab, 0x12, 0x34};
+  EXPECT_TRUE(E.matches(3, Bytes, 0));
+  EXPECT_FALSE(E.matches(2, Bytes, 0)); // Wrong state.
+  EXPECT_FALSE(E.matches(3, Bytes, 1)); // 0x12 & f0 = 10 != a0.
+  EXPECT_FALSE(E.matches(3, Bytes, 2)); // Would consume past the end.
+}
+
+TEST(Tcam, InterpreterRunsSimpleTable) {
+  // State 0: first byte 0xff -> accept after 2 bytes; else reject.
+  HwTable T;
+  T.NumStates = 1;
+  TcamEntry Accept;
+  Accept.State = 0;
+  Accept.MatchMask = {0xff, 0x00};
+  Accept.MatchValue = {0xff, 0x00};
+  Accept.NextState = HwAccept;
+  Accept.AdvanceBytes = 2;
+  T.Entries.push_back(Accept);
+
+  auto Packet = [](std::initializer_list<uint8_t> Bytes) {
+    Bitvector BV;
+    for (uint8_t B : Bytes)
+      BV = BV.concat(Bitvector::fromUint(B, 8));
+    return BV;
+  };
+  EXPECT_TRUE(hwAccepts(T, Packet({0xff, 0x01})));
+  EXPECT_FALSE(hwAccepts(T, Packet({0xfe, 0x01})));   // TCAM miss.
+  EXPECT_FALSE(hwAccepts(T, Packet({0xff})));         // Truncated.
+  EXPECT_FALSE(hwAccepts(T, Packet({0xff, 0x01, 0x02}))); // Trailing data.
+}
+
+TEST(Tcam, PrintLooksLikeFigure8) {
+  HwTable T;
+  TcamEntry E;
+  E.State = 0;
+  E.MatchMask = {0xff};
+  E.MatchValue = {0x08};
+  E.NextState = 3;
+  E.AdvanceBytes = 14;
+  T.Entries.push_back(E);
+  std::string S = T.print();
+  EXPECT_NE(S.find("Match:"), std::string::npos);
+  EXPECT_NE(S.find("Next-State: 3/255"), std::string::npos);
+  EXPECT_NE(S.find("Adv: 14"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Compiler
+//===----------------------------------------------------------------------===//
+
+/// Differential harness: P4A acceptance vs compiled-table acceptance on
+/// exhaustive-or-random byte packets.
+void expectLanguagePreserved(const p4a::Automaton &Aut,
+                             const std::string &Start, size_t MaxBytes,
+                             size_t SamplesPerLen = 64) {
+  auto StartId = Aut.findState(Start);
+  ASSERT_TRUE(StartId.has_value());
+  CompileResult CR = compileToHw(Aut, *StartId);
+  ASSERT_TRUE(CR.ok()) << CR.Diagnostics[0];
+
+  uint64_t Seed = 0x5eed;
+  for (size_t Len = 0; Len <= MaxBytes; ++Len) {
+    for (size_t I = 0; I < SamplesPerLen; ++I) {
+      // Deterministic pseudo-random packet.
+      Bitvector Pkt;
+      for (size_t B = 0; B < Len * 8; ++B) {
+        Seed ^= Seed << 13;
+        Seed ^= Seed >> 7;
+        Seed ^= Seed << 17;
+        Pkt.pushBack(Seed & 1);
+      }
+      bool P4 = p4a::accepts(Aut, p4a::StateRef::normal(*StartId),
+                             p4a::Store(Aut), Pkt);
+      bool Hw = hwAccepts(CR.Table, Pkt);
+      ASSERT_EQ(P4, Hw) << "divergence on packet " << Pkt.str();
+    }
+  }
+}
+
+TEST(Compile, SimpleByteParser) {
+  p4a::Automaton A = p4a::parseAutomatonOrDie(R"(
+    state s {
+      extract(h, 8);
+      select(h[0:7]) { 0xff => accept  0x01 => t }
+    }
+    state t { extract(g, 8); goto accept }
+  )");
+  CompileResult CR = compileToHw(A, 0);
+  ASSERT_TRUE(CR.ok());
+  // Entries: two cases + fall-through reject for s; one for t.
+  EXPECT_EQ(CR.Table.Entries.size(), 4u);
+  expectLanguagePreserved(A, "s", 3);
+}
+
+TEST(Compile, MergesCrossStateSelectDependency) {
+  // u selects on a header extracted by s: the compiler must merge u into
+  // s's paths, widening the window to 2 bytes.
+  p4a::Automaton A = p4a::parseAutomatonOrDie(R"(
+    state s {
+      extract(h, 8);
+      select(h[0:0]) { 1 => u  0 => accept }
+    }
+    state u {
+      extract(g, 8);
+      select(h[7:7]) { 1 => accept  0 => reject }
+    }
+  )");
+  CompileResult CR = compileToHw(A, 0);
+  ASSERT_TRUE(CR.ok()) << CR.Diagnostics[0];
+  // Some entry must have a 2-byte window (the merged s+u path).
+  size_t MaxAdv = 0;
+  for (const TcamEntry &E : CR.Table.Entries)
+    MaxAdv = std::max(MaxAdv, E.AdvanceBytes);
+  EXPECT_EQ(MaxAdv, 2u);
+  expectLanguagePreserved(A, "s", 3, 256);
+}
+
+TEST(Compile, MergedShortPacketStillRejectsLikeAutomaton) {
+  // The "commit" entries: a packet long enough to choose the merged case
+  // but too short for the merged window must reject in both semantics.
+  p4a::Automaton A = p4a::parseAutomatonOrDie(R"(
+    state s {
+      extract(h, 8);
+      select(h[0:0]) { 1 => u  _ => accept }
+    }
+    state u {
+      extract(g, 16);
+      select(h[7:7]) { 1 => accept }
+    }
+  )");
+  CompileResult CR = compileToHw(A, 0);
+  ASSERT_TRUE(CR.ok()) << CR.Diagnostics[0];
+  // 1 byte with the merge bit set: P4A commits to u then starves.
+  Bitvector Pkt = Bitvector::fromUint(0x81, 8);
+  EXPECT_FALSE(p4a::accepts(A, p4a::StateRef::normal(0), p4a::Store(A), Pkt));
+  EXPECT_FALSE(hwAccepts(CR.Table, Pkt));
+  expectLanguagePreserved(A, "s", 4, 128);
+}
+
+TEST(Compile, DiagnosesNonByteAlignment) {
+  p4a::Automaton A = p4a::parseAutomatonOrDie(
+      "state s { extract(h, 5); goto accept }");
+  CompileResult CR = compileToHw(A, 0);
+  EXPECT_FALSE(CR.ok());
+}
+
+TEST(Compile, DiagnosesAssignments) {
+  p4a::Automaton A = p4a::parseAutomatonOrDie(R"(
+    header g : 8;
+    state s { extract(h, 8); g := h; goto accept }
+  )");
+  CompileResult CR = compileToHw(A, 0);
+  EXPECT_FALSE(CR.ok());
+}
+
+TEST(Compile, EdgeParserCompiles) {
+  p4a::Automaton A = parsers::gibbEdge();
+  CompileResult CR = compileToHw(A, *A.findState("eth"));
+  ASSERT_TRUE(CR.ok()) << CR.Diagnostics[0];
+  // The merges multiply entries well beyond the state count.
+  EXPECT_GT(CR.Table.Entries.size(), A.numStates());
+  // Spot-check the language on random packets (short lengths cover the
+  // eth/vlan/mpls prefixes).
+  expectLanguagePreserved(A, "eth", 20, 16);
+}
+
+//===----------------------------------------------------------------------===//
+// Back-translation
+//===----------------------------------------------------------------------===//
+
+void expectRoundTripPreserved(const p4a::Automaton &Aut,
+                              const std::string &Start, size_t MaxBytes,
+                              size_t SamplesPerLen = 32) {
+  TranslationValidation TV = buildTranslationValidation(Aut, Start);
+  ASSERT_TRUE(TV.ok()) << TV.Diagnostics[0];
+  ASSERT_TRUE(p4a::isWellTyped(TV.Reconstructed));
+  auto StartId = Aut.findState(Start);
+  auto RecStart = TV.Reconstructed.findState(TV.ReconstructedStart);
+  ASSERT_TRUE(RecStart.has_value());
+
+  uint64_t Seed = 0xfeedface;
+  for (size_t Len = 0; Len <= MaxBytes; ++Len)
+    for (size_t I = 0; I < SamplesPerLen; ++I) {
+      Bitvector Pkt;
+      for (size_t B = 0; B < Len * 8; ++B) {
+        Seed ^= Seed << 13;
+        Seed ^= Seed >> 7;
+        Seed ^= Seed << 17;
+        Pkt.pushBack(Seed & 1);
+      }
+      bool Orig = p4a::accepts(Aut, p4a::StateRef::normal(*StartId),
+                               p4a::Store(Aut), Pkt);
+      bool Rec = p4a::accepts(TV.Reconstructed,
+                              p4a::StateRef::normal(*RecStart),
+                              p4a::Store(TV.Reconstructed), Pkt);
+      ASSERT_EQ(Orig, Rec) << "round-trip divergence on " << Pkt.str();
+    }
+}
+
+TEST(BackTranslate, SimpleParserRoundTrips) {
+  p4a::Automaton A = p4a::parseAutomatonOrDie(R"(
+    state s {
+      extract(h, 8);
+      select(h[0:7]) { 0xff => accept  0x01 => t }
+    }
+    state t { extract(g, 8); goto accept }
+  )");
+  expectRoundTripPreserved(A, "s", 3, 256);
+}
+
+TEST(BackTranslate, MergedParserRoundTrips) {
+  p4a::Automaton A = p4a::parseAutomatonOrDie(R"(
+    state s {
+      extract(h, 8);
+      select(h[0:0]) { 1 => u  0 => accept }
+    }
+    state u {
+      extract(g, 8);
+      select(h[7:7]) { 1 => accept  0 => reject }
+    }
+  )");
+  expectRoundTripPreserved(A, "s", 3, 256);
+}
+
+TEST(BackTranslate, ReconstructionHasChunkStructure) {
+  // The reconstructed Edge parser has continuation (chunk) states for the
+  // merged ipv4+options windows.
+  TranslationValidation TV = buildEdgeTranslationValidation();
+  ASSERT_TRUE(TV.ok());
+  bool HasContinuation = false;
+  for (p4a::StateId Q = 0; Q < TV.Reconstructed.numStates(); ++Q)
+    HasContinuation |= TV.Reconstructed.stateName(Q).find("_x") !=
+                       std::string::npos;
+  EXPECT_TRUE(HasContinuation);
+}
+
+TEST(BackTranslate, EdgeRoundTripsOnPackets) {
+  // Concrete counterpart of the §7.2 experiment; the symbolic equivalence
+  // proof lives in the bench harness (it takes minutes).
+  expectRoundTripPreserved(parsers::gibbEdge(), "eth", 20, 8);
+}
+
+//===----------------------------------------------------------------------===//
+// Symbolic translation validation on a small parser (fast end-to-end)
+//===----------------------------------------------------------------------===//
+
+TEST(TranslationValidation, SymbolicEquivalenceOnSmallParser) {
+  p4a::Automaton A = p4a::parseAutomatonOrDie(R"(
+    state s {
+      extract(h, 8);
+      select(h[0:0]) { 1 => u  0 => accept }
+    }
+    state u {
+      extract(g, 8);
+      select(h[7:7]) { 1 => accept  0 => reject }
+    }
+  )");
+  TranslationValidation TV = buildTranslationValidation(A, "s");
+  ASSERT_TRUE(TV.ok());
+  core::CheckResult Res = core::checkLanguageEquivalence(
+      TV.Original, TV.OriginalStart, TV.Reconstructed,
+      TV.ReconstructedStart);
+  EXPECT_TRUE(Res.equivalent()) << Res.FailureReason;
+}
+
+TEST(TranslationValidation, CatchesMiscompilation) {
+  // Corrupt one table entry's next-state; back-translation then yields a
+  // parser the checker must distinguish from the original.
+  p4a::Automaton A = p4a::parseAutomatonOrDie(R"(
+    state s {
+      extract(h, 8);
+      select(h[0:7]) { 0xff => accept  0x01 => t }
+    }
+    state t { extract(g, 8); goto accept }
+  )");
+  CompileResult CR = compileToHw(A, 0);
+  ASSERT_TRUE(CR.ok());
+  // Flip the first accept into a reject.
+  bool Flipped = false;
+  for (TcamEntry &E : CR.Table.Entries)
+    if (!Flipped && E.NextState == HwAccept) {
+      E.NextState = HwReject;
+      Flipped = true;
+    }
+  ASSERT_TRUE(Flipped);
+  BackTranslateResult Back = backTranslate(CR.Table);
+  ASSERT_TRUE(Back.ok());
+  core::CheckResult Res = core::checkLanguageEquivalence(
+      A, "s", Back.Aut, Back.StartState);
+  EXPECT_EQ(Res.V, core::Verdict::NotEquivalent)
+      << "the miscompilation went undetected";
+}
+
+} // namespace

@@ -1,0 +1,328 @@
+//===- SmtTest.cpp - FOL(BV), bit-blasting, SMT-LIB tests -----------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the FOL(BV) layer: term/formula smart constructors, the solver
+/// facade (SAT with model validation / UNSAT), a randomized differential
+/// test of the bit-blaster against brute-force evaluation, and the
+/// SMT-LIB2 printer (including the MSB/LSB index translation and symbol
+/// sanitization).
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/BitBlast.h"
+#include "smt/BvFormula.h"
+#include "smt/SmtLib.h"
+#include "smt/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace leapfrog;
+using namespace leapfrog::smt;
+
+namespace {
+
+BvTermRef var(const std::string &N, size_t W) { return BvTerm::mkVar(N, W); }
+BvTermRef lit(const std::string &Bits) {
+  return BvTerm::mkConst(Bitvector::fromString(Bits));
+}
+
+//===----------------------------------------------------------------------===//
+// Smart constructors
+//===----------------------------------------------------------------------===//
+
+TEST(BvTerm, ConcatFoldsConstants) {
+  BvTermRef T = BvTerm::mkConcat(lit("10"), lit("01"));
+  ASSERT_EQ(T->kind(), BvTerm::Kind::Const);
+  EXPECT_EQ(T->constValue().str(), "1001");
+}
+
+TEST(BvTerm, ConcatDropsEpsilon) {
+  BvTermRef X = var("x", 3);
+  EXPECT_EQ(BvTerm::mkConcat(lit(""), X), X);
+  EXPECT_EQ(BvTerm::mkConcat(X, lit("")), X);
+}
+
+TEST(BvTerm, ExtractFullWidthIsIdentity) {
+  BvTermRef X = var("x", 5);
+  EXPECT_EQ(BvTerm::mkExtract(X, 0, 4), X);
+}
+
+TEST(BvTerm, ExtractOfConstFolds) {
+  BvTermRef T = BvTerm::mkExtract(lit("110101"), 1, 3);
+  ASSERT_EQ(T->kind(), BvTerm::Kind::Const);
+  EXPECT_EQ(T->constValue().str(), "101");
+}
+
+TEST(BvTerm, ExtractOfExtractComposes) {
+  BvTermRef X = var("x", 10);
+  BvTermRef T = BvTerm::mkExtract(BvTerm::mkExtract(X, 2, 8), 1, 3);
+  ASSERT_EQ(T->kind(), BvTerm::Kind::Extract);
+  EXPECT_EQ(T->extractOperand(), X);
+  EXPECT_EQ(T->extractLo(), 3u);
+  EXPECT_EQ(T->extractHi(), 5u);
+}
+
+TEST(BvTerm, ExtractDistributesOverConcat) {
+  BvTermRef X = var("x", 4), Y = var("y", 4);
+  BvTermRef C = BvTerm::mkConcat(X, Y);
+  // Fully inside the left operand.
+  BvTermRef L = BvTerm::mkExtract(C, 1, 3);
+  ASSERT_EQ(L->kind(), BvTerm::Kind::Extract);
+  EXPECT_EQ(L->extractOperand(), X);
+  // Fully inside the right operand.
+  BvTermRef R = BvTerm::mkExtract(C, 5, 7);
+  ASSERT_EQ(R->kind(), BvTerm::Kind::Extract);
+  EXPECT_EQ(R->extractOperand(), Y);
+  // Straddling: becomes a concat of two extracts.
+  BvTermRef M = BvTerm::mkExtract(C, 2, 5);
+  ASSERT_EQ(M->kind(), BvTerm::Kind::Concat);
+}
+
+TEST(BvFormula, EqFoldsConstants) {
+  EXPECT_EQ(BvFormula::mkEq(lit("101"), lit("101"))->kind(),
+            BvFormula::Kind::True);
+  EXPECT_EQ(BvFormula::mkEq(lit("101"), lit("100"))->kind(),
+            BvFormula::Kind::False);
+  EXPECT_EQ(BvFormula::mkEq(lit(""), lit(""))->kind(),
+            BvFormula::Kind::True);
+}
+
+TEST(BvFormula, ConnectiveIdentities) {
+  BvFormulaRef P = BvFormula::mkEq(var("x", 2), lit("10"));
+  EXPECT_EQ(BvFormula::mkAnd(BvFormula::mkTrue(), P), P);
+  EXPECT_EQ(BvFormula::mkOr(BvFormula::mkFalse(), P), P);
+  EXPECT_EQ(BvFormula::mkImplies(P, BvFormula::mkTrue())->kind(),
+            BvFormula::Kind::True);
+  EXPECT_EQ(BvFormula::mkNot(BvFormula::mkNot(P)), P);
+}
+
+//===----------------------------------------------------------------------===//
+// Solver facade
+//===----------------------------------------------------------------------===//
+
+TEST(Solver, SatWithModel) {
+  // x ++ y = 1001 with |x|=|y|=2 forces x=10, y=01.
+  BitBlastSolver S;
+  BvFormulaRef F = BvFormula::mkEq(
+      BvTerm::mkConcat(var("x", 2), var("y", 2)), lit("1001"));
+  Model M;
+  ASSERT_EQ(S.checkSat(F, &M), SatResult::Sat);
+  ASSERT_EQ(M.size(), 2u);
+  EXPECT_TRUE(evalFormula(F, M));
+}
+
+TEST(Solver, UnsatSliceConflict) {
+  // x[0:0] = 1 and x[0:0] = 0 cannot both hold.
+  BitBlastSolver S;
+  BvTermRef X = var("x", 3);
+  BvFormulaRef F = BvFormula::mkAnd(
+      BvFormula::mkEq(BvTerm::mkExtract(X, 0, 0), lit("1")),
+      BvFormula::mkEq(BvTerm::mkExtract(X, 0, 0), lit("0")));
+  EXPECT_EQ(S.checkSat(F, nullptr), SatResult::Unsat);
+}
+
+TEST(Solver, ValidityOfSelfEquality) {
+  BitBlastSolver S;
+  BvTermRef X = var("x", 64);
+  EXPECT_TRUE(S.isValid(BvFormula::mkEq(X, X)));
+  EXPECT_FALSE(S.isValid(BvFormula::mkEq(X, var("y", 64))));
+}
+
+TEST(Solver, ConcatSliceRoundTripIsValid) {
+  // (x ++ y)[0:|x|-1] = x is valid for all x, y.
+  BitBlastSolver S;
+  BvTermRef X = var("x", 5), Y = var("y", 3);
+  BvFormulaRef F = BvFormula::mkEq(
+      BvTerm::mkExtract(BvTerm::mkConcat(X, Y), 0, 4), X);
+  EXPECT_TRUE(S.isValid(F));
+}
+
+TEST(Solver, CountsQueries) {
+  BitBlastSolver S;
+  BvTermRef X = var("x", 4);
+  S.isValid(BvFormula::mkEq(X, X));
+  S.checkSat(BvFormula::mkEq(X, lit("1010")), nullptr);
+  EXPECT_EQ(S.stats().Queries, 2u);
+  EXPECT_EQ(S.stats().QueryMicros.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential fuzz: bit-blasting vs brute-force evaluation
+//===----------------------------------------------------------------------===//
+
+struct Rng {
+  uint64_t S;
+  explicit Rng(uint64_t Seed) : S(Seed * 0x9e3779b97f4a7c15ull + 1) {}
+  uint64_t next() {
+    S ^= S << 13;
+    S ^= S >> 7;
+    S ^= S << 17;
+    return S;
+  }
+  size_t below(size_t N) { return size_t(next() % N); }
+};
+
+/// Random term over variables x (3 bits) and y (2 bits).
+BvTermRef randomTerm(Rng &R, int Depth) {
+  if (Depth == 0 || R.below(3) == 0) {
+    switch (R.below(3)) {
+    case 0:
+      return var("x", 3);
+    case 1:
+      return var("y", 2);
+    default: {
+      Bitvector BV;
+      size_t Len = 1 + R.below(3);
+      for (size_t I = 0; I < Len; ++I)
+        BV.pushBack(R.below(2));
+      return BvTerm::mkConst(BV);
+    }
+    }
+  }
+  if (R.below(2) == 0)
+    return BvTerm::mkConcat(randomTerm(R, Depth - 1),
+                            randomTerm(R, Depth - 1));
+  BvTermRef Op = randomTerm(R, Depth - 1);
+  if (Op->width() == 0)
+    return Op;
+  size_t Lo = R.below(Op->width());
+  size_t Hi = Lo + R.below(Op->width() - Lo);
+  return BvTerm::mkExtract(Op, Lo, Hi);
+}
+
+BvFormulaRef randomFormula(Rng &R, int Depth) {
+  if (Depth == 0 || R.below(4) == 0) {
+    BvTermRef A = randomTerm(R, 2);
+    // Force matching widths by slicing both to the min width, or comparing
+    // to a constant of the right width.
+    Bitvector BV;
+    for (size_t I = 0; I < A->width(); ++I)
+      BV.pushBack(R.below(2));
+    return BvFormula::mkEq(A, BvTerm::mkConst(BV));
+  }
+  switch (R.below(4)) {
+  case 0:
+    return BvFormula::mkNot(randomFormula(R, Depth - 1));
+  case 1:
+    return BvFormula::mkAnd(randomFormula(R, Depth - 1),
+                            randomFormula(R, Depth - 1));
+  case 2:
+    return BvFormula::mkOr(randomFormula(R, Depth - 1),
+                           randomFormula(R, Depth - 1));
+  default:
+    return BvFormula::mkImplies(randomFormula(R, Depth - 1),
+                                randomFormula(R, Depth - 1));
+  }
+}
+
+class BlastFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlastFuzz, AgreesWithEnumeration) {
+  Rng R{uint64_t(GetParam())};
+  BvFormulaRef F = randomFormula(R, 3);
+
+  // Brute force over all assignments of x (3 bits) and y (2 bits). Note
+  // the formula may mention neither, either, or both.
+  bool AnySat = false;
+  for (uint64_t X = 0; X < 8; ++X)
+    for (uint64_t Y = 0; Y < 4; ++Y) {
+      std::vector<std::pair<std::string, Bitvector>> Assign{
+          {"x", Bitvector::fromUint(X, 3)}, {"y", Bitvector::fromUint(Y, 2)}};
+      AnySat |= evalFormula(F, Assign);
+    }
+
+  BitBlastSolver S;
+  Model M;
+  SatResult Res = S.checkSat(F, &M);
+  ASSERT_EQ(Res == SatResult::Sat, AnySat) << F->str();
+  if (Res == SatResult::Sat) {
+    // Extend the model with defaults for unconstrained variables and
+    // check it truly satisfies F.
+    auto Has = [&M](const std::string &N) {
+      for (auto &[Name, V] : M)
+        if (Name == N)
+          return true;
+      return false;
+    };
+    if (!Has("x"))
+      M.emplace_back("x", Bitvector(3));
+    if (!Has("y"))
+      M.emplace_back("y", Bitvector(2));
+    EXPECT_TRUE(evalFormula(F, M)) << F->str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, BlastFuzz, ::testing::Range(0, 300));
+
+//===----------------------------------------------------------------------===//
+// SMT-LIB printing
+//===----------------------------------------------------------------------===//
+
+TEST(SmtLib, TermSyntax) {
+  BvTermRef X = var("x", 8);
+  EXPECT_EQ(toSmtLibTerm(X), "x");
+  EXPECT_EQ(toSmtLibTerm(lit("1010")), "#b1010");
+  EXPECT_EQ(toSmtLibTerm(BvTerm::mkConcat(X, var("y", 4))),
+            "(concat x y)");
+}
+
+TEST(SmtLib, ExtractTranslatesMsbFirstToLsbIndices) {
+  // Our [1:3] on an 8-bit term covers bits 1..3 from the MSB; SMT-LIB
+  // indexes from the LSB, so that is (_ extract 6 4).
+  BvTermRef X = var("x", 8);
+  EXPECT_EQ(toSmtLibTerm(BvTerm::mkExtract(X, 1, 3)),
+            "((_ extract 6 4) x)");
+}
+
+TEST(SmtLib, FormulaSyntax) {
+  // mkImplies(P, False) folds to (not P) — the §6.2 simplifications apply
+  // before printing, so the emitted script is already reduced.
+  BvFormulaRef P = BvFormula::mkEq(var("a", 2), lit("01"));
+  EXPECT_EQ(toSmtLibFormula(BvFormula::mkImplies(P, BvFormula::mkFalse())),
+            "(not (= a #b01))");
+  BvFormulaRef Q = BvFormula::mkEq(var("b", 2), lit("10"));
+  EXPECT_EQ(toSmtLibFormula(BvFormula::mkImplies(P, Q)),
+            "(=> (= a #b01) (= b #b10))");
+  EXPECT_EQ(toSmtLibFormula(BvFormula::mkAnd(P, Q)),
+            "(and (= a #b01) (= b #b10))");
+  EXPECT_EQ(toSmtLibFormula(BvFormula::mkOr(P, Q)),
+            "(or (= a #b01) (= b #b10))");
+}
+
+TEST(SmtLib, ScriptDeclaresAllVarsOnce) {
+  BvFormulaRef F = BvFormula::mkAnd(
+      BvFormula::mkEq(var("a", 2), var("b", 2)),
+      BvFormula::mkEq(var("a", 2), lit("11")));
+  std::string Script = toSmtLibScript(F);
+  EXPECT_NE(Script.find("(set-logic QF_BV)"), std::string::npos);
+  EXPECT_NE(Script.find("(declare-const a (_ BitVec 2))"),
+            std::string::npos);
+  EXPECT_NE(Script.find("(declare-const b (_ BitVec 2))"),
+            std::string::npos);
+  EXPECT_NE(Script.find("(check-sat)"), std::string::npos);
+  // 'a' is declared exactly once.
+  size_t First = Script.find("declare-const a");
+  EXPECT_EQ(Script.find("declare-const a", First + 1), std::string::npos);
+}
+
+TEST(SmtLib, SanitizesStoreEliminationNames) {
+  // The store-elimination pass produces names like "h<mpls" and "buf>".
+  std::string S1 = sanitizeSymbol("h<mpls");
+  std::string S2 = sanitizeSymbol("h>mpls");
+  std::string S3 = sanitizeSymbol("buf<");
+  EXPECT_NE(S1, S2);
+  for (char C : S1 + S2 + S3)
+    EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+                C == '.' || C == '-' || C == '!')
+        << C;
+  // Leading digits are guarded.
+  EXPECT_FALSE(std::isdigit(
+      static_cast<unsigned char>(sanitizeSymbol("0weird")[0])));
+}
+
+} // namespace

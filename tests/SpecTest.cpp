@@ -1,0 +1,214 @@
+//===- SpecTest.cpp - Initial-relation spec and support tests -------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the initial-relation builders of core/Spec.h (Lemma 4.10 and the
+/// §7.1 qualified/custom generalizations), checker option plumbing (trace
+/// recording, iteration limits, solver injection), and the small support
+/// utilities (string helpers, hashing).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Checker.h"
+#include "core/Spec.h"
+
+#include "p4a/Parser.h"
+#include "parsers/CaseStudies.h"
+#include "support/Hashing.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace leapfrog;
+using namespace leapfrog::core;
+using namespace leapfrog::logic;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// buildInitialConjuncts
+//===----------------------------------------------------------------------===//
+
+std::vector<TemplatePair> smallDomain() {
+  Template Run{p4a::StateRef::normal(0), 0};
+  return {
+      {Template::accept(), Template::accept()},
+      {Template::accept(), Template::reject()},
+      {Template::reject(), Template::accept()},
+      {Template::reject(), Template::reject()},
+      {Run, Template::accept()},
+      {Template::accept(), Run},
+      {Run, Run},
+  };
+}
+
+TEST(Spec, StandardModeIsLemma410) {
+  InitialSpec Spec;
+  Spec.Mode = AcceptanceMode::Standard;
+  auto I = buildInitialConjuncts(Spec, smallDomain());
+  // Exactly the pairs where exactly one side accepts: (acc,rej),
+  // (rej,acc), (run,acc), (acc,run).
+  ASSERT_EQ(I.size(), 4u);
+  for (const GuardedFormula &G : I) {
+    EXPECT_NE(G.TP.L.isAccept(), G.TP.R.isAccept());
+    EXPECT_EQ(G.Phi->kind(), Pure::Kind::False);
+  }
+}
+
+TEST(Spec, QualifiedModeEmitsQualifierConjuncts) {
+  InitialSpec Spec;
+  Spec.Mode = AcceptanceMode::Qualified;
+  PureRef Q = Pure::mkEq(BitExpr::mkVar("q", 1),
+                         BitExpr::mkLit(Bitvector::fromUint(1, 1)));
+  Spec.LeftQualifier = Q;
+  Spec.RightQualifier = Pure::mkTrue();
+  auto I = buildInitialConjuncts(Spec, smallDomain());
+  // (acc,acc): qualL ⟺ True = qualL; (acc, non-acc): ¬qualL;
+  // (non-acc, acc): ¬True = ⊥.
+  size_t AccAcc = 0, AccOther = 0, OtherAcc = 0;
+  for (const GuardedFormula &G : I) {
+    if (G.TP.L.isAccept() && G.TP.R.isAccept()) {
+      ++AccAcc;
+      EXPECT_NE(G.Phi->kind(), Pure::Kind::False);
+    } else if (G.TP.L.isAccept()) {
+      ++AccOther;
+      EXPECT_EQ(G.Phi->kind(), Pure::Kind::Not);
+    } else if (G.TP.R.isAccept()) {
+      ++OtherAcc;
+      EXPECT_EQ(G.Phi->kind(), Pure::Kind::False);
+    }
+  }
+  EXPECT_EQ(AccAcc, 1u);
+  EXPECT_EQ(AccOther, 2u);
+  EXPECT_EQ(OtherAcc, 2u);
+}
+
+TEST(Spec, CustomModeUsesOnlyExtraInitial) {
+  InitialSpec Spec;
+  Spec.Mode = AcceptanceMode::Custom;
+  Spec.ExtraInitial.push_back(GuardedFormula{
+      TemplatePair{Template::accept(), Template::accept()}, Pure::mkFalse()});
+  auto I = buildInitialConjuncts(Spec, smallDomain());
+  ASSERT_EQ(I.size(), 1u);
+  EXPECT_TRUE(I[0].TP.L.isAccept());
+}
+
+TEST(Spec, ExtraInitialAppendsInEveryMode) {
+  InitialSpec Spec;
+  Spec.Mode = AcceptanceMode::Standard;
+  Spec.ExtraInitial.push_back(GuardedFormula{
+      TemplatePair{Template::accept(), Template::accept()},
+      Pure::mkEq(BitExpr::mkVar("x", 1), BitExpr::mkVar("x", 1))});
+  auto I = buildInitialConjuncts(Spec, smallDomain());
+  EXPECT_EQ(I.size(), 5u); // 4 standard + 1 extra.
+}
+
+//===----------------------------------------------------------------------===//
+// Checker options plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(CheckerOptions, TraceRecordsSkipExtendDone) {
+  p4a::Automaton L = parsers::rearrangeReference();
+  p4a::Automaton R = parsers::rearrangeCombined();
+  CheckOptions O;
+  O.RecordTrace = true;
+  CheckResult Res =
+      checkLanguageEquivalence(L, "parse_ip", R, "parse_combined", O);
+  ASSERT_TRUE(Res.equivalent());
+  ASSERT_FALSE(Res.Trace.empty());
+  EXPECT_EQ(Res.Trace.back().K, TraceStep::Kind::Done);
+  size_t Extends = 0, Skips = 0;
+  for (const TraceStep &T : Res.Trace) {
+    Extends += T.K == TraceStep::Kind::Extend;
+    Skips += T.K == TraceStep::Kind::Skip;
+  }
+  EXPECT_EQ(Extends, Res.Stats.Extends);
+  EXPECT_EQ(Skips, Res.Stats.Skips);
+}
+
+TEST(CheckerOptions, IterationLimitReportsResourceLimit) {
+  p4a::Automaton L = parsers::mplsReference();
+  p4a::Automaton R = parsers::mplsVectorized();
+  CheckOptions O;
+  O.MaxIterations = 3;
+  CheckResult Res = checkLanguageEquivalence(L, "q1", R, "q3", O);
+  EXPECT_EQ(Res.V, Verdict::ResourceLimit);
+  EXPECT_FALSE(Res.FailureReason.empty());
+}
+
+TEST(CheckerOptions, InjectedSolverReceivesAllQueries) {
+  p4a::Automaton L = parsers::rearrangeReference();
+  p4a::Automaton R = parsers::rearrangeCombined();
+  smt::BitBlastSolver Private;
+  CheckOptions O;
+  O.Solver = &Private;
+  CheckResult Res =
+      checkLanguageEquivalence(L, "parse_ip", R, "parse_combined", O);
+  ASSERT_TRUE(Res.equivalent());
+  EXPECT_EQ(Private.stats().Queries, Res.Stats.SmtQueries);
+}
+
+TEST(CheckerOptions, StatsAreInternallyConsistent) {
+  p4a::Automaton L = parsers::rearrangeReference();
+  p4a::Automaton R = parsers::rearrangeCombined();
+  CheckResult Res =
+      checkLanguageEquivalence(L, "parse_ip", R, "parse_combined");
+  EXPECT_EQ(Res.Stats.Iterations, Res.Stats.Extends + Res.Stats.Skips);
+  EXPECT_EQ(Res.Stats.FinalConjuncts, Res.Stats.Extends);
+  EXPECT_EQ(Res.Certificate.Relation.size(), Res.Stats.FinalConjuncts);
+  EXPECT_GT(Res.Stats.ReachPairs, 0u);
+  EXPECT_GT(Res.Stats.TemplatesLeft, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Support utilities
+//===----------------------------------------------------------------------===//
+
+TEST(Support, Join) {
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"a"}, ", "), "a");
+  EXPECT_EQ(join({"a", "b", "c"}, " ++ "), "a ++ b ++ c");
+}
+
+TEST(Support, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("z"), "z");
+}
+
+TEST(Support, SplitAndTrim) {
+  auto Parts = splitAndTrim(" a, b ;; c ", ",;");
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[1], "b");
+  EXPECT_EQ(Parts[2], "c");
+}
+
+TEST(Support, StartsWith) {
+  EXPECT_TRUE(startsWith("foobar", "foo"));
+  EXPECT_FALSE(startsWith("fo", "foo"));
+  EXPECT_TRUE(startsWith("x", ""));
+}
+
+TEST(Support, HashCombineSpreads) {
+  // Different orderings of the same values hash differently.
+  EXPECT_NE(hashAll(1, 2), hashAll(2, 1));
+  EXPECT_EQ(hashAll(size_t(7), size_t(9)), hashAll(size_t(7), size_t(9)));
+  PairHash PH;
+  EXPECT_NE(PH(std::make_pair(1, 2)), PH(std::make_pair(1, 3)));
+}
+
+TEST(Support, TemplateHashingDistinguishes) {
+  Template A{p4a::StateRef::normal(3), 7};
+  Template B{p4a::StateRef::normal(3), 8};
+  Template C{p4a::StateRef::normal(4), 7};
+  EXPECT_NE(A.hash(), B.hash());
+  EXPECT_NE(A.hash(), C.hash());
+  EXPECT_NE(Template::accept().hash(), Template::reject().hash());
+}
+
+} // namespace

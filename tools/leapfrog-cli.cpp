@@ -1,0 +1,215 @@
+//===- leapfrog-cli.cpp - Command-line equivalence checker -----------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// The push-button interface the paper's §7.3 envisions for downstream users
+// ("parser equivalence proofs in Leapfrog are fully automatic and
+// push-button"): point the tool at two parsers in the textual DSL and it
+// decides language equivalence, optionally replaying the certificate and
+// certifying every solver answer with DRUP proofs.
+//
+//   leapfrog-cli left.p4a q1 right.p4a q3 [options]
+//
+// Exit codes: 0 equivalent, 1 not equivalent, 2 resource limit, 3 usage or
+// input error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Checker.h"
+#include "p4a/Parser.h"
+#include "smt/Solver.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace leapfrog;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: leapfrog-cli <left.p4a> <left-state> <right.p4a> "
+      "<right-state> [options]\n"
+      "\n"
+      "Decides whether the two start states accept the same packets for\n"
+      "every initial store (paper §4), printing the verdict and search\n"
+      "statistics.\n"
+      "\n"
+      "options:\n"
+      "  --no-leaps         disable multi-step weakest preconditions "
+      "(§5.2)\n"
+      "  --no-reach         disable template reachability pruning (§5.1)\n"
+      "  --certify-smt      require a DRUP proof for every UNSAT solver\n"
+      "                     answer, replayed by an independent checker\n"
+      "  --replay           re-validate the equivalence certificate after\n"
+      "                     the search (independent of the search code)\n"
+      "  --max-iterations N worklist budget (default 1048576)\n"
+      "  --max-seconds N    wall-clock budget (default unlimited)\n"
+      "  --print            echo both parsers back (parsed form)\n"
+      "  --dump-cert        print the certificate (the conjuncts of the\n"
+      "                     symbolic bisimulation) on success\n"
+      "  --trace            print every Skip/Extend step of the search\n"
+      "                     (the paper's Figure 4 derivation)\n"
+      "  --quiet            verdict only\n");
+}
+
+bool readFile(const char *Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  Out = Ss.str();
+  return true;
+}
+
+struct LoadedParser {
+  p4a::Automaton Aut;
+  p4a::StateRef Start;
+};
+
+bool load(const char *Path, const char *StateName, LoadedParser &Out) {
+  std::string Source;
+  if (!readFile(Path, Source)) {
+    std::fprintf(stderr, "leapfrog-cli: cannot read '%s'\n", Path);
+    return false;
+  }
+  p4a::ParseResult Parsed = p4a::parseAutomaton(Source);
+  if (!Parsed.ok()) {
+    std::fprintf(stderr, "leapfrog-cli: errors in '%s':\n", Path);
+    for (const std::string &E : Parsed.Errors)
+      std::fprintf(stderr, "  %s\n", E.c_str());
+    return false;
+  }
+  Out.Aut = std::move(Parsed.Aut);
+  auto Id = Out.Aut.findState(StateName);
+  if (!Id) {
+    std::fprintf(stderr, "leapfrog-cli: '%s' has no state named '%s'\n",
+                 Path, StateName);
+    return false;
+  }
+  Out.Start = p4a::StateRef::normal(*Id);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 5) {
+    usage();
+    return 3;
+  }
+
+  core::CheckOptions Options;
+  smt::BitBlastSolver Solver;
+  Options.Solver = &Solver;
+  bool Replay = false, Print = false, Quiet = false, DumpCert = false;
+  for (int I = 5; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (!std::strcmp(Arg, "--no-leaps")) {
+      Options.UseLeaps = false;
+    } else if (!std::strcmp(Arg, "--no-reach")) {
+      Options.UseReachability = false;
+    } else if (!std::strcmp(Arg, "--certify-smt")) {
+      Solver.CertifyUnsat = true;
+    } else if (!std::strcmp(Arg, "--replay")) {
+      Replay = true;
+    } else if (!std::strcmp(Arg, "--print")) {
+      Print = true;
+    } else if (!std::strcmp(Arg, "--dump-cert")) {
+      DumpCert = true;
+    } else if (!std::strcmp(Arg, "--trace")) {
+      Options.RecordTrace = true;
+    } else if (!std::strcmp(Arg, "--quiet")) {
+      Quiet = true;
+    } else if (!std::strcmp(Arg, "--max-iterations") && I + 1 < Argc) {
+      Options.MaxIterations = size_t(std::strtoull(Argv[++I], nullptr, 10));
+    } else if (!std::strcmp(Arg, "--max-seconds") && I + 1 < Argc) {
+      Options.MaxWallMicros =
+          uint64_t(std::strtoull(Argv[++I], nullptr, 10)) * 1000000u;
+    } else {
+      std::fprintf(stderr, "leapfrog-cli: unknown option '%s'\n", Arg);
+      usage();
+      return 3;
+    }
+  }
+
+  LoadedParser Left, Right;
+  if (!load(Argv[1], Argv[2], Left) || !load(Argv[3], Argv[4], Right))
+    return 3;
+
+  if (Print) {
+    std::printf("-- %s --\n%s\n-- %s --\n%s\n", Argv[1],
+                Left.Aut.print().c_str(), Argv[3],
+                Right.Aut.print().c_str());
+  }
+
+  core::CheckResult Res = core::checkLanguageEquivalence(
+      Left.Aut, Left.Start, Right.Aut, Right.Start, Options);
+
+  if (Options.RecordTrace) {
+    for (const core::TraceStep &T : Res.Trace) {
+      const char *Kind = T.K == core::TraceStep::Kind::Skip ? "skip"
+                         : T.K == core::TraceStep::Kind::Extend
+                             ? "extend"
+                             : "done";
+      std::printf("%-6s %s\n", Kind,
+                  T.Psi.str(Left.Aut, Right.Aut).c_str());
+    }
+  }
+  if (DumpCert && Res.V == core::Verdict::Equivalent)
+    std::printf("%s", Res.Certificate.str(Left.Aut, Right.Aut).c_str());
+
+  switch (Res.V) {
+  case core::Verdict::Equivalent:
+    std::printf("EQUIVALENT\n");
+    break;
+  case core::Verdict::NotEquivalent:
+    std::printf("NOT EQUIVALENT\n");
+    if (!Quiet)
+      std::printf("  %s\n", Res.FailureReason.c_str());
+    break;
+  case core::Verdict::ResourceLimit:
+    std::printf("RESOURCE LIMIT\n");
+    if (!Quiet)
+      std::printf("  %s\n", Res.FailureReason.c_str());
+    break;
+  }
+
+  if (!Quiet) {
+    std::printf(
+        "  iterations %zu, conjuncts %zu, SMT queries %zu (%zu certified "
+        "UNSAT), %.2f s\n",
+        Res.Stats.Iterations, Res.Stats.FinalConjuncts,
+        Res.Stats.SmtQueries, size_t(Solver.stats().CertifiedUnsat),
+        double(Res.Stats.WallMicros) / 1e6);
+  }
+
+  if (Replay && Res.V == core::Verdict::Equivalent) {
+    core::ReplayResult R = core::replayCertificate(
+        Left.Aut, Right.Aut, Res.Certificate, &Solver);
+    if (!Quiet)
+      std::printf("  certificate replay: %s (%zu obligations)\n",
+                  R.Valid ? "valid" : R.FailureReason.c_str(),
+                  R.ObligationsChecked);
+    if (!R.Valid)
+      return 2;
+  }
+
+  switch (Res.V) {
+  case core::Verdict::Equivalent:
+    return 0;
+  case core::Verdict::NotEquivalent:
+    return 1;
+  case core::Verdict::ResourceLimit:
+    return 2;
+  }
+  return 2;
+}
