@@ -106,7 +106,7 @@ ExplicitCheckResult algorithms::checkEquivalenceExplicit(
   uint32_t I1 = L.D.Initial;
   uint32_t I2 = R.D.Initial + Offset;
 
-  bool Equiv;
+  bool Equiv = false;
   switch (Algo) {
   case ExplicitAlgorithm::HopcroftKarp:
     Equiv = hkEquivalent(Joint, I1, I2, &Out.Hk);
