@@ -30,8 +30,6 @@ using namespace leapfrog::logic;
 
 namespace {
 
-Bitvector bv(const std::string &S) { return Bitvector::fromString(S); }
-
 //===----------------------------------------------------------------------===//
 // Templates and leap sizes (Definitions 4.7, 5.3)
 //===----------------------------------------------------------------------===//
@@ -122,11 +120,12 @@ TEST(Templates, ReachSoundOnConcreteRuns) {
           C1 = p4a::step(A, C1, W.bit(I));
           C2 = p4a::step(B, C2, W.bit(I));
         }
-        if (I <= W.size())
+        if (I <= W.size()) {
           EXPECT_TRUE(Contains(TemplatePair{Template::ofConfig(C1),
                                             Template::ofConfig(C2)}))
               << "missing floor after " << I << " bits of " << W.str()
               << (Leaps ? " (leaps)" : " (bit)");
+        }
       }
     }
   }
@@ -233,7 +232,6 @@ TEST_P(WpCharacterization, MatchesMultiStepSemantics) {
   auto TemplatesB = allTemplates(B);
   TemplatePair GoalTP{TemplatesA[R.below(TemplatesA.size())],
                       TemplatesB[R.below(TemplatesB.size())]};
-  Ctx GoalCtx{&A, &B, GoalTP};
   // Goal: either ⊥ or an equation between a left-header slice and a
   // right-header (padded), both meaningful under any guard.
   PureRef Phi;
