@@ -107,7 +107,31 @@ struct CheckResult {
 };
 
 /// Runs Algorithm 1 for the property \p Spec over \p Left / \p Right.
-/// The automata must be well-typed (⊢A); asserts otherwise.
+///
+/// Preconditions: both automata must be well-typed (⊢A, p4a::typeCheck)
+/// — asserted in debug builds — and \p Spec must refer only to states,
+/// headers and templates of these two automata (templates must satisfy
+/// n < ||op(q)|| for user states, n = 0 for accept/reject).
+///
+/// Certificate guarantee: when the verdict is Equivalent, the returned
+/// CheckResult::Certificate is self-contained — replayCertificate()
+/// (Certificate.h) re-derives and re-discharges every initiation,
+/// consecution and inclusion obligation without reusing any search state,
+/// so trusting the verdict requires trusting only the replayer's lowering
+/// chain and the SMT backend (and with BitBlastSolver::CertifyUnsat set,
+/// only the DRUP proof checker). A NotEquivalent or ResourceLimit verdict
+/// carries no certificate and certifies nothing.
+///
+/// Complexity: each worklist iteration discharges one entailment ⋀R ⊨ ψ,
+/// i.e. one FOL(BV) validity query (NP-hard in formula size; see
+/// smt/Solver.h). The number of distinct guards is bounded by
+/// |templates(Left)| × |templates(Right)| — templates number
+/// Σ_q ||op(q)|| + 2 per side, so pseudo-polynomial in total header
+/// width — and the frontier deduplicates α-equivalent conjuncts per
+/// guard. UseLeaps replaces ♯-many bit-level WP steps by one leap step;
+/// UseReachability restricts guards to abstractly reachable pairs. The
+/// §7.3 ablations show the checker does not terminate in practice with
+/// either disabled.
 CheckResult checkWithSpec(const p4a::Automaton &Left,
                           const p4a::Automaton &Right,
                           const InitialSpec &Spec,
@@ -115,6 +139,9 @@ CheckResult checkWithSpec(const p4a::Automaton &Left,
 
 /// Language equivalence of two start states "regardless of initial store":
 /// L(⟨QL, s1, ε⟩) = L(⟨QR, s2, ε⟩) for all s1, s2 (paper §4).
+/// Shorthand for checkWithSpec(languageEquivalenceSpec(...)); the same
+/// preconditions, certificate guarantee and complexity notes apply.
+/// \p QL / \p QR must be states of their respective automata.
 CheckResult checkLanguageEquivalence(const p4a::Automaton &Left,
                                      p4a::StateRef QL,
                                      const p4a::Automaton &Right,

@@ -253,6 +253,8 @@ struct Ctx {
 };
 
 /// Width of \p E under \p C (clamped slice semantics; see Definition 3.1).
+/// Precondition: every header mentioned by \p E exists in its side's
+/// automaton in \p C. O(|E|).
 size_t widthUnder(const Ctx &C, const BitExprRef &E);
 
 /// A valuation σ : Var → bitvectors (Definition 4.3, generalized to
@@ -269,8 +271,9 @@ Bitvector evalBitExpr(const Ctx &C, const BitExprRef &E,
 bool evalPure(const Ctx &C, const PureRef &F, const p4a::Config &CL,
               const p4a::Config &CR, const Valuation &Sigma);
 
-/// True iff ⟨CL, CR⟩ ∈ ⟦G⟧ for all valuations of the rigid variables in G
-/// (enumerates valuations; test oracle only — asserts few variable bits).
+/// True iff ⟨CL, CR⟩ ∈ ⟦G⟧ for all valuations of the rigid variables in G.
+/// Enumerates all 2^b valuations for b total rigid-variable bits — a test
+/// oracle only, asserting b is small; the checker itself never calls this.
 bool holdsConcretely(const p4a::Automaton &Left, const p4a::Automaton &Right,
                      const GuardedFormula &G, const p4a::Config &CL,
                      const p4a::Config &CR);
@@ -284,7 +287,10 @@ struct SideSubst {
 
 /// Capture-free substitution of both sides' buffers and headers in \p F.
 /// Rigid variables are untouched. \p LeftS / \p RightS must cover every
-/// header of the respective automaton.
+/// header of the respective automaton (indexed by HeaderId); replacement
+/// expressions must have the width of what they replace under the target
+/// guard, or downstream lowering asserts. Runs in O(|F|) node visits;
+/// unchanged subtrees are shared, not copied.
 PureRef substitute(const PureRef &F, const SideSubst &LeftS,
                    const SideSubst &RightS);
 
@@ -313,7 +319,7 @@ PureRef renameRigidVars(
 /// frontier deduplicate them and lets the entailment check discharge a
 /// goal against an α-equivalent premise (the WP operator mints fresh
 /// variables on every application, so without canonicalization the
-/// frontier would never converge on relational properties).
+/// frontier would never converge on relational properties). O(|G.Phi|).
 GuardedFormula canonicalize(const GuardedFormula &G);
 
 } // namespace logic

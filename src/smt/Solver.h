@@ -58,10 +58,26 @@ public:
 
   /// Decides satisfiability of \p F over its free variables; fills \p M
   /// with a witness when satisfiable (pass nullptr to skip).
+  ///
+  /// Precondition: \p F must be well-sorted — every variable occurrence
+  /// agrees on width and every operator's operand widths are consistent
+  /// (guaranteed by the logic/Lower.h chain; asserted by the default
+  /// backend's bit-blaster). The query is decided exactly: no unknowns,
+  /// no timeouts at this layer (callers budget wall-clock above, see
+  /// core::CheckOptions::MaxWallMicros).
+  ///
+  /// Complexity: FOL(BV) satisfiability is NP-complete. The default
+  /// backend emits a CNF of O(nodes × width) variables and clauses and
+  /// runs CDCL over it — exponential worst case, fast on the checker's
+  /// entailment queries in practice (§7.3 reports median solver times in
+  /// the milliseconds).
   virtual SatResult checkSat(const BvFormulaRef &F, Model *M) = 0;
 
   /// Validity of the universal closure: ∀x⃗. F, decided as UNSAT(¬F).
-  /// On invalidity, fills \p Counterexample if non-null.
+  /// On invalidity, fills \p Counterexample if non-null with a falsifying
+  /// assignment. This is the only operation the equivalence checker and
+  /// the certificate replayer need, which is why UNSAT answers are the
+  /// certified direction (see BitBlastSolver::CertifyUnsat).
   bool isValid(const BvFormulaRef &F, Model *Counterexample = nullptr);
 
   const SolverStats &stats() const { return Stats; }
@@ -87,7 +103,10 @@ public:
   bool CertifyUnsat = false;
 };
 
-/// Returns the process-wide default solver instance.
+/// Returns the process-wide default solver instance (a BitBlastSolver
+/// without proof certification). Not thread-safe: the instance and its
+/// statistics are shared mutable state, so concurrent checkers must each
+/// construct their own backend and pass it via core::CheckOptions::Solver.
 SmtSolver &defaultSolver();
 
 } // namespace smt
