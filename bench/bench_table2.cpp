@@ -11,7 +11,7 @@
 // paper's absolute numbers come from Coq running proof search with
 // 400 GB-class memory; ours come from a native C++ checker, so the
 // comparable signal is the *shape*: which studies verify, and the
-// relative cost ordering. EXPERIMENTS.md records paper-vs-measured.
+// relative cost ordering. docs/EXPERIMENTS.md records paper-vs-measured.
 //
 // The External filtering and Relational verification rows use the
 // qualified/custom initial relations of §7.1; the Translation Validation
@@ -115,8 +115,8 @@ logic::PureRef goodEthertype(logic::Side S, const p4a::Automaton &Aut) {
 
 int main() {
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
-  std::printf("Table 2 reproduction (paper §7; see EXPERIMENTS.md for the "
-              "paper-vs-measured discussion)\n\n");
+  std::printf("Table 2 reproduction (paper §7; see docs/EXPERIMENTS.md for "
+              "the paper-vs-measured discussion)\n\n");
   printHeader();
 
   for (parsers::CaseStudy &Study : parsers::allCaseStudies()) {
