@@ -27,6 +27,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 using namespace leapfrog;
 using namespace leapfrog::core;
@@ -40,14 +42,65 @@ uint64_t percentile(std::vector<uint64_t> &Sorted, double P) {
   return Sorted[Idx];
 }
 
+/// One JSON record per (study, mode) pair, written with --json so CI can
+/// archive the numbers as an artifact without parsing the human table.
+struct JsonRecord {
+  std::string Study;
+  std::string Mode; ///< "incremental" or "monolithic".
+  uint64_t Queries = 0;
+  uint64_t P50 = 0, P99 = 0, Max = 0;
+  uint64_t TotalMicros = 0;
+  uint64_t SessionPremises = 0, PremiseCacheHits = 0, ReusedClauses = 0;
+};
+
+void writeJson(const char *Path, const std::vector<JsonRecord> &Records) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "bench_smt: cannot open %s for writing\n", Path);
+    return;
+  }
+  std::fprintf(F, "[\n");
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const JsonRecord &R = Records[I];
+    std::fprintf(F,
+                 "  {\"study\": \"%s\", \"mode\": \"%s\", \"queries\": %zu, "
+                 "\"p50_us\": %zu, \"p99_us\": %zu, \"max_us\": %zu, "
+                 "\"total_us\": %zu, \"session_premises\": %zu, "
+                 "\"premise_cache_hits\": %zu, \"reused_clauses\": %zu}%s\n",
+                 R.Study.c_str(), R.Mode.c_str(), size_t(R.Queries),
+                 size_t(R.P50), size_t(R.P99), size_t(R.Max),
+                 size_t(R.TotalMicros), size_t(R.SessionPremises),
+                 size_t(R.PremiseCacheHits), size_t(R.ReusedClauses),
+                 I + 1 < Records.size() ? "," : "");
+  }
+  std::fprintf(F, "]\n");
+  std::fclose(F);
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  // --smoke: only the fast studies, no certification rerun — the CI perf
+  // smoke step runs this and uploads --json as an artifact, seeding a
+  // longitudinal record without gating on noisy thresholds.
+  bool Smoke = false;
+  const char *JsonPath = nullptr;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--smoke")) {
+      Smoke = true;
+    } else if (!std::strcmp(argv[I], "--json") && I + 1 < argc) {
+      JsonPath = argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+  std::vector<JsonRecord> Json;
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
   std::printf("SMT query latency distribution (paper §7.3)\n\n");
-  std::printf("%-26s %8s %8s %8s %8s %8s %8s %6s %6s\n", "Study", "queries",
-              "min(us)", "p50(us)", "p90(us)", "p99(us)", "max(us)", "sat%",
-              "unsat%");
+  std::printf("%-26s %-12s %8s %8s %8s %8s %8s %8s %6s %6s\n", "Study",
+              "Mode", "queries", "min(us)", "p50(us)", "p90(us)", "p99(us)",
+              "max(us)", "sat%", "unsat%");
 
   struct {
     const char *Name;
@@ -64,31 +117,56 @@ int main() {
        parsers::ipOptionsTimestamp(2), "parse_0", "parse_0"},
   };
 
+  // Each study runs twice — through the incremental sessions (the
+  // checker's default) and through per-query monolithic solving — so the
+  // table doubles as the incrementality ablation for §7.3.
   std::vector<uint64_t> All;
   for (auto &Study : Studies) {
-    smt::BitBlastSolver Solver; // Fresh stats per study.
-    CheckOptions O;
-    O.Solver = &Solver;
-    CheckResult Res =
-        checkLanguageEquivalence(Study.L, Study.QL, Study.R, Study.QR, O);
-    (void)Res;
-    std::vector<uint64_t> Micros = Solver.stats().QueryMicros;
-    std::sort(Micros.begin(), Micros.end());
-    All.insert(All.end(), Micros.begin(), Micros.end());
-    double N = double(std::max<uint64_t>(Solver.stats().Queries, 1));
-    std::printf("%-26s %8zu %8zu %8zu %8zu %8zu %8zu %5.1f%% %5.1f%%\n",
-                Study.Name, size_t(Solver.stats().Queries),
-                size_t(Micros.empty() ? 0 : Micros.front()),
-                size_t(percentile(Micros, 0.50)),
-                size_t(percentile(Micros, 0.90)),
-                size_t(percentile(Micros, 0.99)),
-                size_t(Micros.empty() ? 0 : Micros.back()),
-                100.0 * double(Solver.stats().SatAnswers) / N,
-                100.0 * double(Solver.stats().UnsatAnswers) / N);
+    if (Smoke && !std::strcmp(Study.Name, "Variable-length parsing"))
+      continue; // The one slow utility study; smoke stays seconds-fast.
+    for (bool Incremental : {true, false}) {
+      smt::BitBlastSolver Solver; // Fresh stats per (study, mode).
+      CheckOptions O;
+      O.Solver = &Solver;
+      O.UseIncremental = Incremental;
+      CheckResult Res =
+          checkLanguageEquivalence(Study.L, Study.QL, Study.R, Study.QR, O);
+      (void)Res;
+      std::vector<uint64_t> Micros = Solver.stats().QueryMicros;
+      std::sort(Micros.begin(), Micros.end());
+      if (Incremental)
+        All.insert(All.end(), Micros.begin(), Micros.end());
+      double N = double(std::max<uint64_t>(Solver.stats().Queries, 1));
+      const char *Mode = Incremental ? "incremental" : "monolithic";
+      std::printf(
+          "%-26s %-12s %8zu %8zu %8zu %8zu %8zu %8zu %5.1f%% %5.1f%%\n",
+          Study.Name, Mode, size_t(Solver.stats().Queries),
+          size_t(Micros.empty() ? 0 : Micros.front()),
+          size_t(percentile(Micros, 0.50)),
+          size_t(percentile(Micros, 0.90)),
+          size_t(percentile(Micros, 0.99)),
+          size_t(Micros.empty() ? 0 : Micros.back()),
+          100.0 * double(Solver.stats().SatAnswers) / N,
+          100.0 * double(Solver.stats().UnsatAnswers) / N);
+      Json.push_back(JsonRecord{
+          Study.Name, Mode, Solver.stats().Queries,
+          percentile(Micros, 0.50), percentile(Micros, 0.99),
+          Micros.empty() ? 0 : Micros.back(), Solver.stats().TotalMicros,
+          Solver.stats().SessionPremises, Solver.stats().PremiseCacheHits,
+          Solver.stats().ReusedClauses});
+      if (Incremental)
+        std::printf("%-26s %-12s premises=%zu cache-hits=%zu "
+                    "reused-clauses=%zu sessions=%zu\n",
+                    "", "", size_t(Solver.stats().SessionPremises),
+                    size_t(Solver.stats().PremiseCacheHits),
+                    size_t(Solver.stats().ReusedClauses),
+                    size_t(Solver.stats().SessionsOpened));
+    }
   }
 
   std::sort(All.begin(), All.end());
-  std::printf("%-26s %8zu %8zu %8zu %8zu %8zu %8zu\n", "ALL", All.size(),
+  std::printf("%-26s %-12s %8zu %8zu %8zu %8zu %8zu %8zu\n", "ALL",
+              "incremental", All.size(),
               size_t(All.empty() ? 0 : All.front()),
               size_t(percentile(All, 0.50)), size_t(percentile(All, 0.90)),
               size_t(percentile(All, 0.99)),
@@ -97,6 +175,11 @@ int main() {
     std::printf("\npaper shape check: p99/max = %.2f (paper: 5s/10s "
                 "= 0.50; heavily skewed either way)\n",
                 double(percentile(All, 0.99)) / double(All.back()));
+  if (Smoke) {
+    if (JsonPath)
+      writeJson(JsonPath, Json);
+    return 0;
+  }
 
   // Proof-reconstruction overhead (the §6.4 future-work item, implemented
   // here as DRUP logging + independent replay): rerun each study with a
@@ -141,5 +224,7 @@ int main() {
     std::printf("\nsample SMT-LIB export of a lowered query:\n%s",
                 smt::toSmtLibScript(Q).c_str());
   }
+  if (JsonPath)
+    writeJson(JsonPath, Json);
   return 0;
 }

@@ -47,13 +47,15 @@ struct Row {
   size_t Total = 0;
   bool ExpectEquivalent = true;
   CheckResult Result;
+  smt::SolverStats Solver; ///< Per-row backend stats (fresh instance).
 };
 
 void printHeader() {
-  std::printf("%-28s %-14s %7s %9s %7s %9s %10s %9s %8s %8s %s\n", "Name",
-              "Category", "States", "Branched", "Total", "Reach", "Conjuncts",
-              "Queries", "Time(s)", "RSS(MB)", "Verdict");
-  std::printf("%s\n", std::string(132, '-').c_str());
+  std::printf("%-28s %-14s %7s %9s %7s %9s %10s %9s %8s %9s %8s %s\n",
+              "Name", "Category", "States", "Branched", "Total", "Reach",
+              "Conjuncts", "Queries", "Time(s)", "Solve(s)", "RSS(MB)",
+              "Verdict");
+  std::printf("%s\n", std::string(142, '-').c_str());
 }
 
 void printRow(const Row &R) {
@@ -70,16 +72,25 @@ void printRow(const Row &R) {
                         ? R.Category == "Applicability"
                         : (R.Result.V == Verdict::Equivalent) ==
                               R.ExpectEquivalent;
-  std::printf("%-28s %-14s %7zu %9zu %7zu %9zu %10zu %9zu %8.2f %8.1f %s%s\n",
-              R.Name.c_str(), R.Category.c_str(), R.States, R.Branched,
-              R.Total, R.Result.Stats.ReachPairs,
-              R.Result.Stats.FinalConjuncts, R.Result.Stats.SmtQueries,
-              double(R.Result.Stats.WallMicros) / 1e6, maxRssMb(), Verdict,
-              AsExpected ? "" : "  ** UNEXPECTED **");
+  std::printf(
+      "%-28s %-14s %7zu %9zu %7zu %9zu %10zu %9zu %8.2f %9.2f %8.1f %s%s\n",
+      R.Name.c_str(), R.Category.c_str(), R.States, R.Branched, R.Total,
+      R.Result.Stats.ReachPairs, R.Result.Stats.FinalConjuncts,
+      R.Result.Stats.SmtQueries, double(R.Result.Stats.WallMicros) / 1e6,
+      double(R.Result.Stats.SolverMicros) / 1e6, maxRssMb(), Verdict,
+      AsExpected ? "" : "  ** UNEXPECTED **");
+  if (R.Solver.SessionQueries > 0)
+    std::printf("%-28s %-14s sessions=%zu premises-blasted=%zu "
+                "cache-hits=%zu reused-clauses=%zu\n",
+                "", "  (incremental)", size_t(R.Solver.SessionsOpened),
+                size_t(R.Solver.SessionPremises),
+                size_t(R.Solver.PremiseCacheHits),
+                size_t(R.Solver.ReusedClauses));
 }
 
 Row runStudy(const parsers::CaseStudy &Study, const InitialSpec &Spec,
-             bool ExpectEquivalent, size_t MaxIterations = 1u << 20) {
+             bool ExpectEquivalent, size_t MaxIterations = 1u << 20,
+             uint64_t MaxWallMicros = 0) {
   Row R;
   R.Name = Study.Name;
   R.Category = Study.Category;
@@ -87,9 +98,13 @@ Row runStudy(const parsers::CaseStudy &Study, const InitialSpec &Spec,
   R.Branched = Study.Left.branchedBits() + Study.Right.branchedBits();
   R.Total = Study.Left.totalHeaderBits() + Study.Right.totalHeaderBits();
   R.ExpectEquivalent = ExpectEquivalent;
+  smt::BitBlastSolver Solver; // Fresh backend per row: isolated stats.
   CheckOptions O;
+  O.Solver = &Solver;
   O.MaxIterations = MaxIterations;
+  O.MaxWallMicros = MaxWallMicros;
   R.Result = checkWithSpec(Study.Left, Study.Right, Spec, O);
+  R.Solver = Solver.stats();
   return R;
 }
 
@@ -137,13 +152,19 @@ int main() {
       Spec.ExtraInitial.push_back(
           logic::GuardedFormula{AccAcc, logic::Pure::mkEq(HL, HR)});
     }
-    // The applicability self-comparisons get an iteration budget: the
-    // spurious off-diagonal template pairs of the leap-level reach
-    // abstraction make their refutation chains long (see DESIGN.md §5),
-    // so unbounded runs can take hours — exactly the paper's experience
-    // at Coq scale (hundreds of GB / many hours).
-    size_t Budget = Study.Category == "Applicability" ? 10000 : (1u << 20);
-    printRow(runStudy(Study, Spec, Expect, Budget));
+    // The applicability self-comparisons get a budget: the spurious
+    // off-diagonal template pairs of the leap-level reach abstraction
+    // make their refutation chains long (see DESIGN.md §5) — the paper's
+    // experience at Coq scale (hundreds of GB / many hours). With the
+    // incremental solver sessions each iteration is ~3× cheaper, so the
+    // old 10000-iteration cap (which kept Edge and Datacenter DNF) is
+    // now a 50000-iteration cap with a 15-minute wall-clock valve: Edge
+    // converges around 34k iterations and Datacenter around 18k — see
+    // docs/EXPERIMENTS.md for the measured before/after.
+    bool Big = Study.Category == "Applicability";
+    size_t Budget = Big ? 50000 : (1u << 20);
+    uint64_t WallBudget = Big ? 900u * 1000u * 1000u : 0;
+    printRow(runStudy(Study, Spec, Expect, Budget, WallBudget));
   }
 
   // Translation Validation (Figure 8): compile Edge to TCAM tables,
@@ -162,7 +183,11 @@ int main() {
                              TV.OriginalStart,
                              TV.Reconstructed,
                              TV.ReconstructedStart};
-    printRow(runStudy(Study, plainSpec(Study), true, 10000));
+    // Still DNF even incrementally (does not converge within 22k
+    // iterations / 12 minutes — see docs/EXPERIMENTS.md), so a tighter
+    // wall valve keeps the row from dominating the whole table's runtime.
+    printRow(runStudy(Study, plainSpec(Study), true, 50000,
+                      300u * 1000u * 1000u));
   }
 
   // §7.1 sanity checks: inequivalent inputs must be rejected, with the

@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <deque>
+#include <unordered_map>
 #include <unordered_set>
 
 using namespace leapfrog;
@@ -94,6 +95,26 @@ CheckResult core::checkWithSpec(const p4a::Automaton &Left,
   PureRef Premise =
       Spec.Premise ? Spec.Premise : Pure::mkTrue();
 
+  // Incremental entailment state (one solver session per template pair).
+  // Premises with a guard other than the goal's are filtered out of every
+  // entailment (lowerEntailment stage 2), so the premise set a query sees
+  // is exactly {P ∈ R | P.TP = goal.TP} — a set that only grows. Keeping
+  // one session per guard lets each conjunct be lowered and bit-blasted
+  // exactly once per run, with NextConjunct tracking the prefix of R the
+  // session has already consumed.
+  struct TpSession {
+    std::unique_ptr<smt::SmtSolver::IncrementalSession> Session;
+    size_t NextConjunct = 0;
+  };
+  std::unordered_map<TemplatePair, TpSession, logic::TemplatePairHasher>
+      Sessions;
+  auto SessionFor = [&](const TemplatePair &TP) -> TpSession & {
+    TpSession &TS = Sessions[TP];
+    if (!TS.Session)
+      TS.Session = Solver.openSession();
+    return TS;
+  };
+
   // Main worklist (Algorithm 1 / the pre_bisimulation relation, Fig. 4).
   auto OverBudget = [&](const char *What) {
     Result.V = Verdict::ResourceLimit;
@@ -127,15 +148,38 @@ CheckResult core::checkWithSpec(const p4a::Automaton &Left,
 
     // Entailment ⋀R ⊨ ψ, lowered through the Figure 6 chain. The smart
     // constructors may already have collapsed the query to a constant.
-    LowerResult Lowered = lowerEntailment(Left, Right, R, Psi);
     bool Entailed;
-    if (Lowered.Query->kind() == smt::BvFormula::Kind::True) {
-      Entailed = true;
-    } else if (Lowered.Query->kind() == smt::BvFormula::Kind::False) {
-      Entailed = false;
+    if (Options.UseIncremental) {
+      // Incremental path: lower the goal alone (store-eliminated names
+      // depend only on (automata, guard), so per-conjunct lowering agrees
+      // with lowering the whole implication — see logic/Lower.h), feed
+      // the session any conjuncts of R it has not seen, and pose ψ as a
+      // goal query. An UNSAT premise set entails everything, which the
+      // session also answers correctly (UNSAT stays UNSAT under ¬ψ).
+      smt::BvFormulaRef Goal = lowerPure(Left, Right, Psi.TP, Psi.Phi);
+      if (Goal->kind() == smt::BvFormula::Kind::True) {
+        Entailed = true;
+      } else {
+        TpSession &TS = SessionFor(Psi.TP);
+        for (; TS.NextConjunct < R.size(); ++TS.NextConjunct) {
+          const GuardedFormula &P = R[TS.NextConjunct];
+          if (P.TP != Psi.TP)
+            continue;
+          TS.Session->assertPremise(lowerPure(Left, Right, Psi.TP, P.Phi));
+        }
+        ++St.SmtQueries;
+        Entailed = TS.Session->isEntailed(Goal);
+      }
     } else {
-      ++St.SmtQueries;
-      Entailed = Solver.isValid(Lowered.Query);
+      LowerResult Lowered = lowerEntailment(Left, Right, R, Psi);
+      if (Lowered.Query->kind() == smt::BvFormula::Kind::True) {
+        Entailed = true;
+      } else if (Lowered.Query->kind() == smt::BvFormula::Kind::False) {
+        Entailed = false;
+      } else {
+        ++St.SmtQueries;
+        Entailed = Solver.isValid(Lowered.Query);
+      }
     }
 
     if (Entailed) {

@@ -54,6 +54,16 @@ struct CheckOptions {
   uint64_t MaxWallMicros = 0;
   /// Solver backend; nullptr = smt::defaultSolver().
   smt::SmtSolver *Solver = nullptr;
+  /// Discharge the worklist entailments ⋀R ⊨ ψ through incremental solver
+  /// sessions (one per template pair): each conjunct of R is lowered and
+  /// bit-blasted once per run, and queries reuse the session's learned
+  /// clauses. Off = re-lower and re-blast the full premise conjunction on
+  /// every query (the pre-incremental behavior, kept as an ablation and
+  /// as the differential-testing baseline). Both paths answer every
+  /// entailment identically; with a certifying backend the session
+  /// transparently degrades to per-query monolithic solving so DRUP
+  /// proofs stay self-contained.
+  bool UseIncremental = true;
   /// Record one TraceStep per loop iteration (costs memory on big runs).
   bool RecordTrace = false;
 };

@@ -71,10 +71,7 @@ std::vector<TemplatePair> core::computeReach(const p4a::Automaton &Left,
                                              const p4a::Automaton &Right,
                                              TemplatePair Start,
                                              bool UseLeaps) {
-  struct PairHasher {
-    size_t operator()(const TemplatePair &TP) const { return TP.hash(); }
-  };
-  std::unordered_set<TemplatePair, PairHasher> Seen;
+  std::unordered_set<TemplatePair, logic::TemplatePairHasher> Seen;
   std::vector<TemplatePair> Order;
   std::deque<TemplatePair> Work;
 

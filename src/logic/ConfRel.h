@@ -88,6 +88,11 @@ struct TemplatePair {
   size_t hash() const { return hashAll(L.hash(), R.hash()); }
 };
 
+/// Hash adapter for keying unordered containers by TemplatePair.
+struct TemplatePairHasher {
+  size_t operator()(const TemplatePair &TP) const { return TP.hash(); }
+};
+
 class BitExpr;
 using BitExprRef = std::shared_ptr<const BitExpr>;
 

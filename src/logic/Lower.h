@@ -24,6 +24,22 @@
 /// truth of the entailment; the solver decides it as UNSAT of the
 /// negation.
 ///
+/// **Compositionality invariant.** Stages 3 and 4 are homomorphic in the
+/// boolean structure, and store elimination names variables purely as a
+/// function of (automata, guard template pair): `h≶name` for header
+/// selections, `buf≶` for buffers, `$name` for WP rigids. Consequently
+/// lowering a conjunction equals the conjunction of the lowerings, and
+/// lowering premises *one at a time* under a fixed guard produces the
+/// same FOL(BV) semantics as lowering the whole implication at once.
+/// The checker's incremental solver sessions (core/Checker.cpp,
+/// smt/Solver.h) are built on this: each conjunct of ⋀R is lowered via
+/// lowerPure() and asserted once, then goals are posed against the
+/// accumulated premise set. Any future lowering stage that mints
+/// context-dependent fresh names (per-call counters, per-query renaming)
+/// would silently break that path — extend the differential tests in
+/// CheckerTest (IncrementalDifferential) if you change the naming
+/// scheme.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LEAPFROG_LOGIC_LOWER_H

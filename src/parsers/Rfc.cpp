@@ -12,9 +12,13 @@ using namespace leapfrog::rfc;
 using namespace leapfrog::frontend;
 
 Bitvector rfc::beBits(uint64_t Value, size_t Width) {
+  // Width may exceed 64 (e.g. a 96-bit all-zero field); bits beyond the
+  // value's 64 are zero, and shifting by ≥ 64 is UB, so clamp explicitly.
   Bitvector Out(Width);
-  for (size_t I = 0; I < Width; ++I)
-    Out.setBit(I, (Value >> (Width - 1 - I)) & 1);
+  for (size_t I = 0; I < Width; ++I) {
+    size_t Shift = Width - 1 - I;
+    Out.setBit(I, Shift < 64 ? (Value >> Shift) & 1 : 0);
+  }
   return Out;
 }
 

@@ -173,7 +173,13 @@ Lit BitBlaster::blastFormula(const BvFormulaRef &F) {
   return Result;
 }
 
+Lit BitBlaster::litFor(const BvFormulaRef &F) {
+  PinnedRoots.push_back(F);
+  return blastFormula(F);
+}
+
 void BitBlaster::assertFormula(const BvFormulaRef &F) {
+  PinnedRoots.push_back(F);
   switch (F->kind()) {
   case BvFormula::Kind::True:
     return;

@@ -37,6 +37,14 @@ public:
   /// Tseitin for the rest.
   void assertFormula(const BvFormulaRef &F);
 
+  /// Blasts \p F to a literal equivalent to it (full Tseitin) *without*
+  /// asserting it. The definition clauses added are polarity-neutral
+  /// equivalences over fresh variables, so they never constrain the
+  /// original variables; incremental sessions use this to guard a query
+  /// behind an activation literal (addClause(~act, litFor(F)) asserts
+  /// act → F, solved under the assumption act).
+  Lit litFor(const BvFormulaRef &F);
+
   /// Reads the value of variable \p Name (of \p Width bits) from the SAT
   /// model; bits never mentioned in any assertion are reported as 0.
   /// Valid only after SatSolver::solve() returned true.
@@ -71,6 +79,13 @@ private:
   std::unordered_map<std::string, std::vector<Var>> VarBits;
   std::unordered_map<const BvFormula *, Lit> FormulaCache;
   std::unordered_map<const BvTerm *, std::vector<BBit>> TermCache;
+  /// Every formula ever given to assertFormula/litFor. The two caches
+  /// above key on raw node addresses, so the blaster must keep its roots
+  /// (and thereby all their subterms) alive: a freed-and-reallocated node
+  /// would otherwise alias a stale cache entry. Long-lived incremental
+  /// sessions hold one BitBlaster across many formulas, making this
+  /// pinning load-bearing rather than belt-and-braces.
+  std::vector<BvFormulaRef> PinnedRoots;
   Lit TrueL = Lit::undef();
 };
 

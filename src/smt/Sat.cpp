@@ -95,7 +95,9 @@ Var SatSolver::heapPop() {
 }
 
 bool SatSolver::addClause(std::vector<Lit> Lits) {
-  assert(decisionLevel() == 0 && "clauses must be added before solving");
+  // Incremental use: undo any decisions left over from a previous solve so
+  // the normalization below only consults level-0 (entailed) assignments.
+  backtrack(0);
   if (Unsat)
     return false;
   logInput(Lits);
@@ -314,7 +316,45 @@ uint64_t SatSolver::luby(uint64_t I) {
   return uint64_t(1) << Seq;
 }
 
-bool SatSolver::solve() {
+bool SatSolver::solve() { return solveUnderAssumptions({}); }
+
+void SatSolver::analyzeFinal(Lit A) {
+  // Assumption \p A was found false while being planted: ¬A is implied by
+  // the clause database together with the assumptions planted so far.
+  // Walk the implication graph backwards from ¬A and collect every
+  // pseudo-decision (planted assumption) it rests on; together with A
+  // itself they form an unsatisfiable subset of the assumptions.
+  FailedAssumptions.clear();
+  FailedAssumptions.push_back(A);
+  if (decisionLevel() == 0)
+    return; // ¬A holds at level 0: A alone conflicts with the clauses.
+  Seen[A.var()] = 1;
+  for (size_t I = Trail.size(); I > size_t(TrailLim[0]); --I) {
+    Var X = Trail[I - 1].var();
+    if (!Seen[X])
+      continue;
+    Seen[X] = 0;
+    if (Reasons[X] == NoReason) {
+      // A decision above level 0 can only be a planted assumption here:
+      // analyzeFinal runs before any search decision of this call, and
+      // earlier calls' decisions were undone on entry.
+      FailedAssumptions.push_back(Trail[I - 1]);
+    } else {
+      // Mark the antecedents, skipping X's own literal in its reason
+      // clause — marking it would re-set the Seen bit just cleared above
+      // and leak it past this walk, corrupting later conflict analyses.
+      for (Lit Q : Clauses[Reasons[X]].Lits)
+        if (Q.var() != X && Levels[Q.var()] > 0)
+          Seen[Q.var()] = 1;
+    }
+  }
+  Seen[A.var()] = 0;
+}
+
+bool SatSolver::solveUnderAssumptions(const std::vector<Lit> &Assumptions) {
+  ++S.Solves;
+  FailedAssumptions.clear();
+  backtrack(0); // Discard decisions from any previous call.
   if (Unsat)
     return false;
   if (propagate() != NoReason) {
@@ -322,8 +362,16 @@ bool SatSolver::solve() {
     Unsat = true;
     return false;
   }
+#ifndef NDEBUG
+  for (Lit A : Assumptions)
+    assert(A.var() >= 0 && size_t(A.var()) < Assigns.size() &&
+           "assumption references unallocated variable");
+#endif
   static constexpr uint64_t RestartBase = 64;
-  uint64_t RestartConflicts = RestartBase * luby(S.Restarts);
+  // The Luby schedule restarts per call: a fresh query deserves short
+  // restarts again even if earlier queries accumulated many.
+  uint64_t LocalRestarts = 0;
+  uint64_t RestartConflicts = RestartBase * luby(LocalRestarts);
   uint64_t ConflictsSinceRestart = 0;
   std::vector<Lit> Learnt;
 
@@ -345,6 +393,7 @@ bool SatSolver::solve() {
         enqueue(Learnt[0], NoReason);
       } else {
         Clauses.push_back(Clause{Learnt, /*Learnt=*/true});
+        ++LearntCount;
         attachClause(int(Clauses.size()) - 1);
         enqueue(Learnt[0], int(Clauses.size()) - 1);
       }
@@ -353,15 +402,36 @@ bool SatSolver::solve() {
     }
     if (ConflictsSinceRestart >= RestartConflicts) {
       ++S.Restarts;
+      ++LocalRestarts;
       ConflictsSinceRestart = 0;
-      RestartConflicts = RestartBase * luby(S.Restarts);
+      RestartConflicts = RestartBase * luby(LocalRestarts);
       backtrack(0);
       continue;
     }
-    Lit Next = pickBranchLit();
-    if (Next == Lit::undef())
-      return true; // All variables assigned: SAT.
-    ++S.Decisions;
+    // Plant the next pending assumption as a pseudo-decision (MiniSat's
+    // scheme: assumption k owns decision level k+1). Restarts and deep
+    // backjumps may unassign assumptions; this loop re-plants them.
+    Lit Next = Lit::undef();
+    while (decisionLevel() < int(Assumptions.size())) {
+      Lit A = Assumptions[decisionLevel()];
+      if (value(A) == LBool::True) {
+        // Already implied: open a dummy level to keep indices aligned.
+        TrailLim.push_back(int(Trail.size()));
+      } else if (value(A) == LBool::False) {
+        analyzeFinal(A);
+        backtrack(0);
+        return false;
+      } else {
+        Next = A;
+        break;
+      }
+    }
+    if (Next == Lit::undef()) {
+      Next = pickBranchLit();
+      if (Next == Lit::undef())
+        return true; // All variables assigned: SAT.
+      ++S.Decisions;
+    }
     TrailLim.push_back(int(Trail.size()));
     enqueue(Next, NoReason);
   }

@@ -64,15 +64,25 @@ inline LBool negate(LBool B) {
 }
 
 /// CDCL solver. Usage: newVar() to allocate variables, addClause() to add
-/// clauses, then solve(); on SAT, modelValue() reads the model. A solver
-/// instance is single-shot: all clauses must be added before solve().
+/// clauses, then solve(); on SAT, modelValue() reads the model.
+///
+/// The solver is *incremental* in the MiniSat sense: variables and clauses
+/// may keep being added after a solve() call, and solveUnderAssumptions()
+/// decides satisfiability under a temporary set of assumption literals
+/// while learned clauses, watch lists, variable activities and saved
+/// phases all survive across calls. Clients combine the two to pose many
+/// related queries cheaply: persistent facts go in as clauses, per-query
+/// facts as assumptions (typically one fresh activation literal guarding
+/// the query's clauses, retired afterwards with a unit clause).
 class SatSolver {
 public:
-  /// Allocates a fresh variable.
+  /// Allocates a fresh variable. May be called between solves.
   Var newVar();
 
   /// Adds a clause (disjunction of literals). Returns false if the clause
-  /// set is already unsatisfiable at level 0.
+  /// set is already unsatisfiable at level 0. May be called between
+  /// solves; any decisions from a previous call are first undone (which
+  /// invalidates the previous model — read it before adding clauses).
   bool addClause(std::vector<Lit> Lits);
 
   /// Convenience overloads for short clauses.
@@ -82,8 +92,27 @@ public:
     return addClause(std::vector<Lit>{A, B, C});
   }
 
-  /// Decides satisfiability. May be called once per solver instance.
+  /// Decides satisfiability of the clause set alone. Equivalent to
+  /// solveUnderAssumptions({}).
   bool solve();
+
+  /// Decides satisfiability of the clause set conjoined with the given
+  /// assumption literals. Assumptions are planted as pseudo-decisions on
+  /// the first decision levels (MiniSat-style), so everything the solver
+  /// learns is implied by the clause set alone and remains valid for
+  /// later calls with different assumptions.
+  ///
+  /// On a false return, failedAssumptions() distinguishes the two
+  /// causes: a non-empty set is a subset A' of \p Assumptions such that
+  /// clauses ∧ A' is unsatisfiable (a final-conflict analysis, not
+  /// guaranteed minimal); an empty set means the clause set is
+  /// unsatisfiable outright.
+  bool solveUnderAssumptions(const std::vector<Lit> &Assumptions);
+
+  /// See solveUnderAssumptions(); valid until the next solve call.
+  const std::vector<Lit> &failedAssumptions() const {
+    return FailedAssumptions;
+  }
 
   /// Value of \p V in the model; valid only after solve() returned true.
   bool modelValue(Var V) const {
@@ -93,6 +122,7 @@ public:
 
   size_t numVars() const { return Assigns.size(); }
   size_t numClauses() const { return Clauses.size(); }
+  size_t numLearntClauses() const { return LearntCount; }
 
   /// Enables DRUP proof logging into \p P (see Drat.h). Must be called
   /// before the first addClause(). The proof records every input clause
@@ -111,6 +141,7 @@ public:
     uint64_t Decisions = 0;
     uint64_t Propagations = 0;
     uint64_t Restarts = 0;
+    uint64_t Solves = 0; ///< solve()/solveUnderAssumptions() calls.
   };
   const Stats &stats() const { return S; }
 
@@ -128,6 +159,7 @@ private:
   }
 
   void enqueue(Lit L, ClauseRef Reason);
+  void analyzeFinal(Lit A);
   void heapInsert(Var V);
   Var heapPop();
   void percolateUp(int I);
@@ -168,6 +200,8 @@ private:
   /// Max-heap over variable activity for branching (MiniSat order heap).
   std::vector<Var> Heap;
   std::vector<int> HeapPos; ///< Position in Heap, or -1 when absent.
+  std::vector<Lit> FailedAssumptions;
+  size_t LearntCount = 0;
   bool Unsat = false;
   DratProof *Proof = nullptr;
   Stats S;

@@ -13,12 +13,162 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
+#include <unordered_set>
 
 using namespace leapfrog;
 using namespace leapfrog::smt;
 
 bool SmtSolver::isValid(const BvFormulaRef &F, Model *Counterexample) {
   return checkSat(BvFormula::mkNot(F), Counterexample) == SatResult::Unsat;
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental sessions
+//===----------------------------------------------------------------------===//
+
+/// The correct-by-construction fallback: keep the premises as formulas and
+/// re-pose their conjunction through checkSat() on every query. Used for
+/// backends without native incrementality and for BitBlastSolver when
+/// proof certification is on (each query then carries its own DRUP proof).
+class SmtSolver::MonolithicSession : public SmtSolver::IncrementalSession {
+public:
+  explicit MonolithicSession(SmtSolver &Owner) : Owner(Owner) {}
+
+  void assertPremise(const BvFormulaRef &F) override {
+    ++Owner.Stats.SessionPremises;
+    Premises.push_back(F);
+  }
+
+  SatResult checkSatUnderPremises(const BvFormulaRef &Goal,
+                                  Model *M) override {
+    ++Owner.Stats.SessionQueries;
+    BvFormulaRef Query = Goal;
+    // Right-fold so the goal stays innermost; mkAnd folds constants.
+    for (size_t I = Premises.size(); I > 0; --I)
+      Query = BvFormula::mkAnd(Premises[I - 1], Query);
+    return Owner.checkSat(Query, M);
+  }
+
+private:
+  SmtSolver &Owner;
+  std::vector<BvFormulaRef> Premises;
+};
+
+std::unique_ptr<SmtSolver::IncrementalSession> SmtSolver::openSession() {
+  ++Stats.SessionsOpened;
+  return std::make_unique<MonolithicSession>(*this);
+}
+
+/// The incremental backend: one SatSolver + BitBlaster for the session's
+/// lifetime. Premises are blasted once into persistent clauses; each goal
+/// is blasted to a definition literal guarded by a fresh activation
+/// literal, solved under that single assumption, and retired with a unit
+/// clause afterwards so it can never constrain a later query. Everything
+/// the CDCL solver learns — clauses, variable activity, saved phases —
+/// survives to the next query.
+class BitBlastSolver::Session : public SmtSolver::IncrementalSession {
+public:
+  explicit Session(BitBlastSolver &Owner) : Owner(Owner), Blaster(Sat) {}
+
+  void assertPremise(const BvFormulaRef &F) override {
+    if (F->kind() == BvFormula::Kind::True)
+      return;
+    // Structural-hash cache: a conjunct that renders identically is the
+    // same CNF; re-blasting it would only duplicate clauses.
+    if (!AssertedKeys.insert(F->str()).second) {
+      ++Owner.Stats.PremiseCacheHits;
+      return;
+    }
+    // Premise blasting is real solver-side work the monolithic path pays
+    // per query; time it into TotalMicros so the A/B benches compare
+    // like with like (it has no QueryMicros entry — it belongs to no
+    // single query, which is the whole point).
+    auto Start = std::chrono::steady_clock::now();
+    ++Owner.Stats.SessionPremises;
+    Premises.push_back(F);
+    size_t Before = Sat.numClauses();
+    Blaster.assertFormula(F);
+    PremiseClauses += Sat.numClauses() - Before;
+    auto End = std::chrono::steady_clock::now();
+    Owner.Stats.TotalMicros += uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+            .count());
+  }
+
+  SatResult checkSatUnderPremises(const BvFormulaRef &Goal,
+                                  Model *M) override {
+    auto Start = std::chrono::steady_clock::now();
+    ++Owner.Stats.SessionQueries;
+    // Clauses a monolithic solver would have to rebuild for this query:
+    // the premise CNF plus everything learned so far. Deliberately not
+    // Sat.numClauses() — that would also count earlier goals' retired
+    // Tseitin definitions, which are dead weight, not reuse.
+    Owner.Stats.ReusedClauses += PremiseClauses + Sat.numLearntClauses();
+
+    Lit Activation = Lit::mk(Sat.newVar(), false);
+    Sat.addClause(~Activation, Blaster.litFor(Goal));
+    bool IsSat = Sat.solveUnderAssumptions({Activation});
+    if (IsSat && M) {
+      // Read the model before touching the clause DB again: adding the
+      // retirement clause below unwinds the assignment.
+      M->clear();
+      std::unordered_set<std::string> SeenVars;
+      auto Collect = [&](const BvFormulaRef &F) {
+        for (const auto &[Name, Width] : collectVars(F))
+          if (SeenVars.insert(Name).second)
+            M->emplace_back(Name, Blaster.modelValue(Name, Width));
+      };
+      Collect(Goal);
+      for (const BvFormulaRef &P : Premises)
+        Collect(P);
+    }
+    // Retire the activation literal: its guard clauses are permanently
+    // satisfied and the variable never branches again.
+    Sat.addClause(~Activation);
+
+    auto End = std::chrono::steady_clock::now();
+    uint64_t Micros = uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+            .count());
+    SolverStats &St = Owner.Stats;
+    ++St.Queries;
+    St.TotalMicros += Micros;
+    St.MaxMicros = std::max(St.MaxMicros, Micros);
+    St.QueryMicros.push_back(Micros);
+    // Record per-query growth, not the cumulative instance size: the
+    // monolithic path records a fresh instance per query, so only the
+    // delta keeps TotalSatVars/Queries meaningful across backends.
+    St.TotalSatVars += Sat.numVars() - ReportedVars;
+    St.TotalSatClauses += Sat.numClauses() - ReportedClauses;
+    ReportedVars = Sat.numVars();
+    ReportedClauses = Sat.numClauses();
+    if (IsSat) {
+      ++St.SatAnswers;
+      return SatResult::Sat;
+    }
+    ++St.UnsatAnswers;
+    return SatResult::Unsat;
+  }
+
+private:
+  BitBlastSolver &Owner;
+  SatSolver Sat;
+  BitBlaster Blaster;
+  std::unordered_set<std::string> AssertedKeys;
+  std::vector<BvFormulaRef> Premises; ///< For model reconstruction.
+  size_t PremiseClauses = 0; ///< CNF clauses contributed by premises.
+  size_t ReportedVars = 0;   ///< Instance size already counted into
+  size_t ReportedClauses = 0; ///< TotalSatVars/TotalSatClauses.
+};
+
+std::unique_ptr<SmtSolver::IncrementalSession> BitBlastSolver::openSession() {
+  // A DRUP proof must cover one self-contained solve to be replayable by
+  // DratChecker, so certification falls back to monolithic queries.
+  if (CertifyUnsat)
+    return SmtSolver::openSession();
+  ++Stats.SessionsOpened;
+  return std::make_unique<Session>(*this);
 }
 
 SatResult BitBlastSolver::checkSat(const BvFormulaRef &F, Model *M) {
@@ -79,5 +229,20 @@ SatResult BitBlastSolver::checkSat(const BvFormulaRef &F, Model *M) {
 
 SmtSolver &smt::defaultSolver() {
   static BitBlastSolver Solver;
+#ifndef NDEBUG
+  // The shared instance (stats, sessions) is deliberately unsynchronized;
+  // now that sessions hold long-lived solver state this is enforced, not
+  // just documented. The check deliberately pins ownership to the first
+  // calling thread forever — strictly stronger than "no concurrent use",
+  // because sequential cross-thread handoff cannot be distinguished from
+  // a race without synchronization that the release build doesn't pay
+  // for. Programs that check from more than one thread (even one at a
+  // time) must construct their own BitBlastSolver and pass it via
+  // core::CheckOptions::Solver.
+  static const std::thread::id Owner = std::this_thread::get_id();
+  assert(std::this_thread::get_id() == Owner &&
+         "defaultSolver() used from a second thread; construct per-thread "
+         "BitBlastSolver instances instead");
+#endif
   return Solver;
 }

@@ -22,6 +22,7 @@
 #include "smt/BvFormula.h"
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -49,12 +50,65 @@ struct SolverStats {
   uint64_t CertifiedUnsat = 0; ///< UNSAT answers validated by DratChecker.
   uint64_t ProofLemmas = 0;    ///< Total lemmas across checked proofs.
   uint64_t ProofMicros = 0;    ///< Time spent replaying proofs.
+  /// Incremental-session counters (SmtSolver::openSession).
+  uint64_t SessionsOpened = 0;
+  uint64_t SessionQueries = 0;   ///< Queries answered through a session.
+  uint64_t SessionPremises = 0;  ///< Premise conjuncts blasted into sessions.
+  uint64_t PremiseCacheHits = 0; ///< Premises deduplicated by the
+                                 ///< structural-hash cache instead of
+                                 ///< being re-blasted.
+  uint64_t ReusedClauses = 0;    ///< Σ over session queries of the clauses
+                                 ///< (premise CNF + learned) already live
+                                 ///< in the solver when the query started —
+                                 ///< work a monolithic solver would redo.
 };
 
 /// Abstract satisfiability backend for FOL(BV).
 class SmtSolver {
 public:
   virtual ~SmtSolver() = default;
+
+  /// An incremental solving session: persistent *premises* asserted once,
+  /// then many per-query *goals* posed against their conjunction. This is
+  /// the shape of the checker's entailment loop (⋀R ⊨ ψ with R growing
+  /// monotonically): each conjunct of R is asserted exactly once per
+  /// session, and each popped ψ becomes one goal query.
+  ///
+  /// Contract: checkSatUnderPremises(G, M) must answer exactly like
+  /// checkSat(P₁ ∧ … ∧ Pₙ ∧ G, M) on the premises asserted so far — the
+  /// default implementation *is* that conjunction (correct for any
+  /// backend); BitBlastSolver overrides it with a long-lived CDCL
+  /// instance, activation literals and a premise bit-blast cache.
+  ///
+  /// A session must not outlive the solver that opened it. Sessions are
+  /// not thread-safe, and share the owning solver's statistics.
+  class IncrementalSession {
+  public:
+    virtual ~IncrementalSession() = default;
+
+    /// Asserts \p F as a persistent premise for all later queries.
+    virtual void assertPremise(const BvFormulaRef &F) = 0;
+
+    /// Decides satisfiability of (asserted premises) ∧ \p Goal; fills
+    /// \p M with a witness when satisfiable (nullptr to skip).
+    virtual SatResult checkSatUnderPremises(const BvFormulaRef &Goal,
+                                            Model *M) = 0;
+
+    /// Entailment of \p F by the asserted premises, decided as
+    /// UNSAT(premises ∧ ¬F) — the session analogue of isValid().
+    bool isEntailed(const BvFormulaRef &F) {
+      return checkSatUnderPremises(BvFormula::mkNot(F), nullptr) ==
+             SatResult::Unsat;
+    }
+  };
+
+  /// Opens an incremental session against this backend. The base
+  /// implementation returns a monolithic fallback that replays the
+  /// premise conjunction through checkSat() on every query — no state is
+  /// carried over, but the answers are correct by construction for any
+  /// backend (and inherit per-query certification when the backend
+  /// certifies checkSat).
+  virtual std::unique_ptr<IncrementalSession> openSession();
 
   /// Decides satisfiability of \p F over its free variables; fills \p M
   /// with a witness when satisfiable (pass nullptr to skip).
@@ -85,12 +139,25 @@ public:
 
 protected:
   SolverStats Stats;
+
+private:
+  class MonolithicSession; ///< The openSession() fallback (Solver.cpp).
 };
 
 /// The default backend: bit-blasting + CDCL (see BitBlast.h, Sat.h).
 class BitBlastSolver : public SmtSolver {
 public:
   SatResult checkSat(const BvFormulaRef &F, Model *M) override;
+
+  /// Incremental sessions backed by one long-lived SatSolver: premises
+  /// are bit-blasted once (deduplicated by a structural-hash cache) and
+  /// goals are guarded by fresh activation literals solved under
+  /// assumptions, so learned clauses, watch lists and VSIDS/phase state
+  /// carry over between queries. When CertifyUnsat is set, this returns
+  /// the monolithic fallback instead: a DRUP proof must span one
+  /// self-contained query to be replayable, so certification keeps the
+  /// one-solver-per-query discipline (and its cost).
+  std::unique_ptr<IncrementalSession> openSession() override;
 
   /// When set, every UNSAT answer is accompanied by a DRUP proof and
   /// replayed through DratChecker before being reported (see Drat.h); a
@@ -101,12 +168,21 @@ public:
   /// model that is checked against the formula by construction of the
   /// bit-blaster's variable mapping.
   bool CertifyUnsat = false;
+
+private:
+  class Session; ///< The incremental openSession() backend (Solver.cpp).
 };
 
 /// Returns the process-wide default solver instance (a BitBlastSolver
-/// without proof certification). Not thread-safe: the instance and its
-/// statistics are shared mutable state, so concurrent checkers must each
-/// construct their own backend and pass it via core::CheckOptions::Solver.
+/// without proof certification). Not thread-safe: the instance, its
+/// statistics, and any sessions opened on it are shared mutable state, so
+/// concurrent checkers must each construct their own backend and pass it
+/// via core::CheckOptions::Solver. Debug builds assert that every call
+/// comes from the thread that *first* touched the instance — ownership
+/// never rebinds, so even sequential use from a second thread trips the
+/// assert (the conservative check is free of synchronization); any
+/// multi-thread program should construct explicit BitBlastSolver
+/// instances instead.
 SmtSolver &defaultSolver();
 
 } // namespace smt

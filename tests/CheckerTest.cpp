@@ -444,4 +444,55 @@ TEST_P(RandomAutomataSweep, AgreesWithOracle) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomAutomataSweep,
                          ::testing::Range(0, 60));
 
+//===----------------------------------------------------------------------===//
+// Incremental vs monolithic entailment (differential over the registry)
+//===----------------------------------------------------------------------===//
+
+/// Every registered case study, run through the checker twice — once with
+/// the incremental solver sessions (the default) and once with per-query
+/// monolithic lowering — must take the identical Skip/Extend decision
+/// sequence and reach the identical verdict. A modest iteration cap keeps
+/// the applicability self-comparisons affordable while still diffing
+/// hundreds of live entailment queries per study; with a shared cap,
+/// identical decisions imply identical stats, so any divergence in a
+/// single entailment answer is caught.
+class IncrementalDifferential : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(IncrementalDifferential, DecisionsMatchMonolithic) {
+  std::vector<parsers::CaseStudy> Studies = parsers::allCaseStudies();
+  ASSERT_LT(GetParam(), Studies.size());
+  const parsers::CaseStudy &Study = Studies[GetParam()];
+
+  CheckOptions O;
+  O.MaxIterations = 500;
+
+  smt::BitBlastSolver IncrementalSolver, MonolithicSolver;
+  O.Solver = &IncrementalSolver;
+  O.UseIncremental = true;
+  CheckResult Inc = checkLanguageEquivalence(
+      Study.Left, Study.LeftStart, Study.Right, Study.RightStart, O);
+
+  O.Solver = &MonolithicSolver;
+  O.UseIncremental = false;
+  CheckResult Mono = checkLanguageEquivalence(
+      Study.Left, Study.LeftStart, Study.Right, Study.RightStart, O);
+
+  EXPECT_EQ(Inc.V, Mono.V) << Study.Name << ": " << Inc.FailureReason
+                           << " vs " << Mono.FailureReason;
+  EXPECT_EQ(Inc.Stats.Iterations, Mono.Stats.Iterations) << Study.Name;
+  EXPECT_EQ(Inc.Stats.Extends, Mono.Stats.Extends) << Study.Name;
+  EXPECT_EQ(Inc.Stats.Skips, Mono.Stats.Skips) << Study.Name;
+  EXPECT_EQ(Inc.Stats.FinalConjuncts, Mono.Stats.FinalConjuncts)
+      << Study.Name;
+  // The incremental run really went through sessions (unless every
+  // entailment folded to a constant before reaching the solver).
+  if (Inc.Stats.SmtQueries > 0) {
+    EXPECT_GT(IncrementalSolver.stats().SessionQueries, 0u) << Study.Name;
+  }
+  EXPECT_EQ(MonolithicSolver.stats().SessionQueries, 0u) << Study.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, IncrementalDifferential,
+                         ::testing::Range<size_t>(0, 10));
+
 } // namespace

@@ -123,6 +123,203 @@ TEST(Sat, XorChainForcesManyConflicts) {
 }
 
 //===----------------------------------------------------------------------===//
+// Incremental solving under assumptions
+//===----------------------------------------------------------------------===//
+
+/// True iff \p L occurs in \p Lits.
+bool contains(const std::vector<Lit> &Lits, Lit L) {
+  for (Lit X : Lits)
+    if (X == L)
+      return true;
+  return false;
+}
+
+TEST(SatAssumptions, SolveUnderAssumptionsBasic) {
+  SatSolver S;
+  Var X = S.newVar(), Y = S.newVar();
+  S.addClause(pos(X), pos(Y));
+  ASSERT_TRUE(S.solveUnderAssumptions({neg(X)}));
+  EXPECT_FALSE(S.modelValue(X));
+  EXPECT_TRUE(S.modelValue(Y));
+  ASSERT_FALSE(S.solveUnderAssumptions({neg(X), neg(Y)}));
+  // The failed set is a subset of the assumptions that is jointly
+  // unsatisfiable with the clauses — here it must name both.
+  EXPECT_TRUE(contains(S.failedAssumptions(), neg(X)));
+  EXPECT_TRUE(contains(S.failedAssumptions(), neg(Y)));
+  // Assumptions are transient: the instance itself is still satisfiable.
+  EXPECT_TRUE(S.solve());
+}
+
+TEST(SatAssumptions, FailedSetOmitsIrrelevantAssumptions) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.addClause(neg(A), pos(B)); // a → b
+  ASSERT_FALSE(S.solveUnderAssumptions({pos(A), neg(B), pos(C)}));
+  const std::vector<Lit> &Failed = S.failedAssumptions();
+  EXPECT_EQ(Failed.size(), 2u);
+  EXPECT_TRUE(contains(Failed, pos(A)));
+  EXPECT_TRUE(contains(Failed, neg(B)));
+  EXPECT_FALSE(contains(Failed, pos(C)));
+}
+
+TEST(SatAssumptions, GloballyUnsatReportsEmptyFailedSet) {
+  SatSolver S;
+  Var X = S.newVar(), Y = S.newVar();
+  S.addClause(pos(X));
+  EXPECT_FALSE(S.addClause(neg(X)));
+  EXPECT_FALSE(S.solveUnderAssumptions({pos(Y)}));
+  // Empty set: the clauses alone are unsatisfiable, no assumption needed.
+  EXPECT_TRUE(S.failedAssumptions().empty());
+}
+
+TEST(SatAssumptions, ContradictoryAssumptionsFail) {
+  SatSolver S;
+  Var X = S.newVar();
+  ASSERT_FALSE(S.solveUnderAssumptions({pos(X), neg(X)}));
+  EXPECT_TRUE(contains(S.failedAssumptions(), pos(X)));
+  EXPECT_TRUE(contains(S.failedAssumptions(), neg(X)));
+  EXPECT_TRUE(S.solve());
+}
+
+TEST(SatAssumptions, AssumptionImpliedByPropagationIsSkipped) {
+  // An assumption already true when planted opens a dummy decision level;
+  // the remaining assumptions must still line up correctly.
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.addClause(pos(A));           // a holds at level 0.
+  S.addClause(neg(B), pos(C));   // b → c
+  ASSERT_TRUE(S.solveUnderAssumptions({pos(A), pos(B)}));
+  EXPECT_TRUE(S.modelValue(B));
+  EXPECT_TRUE(S.modelValue(C));
+  ASSERT_FALSE(S.solveUnderAssumptions({pos(A), pos(B), neg(C)}));
+  EXPECT_FALSE(contains(S.failedAssumptions(), pos(A)));
+}
+
+/// Gates PHP(\p Pigeons, \p Pigeons - 1) behind an activation literal so
+/// the hard UNSAT core is reusable across queries.
+Var addGatedPigeonHole(SatSolver &S, int Pigeons) {
+  int Holes = Pigeons - 1;
+  Var Act = S.newVar();
+  std::vector<std::vector<Var>> P(Pigeons, std::vector<Var>(Holes));
+  for (auto &Row : P)
+    for (Var &V : Row)
+      V = S.newVar();
+  for (int I = 0; I < Pigeons; ++I) {
+    std::vector<Lit> C{neg(Act)};
+    for (int H = 0; H < Holes; ++H)
+      C.push_back(pos(P[I][H]));
+    S.addClause(C);
+  }
+  for (int H = 0; H < Holes; ++H)
+    for (int I = 0; I < Pigeons; ++I)
+      for (int J = I + 1; J < Pigeons; ++J)
+        S.addClause(std::vector<Lit>{neg(Act), neg(P[I][H]), neg(P[J][H])});
+  return Act;
+}
+
+TEST(SatAssumptions, LearnedClausesSpeedUpRepeatedQueries) {
+  SatSolver S;
+  Var Act = addGatedPigeonHole(S, 5);
+  size_t ClausesBefore = S.numClauses();
+
+  ASSERT_FALSE(S.solveUnderAssumptions({pos(Act)}));
+  EXPECT_EQ(S.failedAssumptions(), std::vector<Lit>{pos(Act)});
+  uint64_t FirstConflicts = S.stats().Conflicts;
+  EXPECT_GT(FirstConflicts, 0u);
+  // Learned clauses were retained across the call.
+  EXPECT_GT(S.numClauses(), ClausesBefore);
+
+  // The same query again: the learned clauses (and eventually a level-0
+  // unit ¬act) make the rerun strictly cheaper than the first solve.
+  ASSERT_FALSE(S.solveUnderAssumptions({pos(Act)}));
+  uint64_t SecondConflicts = S.stats().Conflicts - FirstConflicts;
+  EXPECT_LT(SecondConflicts, FirstConflicts);
+
+  // Without the activation literal the instance stays satisfiable.
+  EXPECT_TRUE(S.solve());
+}
+
+TEST(SatAssumptions, SurvivesRestartsAndPhaseSaving) {
+  // PHP(6,5) forces well over the 64-conflict restart threshold, so the
+  // assumption-planting loop must re-plant across restarts; afterwards the
+  // solver must still answer fresh queries on the same instance.
+  SatSolver S;
+  Var Act = addGatedPigeonHole(S, 6);
+  ASSERT_FALSE(S.solveUnderAssumptions({pos(Act)}));
+  EXPECT_GT(S.stats().Restarts, 0u);
+  EXPECT_EQ(S.failedAssumptions(), std::vector<Lit>{pos(Act)});
+  EXPECT_TRUE(S.solveUnderAssumptions({neg(Act)}));
+  EXPECT_FALSE(S.modelValue(Act));
+}
+
+TEST(SatIncremental, ClausesMayBeAddedBetweenSolves) {
+  // Enumerate the three models of (x ∨ y) by blocking each in turn — the
+  // activation-free form of the checker's retire-and-continue pattern.
+  SatSolver S;
+  Var X = S.newVar(), Y = S.newVar();
+  S.addClause(pos(X), pos(Y));
+  int Models = 0;
+  while (S.solve()) {
+    std::vector<Lit> Block{Lit::mk(X, S.modelValue(X)),
+                           Lit::mk(Y, S.modelValue(Y))};
+    ++Models;
+    ASSERT_LE(Models, 3);
+    S.addClause(Block);
+  }
+  EXPECT_EQ(Models, 3);
+}
+
+TEST(SatIncremental, RetiredActivationLiteralFreesLaterQueries) {
+  SatSolver S;
+  Var X = S.newVar();
+  Var Act = S.newVar();
+  S.addClause(neg(Act), pos(X)); // act → x
+  ASSERT_TRUE(S.solveUnderAssumptions({pos(Act)}));
+  EXPECT_TRUE(S.modelValue(X));
+  S.addClause(neg(Act)); // Retire.
+  // x is unconstrained again: both phases must be satisfiable.
+  EXPECT_TRUE(S.solveUnderAssumptions({neg(X)}));
+  EXPECT_TRUE(S.solveUnderAssumptions({pos(X)}));
+}
+
+TEST(SatAssumptions, AnalyzeFinalLeavesNoStaleSeenBits) {
+  // Regression: analyzeFinal must not re-mark a propagated variable via
+  // its own literal in its reason clause. A leaked Seen bit makes a later
+  // analyze() skip that variable during resolution and learn an unsound
+  // clause, turning a satisfiable assumption query UNSAT.
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.addClause(neg(A), pos(B)); // a → b
+  S.addClause(neg(B), pos(C)); // b → c
+  // UNSAT under {a, ¬c}; the analyzeFinal walk resolves through b.
+  ASSERT_FALSE(S.solveUnderAssumptions({pos(A), neg(C)}));
+  EXPECT_TRUE(contains(S.failedAssumptions(), pos(A)));
+  EXPECT_TRUE(contains(S.failedAssumptions(), neg(C)));
+
+  Var X = S.newVar(), Y = S.newVar();
+  S.addClause(neg(B), neg(X), pos(Y)); // b ∧ x → y
+  S.addClause(neg(B), neg(X), neg(Y)); // b ∧ x → ¬y
+  // Forces a conflict whose learned clause must retain ¬b.
+  ASSERT_FALSE(S.solveUnderAssumptions({pos(A), pos(X)}));
+  // x alone is satisfiable (x = 1, b = 0); a stale Seen[b] bit made this
+  // wrongly UNSAT before the fix.
+  EXPECT_TRUE(S.solveUnderAssumptions({pos(X)}));
+  EXPECT_TRUE(S.solve());
+}
+
+TEST(SatIncremental, NewVarsMayBeAddedBetweenSolves) {
+  SatSolver S;
+  Var X = S.newVar();
+  S.addClause(pos(X));
+  ASSERT_TRUE(S.solve());
+  Var Y = S.newVar();
+  S.addClause(neg(Y));
+  ASSERT_TRUE(S.solve());
+  EXPECT_TRUE(S.modelValue(X));
+  EXPECT_FALSE(S.modelValue(Y));
+}
+
+//===----------------------------------------------------------------------===//
 // Differential fuzzing against a reference DPLL
 //===----------------------------------------------------------------------===//
 
@@ -259,5 +456,86 @@ TEST_P(SatFuzz, MatchesDpllAndModelsCheck) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Random, SatFuzz, ::testing::Range(0, 400));
+
+/// Incremental differential fuzz: one long-lived CDCL instance answers a
+/// sequence of assumption queries interleaved with clause additions; every
+/// answer is checked against a fresh DPLL run on (clauses + assumptions as
+/// units), and every UNSAT failed-assumption set is re-validated to be
+/// genuinely unsatisfiable with the clauses. This is exactly the usage
+/// profile of the entailment sessions in smt/Solver.h.
+class SatIncrementalFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatIncrementalFuzz, MatchesDpllAcrossQuerySequence) {
+  Rng R{uint64_t(GetParam()) + 12345};
+  int NumVars = 5 + int(R.below(8));
+  SatSolver S;
+  for (int V = 0; V < NumVars; ++V)
+    (void)S.newVar();
+  std::vector<std::vector<Lit>> Clauses;
+  bool AddOk = true;
+
+  auto AddRandomClauses = [&](size_t Count) {
+    for (size_t I = 0; I < Count; ++I) {
+      std::vector<Lit> C;
+      size_t Len = 1 + R.below(3);
+      for (size_t K = 0; K < Len; ++K)
+        C.push_back(Lit::mk(Var(R.below(NumVars)), R.below(2)));
+      Clauses.push_back(C);
+      AddOk &= S.addClause(C);
+    }
+  };
+
+  AddRandomClauses(size_t(NumVars) * 2);
+  for (int Round = 0; Round < 10; ++Round) {
+    // A random assumption set (possibly with duplicates/contradictions);
+    // always ≥1 so every round exercises the multi-assumption machinery,
+    // including analyzeFinal's Seen-bit hygiene across calls.
+    std::vector<Lit> Assumptions;
+    for (size_t K = 1 + R.below(4); K > 0; --K)
+      Assumptions.push_back(Lit::mk(Var(R.below(NumVars)), R.below(2)));
+
+    std::vector<std::vector<Lit>> WithUnits = Clauses;
+    for (Lit A : Assumptions)
+      WithUnits.push_back({A});
+    bool Reference = Dpll(WithUnits, NumVars).solve();
+    bool Cdcl = AddOk && S.solveUnderAssumptions(Assumptions);
+    ASSERT_EQ(Cdcl, Reference)
+        << "incremental CDCL disagrees with DPLL, seed " << GetParam()
+        << " round " << Round;
+
+    if (Cdcl) {
+      for (const auto &C : Clauses) {
+        bool Satisfied = false;
+        for (Lit L : C)
+          Satisfied |= S.modelValue(L.var()) != L.negated();
+        EXPECT_TRUE(Satisfied) << "model violates a clause, seed "
+                               << GetParam() << " round " << Round;
+      }
+      for (Lit A : Assumptions)
+        EXPECT_TRUE(S.modelValue(A.var()) != A.negated())
+            << "model violates an assumption, seed " << GetParam();
+    } else if (AddOk && !S.failedAssumptions().empty()) {
+      // The failed set must (a) be a subset of the assumptions and
+      // (b) be jointly unsatisfiable with the clauses.
+      std::vector<std::vector<Lit>> Core = Clauses;
+      for (Lit F : S.failedAssumptions()) {
+        bool IsAssumption = false;
+        for (Lit A : Assumptions)
+          IsAssumption |= A == F;
+        EXPECT_TRUE(IsAssumption)
+            << "failed set contains a non-assumption, seed " << GetParam();
+        Core.push_back({F});
+      }
+      EXPECT_FALSE(Dpll(Core, NumVars).solve())
+          << "failed-assumption set is not an unsat core, seed "
+          << GetParam() << " round " << Round;
+    }
+    // Grow the instance between queries (the checker's R keeps growing).
+    AddRandomClauses(1 + R.below(3));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SatIncrementalFuzz,
+                         ::testing::Range(0, 200));
 
 } // namespace

@@ -260,6 +260,142 @@ TEST_P(BlastFuzz, AgreesWithEnumeration) {
 INSTANTIATE_TEST_SUITE_P(Random, BlastFuzz, ::testing::Range(0, 300));
 
 //===----------------------------------------------------------------------===//
+// Incremental sessions
+//===----------------------------------------------------------------------===//
+
+TEST(Session, EntailmentAgainstGrowingPremises) {
+  BitBlastSolver S;
+  auto Sess = S.openSession();
+  BvTermRef X = var("x", 4);
+  // No premises yet: x = 1010 is not entailed.
+  EXPECT_FALSE(Sess->isEntailed(BvFormula::mkEq(X, lit("1010"))));
+  Sess->assertPremise(BvFormula::mkEq(X, lit("1010")));
+  EXPECT_TRUE(Sess->isEntailed(BvFormula::mkEq(X, lit("1010"))));
+  // And a consequence via slicing, not syntactic identity.
+  EXPECT_TRUE(
+      Sess->isEntailed(BvFormula::mkEq(BvTerm::mkExtract(X, 0, 1), lit("10"))));
+  EXPECT_FALSE(
+      Sess->isEntailed(BvFormula::mkEq(BvTerm::mkExtract(X, 0, 1), lit("11"))));
+}
+
+TEST(Session, PremiseCacheDeduplicatesStructurally) {
+  BitBlastSolver S;
+  auto Sess = S.openSession();
+  BvTermRef X = var("x", 4);
+  // Structurally identical premises built as distinct nodes.
+  Sess->assertPremise(BvFormula::mkEq(var("x", 4), lit("1010")));
+  Sess->assertPremise(BvFormula::mkEq(var("x", 4), lit("1010")));
+  EXPECT_EQ(S.stats().SessionPremises, 1u);
+  EXPECT_EQ(S.stats().PremiseCacheHits, 1u);
+  EXPECT_TRUE(Sess->isEntailed(BvFormula::mkEq(X, lit("1010"))));
+  EXPECT_EQ(S.stats().SessionQueries, 1u);
+  EXPECT_EQ(S.stats().SessionsOpened, 1u);
+}
+
+TEST(Session, UnsatPremisesEntailEverything) {
+  BitBlastSolver S;
+  auto Sess = S.openSession();
+  BvTermRef X = var("x", 2);
+  Sess->assertPremise(BvFormula::mkEq(X, lit("00")));
+  Sess->assertPremise(BvFormula::mkEq(X, lit("11")));
+  EXPECT_TRUE(Sess->isEntailed(BvFormula::mkEq(var("y", 2), lit("01"))));
+  EXPECT_TRUE(Sess->isEntailed(BvFormula::mkFalse()));
+}
+
+TEST(Session, ModelCoversPremiseAndGoalVariables) {
+  BitBlastSolver S;
+  auto Sess = S.openSession();
+  Sess->assertPremise(BvFormula::mkEq(var("x", 3), lit("101")));
+  Model M;
+  ASSERT_EQ(Sess->checkSatUnderPremises(
+                BvFormula::mkEq(var("y", 2), lit("01")), &M),
+            SatResult::Sat);
+  ASSERT_EQ(M.size(), 2u);
+  std::vector<std::pair<std::string, Bitvector>> Assign(M.begin(), M.end());
+  EXPECT_TRUE(evalFormula(BvFormula::mkEq(var("x", 3), lit("101")), Assign));
+  EXPECT_TRUE(evalFormula(BvFormula::mkEq(var("y", 2), lit("01")), Assign));
+}
+
+TEST(Session, CertifyingSolverFallsBackToMonolithic) {
+  BitBlastSolver S;
+  S.CertifyUnsat = true;
+  auto Sess = S.openSession();
+  BvTermRef X = var("x", 4);
+  Sess->assertPremise(BvFormula::mkEq(X, lit("1010")));
+  EXPECT_TRUE(Sess->isEntailed(BvFormula::mkEq(X, lit("1010"))));
+  // The UNSAT answer behind the entailment was proof-checked, which only
+  // the monolithic path can do (a DRUP proof spans one solve).
+  EXPECT_GE(S.stats().CertifiedUnsat, 1u);
+  EXPECT_EQ(S.stats().ReusedClauses, 0u);
+}
+
+TEST(Session, TwoSolverInstancesShareNoState) {
+  // Regression for the Solver.h threading contract: explicit instances
+  // must be fully independent — premises asserted into one must never
+  // leak into the other, and statistics are per-instance.
+  BitBlastSolver A, B;
+  auto SessA = A.openSession();
+  auto SessB = B.openSession();
+  BvTermRef X = var("x", 2);
+  SessA->assertPremise(BvFormula::mkEq(X, lit("10")));
+  // B has no premises: nothing non-trivial is entailed there.
+  EXPECT_FALSE(SessB->isEntailed(BvFormula::mkEq(X, lit("10"))));
+  EXPECT_TRUE(SessA->isEntailed(BvFormula::mkEq(X, lit("10"))));
+  // B can even assert the contradictory premise without affecting A.
+  SessB->assertPremise(BvFormula::mkEq(X, lit("01")));
+  EXPECT_TRUE(SessB->isEntailed(BvFormula::mkEq(X, lit("01"))));
+  EXPECT_FALSE(SessA->isEntailed(BvFormula::mkEq(X, lit("01"))));
+  EXPECT_EQ(A.stats().SessionPremises, 1u);
+  EXPECT_EQ(B.stats().SessionPremises, 1u);
+  EXPECT_EQ(A.stats().SessionsOpened, 1u);
+  EXPECT_EQ(B.stats().SessionsOpened, 1u);
+}
+
+/// Differential fuzz: a session posed a random premise/goal sequence must
+/// agree query-for-query with monolithic checkSat on the conjunction.
+class SessionFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SessionFuzz, AgreesWithMonolithicConjunction) {
+  Rng R{uint64_t(GetParam()) + 777};
+  BitBlastSolver Incremental, Monolithic;
+  auto Sess = Incremental.openSession();
+  std::vector<BvFormulaRef> Premises;
+  for (int Round = 0; Round < 8; ++Round) {
+    if (R.below(2) == 0) {
+      BvFormulaRef P = randomFormula(R, 2);
+      Premises.push_back(P);
+      Sess->assertPremise(P);
+    }
+    BvFormulaRef Goal = randomFormula(R, 2);
+    BvFormulaRef Conj = Goal;
+    for (size_t I = Premises.size(); I > 0; --I)
+      Conj = BvFormula::mkAnd(Premises[I - 1], Conj);
+    Model M;
+    SatResult Inc = Sess->checkSatUnderPremises(Goal, &M);
+    SatResult Mono = Monolithic.checkSat(Conj, nullptr);
+    ASSERT_EQ(Inc == SatResult::Sat, Mono == SatResult::Sat)
+        << "session diverges from monolithic, seed " << GetParam()
+        << " round " << Round << " goal " << Goal->str();
+    if (Inc == SatResult::Sat) {
+      auto Has = [&M](const std::string &N) {
+        for (auto &[Name, V] : M)
+          if (Name == N)
+            return true;
+        return false;
+      };
+      if (!Has("x"))
+        M.emplace_back("x", Bitvector(3));
+      if (!Has("y"))
+        M.emplace_back("y", Bitvector(2));
+      EXPECT_TRUE(evalFormula(Conj, M))
+          << "session model violates premises∧goal, seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SessionFuzz, ::testing::Range(0, 200));
+
+//===----------------------------------------------------------------------===//
 // SMT-LIB printing
 //===----------------------------------------------------------------------===//
 
