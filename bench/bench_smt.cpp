@@ -51,6 +51,12 @@ struct JsonRecord {
   uint64_t P50 = 0, P99 = 0, Max = 0;
   uint64_t TotalMicros = 0;
   uint64_t SessionPremises = 0, PremiseCacheHits = 0, ReusedClauses = 0;
+  /// Session memory footprint (zero in monolithic mode). peak_learnts is
+  /// the CI perf gate's subject: tools/check_perf_baseline.py fails the
+  /// perf-smoke job when it regresses more than 2x over the committed
+  /// baseline (bench/baselines/bench_smt_smoke.json).
+  uint64_t PeakLearnts = 0, ArenaPeakBytes = 0;
+  uint64_t ClausesDeleted = 0, ReduceDbRuns = 0, SessionRestarts = 0;
 };
 
 void writeJson(const char *Path, const std::vector<JsonRecord> &Records) {
@@ -66,11 +72,17 @@ void writeJson(const char *Path, const std::vector<JsonRecord> &Records) {
                  "  {\"study\": \"%s\", \"mode\": \"%s\", \"queries\": %zu, "
                  "\"p50_us\": %zu, \"p99_us\": %zu, \"max_us\": %zu, "
                  "\"total_us\": %zu, \"session_premises\": %zu, "
-                 "\"premise_cache_hits\": %zu, \"reused_clauses\": %zu}%s\n",
+                 "\"premise_cache_hits\": %zu, \"reused_clauses\": %zu, "
+                 "\"peak_learnts\": %zu, \"arena_peak_bytes\": %zu, "
+                 "\"clauses_deleted\": %zu, \"reduce_db_runs\": %zu, "
+                 "\"session_restarts\": %zu}%s\n",
                  R.Study.c_str(), R.Mode.c_str(), size_t(R.Queries),
                  size_t(R.P50), size_t(R.P99), size_t(R.Max),
                  size_t(R.TotalMicros), size_t(R.SessionPremises),
                  size_t(R.PremiseCacheHits), size_t(R.ReusedClauses),
+                 size_t(R.PeakLearnts), size_t(R.ArenaPeakBytes),
+                 size_t(R.ClausesDeleted), size_t(R.ReduceDbRuns),
+                 size_t(R.SessionRestarts),
                  I + 1 < Records.size() ? "," : "");
   }
   std::fprintf(F, "]\n");
@@ -153,14 +165,24 @@ int main(int argc, char **argv) {
           percentile(Micros, 0.50), percentile(Micros, 0.99),
           Micros.empty() ? 0 : Micros.back(), Solver.stats().TotalMicros,
           Solver.stats().SessionPremises, Solver.stats().PremiseCacheHits,
-          Solver.stats().ReusedClauses});
-      if (Incremental)
+          Solver.stats().ReusedClauses, Solver.stats().PeakLearnts,
+          Solver.stats().ArenaBytesPeak, Solver.stats().ClausesDeleted,
+          Solver.stats().ReduceDbRuns, Solver.stats().SessionRestarts});
+      if (Incremental) {
         std::printf("%-26s %-12s premises=%zu cache-hits=%zu "
                     "reused-clauses=%zu sessions=%zu\n",
                     "", "", size_t(Solver.stats().SessionPremises),
                     size_t(Solver.stats().PremiseCacheHits),
                     size_t(Solver.stats().ReusedClauses),
                     size_t(Solver.stats().SessionsOpened));
+        std::printf("%-26s %-12s peak-learnts=%zu arena-peak=%.1fKB "
+                    "deleted=%zu reduce-runs=%zu restarts=%zu\n",
+                    "", "", size_t(Solver.stats().PeakLearnts),
+                    double(Solver.stats().ArenaBytesPeak) / 1024.0,
+                    size_t(Solver.stats().ClausesDeleted),
+                    size_t(Solver.stats().ReduceDbRuns),
+                    size_t(Solver.stats().SessionRestarts));
+      }
     }
   }
 

@@ -26,6 +26,7 @@
 #include "pgen/TranslationValidation.h"
 
 #include <cstdio>
+#include <cstring>
 #include <sys/resource.h>
 
 using namespace leapfrog;
@@ -79,14 +80,27 @@ void printRow(const Row &R) {
       R.Result.Stats.SmtQueries, double(R.Result.Stats.WallMicros) / 1e6,
       double(R.Result.Stats.SolverMicros) / 1e6, maxRssMb(), Verdict,
       AsExpected ? "" : "  ** UNEXPECTED **");
-  if (R.Solver.SessionQueries > 0)
+  if (R.Solver.SessionQueries > 0) {
     std::printf("%-28s %-14s sessions=%zu premises-blasted=%zu "
                 "cache-hits=%zu reused-clauses=%zu\n",
                 "", "  (incremental)", size_t(R.Solver.SessionsOpened),
                 size_t(R.Solver.SessionPremises),
                 size_t(R.Solver.PremiseCacheHits),
                 size_t(R.Solver.ReusedClauses));
+    std::printf("%-28s %-14s peak-learnts=%zu deleted=%zu reduce-runs=%zu "
+                "arena-peak=%.1fMB restarts=%zu\n",
+                "", "  (memory)", size_t(R.Solver.PeakLearnts),
+                size_t(R.Solver.ClausesDeleted),
+                size_t(R.Solver.ReduceDbRuns),
+                double(R.Solver.ArenaBytesPeak) / (1024.0 * 1024.0),
+                size_t(R.Solver.SessionRestarts));
+  }
 }
+
+/// --unbounded: disable session clause-DB management entirely (no
+/// reduceDB, no retired-goal deletion) — the grow-only PR-2 session
+/// behavior, kept as the before-side of the memory A/B.
+bool Unbounded = false;
 
 Row runStudy(const parsers::CaseStudy &Study, const InitialSpec &Spec,
              bool ExpectEquivalent, size_t MaxIterations = 1u << 20,
@@ -99,6 +113,8 @@ Row runStudy(const parsers::CaseStudy &Study, const InitialSpec &Spec,
   R.Total = Study.Left.totalHeaderBits() + Study.Right.totalHeaderBits();
   R.ExpectEquivalent = ExpectEquivalent;
   smt::BitBlastSolver Solver; // Fresh backend per row: isolated stats.
+  Solver.SessionReduce.Enabled = !Unbounded;
+  Solver.SessionHardRetire = !Unbounded;
   CheckOptions O;
   O.Solver = &Solver;
   O.MaxIterations = MaxIterations;
@@ -128,10 +144,21 @@ logic::PureRef goodEthertype(logic::Side S, const p4a::Automaton &Aut) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--unbounded")) {
+      Unbounded = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--unbounded]\n", argv[0]);
+      return 2;
+    }
+  }
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
   std::printf("Table 2 reproduction (paper §7; see docs/EXPERIMENTS.md for "
-              "the paper-vs-measured discussion)\n\n");
+              "the paper-vs-measured discussion)%s\n\n",
+              Unbounded ? "  [--unbounded: session clause-DB management "
+                          "disabled]"
+                        : "");
   printHeader();
 
   for (parsers::CaseStudy &Study : parsers::allCaseStudies()) {

@@ -38,8 +38,22 @@ namespace {
 /// Syntactic identity key for frontier deduplication. Two formulas with
 /// the same rendering are interchangeable in R/T, so pushing both wastes
 /// an SMT query.
+///
+/// The guard must be rendered *exactly*, never hashed: deduplication
+/// deletes frontier work, so a key collision silently drops a conjunct
+/// and can flip the verdict. This is not theoretical — keying on
+/// TemplatePair::hash() shipped with a real collision (the boost-style
+/// hashCombine cancels on correlated small-int deltas: pairs ⟨q0,2⟩·⟨q0,0⟩
+/// and ⟨q0,3⟩·⟨q1,0⟩ collide), which made the checker report two
+/// inequivalent parsers "equivalent" by swallowing the refutation chain.
+/// CheckerDedup.HashCollisionPairsStayDistinct pins the exact pair.
+std::string templateKey(const logic::Template &T) {
+  return std::to_string(int(T.Q.K)) + ":" + std::to_string(T.Q.Id) + ":" +
+         std::to_string(T.N);
+}
 std::string formulaKey(const GuardedFormula &G) {
-  return std::to_string(G.TP.hash()) + "|" + G.Phi->str();
+  return templateKey(G.TP.L) + "," + templateKey(G.TP.R) + "|" +
+         G.Phi->str();
 }
 
 } // namespace
@@ -111,7 +125,7 @@ CheckResult core::checkWithSpec(const p4a::Automaton &Left,
   auto SessionFor = [&](const TemplatePair &TP) -> TpSession & {
     TpSession &TS = Sessions[TP];
     if (!TS.Session)
-      TS.Session = Solver.openSession();
+      TS.Session = Solver.openSession(Options.Limits);
     return TS;
   };
 

@@ -64,6 +64,13 @@ struct CheckOptions {
   /// transparently degrades to per-query monolithic solving so DRUP
   /// proofs stay self-contained.
   bool UseIncremental = true;
+  /// Memory bounds for each incremental solver session (0 = unlimited).
+  /// Sessions already bound themselves via clause-DB reduction and
+  /// retired-goal deletion; these limits add a hard backstop — a session
+  /// over either bound is rebuilt from its premises, which changes
+  /// memory, never answers. Ignored when UseIncremental is off or the
+  /// backend falls back to monolithic queries.
+  smt::SessionLimits Limits;
   /// Record one TraceStep per loop iteration (costs memory on big runs).
   bool RecordTrace = false;
 };

@@ -12,6 +12,40 @@ using namespace leapfrog::smt;
 
 Lit BitBlaster::freshLit() { return Lit::mk(Solver.newVar(), false); }
 
+void BitBlaster::emit(std::vector<Lit> C) {
+  if (GuardActive)
+    C.push_back(~GuardLit);
+  Solver.addClause(std::move(C));
+}
+
+void BitBlaster::pushGuard(Lit Guard) {
+  assert(!GuardActive && "guarded scopes do not nest");
+  GuardActive = true;
+  GuardLit = Guard;
+  ScopedFormulas.clear();
+  ScopedTerms.clear();
+  ScopedRootsFrom = PinnedRoots.size();
+}
+
+size_t BitBlaster::popGuardAndEvict() {
+  assert(GuardActive && "no guarded scope to pop");
+  GuardActive = false;
+  GuardLit = Lit::undef();
+  size_t Evicted = ScopedFormulas.size() + ScopedTerms.size() +
+                   (PinnedRoots.size() - ScopedRootsFrom);
+  for (const BvFormula *F : ScopedFormulas)
+    FormulaCache.erase(F);
+  for (const BvTerm *T : ScopedTerms)
+    TermCache.erase(T);
+  ScopedFormulas.clear();
+  ScopedTerms.clear();
+  // The scope's roots were only pinned to keep the evicted cache keys
+  // from aliasing freed nodes; with the entries gone they can be
+  // released.
+  PinnedRoots.resize(ScopedRootsFrom);
+  return Evicted;
+}
+
 Lit BitBlaster::trueLit() {
   if (TrueL == Lit::undef()) {
     TrueL = freshLit();
@@ -66,6 +100,8 @@ std::vector<BitBlaster::BBit> BitBlaster::blastTerm(const BvTermRef &T) {
   }
   assert(Bits.size() == T->width() && "blasted width mismatch");
   TermCache.emplace(T.get(), Bits);
+  if (GuardActive)
+    ScopedTerms.push_back(T.get());
   return Bits;
 }
 
@@ -107,10 +143,10 @@ Lit BitBlaster::blastFormula(const BvFormulaRef &F) {
       }
       // Both symbolic: E <-> (A <-> B).
       Lit E = freshLit();
-      Solver.addClause(~E, ~A.L, B.L);
-      Solver.addClause(~E, A.L, ~B.L);
-      Solver.addClause(E, A.L, B.L);
-      Solver.addClause(E, ~A.L, ~B.L);
+      emit(~E, ~A.L, B.L);
+      emit(~E, A.L, ~B.L);
+      emit(E, A.L, B.L);
+      emit(E, ~A.L, ~B.L);
       PerBit.push_back(E);
     }
     if (KnownFalse) {
@@ -128,10 +164,10 @@ Lit BitBlaster::blastFormula(const BvFormulaRef &F) {
     Lit G = freshLit();
     std::vector<Lit> LongClause{G};
     for (Lit E : PerBit) {
-      Solver.addClause(~G, E);
+      emit(~G, E);
       LongClause.push_back(~E);
     }
-    Solver.addClause(std::move(LongClause));
+    emit(std::move(LongClause));
     Result = G;
     break;
   }
@@ -142,9 +178,9 @@ Lit BitBlaster::blastFormula(const BvFormulaRef &F) {
     Lit A = blastFormula(F->lhs());
     Lit B = blastFormula(F->rhs());
     Lit G = freshLit();
-    Solver.addClause(~G, A);
-    Solver.addClause(~G, B);
-    Solver.addClause(G, ~A, ~B);
+    emit(~G, A);
+    emit(~G, B);
+    emit(G, ~A, ~B);
     Result = G;
     break;
   }
@@ -152,9 +188,9 @@ Lit BitBlaster::blastFormula(const BvFormulaRef &F) {
     Lit A = blastFormula(F->lhs());
     Lit B = blastFormula(F->rhs());
     Lit G = freshLit();
-    Solver.addClause(G, ~A);
-    Solver.addClause(G, ~B);
-    Solver.addClause(~G, A, B);
+    emit(G, ~A);
+    emit(G, ~B);
+    emit(~G, A, B);
     Result = G;
     break;
   }
@@ -162,14 +198,16 @@ Lit BitBlaster::blastFormula(const BvFormulaRef &F) {
     Lit A = blastFormula(F->lhs());
     Lit B = blastFormula(F->rhs());
     Lit G = freshLit();
-    Solver.addClause(G, A);
-    Solver.addClause(G, ~B);
-    Solver.addClause(~G, ~A, B);
+    emit(G, A);
+    emit(G, ~B);
+    emit(~G, ~A, B);
     Result = G;
     break;
   }
   }
   FormulaCache.emplace(F.get(), Result);
+  if (GuardActive)
+    ScopedFormulas.push_back(F.get());
   return Result;
 }
 
@@ -184,7 +222,7 @@ void BitBlaster::assertFormula(const BvFormulaRef &F) {
   case BvFormula::Kind::True:
     return;
   case BvFormula::Kind::False:
-    Solver.addClause(std::vector<Lit>{}); // Empty clause: unsatisfiable.
+    emit(std::vector<Lit>{}); // Empty clause (or the guard's negation).
     return;
   case BvFormula::Kind::And:
     assertFormula(F->lhs());
@@ -198,24 +236,24 @@ void BitBlaster::assertFormula(const BvFormulaRef &F) {
       const BBit &A = L[I], &B = R[I];
       if (A.IsConst && B.IsConst) {
         if (A.ConstVal != B.ConstVal)
-          Solver.addClause(std::vector<Lit>{});
+          emit(std::vector<Lit>{});
         continue;
       }
       if (A.IsConst || B.IsConst) {
         const BBit &C = A.IsConst ? A : B;
         const BBit &V = A.IsConst ? B : A;
-        Solver.addClause(C.ConstVal ? V.L : ~V.L);
+        emit(C.ConstVal ? V.L : ~V.L);
         continue;
       }
-      Solver.addClause(~A.L, B.L);
-      Solver.addClause(A.L, ~B.L);
+      emit(~A.L, B.L);
+      emit(A.L, ~B.L);
     }
     return;
   }
   case BvFormula::Kind::Not:
   case BvFormula::Kind::Or:
   case BvFormula::Kind::Implies:
-    Solver.addClause(blastFormula(F));
+    emit(blastFormula(F));
     return;
   }
 }

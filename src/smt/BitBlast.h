@@ -50,6 +50,25 @@ public:
   /// Valid only after SatSolver::solve() returned true.
   Bitvector modelValue(const std::string &Name, size_t Width);
 
+  /// Opens a guarded scope: until popGuardAndEvict(), every clause the
+  /// blaster emits is weakened with ~Guard, so the whole blast asserts
+  /// Guard → (encoding) and becomes permanently satisfied — and hard-
+  /// deletable via SatSolver::simplify() — once ~Guard is asserted.
+  /// Incremental sessions wrap each goal query in such a scope.
+  ///
+  /// Cache discipline: entries added to FormulaCache/TermCache during the
+  /// scope encode definitions that are *conditional on Guard*, so they
+  /// (and the roots pinned for them) are evicted when the scope pops;
+  /// entries created outside any scope are unconditional and persist.
+  /// Variable-bit literals persist either way — they carry no defining
+  /// clauses and must stay stable for model reconstruction. Scopes do
+  /// not nest.
+  void pushGuard(Lit Guard);
+
+  /// Ends the guarded scope and evicts its cache entries; returns how
+  /// many entries (formula + term + pinned roots) were dropped.
+  size_t popGuardAndEvict();
+
 private:
   /// One bit of a blasted term: either a known constant or a SAT literal.
   struct BBit {
@@ -65,6 +84,14 @@ private:
   Lit blastFormula(const BvFormulaRef &F);
   Lit freshLit();
   Lit litForVarBit(const std::string &Name, size_t Width, size_t BitIndex);
+
+  /// All clause emission funnels through here so an active guard can be
+  /// appended uniformly. trueLit() bypasses it: TrueL is a blaster-wide
+  /// cache, so its defining unit must hold unconditionally.
+  void emit(std::vector<Lit> C);
+  void emit(Lit A) { emit(std::vector<Lit>{A}); }
+  void emit(Lit A, Lit B) { emit(std::vector<Lit>{A, B}); }
+  void emit(Lit A, Lit B, Lit C) { emit(std::vector<Lit>{A, B, C}); }
 
   /// Literal asserted true at level 0 (created lazily) so constants can be
   /// uniformly represented as literals when Tseitin needs them.
@@ -87,6 +114,13 @@ private:
   /// pinning load-bearing rather than belt-and-braces.
   std::vector<BvFormulaRef> PinnedRoots;
   Lit TrueL = Lit::undef();
+
+  /// Guarded-scope state (see pushGuard()).
+  bool GuardActive = false;
+  Lit GuardLit = Lit::undef();
+  std::vector<const BvFormula *> ScopedFormulas;
+  std::vector<const BvTerm *> ScopedTerms;
+  size_t ScopedRootsFrom = 0;
 };
 
 } // namespace smt

@@ -142,6 +142,8 @@ bool SatSolver::addClause(std::vector<Lit> Lits) {
     return true;
   }
   Clauses.push_back(Clause{std::move(Out), /*Learnt=*/false});
+  ArenaBytes += clauseBytes(Clauses.back());
+  S.ArenaBytesPeak = std::max(S.ArenaBytesPeak, ArenaBytes);
   attachClause(int(Clauses.size()) - 1);
   return true;
 }
@@ -221,6 +223,138 @@ void SatSolver::bumpVar(Var V) {
     percolateUp(HeapPos[V]);
 }
 
+void SatSolver::bumpClause(ClauseRef CR) {
+  Clause &C = Clauses[CR];
+  C.Act += float(ClaInc);
+  if (C.Act > ClauseRescaleThreshold) {
+    for (Clause &Other : Clauses)
+      Other.Act /= ClauseRescaleThreshold;
+    ClaInc /= double(ClauseRescaleThreshold);
+  }
+}
+
+uint32_t SatSolver::computeLbd(const std::vector<Lit> &C) {
+  if (LevelStamp.size() < TrailLim.size() + 1)
+    LevelStamp.resize(TrailLim.size() + 1, 0);
+  ++LbdStamp;
+  uint32_t N = 0;
+  for (Lit L : C) {
+    int Lvl = Levels[L.var()];
+    if (Lvl <= 0)
+      continue;
+    if (LevelStamp[Lvl] != LbdStamp) {
+      LevelStamp[Lvl] = LbdStamp;
+      ++N;
+    }
+  }
+  return N;
+}
+
+void SatSolver::removeClauses(const std::vector<char> &Del) {
+  assert(decisionLevel() == 0 && "clause deletion above level 0");
+  assert(Del.size() == Clauses.size());
+  std::vector<ClauseRef> Remap(Clauses.size(), NoReason);
+  size_t Kept = 0;
+  for (size_t I = 0; I < Clauses.size(); ++I)
+    Kept += !Del[I];
+  std::vector<Clause> Compact;
+  Compact.reserve(Kept);
+  for (size_t I = 0; I < Clauses.size(); ++I) {
+    if (Del[I]) {
+      ++S.ClausesDeleted;
+      if (Clauses[I].Learnt) {
+        assert(LearntCount > 0);
+        --LearntCount;
+      }
+      ArenaBytes -= clauseBytes(Clauses[I]);
+      continue;
+    }
+    Remap[I] = ClauseRef(Compact.size());
+    Compact.push_back(std::move(Clauses[I]));
+  }
+  // The move assignment drops the old (larger) buffer; Compact was
+  // reserved to the exact survivor count, so the arena really shrinks.
+  Clauses = std::move(Compact);
+  // Rebuild the watcher lists from scratch. Each surviving clause still
+  // watches Lits[0]/Lits[1] — the invariant propagate() maintains — so
+  // re-attaching in place is sound at level 0. shrink_to_fit returns the
+  // old lists' capacity before the re-attach repopulates them.
+  for (std::vector<ClauseRef> &W : Watches) {
+    W.clear();
+    W.shrink_to_fit();
+  }
+  for (size_t I = 0; I < Clauses.size(); ++I)
+    attachClause(ClauseRef(I));
+  // Remap reasons. A deleted reason can only belong to a level-0
+  // assignment (everything above level 0 was undone before deletion, and
+  // deletion never targets a clause locked above level 0); level-0
+  // reasons are never dereferenced by analyze()/analyzeFinal(), which
+  // both skip level-0 literals, so clearing them is safe.
+  for (size_t V = 0; V < Assigns.size(); ++V) {
+    if (Reasons[V] == NoReason)
+      continue;
+    ClauseRef N = Remap[Reasons[V]];
+    assert((N != NoReason || Levels[V] == 0) &&
+           "deleted the reason of an assignment above level 0");
+    Reasons[V] = N;
+  }
+}
+
+void SatSolver::reduceDB() {
+  assert(decisionLevel() == 0 && "reduceDB above level 0");
+  ++S.ReduceDbRuns;
+  // Locked clauses (reasons of current — i.e. level-0 — assignments) are
+  // kept: MiniSat's discipline, and the cheap way to keep Reasons valid.
+  std::vector<char> Locked(Clauses.size(), 0);
+  for (Lit L : Trail) {
+    ClauseRef R = Reasons[L.var()];
+    if (R != NoReason)
+      Locked[R] = 1;
+  }
+  std::vector<ClauseRef> Candidates;
+  for (size_t I = 0; I < Clauses.size(); ++I) {
+    const Clause &C = Clauses[I];
+    if (C.Learnt && !Locked[I] && C.Lits.size() > 2 && C.Lbd > Reduce.GlueLbd)
+      Candidates.push_back(ClauseRef(I));
+  }
+  if (Candidates.empty())
+    return;
+  // Cold half first: highest LBD, then lowest activity; index breaks ties
+  // so runs are deterministic.
+  std::sort(Candidates.begin(), Candidates.end(),
+            [this](ClauseRef A, ClauseRef B) {
+              const Clause &CA = Clauses[A], &CB = Clauses[B];
+              if (CA.Lbd != CB.Lbd)
+                return CA.Lbd > CB.Lbd;
+              if (CA.Act != CB.Act)
+                return CA.Act < CB.Act;
+              return A < B;
+            });
+  std::vector<char> Del(Clauses.size(), 0);
+  for (size_t I = 0; I < Candidates.size() / 2; ++I)
+    Del[Candidates[I]] = 1;
+  removeClauses(Del);
+}
+
+void SatSolver::simplify() {
+  backtrack(0);
+  if (Unsat)
+    return;
+  std::vector<char> Del(Clauses.size(), 0);
+  bool Any = false;
+  for (size_t I = 0; I < Clauses.size(); ++I) {
+    for (Lit Q : Clauses[I].Lits) {
+      if (value(Q) == LBool::True) {
+        Del[I] = 1;
+        Any = true;
+        break;
+      }
+    }
+  }
+  if (Any)
+    removeClauses(Del);
+}
+
 void SatSolver::analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
                         int &BacktrackLevel) {
   // First-UIP scheme: walk the trail backwards resolving antecedents until
@@ -234,6 +368,8 @@ void SatSolver::analyze(ClauseRef Conflict, std::vector<Lit> &Learnt,
 
   do {
     assert(Reason != NoReason && "analysis escaped the implication graph");
+    if (Clauses[Reason].Learnt)
+      bumpClause(Reason);
     const Clause &C = Clauses[Reason];
     for (Lit Q : C.Lits) {
       if (P != Lit::undef() && Q == P)
@@ -388,16 +524,23 @@ bool SatSolver::solveUnderAssumptions(const std::vector<Lit> &Assumptions) {
       int BacktrackLevel = 0;
       analyze(Conflict, Learnt, BacktrackLevel);
       logLemma(Learnt);
+      // LBD must be computed before backtracking clears the levels.
+      uint32_t Lbd = computeLbd(Learnt);
       backtrack(BacktrackLevel);
       if (Learnt.size() == 1) {
         enqueue(Learnt[0], NoReason);
       } else {
-        Clauses.push_back(Clause{Learnt, /*Learnt=*/true});
+        Clauses.push_back(Clause{Learnt, /*Learnt=*/true, Lbd, 0.0f});
         ++LearntCount;
+        S.LearntPeak = std::max<uint64_t>(S.LearntPeak, LearntCount);
+        ArenaBytes += clauseBytes(Clauses.back());
+        S.ArenaBytesPeak = std::max(S.ArenaBytesPeak, ArenaBytes);
         attachClause(int(Clauses.size()) - 1);
+        bumpClause(int(Clauses.size()) - 1);
         enqueue(Learnt[0], int(Clauses.size()) - 1);
       }
       decayVarActivity();
+      decayClauseActivity();
       continue;
     }
     if (ConflictsSinceRestart >= RestartConflicts) {
@@ -406,6 +549,18 @@ bool SatSolver::solveUnderAssumptions(const std::vector<Lit> &Assumptions) {
       ConflictsSinceRestart = 0;
       RestartConflicts = RestartBase * luby(LocalRestarts);
       backtrack(0);
+      // Clause-database reduction on the geometric schedule, fired only
+      // at restart boundaries: within a restart segment the backjump
+      // measure (ever-larger agreeing trail prefixes) guarantees
+      // termination, and deletion between segments cannot break it. A
+      // mid-segment backtrack(0)+delete would reset that measure and —
+      // with an aggressive schedule — risk replaying the same conflict
+      // forever. Restarts need ≥ RestartBase fresh conflicts each, so
+      // reduction can never livelock the search either.
+      if (Reduce.Enabled && double(LearntCount) >= LearntLimit) {
+        reduceDB();
+        LearntLimit *= Reduce.Growth;
+      }
       continue;
     }
     // Plant the next pending assumption as a pseudo-decision (MiniSat's

@@ -74,6 +74,14 @@ inline LBool negate(LBool B) {
 /// related queries cheaply: persistent facts go in as clauses, per-query
 /// facts as assumptions (typically one fresh activation literal guarding
 /// the query's clauses, retired afterwards with a unit clause).
+///
+/// Long-lived instances do not grow without bound: the learned-clause
+/// database is reduced on a geometric schedule (reduceDB, Glucose-style
+/// LBD + clause activity; see ReducePolicy), and simplify() hard-deletes
+/// clauses that level-0 facts have permanently satisfied — the mechanism
+/// by which a retired activation literal's guarded clauses (and every
+/// lemma derived from them, which necessarily carries the retirement
+/// literal) are physically removed rather than left as dead weight.
 class SatSolver {
 public:
   /// Allocates a fresh variable. May be called between solves.
@@ -124,6 +132,46 @@ public:
   size_t numClauses() const { return Clauses.size(); }
   size_t numLearntClauses() const { return LearntCount; }
 
+  /// Live bytes held by the clause arena (stored clause literals plus
+  /// per-clause headers). Capacity slack is deliberately excluded so the
+  /// number is deterministic across allocators; Stats::ArenaBytesPeak
+  /// tracks the high-water mark of this value.
+  uint64_t arenaBytes() const { return ArenaBytes; }
+
+  /// Learned-clause database management (MiniSat/Glucose lineage).
+  /// reduceDB() runs automatically at restart boundaries once the
+  /// learned-clause count crosses a limit that starts at FirstReduce and
+  /// grows by Growth after every run (geometric schedule); restart
+  /// boundaries are the one point where deletion provably cannot break
+  /// the search's termination measure. A run keeps reason ("locked")
+  /// clauses, binary clauses, and clauses whose literal-block distance is
+  /// at or below GlueLbd; of the remaining candidates the cold half —
+  /// highest LBD, then lowest activity — is deleted, and the clause arena
+  /// and watcher lists are compacted so the memory is actually returned.
+  struct ReducePolicy {
+    bool Enabled = true;
+    uint64_t FirstReduce = 2000; ///< Learnts before the first reduction.
+    double Growth = 1.3;         ///< Geometric limit growth per run.
+    uint32_t GlueLbd = 2;        ///< Never delete clauses at/below this.
+  };
+  void setReducePolicy(const ReducePolicy &P) {
+    Reduce = P;
+    LearntLimit = double(P.FirstReduce < 1 ? 1 : P.FirstReduce);
+  }
+  const ReducePolicy &reducePolicy() const { return Reduce; }
+
+  /// Hard-deletes every clause permanently satisfied at decision level 0
+  /// (MiniSat's simplify). Undoes any decisions first. Sound because a
+  /// level-0 assignment is never unmade, so a clause it satisfies can
+  /// never participate in search again; deleting it preserves the set of
+  /// models over the remaining clauses. The intended client is the
+  /// activation-literal retirement pattern: after addClause(~act), every
+  /// clause guarded by act — including learned clauses, which provably
+  /// contain ~act whenever their derivation used a guarded clause — is
+  /// satisfied and gets removed here. Deletions count into
+  /// Stats::ClausesDeleted.
+  void simplify();
+
   /// Enables DRUP proof logging into \p P (see Drat.h). Must be called
   /// before the first addClause(). The proof records every input clause
   /// and every derived clause; on UNSAT it ends with the empty clause, and
@@ -142,6 +190,12 @@ public:
     uint64_t Propagations = 0;
     uint64_t Restarts = 0;
     uint64_t Solves = 0; ///< solve()/solveUnderAssumptions() calls.
+    /// Clause-database management counters. All are monotone over the
+    /// instance's lifetime.
+    uint64_t ClausesDeleted = 0;  ///< Via reduceDB() and simplify().
+    uint64_t ReduceDbRuns = 0;    ///< reduceDB() invocations.
+    uint64_t ArenaBytesPeak = 0;  ///< High-water mark of arenaBytes().
+    uint64_t LearntPeak = 0;      ///< Max simultaneous learned clauses.
   };
   const Stats &stats() const { return S; }
 
@@ -149,6 +203,8 @@ private:
   struct Clause {
     std::vector<Lit> Lits;
     bool Learnt = false;
+    uint32_t Lbd = 0; ///< Literal-block distance at learn time.
+    float Act = 0.0f; ///< Bumped when resolved on in analyze().
   };
   using ClauseRef = int;
   static constexpr ClauseRef NoReason = -1;
@@ -172,6 +228,18 @@ private:
   Lit pickBranchLit();
   void bumpVar(Var V);
   void decayVarActivity() { VarInc /= ActivityDecay; }
+  void bumpClause(ClauseRef CR);
+  void decayClauseActivity() { ClaInc /= ClauseActivityDecay; }
+  uint32_t computeLbd(const std::vector<Lit> &C);
+  void reduceDB();
+  /// Deletes every clause with Del[ref] set, compacts the clause arena
+  /// and rebuilds watcher lists; remaps Reasons (a deleted reason is only
+  /// legal for a level-0 assignment, whose reason is never dereferenced).
+  /// Must be called at decision level 0.
+  void removeClauses(const std::vector<char> &Del);
+  static uint64_t clauseBytes(const Clause &C) {
+    return sizeof(Clause) + C.Lits.size() * sizeof(Lit);
+  }
   void attachClause(ClauseRef CR);
   int decisionLevel() const { return int(TrailLim.size()); }
   static uint64_t luby(uint64_t I);
@@ -190,6 +258,15 @@ private:
   double VarInc = 1.0;
   static constexpr double ActivityDecay = 0.95;
   static constexpr double RescaleThreshold = 1e100;
+
+  ReducePolicy Reduce;
+  double LearntLimit = 2000; ///< Kept in sync with Reduce.FirstReduce.
+  double ClaInc = 1.0;
+  static constexpr double ClauseActivityDecay = 0.999;
+  static constexpr float ClauseRescaleThreshold = 1e20f;
+  uint64_t ArenaBytes = 0;
+  std::vector<uint64_t> LevelStamp; ///< Scratch for computeLbd().
+  uint64_t LbdStamp = 0;
 
   /// Proof-log helpers; no-ops when logging is disabled. Defined out of
   /// line because DratProof is incomplete here.

@@ -55,21 +55,36 @@ private:
   std::vector<BvFormulaRef> Premises;
 };
 
-std::unique_ptr<SmtSolver::IncrementalSession> SmtSolver::openSession() {
+std::unique_ptr<SmtSolver::IncrementalSession>
+SmtSolver::openSession(const SessionLimits &Limits) {
+  // The fallback holds no solver state across queries, so there is
+  // nothing for the limits to bound (and the memory counters stay zero).
+  (void)Limits;
   ++Stats.SessionsOpened;
   return std::make_unique<MonolithicSession>(*this);
 }
 
 /// The incremental backend: one SatSolver + BitBlaster for the session's
 /// lifetime. Premises are blasted once into persistent clauses; each goal
-/// is blasted to a definition literal guarded by a fresh activation
-/// literal, solved under that single assumption, and retired with a unit
-/// clause afterwards so it can never constrain a later query. Everything
-/// the CDCL solver learns — clauses, variable activity, saved phases —
-/// survives to the next query.
+/// is blasted — with every emitted clause guarded by a fresh activation
+/// literal — to a definition literal, solved under that single
+/// assumption, and *hard-deleted* afterwards: the retirement unit ¬act
+/// permanently satisfies the goal's guard, Tseitin definitions, and every
+/// lemma derived from them (all of which carry ¬act), so simplify()
+/// physically removes them and later queries never propagate over them.
+/// Premise clauses and premise-implied lemmas survive; the learned-clause
+/// DB is additionally bounded by the solver's reduceDB schedule, and a
+/// tripped SessionLimits rebuilds the whole session from the cached
+/// premise formulas.
 class BitBlastSolver::Session : public SmtSolver::IncrementalSession {
 public:
-  explicit Session(BitBlastSolver &Owner) : Owner(Owner), Blaster(Sat) {}
+  Session(BitBlastSolver &Owner, const SessionLimits &Limits)
+      : Owner(Owner), Limits(Limits),
+        HardRetire(Owner.SessionHardRetire) {
+    rebuild();
+  }
+
+  ~Session() override { harvestSatStats(); }
 
   void assertPremise(const BvFormulaRef &F) override {
     if (F->kind() == BvFormula::Kind::True)
@@ -80,20 +95,9 @@ public:
       ++Owner.Stats.PremiseCacheHits;
       return;
     }
-    // Premise blasting is real solver-side work the monolithic path pays
-    // per query; time it into TotalMicros so the A/B benches compare
-    // like with like (it has no QueryMicros entry — it belongs to no
-    // single query, which is the whole point).
-    auto Start = std::chrono::steady_clock::now();
     ++Owner.Stats.SessionPremises;
     Premises.push_back(F);
-    size_t Before = Sat.numClauses();
-    Blaster.assertFormula(F);
-    PremiseClauses += Sat.numClauses() - Before;
-    auto End = std::chrono::steady_clock::now();
-    Owner.Stats.TotalMicros += uint64_t(
-        std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
-            .count());
+    blastPremise(F);
   }
 
   SatResult checkSatUnderPremises(const BvFormulaRef &Goal,
@@ -101,14 +105,22 @@ public:
     auto Start = std::chrono::steady_clock::now();
     ++Owner.Stats.SessionQueries;
     // Clauses a monolithic solver would have to rebuild for this query:
-    // the premise CNF plus everything learned so far. Deliberately not
-    // Sat.numClauses() — that would also count earlier goals' retired
-    // Tseitin definitions, which are dead weight, not reuse.
-    Owner.Stats.ReusedClauses += PremiseClauses + Sat.numLearntClauses();
+    // the premise CNF plus everything learned so far. Retired goals'
+    // clauses are hard-deleted, so numClauses() no longer hides dead
+    // weight — but the learnt count is still the honest reuse figure.
+    Owner.Stats.ReusedClauses += PremiseClauses + Sat->numLearntClauses();
 
-    Lit Activation = Lit::mk(Sat.newVar(), false);
-    Sat.addClause(~Activation, Blaster.litFor(Goal));
-    bool IsSat = Sat.solveUnderAssumptions({Activation});
+    size_t ClausesAtStart = Sat->numClauses();
+    Lit Activation = Lit::mk(Sat->newVar(), false);
+    // Guarded blast: every clause the goal contributes carries ¬act and
+    // is therefore deletable at retirement. The blaster cache entries
+    // created under the guard encode act-conditional definitions and are
+    // evicted when the scope pops (after retirement, below).
+    if (HardRetire)
+      Blaster->pushGuard(Activation);
+    Lit GoalLit = Blaster->litFor(Goal);
+    Sat->addClause(~Activation, GoalLit);
+    bool IsSat = Sat->solveUnderAssumptions({Activation});
     if (IsSat && M) {
       // Read the model before touching the clause DB again: adding the
       // retirement clause below unwinds the assignment.
@@ -117,15 +129,33 @@ public:
       auto Collect = [&](const BvFormulaRef &F) {
         for (const auto &[Name, Width] : collectVars(F))
           if (SeenVars.insert(Name).second)
-            M->emplace_back(Name, Blaster.modelValue(Name, Width));
+            M->emplace_back(Name, Blaster->modelValue(Name, Width));
       };
       Collect(Goal);
       for (const BvFormulaRef &P : Premises)
         Collect(P);
     }
-    // Retire the activation literal: its guard clauses are permanently
-    // satisfied and the variable never branches again.
-    Sat.addClause(~Activation);
+    // Retire the activation literal. With hard retirement, ¬act is a
+    // level-0 fact that permanently satisfies every clause the goal
+    // contributed — its encoding plus any lemma whose derivation touched
+    // it — so all of them are deletable. The purge itself is *batched*:
+    // simplify() costs a full database scan plus a watcher rebuild, so
+    // running it per query would dominate premise-heavy sessions.
+    // Retired clauses are only ever skipped-over dead weight (their ¬act
+    // watch never fires), so deferring deletion trades bounded slack for
+    // amortized O(1) retirement.
+    Sat->addClause(~Activation);
+    if (HardRetire) {
+      PendingDead += Sat->numClauses() - std::min(Sat->numClauses(),
+                                                  ClausesAtStart);
+      size_t LiveEstimate = Sat->numClauses() - std::min(PendingDead,
+                                                         Sat->numClauses());
+      if (PendingDead >= std::max(Owner.SessionPurgeBatch, LiveEstimate / 4)) {
+        Sat->simplify();
+        PendingDead = 0;
+      }
+      Blaster->popGuardAndEvict();
+    }
 
     auto End = std::chrono::steady_clock::now();
     uint64_t Micros = uint64_t(
@@ -139,42 +169,136 @@ public:
     // Record per-query growth, not the cumulative instance size: the
     // monolithic path records a fresh instance per query, so only the
     // delta keeps TotalSatVars/Queries meaningful across backends.
-    St.TotalSatVars += Sat.numVars() - ReportedVars;
-    St.TotalSatClauses += Sat.numClauses() - ReportedClauses;
-    ReportedVars = Sat.numVars();
-    ReportedClauses = Sat.numClauses();
-    if (IsSat) {
+    // Deletion can shrink the instance between measurements; a shrink is
+    // simply zero growth.
+    if (Sat->numVars() > ReportedVars)
+      St.TotalSatVars += Sat->numVars() - ReportedVars;
+    if (Sat->numClauses() > ReportedClauses)
+      St.TotalSatClauses += Sat->numClauses() - ReportedClauses;
+    ReportedVars = Sat->numVars();
+    ReportedClauses = Sat->numClauses();
+    harvestSatStats();
+    SatResult Result = IsSat ? SatResult::Sat : SatResult::Unsat;
+    if (IsSat)
       ++St.SatAnswers;
-      return SatResult::Sat;
-    }
-    ++St.UnsatAnswers;
-    return SatResult::Unsat;
+    else
+      ++St.UnsatAnswers;
+    maybeRestart();
+    return Result;
   }
 
 private:
+  /// Blasts one premise into the live solver, timing it into TotalMicros:
+  /// premise blasting is real solver-side work the monolithic path pays
+  /// per query, so the A/B benches must see it (it has no QueryMicros
+  /// entry — it belongs to no single query, which is the whole point).
+  void blastPremise(const BvFormulaRef &F) {
+    auto Start = std::chrono::steady_clock::now();
+    size_t Before = Sat->numClauses();
+    Blaster->assertFormula(F);
+    PremiseClauses += Sat->numClauses() - Before;
+    auto End = std::chrono::steady_clock::now();
+    Owner.Stats.TotalMicros += uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+            .count());
+  }
+
+  /// (Re)creates the solver + blaster and re-blasts every cached premise.
+  /// Answers are unchanged by construction: the rebuilt solver decides
+  /// against exactly the same premise conjunction, minus the learned
+  /// clauses (which are consequences, never constraints).
+  void rebuild() {
+    harvestSatStats();
+    Sat = std::make_unique<SatSolver>();
+    Sat->setReducePolicy(Owner.SessionReduce);
+    Blaster = std::make_unique<BitBlaster>(*Sat);
+    AssertedKeys.clear();
+    PremiseClauses = 0;
+    PendingDead = 0;
+    ReportedVars = 0;
+    ReportedClauses = 0;
+    HarvestedDeleted = 0;
+    HarvestedReduceRuns = 0;
+    for (const BvFormulaRef &P : Premises) {
+      AssertedKeys.insert(P->str());
+      blastPremise(P);
+    }
+  }
+
+  /// Folds the live SatSolver's memory counters into the owner's stats:
+  /// totals as deltas since the last harvest, peaks as running maxima.
+  void harvestSatStats() {
+    if (!Sat)
+      return;
+    const SatSolver::Stats &SS = Sat->stats();
+    SolverStats &St = Owner.Stats;
+    St.ClausesDeleted += SS.ClausesDeleted - HarvestedDeleted;
+    St.ReduceDbRuns += SS.ReduceDbRuns - HarvestedReduceRuns;
+    HarvestedDeleted = SS.ClausesDeleted;
+    HarvestedReduceRuns = SS.ReduceDbRuns;
+    St.ArenaBytesPeak = std::max(St.ArenaBytesPeak, SS.ArenaBytesPeak);
+    St.PeakLearnts = std::max(St.PeakLearnts, SS.LearntPeak);
+  }
+
+  /// The SessionLimits backstop: when goal purging + reduceDB could not
+  /// keep the session solver's peak under its bounds, drop the solver
+  /// wholesale and rebuild from the premise formulas. Peaks are per
+  /// solver incarnation (a rebuild starts fresh stats), so one oversized
+  /// query does not doom every later one.
+  void maybeRestart() {
+    const SatSolver::Stats &SS = Sat->stats();
+    bool Trip = (Limits.MaxLearnts != 0 &&
+                 SS.LearntPeak > Limits.MaxLearnts) ||
+                (Limits.MaxArenaBytes != 0 &&
+                 SS.ArenaBytesPeak > Limits.MaxArenaBytes);
+    if (!Trip)
+      return;
+    ++Owner.Stats.SessionRestarts;
+    // Every premise group's blast state — its structural-hash entry and
+    // CNF — is collected with the solver; the formulas survive and are
+    // re-blasted by rebuild().
+    Owner.Stats.PremisesGcd += AssertedKeys.size();
+    rebuild();
+  }
+
   BitBlastSolver &Owner;
-  SatSolver Sat;
-  BitBlaster Blaster;
+  SessionLimits Limits;
+  bool HardRetire; ///< Guard + purge retired goals (the default); off
+                   ///< reproduces the grow-only PR-2 session behavior
+                   ///< for A/B baselines.
+  std::unique_ptr<SatSolver> Sat;
+  std::unique_ptr<BitBlaster> Blaster;
   std::unordered_set<std::string> AssertedKeys;
-  std::vector<BvFormulaRef> Premises; ///< For model reconstruction.
+  std::vector<BvFormulaRef> Premises; ///< For model reconstruction and
+                                      ///< for rebuilding after a restart.
   size_t PremiseClauses = 0; ///< CNF clauses contributed by premises.
+  size_t PendingDead = 0;    ///< Estimated retired clauses awaiting the
+                             ///< next batched simplify().
   size_t ReportedVars = 0;   ///< Instance size already counted into
   size_t ReportedClauses = 0; ///< TotalSatVars/TotalSatClauses.
+  uint64_t HarvestedDeleted = 0;    ///< SAT-stat prefixes already folded
+  uint64_t HarvestedReduceRuns = 0; ///< into the owner's SolverStats.
 };
 
-std::unique_ptr<SmtSolver::IncrementalSession> BitBlastSolver::openSession() {
+std::unique_ptr<SmtSolver::IncrementalSession>
+BitBlastSolver::openSession(const SessionLimits &Limits) {
   // A DRUP proof must cover one self-contained solve to be replayable by
   // DratChecker, so certification falls back to monolithic queries.
   if (CertifyUnsat)
-    return SmtSolver::openSession();
+    return SmtSolver::openSession(Limits);
   ++Stats.SessionsOpened;
-  return std::make_unique<Session>(*this);
+  return std::make_unique<Session>(*this, Limits);
 }
 
 SatResult BitBlastSolver::checkSat(const BvFormulaRef &F, Model *M) {
   auto Start = std::chrono::steady_clock::now();
 
   SatSolver Sat;
+  // One-shot solve: clause-DB reduction is a long-session tool, and with
+  // proof logging the unreduced DB keeps DRUP replay deterministic-cheap.
+  SatSolver::ReducePolicy OneShot;
+  OneShot.Enabled = false;
+  Sat.setReducePolicy(OneShot);
   DratProof Proof;
   if (CertifyUnsat)
     Sat.setProofLog(&Proof);

@@ -20,6 +20,7 @@
 #define LEAPFROG_SMT_SOLVER_H
 
 #include "smt/BvFormula.h"
+#include "smt/Sat.h"
 
 #include <cstdint>
 #include <memory>
@@ -61,6 +62,39 @@ struct SolverStats {
                                  ///< (premise CNF + learned) already live
                                  ///< in the solver when the query started —
                                  ///< work a monolithic solver would redo.
+  /// Session memory-management counters (BitBlastSolver sessions only;
+  /// all zero on the monolithic fallback, which holds no solver state).
+  /// The totals are monotone across queries and session restarts.
+  uint64_t ClausesDeleted = 0;  ///< Clauses hard-deleted by reduceDB and
+                                ///< by retired-goal purges, summed over
+                                ///< every session CDCL instance.
+  uint64_t ReduceDbRuns = 0;    ///< Learned-DB reductions across sessions.
+  uint64_t ArenaBytesPeak = 0;  ///< Max live clause-arena bytes any single
+                                ///< session CDCL instance ever reached.
+  uint64_t PeakLearnts = 0;     ///< Max simultaneous learned clauses in
+                                ///< any single session CDCL instance.
+  uint64_t SessionRestarts = 0; ///< SessionLimits trips: the session was
+                                ///< torn down and rebuilt from premises.
+  uint64_t PremisesGcd = 0;     ///< Premise groups (structural-hash cache
+                                ///< entries + their blasted CNF) collected
+                                ///< when a session restart dropped its
+                                ///< solver; the premises themselves are
+                                ///< re-blasted from the cached formulas.
+};
+
+/// Memory bounds for an incremental session (0 = unlimited). Checked
+/// after every query against the session solver's *peak* footprint since
+/// it was (re)built — memory is consumed at the peak, not at the
+/// post-query residue, so the peak is what a bound must bound. A session
+/// over either limit is torn down and rebuilt from its cached premise
+/// formulas — correct by construction, since the rebuilt solver answers
+/// from exactly the same premise set — trading the accumulated learned
+/// clauses for a bounded footprint. Retired-goal deletion and the
+/// in-solver reduceDB keep sessions under sane bounds on their own, so
+/// restarts are the backstop, not the steady state.
+struct SessionLimits {
+  size_t MaxLearnts = 0;    ///< Peak simultaneous learned clauses.
+  size_t MaxArenaBytes = 0; ///< Peak live clause-arena bytes.
 };
 
 /// Abstract satisfiability backend for FOL(BV).
@@ -107,8 +141,16 @@ public:
   /// premise conjunction through checkSat() on every query — no state is
   /// carried over, but the answers are correct by construction for any
   /// backend (and inherit per-query certification when the backend
-  /// certifies checkSat).
-  virtual std::unique_ptr<IncrementalSession> openSession();
+  /// certifies checkSat). \p Limits bounds the session's solver-side
+  /// memory; backends without long-lived solver state (the fallback)
+  /// ignore it.
+  virtual std::unique_ptr<IncrementalSession>
+  openSession(const SessionLimits &Limits);
+
+  /// Shorthand for an unlimited session.
+  std::unique_ptr<IncrementalSession> openSession() {
+    return openSession(SessionLimits());
+  }
 
   /// Decides satisfiability of \p F over its free variables; fills \p M
   /// with a witness when satisfiable (pass nullptr to skip).
@@ -157,7 +199,16 @@ public:
   /// the monolithic fallback instead: a DRUP proof must span one
   /// self-contained query to be replayable, so certification keeps the
   /// one-solver-per-query discipline (and its cost).
-  std::unique_ptr<IncrementalSession> openSession() override;
+  ///
+  /// Session memory is bounded, not monotone: every goal's clauses
+  /// (guard, Tseitin definitions, and any lemma derived from them) are
+  /// hard-deleted when the goal's activation literal is retired, the
+  /// learned-clause DB is reduced on SessionReduce's schedule, and
+  /// \p Limits — when non-zero — triggers a full session rebuild from
+  /// the cached premise formulas as a last resort.
+  std::unique_ptr<IncrementalSession>
+  openSession(const SessionLimits &Limits) override;
+  using SmtSolver::openSession;
 
   /// When set, every UNSAT answer is accompanied by a DRUP proof and
   /// replayed through DratChecker before being reported (see Drat.h); a
@@ -168,6 +219,32 @@ public:
   /// model that is checked against the formula by construction of the
   /// bit-blaster's variable mapping.
   bool CertifyUnsat = false;
+
+  /// Clause-DB reduction policy handed to every session's CDCL solver.
+  /// The default geometric schedule is the production setting; tests
+  /// force an aggressive schedule (reduce at every opportunity) or
+  /// disable reduction entirely to differentially check that answers are
+  /// invariant under it. One-shot checkSat() solves always run with
+  /// reduction off — a single query never lives long enough to benefit,
+  /// and with CertifyUnsat the smaller clause set keeps proofs lean.
+  SatSolver::ReducePolicy SessionReduce;
+
+  /// Hard goal retirement (the default): each session goal is blasted
+  /// under its activation guard and its clauses — plus every lemma
+  /// derived from them — are physically deleted after the query (batched
+  /// through SatSolver::simplify()). Off restores the grow-only PR-2
+  /// behavior where retired goals stay as permanently satisfied dead
+  /// weight; kept as an ablation/baseline knob, differential-tested to
+  /// answer identically.
+  bool SessionHardRetire = true;
+
+  /// Retirement purges are batched: a session runs simplify() once the
+  /// retired-clause estimate reaches max(SessionPurgeBatch, live/4) —
+  /// the scan plus watcher rebuild is O(database), so purging per query
+  /// would dominate premise-heavy sessions, while a 25% dead-weight
+  /// ceiling keeps the amortized cost constant. Tests drop this to 1 to
+  /// purge at every opportunity.
+  size_t SessionPurgeBatch = 2048;
 
 private:
   class Session; ///< The incremental openSession() backend (Solver.cpp).

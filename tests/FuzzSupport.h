@@ -1,0 +1,50 @@
+//===- FuzzSupport.h - Shared fuzz-harness helpers --------------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the randomized test suites. The one policy decision
+/// that lives here: fuzzer iteration counts are environment-tunable so the
+/// same binaries serve two jobs — the tier-1 CI run keeps the committed
+/// defaults (seconds-fast), while the nightly `fuzz`-labelled CTest entries
+/// set LEAPFROG_FUZZ_ITERS to go an order of magnitude deeper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_TESTS_FUZZSUPPORT_H
+#define LEAPFROG_TESTS_FUZZSUPPORT_H
+
+#include <cstdlib>
+
+namespace leapfrog {
+namespace testing {
+
+/// Returns the iteration count for a fuzz suite whose committed default is
+/// \p Default. LEAPFROG_FUZZ_ITERS, when set, is a percentage scale applied
+/// to every suite's default: 100 reproduces the committed counts, 10000 runs
+/// 100x deeper (the nightly setting), 10 gives a quick smoke. The scale is
+/// clamped so a typo cannot melt a runner.
+inline int fuzzIters(int Default) {
+  const char *Env = std::getenv("LEAPFROG_FUZZ_ITERS");
+  if (!Env || !*Env)
+    return Default;
+  long Scale = std::strtol(Env, nullptr, 10);
+  if (Scale <= 0)
+    return Default;
+  if (Scale > 100000)
+    Scale = 100000;
+  long long Iters = static_cast<long long>(Default) * Scale / 100;
+  if (Iters < 1)
+    Iters = 1;
+  if (Iters > 1000000)
+    Iters = 1000000;
+  return static_cast<int>(Iters);
+}
+
+} // namespace testing
+} // namespace leapfrog
+
+#endif // LEAPFROG_TESTS_FUZZSUPPORT_H

@@ -15,10 +15,13 @@
 
 #include "smt/Sat.h"
 
+#include "FuzzSupport.h"
+
 #include <gtest/gtest.h>
 
 using namespace leapfrog;
 using namespace leapfrog::smt;
+using leapfrog::testing::fuzzIters;
 
 namespace {
 
@@ -320,6 +323,149 @@ TEST(SatIncremental, NewVarsMayBeAddedBetweenSolves) {
 }
 
 //===----------------------------------------------------------------------===//
+// Clause-database management: reduceDB and simplify
+//===----------------------------------------------------------------------===//
+
+SatSolver::ReducePolicy aggressivePolicy() {
+  // Reduce at every opportunity: first run after a single learnt, no
+  // geometric growth. The production default would almost never fire on
+  // test-sized instances; this schedule fires constantly, which is the
+  // point — any unsoundness in deletion shows up immediately.
+  SatSolver::ReducePolicy P;
+  P.Enabled = true;
+  P.FirstReduce = 1;
+  P.Growth = 1.0;
+  return P;
+}
+
+SatSolver::ReducePolicy disabledPolicy() {
+  SatSolver::ReducePolicy P;
+  P.Enabled = false;
+  return P;
+}
+
+TEST(SatReduce, DeletesColdLearntsAndStaysCorrect) {
+  SatSolver S;
+  SatSolver::ReducePolicy P;
+  P.FirstReduce = 16; // PHP(7,6) learns far more than 16 clauses.
+  P.Growth = 1.1;
+  S.setReducePolicy(P);
+  Var Act = addGatedPigeonHole(S, 7);
+  ASSERT_FALSE(S.solveUnderAssumptions({pos(Act)}));
+  EXPECT_EQ(S.failedAssumptions(), std::vector<Lit>{pos(Act)});
+  EXPECT_GT(S.stats().ReduceDbRuns, 0u);
+  EXPECT_GT(S.stats().ClausesDeleted, 0u);
+  EXPECT_GT(S.stats().ArenaBytesPeak, 0u);
+  EXPECT_GE(S.stats().LearntPeak, S.numLearntClauses());
+  // The instance (without the activation) is still satisfiable, and the
+  // hard core is still UNSAT on a rerun over the reduced database.
+  EXPECT_TRUE(S.solveUnderAssumptions({neg(Act)}));
+  EXPECT_FALSE(S.solveUnderAssumptions({pos(Act)}));
+}
+
+TEST(SatReduce, ScheduleGatesOnThreshold) {
+  // PHP(6,5) restarts several times (the reduce opportunity) and learns
+  // hundreds of clauses — but a threshold it never reaches must keep
+  // reduceDB idle, while the aggressive schedule must fire.
+  auto RunWith = [](SatSolver::ReducePolicy P) {
+    SatSolver S;
+    S.setReducePolicy(P);
+    Var Act = addGatedPigeonHole(S, 6);
+    EXPECT_FALSE(S.solveUnderAssumptions({pos(Act)}));
+    EXPECT_GT(S.stats().Restarts, 0u);
+    return S.stats().ReduceDbRuns;
+  };
+  SatSolver::ReducePolicy Never;
+  Never.FirstReduce = 1u << 30;
+  EXPECT_EQ(RunWith(Never), 0u);
+  EXPECT_EQ(RunWith(disabledPolicy()), 0u);
+  EXPECT_GT(RunWith(aggressivePolicy()), 0u);
+}
+
+TEST(SatReduce, SimplifyRemovesRetiredActivationGroup) {
+  SatSolver S;
+  S.setReducePolicy(disabledPolicy());
+  Var X = S.newVar(), Y = S.newVar();
+  S.addClause(pos(X), pos(Y));
+  size_t Base = S.numClauses();
+  Var Act = S.newVar();
+  S.addClause(neg(Act), pos(X));
+  S.addClause(neg(Act), neg(Y), pos(X));
+  ASSERT_TRUE(S.solveUnderAssumptions({pos(Act)}));
+  EXPECT_TRUE(S.modelValue(X));
+  // Retire and hard-delete: the database returns to its pre-goal size and
+  // X is unconstrained again.
+  S.addClause(neg(Act));
+  S.simplify();
+  EXPECT_EQ(S.numClauses(), Base);
+  EXPECT_EQ(S.stats().ClausesDeleted, 2u);
+  EXPECT_TRUE(S.solveUnderAssumptions({neg(X), pos(Y)}));
+  EXPECT_TRUE(S.solveUnderAssumptions({pos(X)}));
+}
+
+TEST(SatReduce, SimplifyDropsLearntsDerivedFromRetiredGroup) {
+  // Lemmas whose derivation used an act-guarded clause contain ¬act (act
+  // never occurs positively in any clause, so resolution cannot remove
+  // it); after retirement simplify() must delete them too, leaving no
+  // clause that mentions the goal's variables.
+  SatSolver S;
+  S.setReducePolicy(disabledPolicy());
+  Var Act = addGatedPigeonHole(S, 5);
+  ASSERT_FALSE(S.solveUnderAssumptions({pos(Act)}));
+  EXPECT_GT(S.numLearntClauses(), 0u);
+  S.addClause(neg(Act));
+  S.simplify();
+  // Every clause of the gated group contained ¬act, and every lemma the
+  // UNSAT proof learned resolved through the group: nothing survives.
+  EXPECT_EQ(S.numClauses(), 0u);
+  EXPECT_EQ(S.numLearntClauses(), 0u);
+  EXPECT_TRUE(S.solve());
+}
+
+TEST(SatReduce, ArenaBytesTrackLiveClauses) {
+  SatSolver S;
+  EXPECT_EQ(S.arenaBytes(), 0u);
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.addClause(pos(A), pos(B), pos(C));
+  uint64_t One = S.arenaBytes();
+  EXPECT_GT(One, 0u);
+  S.addClause(neg(A), pos(B));
+  EXPECT_GT(S.arenaBytes(), One);
+  EXPECT_EQ(S.stats().ArenaBytesPeak, S.arenaBytes());
+  // Unit clauses are enqueued, not stored: no arena growth.
+  uint64_t BeforeUnit = S.arenaBytes();
+  S.addClause(pos(A));
+  EXPECT_EQ(S.arenaBytes(), BeforeUnit);
+  // Deleting the now-satisfied clauses returns their bytes; the peak
+  // stays where it was.
+  uint64_t Peak = S.stats().ArenaBytesPeak;
+  S.simplify();
+  EXPECT_LT(S.arenaBytes(), BeforeUnit);
+  EXPECT_EQ(S.stats().ArenaBytesPeak, Peak);
+}
+
+TEST(SatReduce, CountersAreMonotoneAcrossQueries) {
+  SatSolver S;
+  S.setReducePolicy(aggressivePolicy());
+  Var Act = addGatedPigeonHole(S, 6);
+  uint64_t Deleted = 0, Runs = 0, Arena = 0, Learnts = 0;
+  for (int I = 0; I < 4; ++I) {
+    EXPECT_FALSE(S.solveUnderAssumptions({pos(Act)}));
+    const SatSolver::Stats &St = S.stats();
+    EXPECT_GE(St.ClausesDeleted, Deleted);
+    EXPECT_GE(St.ReduceDbRuns, Runs);
+    EXPECT_GE(St.ArenaBytesPeak, Arena);
+    EXPECT_GE(St.LearntPeak, Learnts);
+    Deleted = St.ClausesDeleted;
+    Runs = St.ReduceDbRuns;
+    Arena = St.ArenaBytesPeak;
+    Learnts = St.LearntPeak;
+  }
+  EXPECT_GT(Runs, 0u);
+  EXPECT_GT(Deleted, 0u);
+}
+
+//===----------------------------------------------------------------------===//
 // Differential fuzzing against a reference DPLL
 //===----------------------------------------------------------------------===//
 
@@ -455,7 +601,8 @@ TEST_P(SatFuzz, MatchesDpllAndModelsCheck) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Random, SatFuzz, ::testing::Range(0, 400));
+INSTANTIATE_TEST_SUITE_P(Random, SatFuzz,
+                         ::testing::Range(0, fuzzIters(400)));
 
 /// Incremental differential fuzz: one long-lived CDCL instance answers a
 /// sequence of assumption queries interleaved with clause additions; every
@@ -536,6 +683,136 @@ TEST_P(SatIncrementalFuzz, MatchesDpllAcrossQuerySequence) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Random, SatIncrementalFuzz,
-                         ::testing::Range(0, 200));
+                         ::testing::Range(0, fuzzIters(200)));
+
+/// Clause-DB management differential fuzz: the same random incremental
+/// workload — clause additions, assumption queries, activation-guarded
+/// clause groups that get retired and hard-deleted — is solved by one
+/// solver with reduceDB forced onto the aggressive schedule and one with
+/// reduction disabled. Both must agree with each other and with a DPLL
+/// run over the full logical clause set (retired groups stay in the DPLL
+/// set: their guards are falsified by the retirement units, so agreement
+/// proves deletion changed no answer); every UNSAT failed-assumption set
+/// is re-validated as a genuine core, and every model is checked against
+/// every clause ever added — including ones the solvers deleted.
+class SatReduceFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatReduceFuzz, ReductionAndPurgeChangeNoAnswer) {
+  Rng R{uint64_t(GetParam()) + 424242};
+  int NumVars = 6 + int(R.below(8));
+  SatSolver Reducing, Plain;
+  Reducing.setReducePolicy(aggressivePolicy());
+  Plain.setReducePolicy(disabledPolicy());
+  // Variable allocation must stay aligned between the two solvers.
+  auto NewVar = [&]() {
+    Var V = Reducing.newVar();
+    Var V2 = Plain.newVar();
+    EXPECT_EQ(V, V2);
+    return V;
+  };
+  for (int V = 0; V < NumVars; ++V)
+    (void)NewVar();
+
+  std::vector<std::vector<Lit>> AllClauses; ///< The logical clause set.
+  bool AddOk = true;
+  auto Add = [&](std::vector<Lit> C) {
+    AllClauses.push_back(C);
+    AddOk &= Reducing.addClause(C);
+    AddOk &= Plain.addClause(std::move(C));
+  };
+  auto RandomLit = [&]() {
+    return Lit::mk(Var(R.below(size_t(NumVars))), R.below(2));
+  };
+  auto AddRandomClauses = [&](size_t Count, Lit Guard) {
+    for (size_t I = 0; I < Count; ++I) {
+      std::vector<Lit> C;
+      if (Guard != Lit::undef())
+        C.push_back(~Guard);
+      for (size_t K = 1 + R.below(3); K > 0; --K)
+        C.push_back(RandomLit());
+      Add(std::move(C));
+    }
+  };
+
+  AddRandomClauses(size_t(NumVars) * 2, Lit::undef());
+  std::vector<Lit> LiveGroups; ///< Activation literals not yet retired.
+  int TotalVars = NumVars;
+  for (int Round = 0; Round < 12; ++Round) {
+    // Open a fresh activation-guarded group some rounds; its clauses are
+    // only in force while its activation literal is assumed.
+    if (R.below(2) == 0) {
+      Lit Act = Lit::mk(NewVar(), false);
+      ++TotalVars;
+      AddRandomClauses(1 + R.below(4), Act);
+      LiveGroups.push_back(Act);
+    }
+
+    // Query under random assumptions plus every live group's activation.
+    std::vector<Lit> Assumptions = LiveGroups;
+    for (size_t K = R.below(3); K > 0; --K)
+      Assumptions.push_back(RandomLit());
+
+    std::vector<std::vector<Lit>> WithUnits = AllClauses;
+    for (Lit A : Assumptions)
+      WithUnits.push_back({A});
+    bool Reference = Dpll(WithUnits, TotalVars).solve();
+    bool GotReducing = AddOk && Reducing.solveUnderAssumptions(Assumptions);
+    bool GotPlain = AddOk && Plain.solveUnderAssumptions(Assumptions);
+    ASSERT_EQ(GotReducing, Reference)
+        << "reduceDB solver diverges from DPLL, seed " << GetParam()
+        << " round " << Round;
+    ASSERT_EQ(GotPlain, Reference)
+        << "reduce-off solver diverges from DPLL, seed " << GetParam()
+        << " round " << Round;
+
+    for (SatSolver *S : {&Reducing, &Plain}) {
+      if (Reference) {
+        // The model must satisfy every clause ever added — deleted ones
+        // included, which is precisely what makes deletion sound: they
+        // are all satisfied by the retirement units the model contains.
+        for (const auto &C : AllClauses) {
+          bool Satisfied = false;
+          for (Lit L : C)
+            Satisfied |= S->modelValue(L.var()) != L.negated();
+          EXPECT_TRUE(Satisfied)
+              << "model violates a clause, seed " << GetParam() << " round "
+              << Round;
+        }
+        for (Lit A : Assumptions)
+          EXPECT_TRUE(S->modelValue(A.var()) != A.negated())
+              << "model violates an assumption, seed " << GetParam();
+      } else if (AddOk && !S->failedAssumptions().empty()) {
+        std::vector<std::vector<Lit>> Core = AllClauses;
+        for (Lit F : S->failedAssumptions()) {
+          bool IsAssumption = false;
+          for (Lit A : Assumptions)
+            IsAssumption |= A == F;
+          EXPECT_TRUE(IsAssumption)
+              << "failed set contains a non-assumption, seed " << GetParam();
+          Core.push_back({F});
+        }
+        EXPECT_FALSE(Dpll(Core, TotalVars).solve())
+            << "failed-assumption set is not an unsat core, seed "
+            << GetParam() << " round " << Round;
+      }
+    }
+
+    // Retire a group now and then: both solvers hard-delete everything
+    // the activation literal guarded; the logical set keeps the clauses
+    // and gains the retirement unit.
+    if (!LiveGroups.empty() && R.below(3) == 0) {
+      size_t Pick = R.below(LiveGroups.size());
+      Lit Act = LiveGroups[Pick];
+      LiveGroups.erase(LiveGroups.begin() + long(Pick));
+      Add({~Act});
+      Reducing.simplify();
+      Plain.simplify();
+    }
+    AddRandomClauses(R.below(3), Lit::undef());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SatReduceFuzz,
+                         ::testing::Range(0, fuzzIters(200)));
 
 } // namespace

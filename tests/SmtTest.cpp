@@ -19,10 +19,13 @@
 #include "smt/SmtLib.h"
 #include "smt/Solver.h"
 
+#include "FuzzSupport.h"
+
 #include <gtest/gtest.h>
 
 using namespace leapfrog;
 using namespace leapfrog::smt;
+using leapfrog::testing::fuzzIters;
 
 namespace {
 
@@ -257,7 +260,8 @@ TEST_P(BlastFuzz, AgreesWithEnumeration) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Random, BlastFuzz, ::testing::Range(0, 300));
+INSTANTIATE_TEST_SUITE_P(Random, BlastFuzz,
+                         ::testing::Range(0, fuzzIters(300)));
 
 //===----------------------------------------------------------------------===//
 // Incremental sessions
@@ -351,6 +355,180 @@ TEST(Session, TwoSolverInstancesShareNoState) {
   EXPECT_EQ(B.stats().SessionsOpened, 1u);
 }
 
+//===----------------------------------------------------------------------===//
+// Session memory management: retirement purges, limits, restarts
+//===----------------------------------------------------------------------===//
+
+TEST(SessionMemory, RetiredGoalsAreHardDeleted) {
+  // Each goal's guard + Tseitin clauses are physically removed at
+  // retirement, so a long query sequence shows up in ClausesDeleted
+  // while the premise CNF alone persists.
+  BitBlastSolver S;
+  S.SessionPurgeBatch = 1; // Purge at every opportunity.
+  auto Sess = S.openSession();
+  BvTermRef X = var("x", 8);
+  Sess->assertPremise(BvFormula::mkEq(BvTerm::mkExtract(X, 0, 3),
+                                      lit("1010")));
+  for (int I = 0; I < 10; ++I) {
+    EXPECT_TRUE(Sess->isEntailed(
+        BvFormula::mkEq(BvTerm::mkExtract(X, 0, 1), lit("10"))));
+    EXPECT_FALSE(Sess->isEntailed(
+        BvFormula::mkEq(BvTerm::mkExtract(X, 4, 7), lit("0000"))));
+  }
+  EXPECT_GT(S.stats().ClausesDeleted, 0u);
+  EXPECT_GT(S.stats().ArenaBytesPeak, 0u);
+  EXPECT_EQ(S.stats().SessionRestarts, 0u); // No limits set.
+  EXPECT_EQ(S.stats().PremisesGcd, 0u);
+}
+
+TEST(SessionMemory, LimitsTripRestartsWithoutChangingAnswers) {
+  // A one-byte arena bound trips after every query: the session is torn
+  // down and rebuilt from its premises each time, and the answers must
+  // be exactly those of an unlimited session.
+  BitBlastSolver Limited, Unlimited;
+  SessionLimits Tight;
+  Tight.MaxArenaBytes = 1;
+  auto SessL = Limited.openSession(Tight);
+  auto SessU = Unlimited.openSession();
+  BvTermRef X = var("x", 6);
+  auto Premise = BvFormula::mkEq(BvTerm::mkExtract(X, 0, 2), lit("101"));
+  SessL->assertPremise(Premise);
+  SessU->assertPremise(Premise);
+  for (int I = 0; I < 6; ++I) {
+    Bitvector Probe = Bitvector::fromUint(uint64_t(I), 3);
+    BvFormulaRef Goal = BvFormula::mkEq(BvTerm::mkExtract(X, 3, 5),
+                                        BvTerm::mkConst(Probe));
+    EXPECT_EQ(SessL->isEntailed(Goal), SessU->isEntailed(Goal)) << I;
+    // Entailed consequences of the premise survive every rebuild.
+    EXPECT_TRUE(SessL->isEntailed(
+        BvFormula::mkEq(BvTerm::mkExtract(X, 0, 0), lit("1"))));
+  }
+  EXPECT_GT(Limited.stats().SessionRestarts, 0u);
+  EXPECT_GT(Limited.stats().PremisesGcd, 0u);
+  EXPECT_EQ(Unlimited.stats().SessionRestarts, 0u);
+  EXPECT_EQ(Unlimited.stats().PremisesGcd, 0u);
+  // Restarts re-blast premises but never re-count them: both backends
+  // report the same single distinct premise conjunct.
+  EXPECT_EQ(Limited.stats().SessionPremises,
+            Unlimited.stats().SessionPremises);
+  EXPECT_EQ(Limited.stats().SessionPremises, 1u);
+}
+
+TEST(SessionMemory, MaxLearntsLimitTrips) {
+  // A peak of more than one simultaneous learned clause trips the
+  // MaxLearnts = 1 backstop. Pairwise-distinct variables force real
+  // search — unit propagation alone cannot refute a wrong probe of this
+  // premise set, so conflicts (and therefore learned clauses) happen.
+  BitBlastSolver S;
+  SessionLimits Tight;
+  Tight.MaxLearnts = 1;
+  auto Sess = S.openSession(Tight);
+  BvTermRef A = var("a", 2), B = var("b", 2), C = var("c", 2),
+            D = var("d", 2);
+  const BvTermRef Vars[] = {A, B, C, D};
+  for (size_t I = 0; I < 4; ++I)
+    for (size_t J = I + 1; J < 4; ++J)
+      Sess->assertPremise(BvFormula::mkNot(BvFormula::mkEq(Vars[I], Vars[J])));
+  // Four pairwise-distinct 2-bit values use up the whole domain, so 'a'
+  // can take any value but the assignment of the rest is forced around
+  // it; probing all combinations of two variables forces conflicts.
+  for (int I = 0; I < 4; ++I)
+    for (int J = 0; J < 4; ++J) {
+      BvFormulaRef Goal = BvFormula::mkAnd(
+          BvFormula::mkEq(A, BvTerm::mkConst(
+                                 Bitvector::fromUint(uint64_t(I), 2))),
+          BvFormula::mkEq(B, BvTerm::mkConst(
+                                 Bitvector::fromUint(uint64_t(J), 2))));
+      (void)Sess->checkSatUnderPremises(Goal, nullptr);
+    }
+  EXPECT_GT(S.stats().SessionRestarts, 0u);
+  // Each restart collects every premise group's blast state.
+  EXPECT_GE(S.stats().PremisesGcd, 6 * S.stats().SessionRestarts);
+}
+
+TEST(SessionMemory, StatsMonotoneAcrossQueriesAndRestarts) {
+  BitBlastSolver S;
+  S.SessionPurgeBatch = 1; // Purge at every opportunity.
+  SessionLimits Tight;
+  Tight.MaxArenaBytes = 1;
+  auto Sess = S.openSession(Tight);
+  BvTermRef X = var("x", 5);
+  Sess->assertPremise(BvFormula::mkEq(BvTerm::mkExtract(X, 0, 1),
+                                      lit("01")));
+  uint64_t Deleted = 0, Gcd = 0, Restarts = 0, Arena = 0, Learnts = 0;
+  for (int I = 0; I < 6; ++I) {
+    Bitvector Probe = Bitvector::fromUint(uint64_t(I), 3);
+    (void)Sess->checkSatUnderPremises(
+        BvFormula::mkEq(BvTerm::mkExtract(X, 2, 4), BvTerm::mkConst(Probe)),
+        nullptr);
+    const SolverStats &St = S.stats();
+    EXPECT_GE(St.ClausesDeleted, Deleted);
+    EXPECT_GE(St.PremisesGcd, Gcd);
+    EXPECT_GE(St.SessionRestarts, Restarts);
+    EXPECT_GE(St.ArenaBytesPeak, Arena);
+    EXPECT_GE(St.PeakLearnts, Learnts);
+    Deleted = St.ClausesDeleted;
+    Gcd = St.PremisesGcd;
+    Restarts = St.SessionRestarts;
+    Arena = St.ArenaBytesPeak;
+    Learnts = St.PeakLearnts;
+  }
+  EXPECT_GT(Deleted, 0u);
+  EXPECT_GT(Restarts, 0u);
+}
+
+TEST(SessionMemory, MonolithicFallbackReportsZero) {
+  // Both monolithic flavors — the base-class session and the certifying
+  // BitBlastSolver degradation — hold no cross-query solver state, so
+  // every memory counter stays zero even with limits set.
+  BitBlastSolver Certifying;
+  Certifying.CertifyUnsat = true;
+  SessionLimits Tight;
+  Tight.MaxLearnts = 1;
+  Tight.MaxArenaBytes = 1;
+  auto Sess = Certifying.openSession(Tight);
+  BvTermRef X = var("x", 4);
+  Sess->assertPremise(BvFormula::mkEq(X, lit("1010")));
+  EXPECT_TRUE(Sess->isEntailed(BvFormula::mkEq(X, lit("1010"))));
+  EXPECT_FALSE(Sess->isEntailed(BvFormula::mkEq(var("y", 4), lit("1010"))));
+  const SolverStats &St = Certifying.stats();
+  EXPECT_EQ(St.ClausesDeleted, 0u);
+  EXPECT_EQ(St.ReduceDbRuns, 0u);
+  EXPECT_EQ(St.ArenaBytesPeak, 0u);
+  EXPECT_EQ(St.PeakLearnts, 0u);
+  EXPECT_EQ(St.SessionRestarts, 0u);
+  EXPECT_EQ(St.PremisesGcd, 0u);
+}
+
+TEST(SessionMemory, AggressiveReductionKeepsAnswers) {
+  // Force reduceDB onto the aggressive schedule inside one session's
+  // CDCL solver, disable all clause-DB management (no reduction, no
+  // retired-goal purge — the grow-only PR-2 baseline) in another, and
+  // diff a query sequence across them.
+  BitBlastSolver Reducing, Plain;
+  Reducing.SessionReduce.FirstReduce = 1;
+  Reducing.SessionReduce.Growth = 1.0;
+  Plain.SessionReduce.Enabled = false;
+  Plain.SessionHardRetire = false;
+  auto SessR = Reducing.openSession();
+  auto SessP = Plain.openSession();
+  BvTermRef A = var("a", 10), B = var("b", 10);
+  for (const auto &P :
+       {BvFormula::mkEq(A, B),
+        BvFormula::mkEq(BvTerm::mkExtract(A, 0, 4), lit("11010"))}) {
+    SessR->assertPremise(P);
+    SessP->assertPremise(P);
+  }
+  for (int I = 0; I < 16; ++I) {
+    Bitvector Probe = Bitvector::fromUint(uint64_t(I * 3), 5);
+    BvFormulaRef Goal = BvFormula::mkEq(BvTerm::mkExtract(B, 5, 9),
+                                        BvTerm::mkConst(Probe));
+    EXPECT_EQ(SessR->isEntailed(Goal), SessP->isEntailed(Goal)) << I;
+  }
+  EXPECT_EQ(Plain.stats().ReduceDbRuns, 0u);
+  EXPECT_EQ(Plain.stats().ClausesDeleted, 0u);
+}
+
 /// Differential fuzz: a session posed a random premise/goal sequence must
 /// agree query-for-query with monolithic checkSat on the conjunction.
 class SessionFuzz : public ::testing::TestWithParam<int> {};
@@ -393,7 +571,48 @@ TEST_P(SessionFuzz, AgreesWithMonolithicConjunction) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Random, SessionFuzz, ::testing::Range(0, 200));
+INSTANTIATE_TEST_SUITE_P(Random, SessionFuzz,
+                         ::testing::Range(0, fuzzIters(200)));
+
+/// Limits fuzz: the same random premise/goal sequences, but the session
+/// runs under deliberately tiny memory limits (restarting constantly)
+/// and an aggressive in-solver reduction schedule, and must still agree
+/// query-for-query with the monolithic conjunction.
+class SessionLimitsFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SessionLimitsFuzz, AgreesWithMonolithicUnderTinyLimits) {
+  Rng R{uint64_t(GetParam()) + 31337};
+  BitBlastSolver Incremental, Monolithic;
+  Incremental.SessionReduce.FirstReduce = 1;
+  Incremental.SessionReduce.Growth = 1.0;
+  SessionLimits Tight;
+  // Alternate which limit bites; both paths end in the same rebuild.
+  if (GetParam() % 2 == 0)
+    Tight.MaxArenaBytes = 1 + R.below(4096);
+  else
+    Tight.MaxLearnts = 1 + R.below(4);
+  auto Sess = Incremental.openSession(Tight);
+  std::vector<BvFormulaRef> Premises;
+  for (int Round = 0; Round < 8; ++Round) {
+    if (R.below(2) == 0) {
+      BvFormulaRef P = randomFormula(R, 2);
+      Premises.push_back(P);
+      Sess->assertPremise(P);
+    }
+    BvFormulaRef Goal = randomFormula(R, 2);
+    BvFormulaRef Conj = Goal;
+    for (size_t I = Premises.size(); I > 0; --I)
+      Conj = BvFormula::mkAnd(Premises[I - 1], Conj);
+    SatResult Inc = Sess->checkSatUnderPremises(Goal, nullptr);
+    SatResult Mono = Monolithic.checkSat(Conj, nullptr);
+    ASSERT_EQ(Inc == SatResult::Sat, Mono == SatResult::Sat)
+        << "limited session diverges from monolithic, seed " << GetParam()
+        << " round " << Round << " goal " << Goal->str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SessionLimitsFuzz,
+                         ::testing::Range(0, fuzzIters(100)));
 
 //===----------------------------------------------------------------------===//
 // SMT-LIB printing

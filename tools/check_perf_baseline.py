@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Gate bench_smt's perf-smoke output against the committed baseline.
+
+Usage: check_perf_baseline.py CURRENT.json BASELINE.json
+
+Both files are bench_smt --json outputs (a list of per-(study, mode)
+records). The gate is deliberately narrow: for every incremental record
+present in both files, the smoke workload's peak learned-clause count
+(`peak_learnts`) must not exceed 2x the committed baseline. Peak clause
+counts are a property of the solver's clause-DB management, not of runner
+speed, so — unlike latency — they are stable enough on shared CI runners
+to gate on. Everything else in the JSON is archived for bisection, not
+gated.
+
+A study present only in the current output (new workload) or only in the
+baseline (retired workload) is reported but does not fail the gate; the
+baseline should be refreshed in the same PR that changes the workload.
+"""
+
+import json
+import sys
+
+REGRESSION_FACTOR = 2.0
+
+
+def key(record):
+    return (record["study"], record["mode"])
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    with open(sys.argv[1]) as f:
+        current = {key(r): r for r in json.load(f)}
+    with open(sys.argv[2]) as f:
+        baseline = {key(r): r for r in json.load(f)}
+
+    failures = []
+    for k, cur in sorted(current.items()):
+        if cur["mode"] != "incremental":
+            continue
+        base = baseline.get(k)
+        if base is None:
+            print(f"NOTE: {k[0]} has no baseline entry (new workload?)")
+            continue
+        cur_peak = cur["peak_learnts"]
+        base_peak = base["peak_learnts"]
+        limit = max(base_peak * REGRESSION_FACTOR, base_peak + 8)
+        status = "ok" if cur_peak <= limit else "REGRESSION"
+        print(
+            f"{k[0]:<28} peak_learnts {base_peak:>6} -> {cur_peak:>6} "
+            f"(limit {limit:.0f})  arena {base['arena_peak_bytes']:>8} -> "
+            f"{cur['arena_peak_bytes']:>8}  [{status}]"
+        )
+        if cur_peak > limit:
+            failures.append(k[0])
+    for k in sorted(baseline.keys() - current.keys()):
+        if baseline[k]["mode"] == "incremental":
+            print(f"NOTE: {k[0]} only in baseline (retired workload?)")
+
+    if failures:
+        print(
+            f"FAIL: peak learned-clause count regressed >"
+            f"{REGRESSION_FACTOR}x on: {', '.join(failures)}"
+        )
+        return 1
+    print("perf baseline check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,6 +52,9 @@ void usage() {
       "                     the search (independent of the search code)\n"
       "  --max-iterations N worklist budget (default 1048576)\n"
       "  --max-seconds N    wall-clock budget (default unlimited)\n"
+      "  --max-learnts N    per-session peak learned-clause bound; over\n"
+      "                     it the session restarts from its premises\n"
+      "  --max-arena-mb N   per-session peak clause-arena bound (MB)\n"
       "  --print            echo both parsers back (parsed form)\n"
       "  --dump-cert        print the certificate (the conjuncts of the\n"
       "                     symbolic bisimulation) on success\n"
@@ -134,6 +137,12 @@ int main(int Argc, char **Argv) {
     } else if (!std::strcmp(Arg, "--max-seconds") && I + 1 < Argc) {
       Options.MaxWallMicros =
           uint64_t(std::strtoull(Argv[++I], nullptr, 10)) * 1000000u;
+    } else if (!std::strcmp(Arg, "--max-learnts") && I + 1 < Argc) {
+      Options.Limits.MaxLearnts =
+          size_t(std::strtoull(Argv[++I], nullptr, 10));
+    } else if (!std::strcmp(Arg, "--max-arena-mb") && I + 1 < Argc) {
+      Options.Limits.MaxArenaBytes =
+          size_t(std::strtoull(Argv[++I], nullptr, 10)) * 1024u * 1024u;
     } else {
       std::fprintf(stderr, "leapfrog-cli: unknown option '%s'\n", Arg);
       usage();
