@@ -27,6 +27,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -97,13 +98,24 @@ int main(int argc, char **argv) {
   // longitudinal record without gating on noisy thresholds.
   bool Smoke = false;
   const char *JsonPath = nullptr;
+  // --jobs N: adds a third per-study mode — the parallel frontier engine
+  // with N workers — whose latency distribution aggregates every worker
+  // backend (SolverStats::merge), so the scaling signal is wall-clock
+  // total_us per mode, not per-query shape (answers are identical by
+  // construction). Off by default so the CI smoke JSON keys stay stable.
+  size_t Jobs = 1;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--smoke")) {
       Smoke = true;
     } else if (!std::strcmp(argv[I], "--json") && I + 1 < argc) {
       JsonPath = argv[++I];
+    } else if (!std::strcmp(argv[I], "--jobs") && I + 1 < argc) {
+      Jobs = size_t(std::strtoull(argv[++I], nullptr, 10));
+      if (Jobs < 1)
+        Jobs = 1;
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json FILE]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--smoke] [--json FILE] [--jobs N]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -129,27 +141,43 @@ int main(int argc, char **argv) {
        parsers::ipOptionsTimestamp(2), "parse_0", "parse_0"},
   };
 
-  // Each study runs twice — through the incremental sessions (the
-  // checker's default) and through per-query monolithic solving — so the
-  // table doubles as the incrementality ablation for §7.3.
+  // Each study runs through the incremental sessions (the checker's
+  // default) and through per-query monolithic solving — the
+  // incrementality ablation for §7.3 — plus, with --jobs N, through the
+  // parallel frontier engine as a scaling column.
+  struct ModeSpec {
+    const char *Name;
+    bool Incremental;
+    size_t Jobs;
+  };
+  std::vector<ModeSpec> Modes = {{"incremental", true, 1},
+                                 {"monolithic", false, 1}};
+  std::string ParallelName;
+  if (Jobs > 1) {
+    ParallelName = "parallel-j" + std::to_string(Jobs);
+    Modes.push_back(ModeSpec{ParallelName.c_str(), true, Jobs});
+  }
   std::vector<uint64_t> All;
   for (auto &Study : Studies) {
     if (Smoke && !std::strcmp(Study.Name, "Variable-length parsing"))
       continue; // The one slow utility study; smoke stays seconds-fast.
-    for (bool Incremental : {true, false}) {
-      smt::BitBlastSolver Solver; // Fresh stats per (study, mode).
+    for (const ModeSpec &M : Modes) {
+      smt::BitBlastSolver Solver; // Fresh stats per (study, mode);
+                                  // worker stats are absorbed into it.
       CheckOptions O;
       O.Solver = &Solver;
-      O.UseIncremental = Incremental;
+      O.UseIncremental = M.Incremental;
+      O.Jobs = M.Jobs;
       CheckResult Res =
           checkLanguageEquivalence(Study.L, Study.QL, Study.R, Study.QR, O);
       (void)Res;
       std::vector<uint64_t> Micros = Solver.stats().QueryMicros;
       std::sort(Micros.begin(), Micros.end());
+      bool Incremental = M.Incremental && M.Jobs == 1;
       if (Incremental)
         All.insert(All.end(), Micros.begin(), Micros.end());
       double N = double(std::max<uint64_t>(Solver.stats().Queries, 1));
-      const char *Mode = Incremental ? "incremental" : "monolithic";
+      const char *Mode = M.Name;
       std::printf(
           "%-26s %-12s %8zu %8zu %8zu %8zu %8zu %8zu %5.1f%% %5.1f%%\n",
           Study.Name, Mode, size_t(Solver.stats().Queries),
@@ -168,6 +196,15 @@ int main(int argc, char **argv) {
           Solver.stats().ReusedClauses, Solver.stats().PeakLearnts,
           Solver.stats().ArenaBytesPeak, Solver.stats().ClausesDeleted,
           Solver.stats().ReduceDbRuns, Solver.stats().SessionRestarts});
+      if (M.Jobs > 1) {
+        // The scaling line: wall-clock vs the per-thread solver-CPU sum
+        // (their ratio is the effective parallelism achieved).
+        std::printf("%-26s %-12s wall=%.1fms solver-cpu=%.1fms "
+                    "workers' sessions=%zu\n",
+                    "", "", double(Res.Stats.WallMicros) / 1e3,
+                    double(Res.Stats.SolverMicros) / 1e3,
+                    size_t(Solver.stats().SessionsOpened));
+      }
       if (Incremental) {
         std::printf("%-26s %-12s premises=%zu cache-hits=%zu "
                     "reused-clauses=%zu sessions=%zu\n",

@@ -25,7 +25,9 @@
 #include "parsers/CaseStudies.h"
 #include "pgen/TranslationValidation.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sys/resource.h>
 
@@ -102,9 +104,15 @@ void printRow(const Row &R) {
 /// behavior, kept as the before-side of the memory A/B.
 bool Unbounded = false;
 
+/// --jobs N: after each sequential row, rerun the study through the
+/// parallel frontier engine with N workers and print the scaling line
+/// (wall-clock speedup + a decisions-identical check). N = 1 (default)
+/// keeps the classic table.
+size_t Jobs = 1;
+
 Row runStudy(const parsers::CaseStudy &Study, const InitialSpec &Spec,
              bool ExpectEquivalent, size_t MaxIterations = 1u << 20,
-             uint64_t MaxWallMicros = 0) {
+             uint64_t MaxWallMicros = 0, size_t RunJobs = 1) {
   Row R;
   R.Name = Study.Name;
   R.Category = Study.Category;
@@ -119,9 +127,63 @@ Row runStudy(const parsers::CaseStudy &Study, const InitialSpec &Spec,
   O.Solver = &Solver;
   O.MaxIterations = MaxIterations;
   O.MaxWallMicros = MaxWallMicros;
+  O.Jobs = RunJobs;
   R.Result = checkWithSpec(Study.Left, Study.Right, Spec, O);
   R.Solver = Solver.stats();
   return R;
+}
+
+/// The scaling line under a sequential row: same study, same budgets,
+/// RunJobs workers. Wall-clock is the headline; Solve(s) sums solver
+/// time *across threads* (it exceeding Time(s) is the parallelism). The
+/// decisions column re-checks the engine's exactness promise in the
+/// field: verdict, relation size and iteration count must match the
+/// sequential row (SMT query counts legitimately differ — the merge
+/// re-derives some answers — so they are reported, not compared).
+/// Exactness only holds run-to-run when the budget is deterministic: a
+/// wall-clock trip lands on whatever iteration the clock says, in
+/// *either* run, so wall-limited rows report "n/a (wall-limited)"
+/// rather than a spurious divergence.
+void printScalingRow(const Row &Seq, const Row &Par, size_t N) {
+  auto WallLimited = [](const Row &R) {
+    return R.Result.V == Verdict::ResourceLimit &&
+           R.Result.FailureReason.rfind("wall-clock", 0) == 0;
+  };
+  const char *Decisions;
+  if (WallLimited(Seq) || WallLimited(Par)) {
+    Decisions = "n/a (wall-limited)";
+  } else {
+    bool Identical =
+        Par.Result.V == Seq.Result.V &&
+        Par.Result.Stats.FinalConjuncts ==
+            Seq.Result.Stats.FinalConjuncts &&
+        Par.Result.Stats.Iterations == Seq.Result.Stats.Iterations &&
+        Par.Result.Stats.Extends == Seq.Result.Stats.Extends;
+    Decisions = Identical ? "identical" : "** DIVERGED **";
+  }
+  double Speedup = double(Seq.Result.Stats.WallMicros) /
+                   double(std::max<uint64_t>(Par.Result.Stats.WallMicros, 1));
+  std::printf("%-28s %-14s jobs=%zu time=%.2fs solve-cpu=%.2fs "
+              "speedup=%.2fx queries=%zu decisions=%s\n",
+              "", "  (parallel)", N,
+              double(Par.Result.Stats.WallMicros) / 1e6,
+              double(Par.Result.Stats.SolverMicros) / 1e6, Speedup,
+              Par.Result.Stats.SmtQueries, Decisions);
+}
+
+/// Runs + prints one study: the sequential row, then (with --jobs N > 1)
+/// the parallel scaling line.
+void runAndPrint(const parsers::CaseStudy &Study, const InitialSpec &Spec,
+                 bool ExpectEquivalent, size_t MaxIterations = 1u << 20,
+                 uint64_t MaxWallMicros = 0) {
+  Row Seq = runStudy(Study, Spec, ExpectEquivalent, MaxIterations,
+                     MaxWallMicros);
+  printRow(Seq);
+  if (Jobs > 1) {
+    Row Par = runStudy(Study, Spec, ExpectEquivalent, MaxIterations,
+                       MaxWallMicros, Jobs);
+    printScalingRow(Seq, Par, Jobs);
+  }
 }
 
 InitialSpec plainSpec(const parsers::CaseStudy &Study) {
@@ -148,8 +210,12 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--unbounded")) {
       Unbounded = true;
+    } else if (!std::strcmp(argv[I], "--jobs") && I + 1 < argc) {
+      Jobs = size_t(std::strtoull(argv[++I], nullptr, 10));
+      if (Jobs < 1)
+        Jobs = 1;
     } else {
-      std::fprintf(stderr, "usage: %s [--unbounded]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--unbounded] [--jobs N]\n", argv[0]);
       return 2;
     }
   }
@@ -159,6 +225,10 @@ int main(int argc, char **argv) {
               Unbounded ? "  [--unbounded: session clause-DB management "
                           "disabled]"
                         : "");
+  if (Jobs > 1)
+    std::printf("[--jobs %zu: each row is followed by a parallel frontier "
+                "engine rerun; speedup is sequential/parallel wall]\n\n",
+                Jobs);
   printHeader();
 
   for (parsers::CaseStudy &Study : parsers::allCaseStudies()) {
@@ -191,7 +261,7 @@ int main(int argc, char **argv) {
     bool Big = Study.Category == "Applicability";
     size_t Budget = Big ? 50000 : (1u << 20);
     uint64_t WallBudget = Big ? 900u * 1000u * 1000u : 0;
-    printRow(runStudy(Study, Spec, Expect, Budget, WallBudget));
+    runAndPrint(Study, Spec, Expect, Budget, WallBudget);
   }
 
   // Translation Validation (Figure 8): compile Edge to TCAM tables,
@@ -213,8 +283,8 @@ int main(int argc, char **argv) {
     // Still DNF even incrementally (does not converge within 22k
     // iterations / 12 minutes — see docs/EXPERIMENTS.md), so a tighter
     // wall valve keeps the row from dominating the whole table's runtime.
-    printRow(runStudy(Study, plainSpec(Study), true, 50000,
-                      300u * 1000u * 1000u));
+    runAndPrint(Study, plainSpec(Study), true, 50000,
+                300u * 1000u * 1000u);
   }
 
   // §7.1 sanity checks: inequivalent inputs must be rejected, with the
@@ -226,7 +296,7 @@ int main(int argc, char **argv) {
                              "parse_eth",
                              parsers::strictEthernetIp(),
                              "parse_eth"};
-    printRow(runStudy(Study, plainSpec(Study), false));
+    runAndPrint(Study, plainSpec(Study), false);
   }
   {
     parsers::CaseStudy Study{"Sanity: uninit vlan header",
@@ -235,7 +305,7 @@ int main(int argc, char **argv) {
                              "parse_eth",
                              parsers::vlanParserBuggy(),
                              "parse_eth"};
-    printRow(runStudy(Study, plainSpec(Study), false));
+    runAndPrint(Study, plainSpec(Study), false);
   }
 
   std::printf("\nNote: RSS is the process max so far (monotone across "

@@ -7,10 +7,11 @@
 
 #include "core/Checker.h"
 
+#include "core/FrontierKey.h"
 #include "core/WeakestPrecondition.h"
 #include "logic/Lower.h"
 #include "p4a/Typing.h"
-#include "support/Hashing.h"
+#include "parallel/ParallelChecker.h"
 
 #include <chrono>
 #include <deque>
@@ -33,37 +34,21 @@ InitialSpec core::languageEquivalenceSpec(const p4a::Automaton &Left,
   return Spec;
 }
 
-namespace {
-
-/// Syntactic identity key for frontier deduplication. Two formulas with
-/// the same rendering are interchangeable in R/T, so pushing both wastes
-/// an SMT query.
-///
-/// The guard must be rendered *exactly*, never hashed: deduplication
-/// deletes frontier work, so a key collision silently drops a conjunct
-/// and can flip the verdict. This is not theoretical — keying on
-/// TemplatePair::hash() shipped with a real collision (the boost-style
-/// hashCombine cancels on correlated small-int deltas: pairs ⟨q0,2⟩·⟨q0,0⟩
-/// and ⟨q0,3⟩·⟨q1,0⟩ collide), which made the checker report two
-/// inequivalent parsers "equivalent" by swallowing the refutation chain.
-/// CheckerDedup.HashCollisionPairsStayDistinct pins the exact pair.
-std::string templateKey(const logic::Template &T) {
-  return std::to_string(int(T.Q.K)) + ":" + std::to_string(T.Q.Id) + ":" +
-         std::to_string(T.N);
-}
-std::string formulaKey(const GuardedFormula &G) {
-  return templateKey(G.TP.L) + "," + templateKey(G.TP.R) + "|" +
-         G.Phi->str();
-}
-
-} // namespace
-
 CheckResult core::checkWithSpec(const p4a::Automaton &Left,
                                 const p4a::Automaton &Right,
                                 const InitialSpec &Spec,
                                 const CheckOptions &Options) {
   assert(p4a::isWellTyped(Left) && "left automaton is ill-typed");
   assert(p4a::isWellTyped(Right) && "right automaton is ill-typed");
+
+  // Parallel frontier engine (parallel/ParallelChecker.cpp): same
+  // decisions, work-sharded. The engine needs one independent backend
+  // per worker (SmtSolver::spawnWorker); when the backend cannot supply
+  // them (e.g. a test's custom SmtSolver) the engine hands the call
+  // straight back here with Jobs = 1, and the single-threaded loop
+  // below poses every query to the one provided instance.
+  if (Options.Jobs > 1)
+    return parallel::checkWithSpecParallel(Left, Right, Spec, Options);
 
   auto Start = std::chrono::steady_clock::now();
   smt::SmtSolver &Solver =
@@ -88,14 +73,10 @@ CheckResult core::checkWithSpec(const p4a::Automaton &Left,
   auto Push = [&](GuardedFormula G) {
     if (G.Phi->kind() == Pure::Kind::True)
       return; // Trivial conjunct: entailed by anything.
-    // Deduplicate up to α-renaming: WP mints fresh variables on every
-    // application, so the same precondition re-derived later differs only
-    // in names. The formula itself keeps its original names — a WP child
-    // shares its parent conjunct's variables, and that identity is what
-    // lets the entailment check discharge the child against the parent
-    // (see logic::canonicalize for why renaming must not be applied to
-    // the stored formula).
-    if (!Seen.insert(formulaKey(canonicalize(G))).second)
+    // Deduplicate up to α-renaming on the exact keys of FrontierKey.h
+    // (shared with the parallel engine; see that header for the key
+    // discipline and the hash-collision soundness bug it pins).
+    if (!Seen.insert(detail::frontierKey(G)).second)
       return;
     T.push_back(std::move(G));
     St.PeakFrontier = std::max(St.PeakFrontier, T.size());

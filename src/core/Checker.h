@@ -69,8 +69,24 @@ struct CheckOptions {
   /// retired-goal deletion; these limits add a hard backstop — a session
   /// over either bound is rebuilt from its premises, which changes
   /// memory, never answers. Ignored when UseIncremental is off or the
-  /// backend falls back to monolithic queries.
+  /// backend falls back to monolithic queries. With Jobs > 1 the limits
+  /// apply to every worker's sessions individually.
   smt::SessionLimits Limits;
+  /// Worker threads for the parallel frontier engine (parallel/): with
+  /// Jobs > 1, each frontier generation's entailment checks — mutually
+  /// independent once the premise set ⋀R is frozen — run concurrently on
+  /// Jobs workers, each owning an independent backend
+  /// (SmtSolver::spawnWorker) and one incremental session per template
+  /// pair; a sequential merge then replays the generation in frontier
+  /// order, which keeps every deterministic output (verdict, trace,
+  /// relation, certificate, all stats except SmtQueries and times)
+  /// bit-identical to Jobs == 1 for any job count or schedule. Jobs <= 1
+  /// is the classic single-threaded loop below. Falls back to the
+  /// sequential loop when the backend cannot spawn workers (custom
+  /// SmtSolver subclasses without spawnWorker). The parallel engine
+  /// always solves through per-worker sessions; UseIncremental selects
+  /// the lowering path of the sequential engine only.
+  size_t Jobs = 1;
   /// Record one TraceStep per loop iteration (costs memory on big runs).
   bool RecordTrace = false;
 };

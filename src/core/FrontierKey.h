@@ -1,0 +1,66 @@
+//===- FrontierKey.h - Exact frontier deduplication keys --------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The syntactic identity keys the checker's frontier deduplicates on,
+/// shared between the sequential worklist loop (core/Checker.cpp) and the
+/// parallel frontier engine (parallel/ParallelChecker.cpp). Both engines
+/// MUST use the same keys: deduplication deletes frontier work, so any
+/// divergence between them would make the engines explore different
+/// frontiers and break the parallel-vs-sequential differential guarantee.
+///
+/// The guard must be rendered *exactly*, never hashed: a key collision
+/// silently drops a conjunct and can flip the verdict. This is not
+/// theoretical — keying on TemplatePair::hash() shipped with a real
+/// collision (the boost-style hashCombine cancels on correlated small-int
+/// deltas: pairs ⟨q0,2⟩·⟨q0,0⟩ and ⟨q0,3⟩·⟨q1,0⟩ collide), which made the
+/// checker report two inequivalent parsers "equivalent" by swallowing the
+/// refutation chain. CheckerDedup.HashCollisionPairsStayDistinct pins the
+/// exact pair.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_CORE_FRONTIERKEY_H
+#define LEAPFROG_CORE_FRONTIERKEY_H
+
+#include "logic/ConfRel.h"
+
+#include <string>
+
+namespace leapfrog {
+namespace core {
+namespace detail {
+
+inline std::string templateKey(const logic::Template &T) {
+  return std::to_string(int(T.Q.K)) + ":" + std::to_string(T.Q.Id) + ":" +
+         std::to_string(T.N);
+}
+
+/// Exact rendering of a guarded formula; two formulas with the same key
+/// are interchangeable in R/T, so pushing both wastes an SMT query.
+inline std::string formulaKey(const logic::GuardedFormula &G) {
+  return templateKey(G.TP.L) + "," + templateKey(G.TP.R) + "|" +
+         G.Phi->str();
+}
+
+/// The frontier dedup key: exact rendering of the α-canonicalized
+/// conjunct. Canonicalization makes α-equivalent conjuncts (the WP
+/// operator mints fresh variables on every application) share a key; the
+/// *stored* formula keeps its original names — a WP child shares its
+/// parent conjunct's variables, and that identity is what lets the
+/// entailment check discharge the child against the parent (see
+/// logic::canonicalize for why renaming must not be applied to the stored
+/// formula).
+inline std::string frontierKey(const logic::GuardedFormula &G) {
+  return formulaKey(logic::canonicalize(G));
+}
+
+} // namespace detail
+} // namespace core
+} // namespace leapfrog
+
+#endif // LEAPFROG_CORE_FRONTIERKEY_H

@@ -1,0 +1,442 @@
+//===- ParallelChecker.cpp - Work-sharded checker runtime -----------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Algorithm 1 as an epoch pipeline. The sequential checker pops one
+// conjunct ψ at a time and decides ⋀R ⊨ ψ against the *current* R; the
+// FIFO discipline means every conjunct of one frontier "generation" is
+// popped before any child pushed while processing it. This engine makes
+// that generation structure explicit:
+//
+//   1. Parallel phase — freeze R (the premise generation) and decide
+//      ⋀R|guard ⊨ ψ for the whole batch concurrently. Tasks are dealt to
+//      per-worker work-stealing deques; each worker owns an independent
+//      backend (SmtSolver::spawnWorker) and one incremental session per
+//      template pair (SessionLimits applied per worker), so no solver
+//      state is shared across threads — the Solver.h ownership contract.
+//
+//   2. Merge phase — replay the batch in frontier order on the calling
+//      thread and re-derive the sequential decisions:
+//        - parallel answer "entailed": the sequential premise set at this
+//          pop is a superset of the frozen one, and entailment is
+//          monotone in premises, so the sequential decision is Skip too;
+//        - parallel answer "not entailed" and no same-guard conjunct was
+//          extended earlier in this epoch: the premise sets *relevant to
+//          ψ* (entailment only consults premises sharing ψ's guard — see
+//          logic/Lower.h stage 2) are equal, so the decision is Extend;
+//        - otherwise the relevant premise set grew since the freeze and
+//          the frozen answer proves nothing: re-derive against the live
+//          R through a merge-side session. Only this case re-queries.
+//      Extends append to R, run the early-refutation check, and push
+//      weakest preconditions — all in the sequential order, so fresh-
+//      variable minting, frontier deduplication and the recorded trace
+//      evolve exactly as in core::checkWithSpec.
+//
+// The answers themselves are schedule-independent because the solver is
+// sound and complete: which worker answers a query, and what learned
+// clauses its session happens to hold, can change the *time* to an
+// answer, never the answer. Hence: bit-identical Skip/Extend streams,
+// relation, verdict and certificate for any job count — the property the
+// ParallelTest differential battery locks in over the whole registry.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/ParallelChecker.h"
+
+#include "core/FrontierKey.h"
+#include "core/WeakestPrecondition.h"
+#include "logic/Lower.h"
+#include "p4a/Typing.h"
+#include "parallel/StripedSet.h"
+#include "parallel/WorkerPool.h"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace leapfrog;
+using namespace leapfrog::core;
+using namespace leapfrog::logic;
+using namespace leapfrog::parallel;
+
+namespace {
+
+/// One frontier conjunct of the current epoch, annotated by the parallel
+/// phase. Workers write disjoint elements (each task index is executed
+/// exactly once); the merge reads them after the epoch barrier.
+struct EpochTask {
+  GuardedFormula Psi;
+  smt::BvFormulaRef Goal; ///< Lowered by the worker, reused by the merge.
+  enum class Answer : uint8_t {
+    NotEntailed,   ///< Not entailed by the frozen premise generation.
+    Entailed,      ///< Entailed by the frozen premise generation.
+    TriviallyTrue, ///< Goal lowered to ⊤; no query was posed.
+  } A = Answer::NotEntailed;
+};
+
+/// One incremental session per template pair, lazily opened; NextConjunct
+/// is the prefix of R already fed to it. Used both per worker (parallel
+/// phase, frozen R prefix) and on the merge side (live R, re-checks).
+struct TpSessionMap {
+  struct Entry {
+    std::unique_ptr<smt::SmtSolver::IncrementalSession> Session;
+    size_t NextConjunct = 0;
+  };
+  std::unordered_map<TemplatePair, Entry, TemplatePairHasher> Map;
+
+  /// Feeds premises R[NextConjunct..UpTo) sharing \p TP's guard, then
+  /// returns the session ready for goal queries.
+  smt::SmtSolver::IncrementalSession &
+  primed(smt::SmtSolver &Backend, const smt::SessionLimits &Limits,
+         const p4a::Automaton &Left, const p4a::Automaton &Right,
+         const std::vector<GuardedFormula> &R, size_t UpTo,
+         const TemplatePair &TP) {
+    Entry &E = Map[TP];
+    if (!E.Session)
+      E.Session = Backend.openSession(Limits);
+    for (; E.NextConjunct < UpTo; ++E.NextConjunct) {
+      const GuardedFormula &P = R[E.NextConjunct];
+      if (P.TP != TP)
+        continue;
+      E.Session->assertPremise(lowerPure(Left, Right, TP, P.Phi));
+    }
+    return *E.Session;
+  }
+};
+
+/// A worker thread's private solving state: an independent backend plus
+/// its session set. Constructed on the coordinating thread, used only by
+/// the owning worker during epochs (the pool barrier publishes it), read
+/// again by the coordinator after the last epoch for stats absorption.
+struct WorkerState {
+  std::unique_ptr<smt::SmtSolver> Solver;
+  TpSessionMap Sessions;
+};
+
+} // namespace
+
+CheckResult
+parallel::checkWithSpecParallel(const p4a::Automaton &Left,
+                                const p4a::Automaton &Right,
+                                const InitialSpec &Spec,
+                                const CheckOptions &Options) {
+  assert(p4a::isWellTyped(Left) && "left automaton is ill-typed");
+  assert(p4a::isWellTyped(Right) && "right automaton is ill-typed");
+  assert(Options.Jobs >= 2 && "parallel engine needs at least two workers");
+
+  auto Start = std::chrono::steady_clock::now();
+  smt::SmtSolver &Primary =
+      Options.Solver ? *Options.Solver : smt::defaultSolver();
+  uint64_t SolverMicrosBefore = Primary.stats().TotalMicros;
+
+  // Per-worker backends: independent instances of the primary's
+  // configuration. A backend that cannot spawn them (custom SmtSolver
+  // subclasses) gets the sequential loop instead — it is the only
+  // engine that can pose every query to the one provided instance.
+  std::vector<WorkerState> Workers(Options.Jobs);
+  for (WorkerState &W : Workers) {
+    W.Solver = Primary.spawnWorker();
+    if (!W.Solver) {
+      CheckOptions Sequential = Options;
+      Sequential.Jobs = 1;
+      return core::checkWithSpec(Left, Right, Spec, Sequential);
+    }
+  }
+
+  CheckResult Result;
+  CheckStats &St = Result.Stats;
+  St.TemplatesLeft = allTemplates(Left).size();
+  St.TemplatesRight = allTemplates(Right).size();
+
+  std::vector<TemplatePair> Pairs =
+      Options.UseReachability
+          ? computeReach(Left, Right, Spec.TP, Options.UseLeaps)
+          : allPairs(Left, Right);
+  St.ReachPairs = Pairs.size();
+
+  std::vector<GuardedFormula> R;
+  size_t FreshCounter = 0;
+  PureRef Premise = Spec.Premise ? Spec.Premise : Pure::mkTrue();
+
+  // The frontier, epoch-structured: Batch is the generation being
+  // decided, Next accumulates its children (the following generation) in
+  // sequential push order. Seen is the striped visited set over the
+  // exact dedup keys; inserts happen only on the merge thread, in
+  // sequential order, so duplicate resolution — and with it the variable
+  // names later entailments align on — matches core::checkWithSpec.
+  StripedSet Seen;
+  std::vector<GuardedFormula> NextT;
+  size_t RemainingInBatch = 0;
+  auto Push = [&](GuardedFormula G) {
+    if (G.Phi->kind() == Pure::Kind::True)
+      return; // Trivial conjunct: entailed by anything.
+    if (!Seen.insert(core::detail::frontierKey(G)))
+      return;
+    NextT.push_back(std::move(G));
+    St.PeakFrontier =
+        std::max(St.PeakFrontier, RemainingInBatch + NextT.size());
+  };
+  for (GuardedFormula &G : buildInitialConjuncts(Spec, Pairs))
+    Push(std::move(G));
+
+  // Entailment queries posed by the parallel phase; folded into
+  // Stats.SmtQueries once at the end. Relaxed is enough — the value is
+  // only read after the pool barrier.
+  std::atomic<uint64_t> ParallelQueries{0};
+
+  // Every return path reports aggregate stats: the workers' backend
+  // stats are absorbed into the primary's, and SolverMicros therefore
+  // sums solver time *across threads* (it can exceed WallMicros — that
+  // surplus is exactly the parallelism).
+  auto Finish = [&] {
+    for (WorkerState &W : Workers)
+      Primary.absorbStats(W.Solver->stats());
+    St.SmtQueries += ParallelQueries.load(std::memory_order_relaxed);
+    auto End = std::chrono::steady_clock::now();
+    St.WallMicros = uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+            .count());
+    St.SolverMicros = Primary.stats().TotalMicros - SolverMicrosBefore;
+  };
+  auto OverBudget = [&](const char *What) {
+    Result.V = Verdict::ResourceLimit;
+    Result.FailureReason =
+        std::string(What) + " limit reached with " +
+        std::to_string(RemainingInBatch + NextT.size()) +
+        " frontier conjuncts outstanding";
+    St.FinalConjuncts = R.size();
+    Finish();
+  };
+
+  WorkerPool Pool(Options.Jobs);
+  std::vector<EpochTask> Batch;
+  std::vector<std::vector<size_t>> Assignments(Pool.workers());
+  std::unordered_set<TemplatePair, TemplatePairHasher> ExtendedSinceFreeze;
+
+  // Each frontier generation is processed in *chunks* of a few epochs
+  // rather than as one giant epoch: the premise freeze then lags the
+  // live R by at most one chunk, so far fewer merge items see a
+  // same-guard extension between freeze and replay — the only case that
+  // must re-query. Chunks change how often the barrier runs, never what
+  // is decided: each chunk is its own freeze/decide/merge cycle with the
+  // exactness argument applied verbatim. Sized so every worker gets a
+  // handful of tasks per epoch even after uneven stealing.
+  const size_t ChunkSize = std::max<size_t>(32, Options.Jobs * 8);
+
+  while (!NextT.empty()) {
+    Batch.clear();
+    Batch.reserve(NextT.size());
+    for (GuardedFormula &G : NextT)
+      Batch.push_back(EpochTask{std::move(G), nullptr,
+                                EpochTask::Answer::NotEntailed});
+    NextT.clear();
+
+    for (size_t ChunkStart = 0; ChunkStart < Batch.size();
+         ChunkStart += ChunkSize) {
+      const size_t ChunkEnd =
+          std::min(ChunkStart + ChunkSize, Batch.size());
+      const size_t FrozenR = R.size(); // This epoch's premise generation.
+
+      // Wall budget, checked before committing a whole chunk of solver
+      // work: the merge loop below re-checks every 16 iterations exactly
+      // like the sequential engine, but that alone would let a chunk's
+      // parallel phase launch unmetered and overshoot the valve by up to
+      // ChunkSize queries. Wall trips are inherently timing-dependent
+      // (the differential battery budgets by iterations, which stay
+      // exact), so tripping a few items earlier than the sequential loop
+      // would is fine — blowing the budget by a chunk is not.
+      if (Options.MaxWallMicros != 0) {
+        auto Now = std::chrono::steady_clock::now();
+        if (uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                         Now - Start)
+                         .count()) > Options.MaxWallMicros) {
+          RemainingInBatch = Batch.size() - ChunkStart;
+          OverBudget("wall-clock");
+          return Result;
+        }
+      }
+
+      // Deal the chunk with guard affinity: every task whose goal is
+      // guarded by template pair TP goes to worker hash(TP) mod P, every
+      // epoch of the run. Entailment consults only same-guard premises,
+      // so affinity means one worker's session — not all of them — pays
+      // the bit-blast of each guard's premise set, and that session's
+      // learned clauses stay hot for the guard's whole conjunct stream.
+      // Stealing can still move a task (and force the thief to prime the
+      // guard's premises too); that is load balance bought at the price
+      // of one extra premise copy, and it never changes an answer.
+      for (auto &A : Assignments)
+        A.clear();
+      for (size_t T = ChunkStart; T < ChunkEnd; ++T)
+        Assignments[TemplatePairHasher()(Batch[T].Psi.TP) %
+                    Pool.workers()]
+            .push_back(T);
+
+      // Parallel phase. R is frozen until the merge below, so worker
+      // reads of R[0..FrozenR) race with nothing; each task writes only
+      // its own Batch element; the pool's epoch barrier publishes all of
+      // it back.
+      Pool.runEpoch(Assignments, [&](size_t WorkerId, size_t TaskIdx) {
+        EpochTask &T = Batch[TaskIdx];
+        T.Goal = lowerPure(Left, Right, T.Psi.TP, T.Psi.Phi);
+        if (T.Goal->kind() == smt::BvFormula::Kind::True) {
+          T.A = EpochTask::Answer::TriviallyTrue;
+          return;
+        }
+        WorkerState &W = Workers[WorkerId];
+        smt::SmtSolver::IncrementalSession &S =
+            W.Sessions.primed(*W.Solver, Options.Limits, Left, Right, R,
+                              FrozenR, T.Psi.TP);
+        ParallelQueries.fetch_add(1, std::memory_order_relaxed);
+        T.A = S.isEntailed(T.Goal) ? EpochTask::Answer::Entailed
+                                   : EpochTask::Answer::NotEntailed;
+      });
+
+      // Merge phase: sequential replay in frontier order.
+      ExtendedSinceFreeze.clear();
+      for (size_t I = ChunkStart; I < ChunkEnd; ++I) {
+        // The sequential loop trips its budgets *before* popping, so the
+        // current conjunct still counts as outstanding in the budget
+        // message; it leaves the frontier once the checks pass.
+        RemainingInBatch = Batch.size() - I;
+        if (++St.Iterations > Options.MaxIterations) {
+          OverBudget("iteration");
+          return Result;
+        }
+        if (Options.MaxWallMicros != 0 && (St.Iterations & 0xf) == 0) {
+          auto Now = std::chrono::steady_clock::now();
+          if (uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                           Now - Start)
+                           .count()) > Options.MaxWallMicros) {
+            OverBudget("wall-clock");
+            return Result;
+          }
+        }
+        RemainingInBatch = Batch.size() - I - 1;
+        EpochTask &T = Batch[I];
+
+        bool Entailed;
+        if (T.A != EpochTask::Answer::NotEntailed) {
+          // Trivially true, or entailed by the frozen generation — a
+          // subset of the premises the sequential checker would consult,
+          // so Skip is its decision too (entailment is monotone).
+          Entailed = true;
+        } else if (!ExtendedSinceFreeze.count(T.Psi.TP)) {
+          // No same-guard premise appeared since the freeze: the frozen
+          // answer *is* the sequential answer.
+          Entailed = false;
+        } else {
+          // The relevant premise set grew since the freeze; re-derive
+          // against the live R. This is the only merge-side entailment
+          // query. It borrows the guard's affinity owner — the worker
+          // whose session already holds this guard's premise CNF and
+          // lemmas. Sound because the epoch barrier made that worker's
+          // state coherent to this thread and no worker is running; and
+          // advancing its session to the live R cannot overshoot a
+          // future epoch, since R only grows between freezes, so every
+          // later freeze point is at or beyond the live end and the
+          // session keeps consuming exact premise prefixes.
+          WorkerState &Owner =
+              Workers[TemplatePairHasher()(T.Psi.TP) % Workers.size()];
+          ++St.SmtQueries;
+          Entailed = Owner.Sessions
+                         .primed(*Owner.Solver, Options.Limits, Left,
+                                 Right, R, R.size(), T.Psi.TP)
+                         .isEntailed(T.Goal);
+        }
+
+        if (Entailed) {
+          ++St.Skips;
+          if (Options.RecordTrace)
+            Result.Trace.push_back(
+                TraceStep{TraceStep::Kind::Skip, T.Psi, 0});
+          continue;
+        }
+
+        ++St.Extends;
+        R.push_back(T.Psi);
+        ExtendedSinceFreeze.insert(T.Psi.TP);
+
+        // Early refutation, exactly as in the sequential loop (see
+        // core/Checker.cpp for why this keeps the checker total).
+        if (T.Psi.TP == Spec.TP) {
+          smt::BvFormulaRef Query = lowerPure(
+              Left, Right, Spec.TP, Pure::mkImplies(Premise, T.Psi.Phi));
+          bool Valid = Query->kind() == smt::BvFormula::Kind::True;
+          if (!Valid && Query->kind() != smt::BvFormula::Kind::False) {
+            ++St.SmtQueries;
+            Valid = Primary.isValid(Query);
+          }
+          if (!Valid) {
+            Result.V = Verdict::NotEquivalent;
+            Result.FailureReason =
+                "refuted: phi does not entail conjunct " +
+                T.Psi.str(Left, Right);
+            St.FinalConjuncts = R.size();
+            Finish();
+            return Result;
+          }
+        }
+
+        std::vector<GuardedFormula> Wp = weakestPrecondition(
+            Left, Right, T.Psi, Pairs, Options.UseLeaps, FreshCounter);
+        if (Options.RecordTrace)
+          Result.Trace.push_back(
+              TraceStep{TraceStep::Kind::Extend, T.Psi, Wp.size()});
+        for (GuardedFormula &G : Wp)
+          Push(std::move(G));
+      }
+    }
+    RemainingInBatch = 0;
+  }
+
+  // Done: check φ ⊨ ⋀R (identical to the sequential epilogue).
+  Result.V = Verdict::Equivalent;
+  for (const GuardedFormula &Conjunct : R) {
+    if (Conjunct.TP != Spec.TP)
+      continue;
+    smt::BvFormulaRef Query = lowerPure(
+        Left, Right, Spec.TP, Pure::mkImplies(Premise, Conjunct.Phi));
+    bool Valid;
+    if (Query->kind() == smt::BvFormula::Kind::True) {
+      Valid = true;
+    } else if (Query->kind() == smt::BvFormula::Kind::False) {
+      Valid = false;
+    } else {
+      ++St.SmtQueries;
+      Valid = Primary.isValid(Query);
+    }
+    if (!Valid) {
+      Result.V = Verdict::NotEquivalent;
+      Result.FailureReason =
+          "final check failed: phi does not entail conjunct " +
+          Conjunct.str(Left, Right);
+      break;
+    }
+  }
+  if (Options.RecordTrace)
+    Result.Trace.push_back(
+        TraceStep{TraceStep::Kind::Done,
+                  GuardedFormula{Spec.TP, Pure::mkTrue()}, 0});
+
+  St.FinalConjuncts = R.size();
+  for (const GuardedFormula &G : R)
+    St.FormulaNodes += G.Phi->size();
+
+  if (Result.V == Verdict::Equivalent) {
+    EquivalenceCertificate &Cert = Result.Certificate;
+    Cert.Spec = Spec;
+    Cert.Spec.Premise = Premise;
+    Cert.Relation = R;
+    Cert.UseLeaps = Options.UseLeaps;
+    Cert.UseReachability = Options.UseReachability;
+  }
+
+  Finish();
+  return Result;
+}

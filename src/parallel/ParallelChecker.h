@@ -1,0 +1,54 @@
+//===- ParallelChecker.h - Work-sharded checker runtime ---------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel frontier engine: Algorithm 1's worklist loop re-expressed
+/// as a sequence of *epochs*, each an embarrassingly parallel batch of
+/// entailment checks against a frozen premise generation ⋀R, followed by
+/// a sequential merge that replays the batch in frontier order. The merge
+/// is what makes the engine exact: it re-derives precisely the Skip and
+/// Extend decisions the sequential checker would have taken, so verdicts,
+/// traces, the final relation — and therefore certificates — are
+/// bit-identical to `core::checkWithSpec` regardless of thread count or
+/// schedule. See the implementation prologue for the two-case argument
+/// (entailment monotonicity + same-guard re-checks).
+///
+/// Entry is through core::checkWithSpec with CheckOptions::Jobs > 1; this
+/// header exists so the dispatch in core/Checker.cpp stays one line and
+/// tests can drive the engine directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_PARALLEL_PARALLELCHECKER_H
+#define LEAPFROG_PARALLEL_PARALLELCHECKER_H
+
+#include "core/Checker.h"
+
+namespace leapfrog {
+namespace parallel {
+
+/// Runs Algorithm 1 for \p Spec with Options.Jobs worker threads (plus
+/// the calling thread, which seeds epochs, merges their results, and
+/// discharges the refutation/done obligations). Produces a CheckResult
+/// identical to the sequential engine's in every deterministic field:
+/// verdict, FailureReason, trace, certificate, and all CheckStats except
+/// SmtQueries (the parallel phase re-poses some queries the merge then
+/// re-derives under a grown premise set) and the wall/solver times.
+///
+/// Preconditions: those of core::checkWithSpec, plus Options.Jobs >= 2.
+/// A primary backend whose spawnWorker() cannot yield per-worker
+/// instances is handed back to the sequential loop (Jobs = 1) — the one
+/// engine that can pose every query to a single shared instance.
+core::CheckResult checkWithSpecParallel(const p4a::Automaton &Left,
+                                        const p4a::Automaton &Right,
+                                        const core::InitialSpec &Spec,
+                                        const core::CheckOptions &Options);
+
+} // namespace parallel
+} // namespace leapfrog
+
+#endif // LEAPFROG_PARALLEL_PARALLELCHECKER_H

@@ -1,0 +1,85 @@
+//===- StripedSet.h - Striped concurrent visited set ------------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The frontier's visited set, safe for concurrent insert/contains: keys
+/// are sharded across independently locked stripes by their hash, so
+/// writers on different stripes never contend. Keys are the *exact*
+/// frontier dedup keys of core/FrontierKey.h — striping only picks a
+/// lock, membership is decided by full string equality, so the PR 3
+/// collision class (hash-keyed dedup swallowing refutation chains) cannot
+/// recur here.
+///
+/// Today the parallel engine inserts only from its merge thread — the
+/// insertion *order* is what keeps duplicate resolution, and therefore
+/// the stored variable names later entailments align on, identical to
+/// the sequential checker — so the striping is not yet contended in
+/// production: it is the concurrency-safe container the ROADMAP's
+/// sharded-push work lands on, priced at one uncontended lock per push
+/// (noise next to the canonicalize+render that computes the key).
+/// ParallelTest exercises the concurrent paths so they are ready when a
+/// parallel pusher arrives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_PARALLEL_STRIPEDSET_H
+#define LEAPFROG_PARALLEL_STRIPEDSET_H
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+namespace leapfrog {
+namespace parallel {
+
+class StripedSet {
+  static constexpr size_t NumStripes = 64; // Power of two: mask, no modulo.
+
+public:
+  /// Inserts \p Key; returns true iff it was not already present.
+  bool insert(const std::string &Key) {
+    Stripe &S = stripeFor(Key);
+    std::lock_guard<std::mutex> Lock(S.M);
+    return S.Keys.insert(Key).second;
+  }
+
+  bool contains(const std::string &Key) const {
+    const Stripe &S = stripeFor(Key);
+    std::lock_guard<std::mutex> Lock(S.M);
+    return S.Keys.count(Key) != 0;
+  }
+
+  size_t size() const {
+    size_t N = 0;
+    for (const Stripe &S : Stripes) {
+      std::lock_guard<std::mutex> Lock(S.M);
+      N += S.Keys.size();
+    }
+    return N;
+  }
+
+private:
+  struct Stripe {
+    mutable std::mutex M;
+    std::unordered_set<std::string> Keys;
+  };
+
+  Stripe &stripeFor(const std::string &Key) {
+    return Stripes[std::hash<std::string>()(Key) & (NumStripes - 1)];
+  }
+  const Stripe &stripeFor(const std::string &Key) const {
+    return Stripes[std::hash<std::string>()(Key) & (NumStripes - 1)];
+  }
+
+  Stripe Stripes[NumStripes];
+};
+
+} // namespace parallel
+} // namespace leapfrog
+
+#endif // LEAPFROG_PARALLEL_STRIPEDSET_H

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <thread>
 #include <unordered_set>
 
@@ -21,6 +22,35 @@ using namespace leapfrog::smt;
 
 bool SmtSolver::isValid(const BvFormulaRef &F, Model *Counterexample) {
   return checkSat(BvFormula::mkNot(F), Counterexample) == SatResult::Unsat;
+}
+
+void SolverStats::merge(const SolverStats &O) {
+  Queries += O.Queries;
+  SatAnswers += O.SatAnswers;
+  UnsatAnswers += O.UnsatAnswers;
+  TotalSatVars += O.TotalSatVars;
+  TotalSatClauses += O.TotalSatClauses;
+  TotalMicros += O.TotalMicros;
+  MaxMicros = std::max(MaxMicros, O.MaxMicros);
+  QueryMicros.insert(QueryMicros.end(), O.QueryMicros.begin(),
+                     O.QueryMicros.end());
+  CertifiedUnsat += O.CertifiedUnsat;
+  ProofLemmas += O.ProofLemmas;
+  ProofMicros += O.ProofMicros;
+  SessionsOpened += O.SessionsOpened;
+  SessionQueries += O.SessionQueries;
+  SessionPremises += O.SessionPremises;
+  PremiseCacheHits += O.PremiseCacheHits;
+  ReusedClauses += O.ReusedClauses;
+  ClausesDeleted += O.ClausesDeleted;
+  ReduceDbRuns += O.ReduceDbRuns;
+  // Peaks stay per-instance maxima (see the header): workers don't share
+  // CDCL arenas, so the merged record answers "how hot did any one
+  // session get", which is the quantity SessionLimits bounds.
+  ArenaBytesPeak = std::max(ArenaBytesPeak, O.ArenaBytesPeak);
+  PeakLearnts = std::max(PeakLearnts, O.PeakLearnts);
+  SessionRestarts += O.SessionRestarts;
+  PremisesGcd += O.PremisesGcd;
 }
 
 //===----------------------------------------------------------------------===//
@@ -351,6 +381,15 @@ SatResult BitBlastSolver::checkSat(const BvFormulaRef &F, Model *M) {
   return SatResult::Sat;
 }
 
+std::unique_ptr<SmtSolver> BitBlastSolver::spawnWorker() {
+  auto W = std::make_unique<BitBlastSolver>();
+  W->CertifyUnsat = CertifyUnsat;
+  W->SessionReduce = SessionReduce;
+  W->SessionHardRetire = SessionHardRetire;
+  W->SessionPurgeBatch = SessionPurgeBatch;
+  return W;
+}
+
 SmtSolver &smt::defaultSolver() {
   static BitBlastSolver Solver;
 #ifndef NDEBUG
@@ -362,11 +401,31 @@ SmtSolver &smt::defaultSolver() {
   // a race without synchronization that the release build doesn't pay
   // for. Programs that check from more than one thread (even one at a
   // time) must construct their own BitBlastSolver and pass it via
-  // core::CheckOptions::Solver.
+  // core::CheckOptions::Solver — or use CheckOptions::Jobs, whose worker
+  // threads get independent backends via SmtSolver::spawnWorker() (the
+  // per-worker session contract; see "Threading contract" in
+  // docs/ARCHITECTURE.md). On violation we print both thread ids before
+  // failing: a bare assert cannot say *which* threads collided, and that
+  // is the first thing the contract's debugger needs to know.
   static const std::thread::id Owner = std::this_thread::get_id();
-  assert(std::this_thread::get_id() == Owner &&
-         "defaultSolver() used from a second thread; construct per-thread "
-         "BitBlastSolver instances instead");
+  if (std::this_thread::get_id() != Owner) {
+    std::ostringstream Msg;
+    Msg << "leapfrog: defaultSolver() thread-ownership violation: the "
+           "process-wide default solver is owned by the first thread that "
+           "touched it (thread "
+        << Owner << ") but was called from thread "
+        << std::this_thread::get_id()
+        << ".\nPer-worker session contract: every thread needs its own "
+           "backend — construct a BitBlastSolver per thread (pass it via "
+           "core::CheckOptions::Solver), or run the checker with "
+           "CheckOptions::Jobs > 1, which spawns one backend + session "
+           "set per worker (SmtSolver::spawnWorker; see 'Threading "
+           "contract' in docs/ARCHITECTURE.md).\n";
+    std::fputs(Msg.str().c_str(), stderr);
+    assert(false && "defaultSolver() used from a second thread; see the "
+                    "diagnostic above for both thread ids and the "
+                    "per-worker session contract");
+  }
 #endif
   return Solver;
 }

@@ -184,6 +184,82 @@ TEST(SatAssumptions, ContradictoryAssumptionsFail) {
   EXPECT_TRUE(S.solve());
 }
 
+// The next three suites pin edge-case behavior the parallel frontier
+// engine now exercises from every worker thread: each worker's sessions
+// drive solveUnderAssumptions through exactly these shapes (no
+// assumptions on premise-only solves, repeated activation literals,
+// assumptions colliding with level-0 retirement facts), so the contract
+// is frozen here before it runs under N schedules.
+
+TEST(SatAssumptions, EmptyAssumptionSetBehavesLikeSolve) {
+  SatSolver S;
+  Var X = S.newVar(), Y = S.newVar();
+  S.addClause(pos(X), pos(Y));
+  S.addClause(neg(X));
+  ASSERT_TRUE(S.solveUnderAssumptions({}));
+  EXPECT_FALSE(S.modelValue(X));
+  EXPECT_TRUE(S.modelValue(Y));
+  // On an unsatisfiable instance the failed set is empty — there is no
+  // assumption to blame, the clauses alone conflict.
+  S.addClause(neg(Y));
+  EXPECT_FALSE(S.solveUnderAssumptions({}));
+  EXPECT_TRUE(S.failedAssumptions().empty());
+  // And the instance-level UNSAT is sticky, exactly as with solve().
+  EXPECT_FALSE(S.solve());
+}
+
+TEST(SatAssumptions, DuplicatedAssumptionsAreHarmless) {
+  // MiniSat's planting scheme gives assumption k decision level k+1; a
+  // duplicate is already true when its turn comes and must open a dummy
+  // level, not conflict with itself or shift later assumptions.
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addClause(neg(A), pos(B)); // a → b
+  ASSERT_TRUE(S.solveUnderAssumptions({pos(A), pos(A), pos(A)}));
+  EXPECT_TRUE(S.modelValue(A));
+  EXPECT_TRUE(S.modelValue(B));
+  // Duplicates interleaved with a conflicting tail: the failed set still
+  // names the genuinely conflicting assumptions.
+  ASSERT_FALSE(S.solveUnderAssumptions({pos(A), pos(A), neg(B)}));
+  EXPECT_TRUE(contains(S.failedAssumptions(), neg(B)));
+  EXPECT_TRUE(S.solve());
+}
+
+TEST(SatAssumptions, AssumptionAgreeingWithLevel0FactIsSatisfied) {
+  // The session retirement pattern plants unit clauses (¬act); a later
+  // assumption equal to such a level-0 fixed literal is already true at
+  // plant time and must cost nothing.
+  SatSolver S;
+  Var X = S.newVar(), Y = S.newVar();
+  S.addClause(pos(X)); // x fixed at level 0.
+  S.addClause(neg(X), pos(Y));
+  ASSERT_TRUE(S.solveUnderAssumptions({pos(X)}));
+  EXPECT_TRUE(S.modelValue(X));
+  EXPECT_TRUE(S.modelValue(Y));
+}
+
+TEST(SatAssumptions, AssumptionContradictingLevel0FactFailsAlone) {
+  // The flip side: assuming the negation of a level-0 fixed literal is
+  // doomed before any search. Current (pinned) behavior: the failed set
+  // is exactly {assumption} — analyzeFinal sees the conflict at level 0
+  // and blames no other assumption — and the instance stays usable.
+  SatSolver S;
+  Var X = S.newVar(), Y = S.newVar();
+  S.addClause(pos(X)); // x fixed at level 0 (a retired activation, say).
+  S.addClause(pos(Y), neg(Y)); // Keep Y mentioned but unconstrained.
+  ASSERT_FALSE(S.solveUnderAssumptions({neg(X)}));
+  ASSERT_EQ(S.failedAssumptions().size(), 1u);
+  EXPECT_TRUE(contains(S.failedAssumptions(), neg(X)));
+  // Order independence: buried in the middle, the verdict is the same
+  // and the failed set still pins the level-0 contradiction.
+  ASSERT_FALSE(S.solveUnderAssumptions({pos(Y), neg(X), neg(Y)}));
+  EXPECT_TRUE(contains(S.failedAssumptions(), neg(X)));
+  // The contradiction was assumption-local, not clause-level: no UNSAT
+  // stickiness.
+  EXPECT_TRUE(S.solve());
+  EXPECT_TRUE(S.solveUnderAssumptions({pos(X)}));
+}
+
 TEST(SatAssumptions, AssumptionImpliedByPropagationIsSkipped) {
   // An assumption already true when planted opens a dummy decision level;
   // the remaining assumptions must still line up correctly.

@@ -42,7 +42,7 @@ void usage() {
       "every initial store (paper §4), printing the verdict and search\n"
       "statistics.\n"
       "\n"
-      "options:\n"
+      "search options:\n"
       "  --no-leaps         disable multi-step weakest preconditions "
       "(§5.2)\n"
       "  --no-reach         disable template reachability pruning (§5.1)\n"
@@ -50,11 +50,24 @@ void usage() {
       "                     answer, replayed by an independent checker\n"
       "  --replay           re-validate the equivalence certificate after\n"
       "                     the search (independent of the search code)\n"
+      "  --jobs N           worker threads for the parallel frontier\n"
+      "                     engine (default 1 = the sequential loop).\n"
+      "                     Verdict, certificate and search trace are\n"
+      "                     identical for every N; only wall-clock\n"
+      "                     changes. Each worker gets its own solver\n"
+      "                     and session set\n"
+      "\n"
+      "budget options:\n"
       "  --max-iterations N worklist budget (default 1048576)\n"
       "  --max-seconds N    wall-clock budget (default unlimited)\n"
-      "  --max-learnts N    per-session peak learned-clause bound; over\n"
-      "                     it the session restarts from its premises\n"
-      "  --max-arena-mb N   per-session peak clause-arena bound (MB)\n"
+      "\n"
+      "memory options (per incremental solver session; with --jobs,\n"
+      "per worker session):\n"
+      "  --max-learnts N    peak learned-clause bound; over it the\n"
+      "                     session restarts from its premises\n"
+      "  --max-arena-mb N   peak clause-arena bound (MB)\n"
+      "\n"
+      "output options:\n"
       "  --print            echo both parsers back (parsed form)\n"
       "  --dump-cert        print the certificate (the conjuncts of the\n"
       "                     symbolic bisimulation) on success\n"
@@ -143,6 +156,10 @@ int main(int Argc, char **Argv) {
     } else if (!std::strcmp(Arg, "--max-arena-mb") && I + 1 < Argc) {
       Options.Limits.MaxArenaBytes =
           size_t(std::strtoull(Argv[++I], nullptr, 10)) * 1024u * 1024u;
+    } else if (!std::strcmp(Arg, "--jobs") && I + 1 < Argc) {
+      Options.Jobs = size_t(std::strtoull(Argv[++I], nullptr, 10));
+      if (Options.Jobs < 1)
+        Options.Jobs = 1;
     } else {
       std::fprintf(stderr, "leapfrog-cli: unknown option '%s'\n", Arg);
       usage();
