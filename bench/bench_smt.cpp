@@ -24,6 +24,7 @@
 #include "logic/Lower.h"
 #include "parsers/CaseStudies.h"
 #include "smt/SmtLib.h"
+#include "smt/SmtLibSolver.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -104,6 +105,12 @@ int main(int argc, char **argv) {
   // total_us per mode, not per-query shape (answers are identical by
   // construction). Off by default so the CI smoke JSON keys stay stable.
   size_t Jobs = 1;
+  // --backend SPEC: adds a per-study A/B mode solving through the given
+  // backend (smtlib:<cmd> for an external SMT-LIB2 solver, crosscheck for
+  // both with divergence checking — see smt/SmtLibSolver.h). Off by
+  // default, so the smoke JSON keys stay stable; the external wall-clock
+  // line is the §6.3 solver-comparison signal.
+  std::string Backend;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--smoke")) {
       Smoke = true;
@@ -113,15 +120,22 @@ int main(int argc, char **argv) {
       Jobs = size_t(std::strtoull(argv[++I], nullptr, 10));
       if (Jobs < 1)
         Jobs = 1;
+    } else if (!std::strcmp(argv[I], "--backend") && I + 1 < argc) {
+      Backend = argv[++I];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--json FILE] [--jobs N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json FILE] [--jobs N] "
+                   "[--backend SPEC]\n",
                    argv[0]);
       return 2;
     }
   }
   std::vector<JsonRecord> Json;
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
-  std::printf("SMT query latency distribution (paper §7.3)\n\n");
+  std::printf("SMT query latency distribution (paper §7.3)\n");
+  if (!Backend.empty())
+    std::printf("external backend A/B: --backend '%s'\n", Backend.c_str());
+  std::printf("\n");
   std::printf("%-26s %-12s %8s %8s %8s %8s %8s %8s %6s %6s\n", "Study",
               "Mode", "queries", "min(us)", "p50(us)", "p90(us)", "p99(us)",
               "max(us)", "sat%", "unsat%");
@@ -149,21 +163,39 @@ int main(int argc, char **argv) {
     const char *Name;
     bool Incremental;
     size_t Jobs;
+    const char *Backend; ///< Factory spec; "" = in-repo bitblast.
   };
-  std::vector<ModeSpec> Modes = {{"incremental", true, 1},
-                                 {"monolithic", false, 1}};
+  std::vector<ModeSpec> Modes = {{"incremental", true, 1, ""},
+                                 {"monolithic", false, 1, ""}};
   std::string ParallelName;
   if (Jobs > 1) {
     ParallelName = "parallel-j" + std::to_string(Jobs);
-    Modes.push_back(ModeSpec{ParallelName.c_str(), true, Jobs});
+    Modes.push_back(ModeSpec{ParallelName.c_str(), true, Jobs, ""});
+  }
+  if (!Backend.empty()) {
+    // Validate the spec eagerly so a typo is a usage error here, not a
+    // crash in the per-study loop.
+    std::string Err;
+    if (!smt::createSolverBackend(Backend, &Err)) {
+      std::fprintf(stderr, "bench_smt: %s\n", Err.c_str());
+      return 2;
+    }
+    // Label the A/B row by backend family; the full command was printed
+    // under the title line.
+    const char *Label = Backend.rfind("crosscheck", 0) == 0 ? "crosscheck"
+                                                            : "smtlib";
+    Modes.push_back(ModeSpec{Label, true, 1, Backend.c_str()});
   }
   std::vector<uint64_t> All;
   for (auto &Study : Studies) {
     if (Smoke && !std::strcmp(Study.Name, "Variable-length parsing"))
       continue; // The one slow utility study; smoke stays seconds-fast.
     for (const ModeSpec &M : Modes) {
-      smt::BitBlastSolver Solver; // Fresh stats per (study, mode);
-                                  // worker stats are absorbed into it.
+      // Fresh backend (and stats) per (study, mode); worker stats are
+      // absorbed into it. Factory spec "" is the in-repo bit-blaster.
+      std::unique_ptr<smt::SmtSolver> SolverPtr =
+          smt::createSolverBackend(M.Backend, nullptr);
+      smt::SmtSolver &Solver = *SolverPtr;
       CheckOptions O;
       O.Solver = &Solver;
       O.UseIncremental = M.Incremental;
@@ -173,7 +205,7 @@ int main(int argc, char **argv) {
       (void)Res;
       std::vector<uint64_t> Micros = Solver.stats().QueryMicros;
       std::sort(Micros.begin(), Micros.end());
-      bool Incremental = M.Incremental && M.Jobs == 1;
+      bool Incremental = M.Incremental && M.Jobs == 1 && !*M.Backend;
       if (Incremental)
         All.insert(All.end(), Micros.begin(), Micros.end());
       double N = double(std::max<uint64_t>(Solver.stats().Queries, 1));
@@ -196,6 +228,28 @@ int main(int argc, char **argv) {
           Solver.stats().ReusedClauses, Solver.stats().PeakLearnts,
           Solver.stats().ArenaBytesPeak, Solver.stats().ClausesDeleted,
           Solver.stats().ReduceDbRuns, Solver.stats().SessionRestarts});
+      if (*M.Backend) {
+        // The external A/B line: how much of the mode's wall went to the
+        // external process vs in-repo fallbacks, and — in crosscheck —
+        // the agreement count (§6.3's solver comparison, measured).
+        auto *Ext = dynamic_cast<smt::SmtLibSolver *>(&Solver);
+        auto *Cross = dynamic_cast<smt::CrossCheckSolver *>(&Solver);
+        if (Cross)
+          Ext = dynamic_cast<smt::SmtLibSolver *>(&Cross->external());
+        if (Ext)
+          std::printf("%-26s %-12s external=%zu fallback=%zu timeouts=%zu "
+                      "spawns=%zu wall=%.1fms\n",
+                      "", "", size_t(Ext->extStats().ExternalQueries),
+                      size_t(Ext->extStats().FallbackQueries),
+                      size_t(Ext->extStats().Timeouts),
+                      size_t(Ext->extStats().Spawns),
+                      double(Res.Stats.WallMicros) / 1e3);
+        if (Cross)
+          std::printf("%-26s %-12s crosscheck: %zu compared, %zu "
+                      "divergences\n",
+                      "", "", size_t(Cross->crossStats().Checked),
+                      size_t(Cross->crossStats().Divergences));
+      }
       if (M.Jobs > 1) {
         // The scaling line: wall-clock vs the per-thread solver-CPU sum
         // (their ratio is the effective parallelism achieved).

@@ -12,8 +12,10 @@
 #include "logic/Lower.h"
 #include "p4a/Typing.h"
 #include "parallel/ParallelChecker.h"
+#include "smt/SmtLibSolver.h"
 
 #include <chrono>
+#include <cstdio>
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
@@ -40,6 +42,27 @@ CheckResult core::checkWithSpec(const p4a::Automaton &Left,
                                 const CheckOptions &Options) {
   assert(p4a::isWellTyped(Left) && "left automaton is ill-typed");
   assert(p4a::isWellTyped(Right) && "right automaton is ill-typed");
+
+  // Backend resolution: a textual spec becomes an owned solver instance
+  // for exactly this invocation. Resolved before the engine dispatch so
+  // the parallel engine sees the constructed backend (and spawns its
+  // per-worker instances from it). An explicit Solver wins — it is
+  // already a resolved backend.
+  if (!Options.Backend.empty() && Options.Solver == nullptr) {
+    std::string Err;
+    std::unique_ptr<smt::SmtSolver> Owned =
+        smt::createSolverBackend(Options.Backend, &Err);
+    if (!Owned) {
+      std::fprintf(stderr,
+                   "leapfrog: %s; using the in-repo bitblast backend\n",
+                   Err.c_str());
+      Owned = std::make_unique<smt::BitBlastSolver>();
+    }
+    CheckOptions Resolved = Options;
+    Resolved.Backend.clear();
+    Resolved.Solver = Owned.get();
+    return checkWithSpec(Left, Right, Spec, Resolved);
+  }
 
   // Parallel frontier engine (parallel/ParallelChecker.cpp): same
   // decisions, work-sharded. The engine needs one independent backend

@@ -52,8 +52,24 @@ struct CheckOptions {
   /// exceeding it yields Verdict::ResourceLimit — the analogue of the
   /// paper's out-of-memory outcome on the Service Provider study.
   uint64_t MaxWallMicros = 0;
-  /// Solver backend; nullptr = smt::defaultSolver().
+  /// Solver backend; nullptr = smt::defaultSolver() (unless Backend,
+  /// below, names one to construct instead).
   smt::SmtSolver *Solver = nullptr;
+  /// Backend *specification*, resolved through smt::createSolverBackend()
+  /// when Solver is null: "bitblast" (the in-repo default), or
+  /// "smtlib:<cmd>" / "crosscheck[:<cmd>]" for an external SMT-LIB2
+  /// process / a divergence-hard-failing A/B of both (smt/SmtLibSolver.h).
+  /// The constructed backend is owned by the checker invocation and torn
+  /// down (external process included) when it returns; an unparseable
+  /// spec warns on stderr and falls back to "bitblast", and a parseable
+  /// spec whose binary is missing degrades the same way inside
+  /// SmtLibSolver — the Backend knob can change performance and
+  /// cross-checking, never verdicts. Ignored when Solver is set: an
+  /// explicit instance is already a resolved backend. Works with every
+  /// engine, including Jobs > 1 (workers come from
+  /// SmtSolver::spawnWorker on the resolved backend — for external
+  /// backends, one solver process per worker).
+  std::string Backend;
   /// Discharge the worklist entailments ⋀R ⊨ ψ through incremental solver
   /// sessions (one per template pair): each conjunct of R is lowered and
   /// bit-blasted once per run, and queries reuse the session's learned

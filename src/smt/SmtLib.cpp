@@ -7,26 +7,61 @@
 
 #include "smt/SmtLib.h"
 
+#include <cctype>
+
 using namespace leapfrog;
 using namespace leapfrog::smt;
 
 std::string smt::sanitizeSymbol(const std::string &Name) {
+  static const char *Hex = "0123456789abcdef";
   std::string Out;
   Out.reserve(Name.size());
   for (char C : Name) {
-    if ((C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
-        (C >= '0' && C <= '9') || C == '_' || C == '.' || C == '-') {
+    bool Simple = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                  (C >= '0' && C <= '9') || C == '_' || C == '.' || C == '-';
+    // A leading digit is legal *in* a simple symbol but not *starting*
+    // one; escaping it (rather than prefixing a guard string) keeps the
+    // encoding injective — a '!' in the output always begins an escape.
+    if (Out.empty() && C >= '0' && C <= '9')
+      Simple = false;
+    if (Simple) {
       Out.push_back(C);
       continue;
     }
-    // Injectively escape other characters as !xx hex codes.
-    static const char *Hex = "0123456789abcdef";
     Out.push_back('!');
     Out.push_back(Hex[(C >> 4) & 0xf]);
     Out.push_back(Hex[C & 0xf]);
   }
-  if (Out.empty() || (Out[0] >= '0' && Out[0] <= '9'))
-    Out = "v!" + Out;
+  if (Out.empty())
+    Out = "!"; // The empty name; a lone '!' cannot be an escape.
+  return Out;
+}
+
+std::string smt::desanitizeSymbol(const std::string &Symbol) {
+  if (Symbol == "!")
+    return "";
+  auto HexVal = [](char C) -> int {
+    if (C >= '0' && C <= '9')
+      return C - '0';
+    if (C >= 'a' && C <= 'f')
+      return C - 'a' + 10;
+    if (C >= 'A' && C <= 'F')
+      return C - 'A' + 10;
+    return -1;
+  };
+  std::string Out;
+  Out.reserve(Symbol.size());
+  for (size_t I = 0; I < Symbol.size(); ++I) {
+    if (Symbol[I] == '!' && I + 2 < Symbol.size()) {
+      int Hi = HexVal(Symbol[I + 1]), Lo = HexVal(Symbol[I + 2]);
+      if (Hi >= 0 && Lo >= 0) {
+        Out.push_back(char((Hi << 4) | Lo));
+        I += 2;
+        continue;
+      }
+    }
+    Out.push_back(Symbol[I]);
+  }
   return Out;
 }
 
@@ -86,4 +121,309 @@ std::string smt::toSmtLibScript(const BvFormulaRef &F, bool GetModel) {
   if (GetModel)
     Out += "(get-model)\n";
   return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Reply parsing
+//===----------------------------------------------------------------------===//
+
+SExprScanner::Step SExprScanner::feed(char C) {
+  auto IsWs = [](char Ch) {
+    return Ch == ' ' || Ch == '\t' || Ch == '\r' || Ch == '\n';
+  };
+  if (!Started) {
+    if (IsWs(C))
+      return Step::Skip;
+    Started = true;
+    IsAtom = C != '(';
+    if (!IsAtom)
+      Depth = 1;
+    return Step::Continue;
+  }
+  if (IsAtom)
+    return IsWs(C) ? Step::DoneBefore : Step::Continue;
+  if (InString) {
+    // A doubled "" escape re-enters the string on the second quote; the
+    // net paren balance is identical either way.
+    if (C == '"')
+      InString = false;
+    return Step::Continue;
+  }
+  if (InQuotedSym) {
+    if (C == '|')
+      InQuotedSym = false;
+    return Step::Continue;
+  }
+  if (C == '"') {
+    InString = true;
+  } else if (C == '|') {
+    InQuotedSym = true;
+  } else if (C == '(') {
+    ++Depth;
+  } else if (C == ')') {
+    if (--Depth == 0)
+      return Step::Done;
+  }
+  return Step::Continue;
+}
+
+namespace {
+
+/// Recursion bound for parseSExpr: any message this project prints or
+/// parses (scripts, replies, models) nests a few levels deep; well-formed
+/// solver output never approaches this, and a hostile/corrupt reply must
+/// fail the parse — and fall back — rather than overflow the stack.
+constexpr int MaxSExprDepth = 10000;
+
+bool parseSExprAt(const std::string &Text, size_t &Pos, SExpr &Out,
+                  int Depth) {
+  if (Depth > MaxSExprDepth)
+    return false;
+  auto IsWs = [](char C) {
+    return C == ' ' || C == '\t' || C == '\r' || C == '\n';
+  };
+  while (Pos < Text.size() && IsWs(Text[Pos]))
+    ++Pos;
+  if (Pos >= Text.size())
+    return false;
+  char C = Text[Pos];
+  if (C == ')')
+    return false; // A closer with no matching opener.
+  if (C == '(') {
+    ++Pos;
+    Out.IsAtom = false;
+    Out.Atom.clear();
+    Out.List.clear();
+    for (;;) {
+      while (Pos < Text.size() && IsWs(Text[Pos]))
+        ++Pos;
+      if (Pos >= Text.size())
+        return false; // Unbalanced.
+      if (Text[Pos] == ')') {
+        ++Pos;
+        return true;
+      }
+      SExpr Child;
+      if (!parseSExprAt(Text, Pos, Child, Depth + 1))
+        return false;
+      Out.List.push_back(std::move(Child));
+    }
+  }
+  Out.IsAtom = true;
+  Out.List.clear();
+  Out.Atom.clear();
+  if (C == '|') {
+    // Quoted symbol: everything up to the closing bar, bars stripped.
+    size_t End = Text.find('|', Pos + 1);
+    if (End == std::string::npos)
+      return false;
+    Out.Atom = Text.substr(Pos + 1, End - Pos - 1);
+    Pos = End + 1;
+    return true;
+  }
+  if (C == '"') {
+    // String literal, quotes kept ("" is the escaped quote).
+    size_t I = Pos + 1;
+    while (I < Text.size()) {
+      if (Text[I] == '"') {
+        if (I + 1 < Text.size() && Text[I + 1] == '"') {
+          I += 2;
+          continue;
+        }
+        Out.Atom = Text.substr(Pos, I + 1 - Pos);
+        Pos = I + 1;
+        return true;
+      }
+      ++I;
+    }
+    return false; // Unterminated string.
+  }
+  size_t End = Pos;
+  while (End < Text.size() && !IsWs(Text[End]) && Text[End] != '(' &&
+         Text[End] != ')')
+    ++End;
+  Out.Atom = Text.substr(Pos, End - Pos);
+  Pos = End;
+  return true;
+}
+
+} // namespace
+
+bool smt::parseSExpr(const std::string &Text, size_t &Pos, SExpr &Out) {
+  return parseSExprAt(Text, Pos, Out, 0);
+}
+
+bool smt::parseBvLiteral(const std::string &Atom, Bitvector &Out) {
+  if (Atom.size() < 3 || Atom[0] != '#')
+    return false;
+  if (Atom[1] == 'b') {
+    Bitvector BV;
+    for (size_t I = 2; I < Atom.size(); ++I) {
+      if (Atom[I] != '0' && Atom[I] != '1')
+        return false;
+      BV.pushBack(Atom[I] == '1');
+    }
+    Out = BV;
+    return true;
+  }
+  if (Atom[1] == 'x') {
+    Bitvector BV;
+    for (size_t I = 2; I < Atom.size(); ++I) {
+      char C = char(std::tolower(static_cast<unsigned char>(Atom[I])));
+      int V;
+      if (C >= '0' && C <= '9')
+        V = C - '0';
+      else if (C >= 'a' && C <= 'f')
+        V = C - 'a' + 10;
+      else
+        return false;
+      for (int B = 3; B >= 0; --B)
+        BV.pushBack((V >> B) & 1);
+    }
+    Out = BV;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Matches the sort s-expression `(_ BitVec w)`, extracting \p Width.
+bool isBitVecSort(const SExpr &S, size_t &Width) {
+  if (S.IsAtom || S.List.size() != 3)
+    return false;
+  if (!S.List[0].IsAtom || S.List[0].Atom != "_")
+    return false;
+  if (!S.List[1].IsAtom || S.List[1].Atom != "BitVec")
+    return false;
+  if (!S.List[2].IsAtom || S.List[2].Atom.empty())
+    return false;
+  size_t W = 0;
+  for (char C : S.List[2].Atom) {
+    if (C < '0' || C > '9')
+      return false;
+    W = W * 10 + size_t(C - '0');
+    if (W > 1u << 24)
+      return false; // No sane query has 16M-bit variables.
+  }
+  Width = W;
+  return true;
+}
+
+/// Parses a model *value* of sort (_ BitVec Width): "#b…" (exact width),
+/// "#x…" (width must be 4·digits), or `(_ bvN Width)` with N a
+/// non-negative decimal fitting in Width bits.
+bool parseBvValue(const SExpr &V, size_t Width, Bitvector &Out,
+                  std::string &Why) {
+  if (V.IsAtom) {
+    Bitvector BV;
+    if (!parseBvLiteral(V.Atom, BV)) {
+      Why = "unrecognized bit-vector value '" + V.Atom + "'";
+      return false;
+    }
+    if (BV.size() != Width) {
+      Why = "value '" + V.Atom + "' has " + std::to_string(BV.size()) +
+            " bits for a (_ BitVec " + std::to_string(Width) + ") sort";
+      return false;
+    }
+    Out = BV;
+    return true;
+  }
+  // (_ bvN w): the indexed decimal form cvc4/cvc5 print by default.
+  if (V.List.size() != 3 || !V.List[0].IsAtom || V.List[0].Atom != "_" ||
+      !V.List[1].IsAtom || !V.List[2].IsAtom) {
+    Why = "unrecognized bit-vector value expression";
+    return false;
+  }
+  const std::string &Bv = V.List[1].Atom;
+  if (Bv.size() < 3 || Bv.compare(0, 2, "bv") != 0) {
+    Why = "unrecognized indexed value '" + Bv + "'";
+    return false;
+  }
+  // Reject signs explicitly: "(_ bv-5 4)" is not a bit-vector.
+  unsigned long long Value = 0;
+  for (size_t I = 2; I < Bv.size(); ++I) {
+    char C = Bv[I];
+    if (C < '0' || C > '9') {
+      Why = "non-decimal (or negative) bit-vector value '" + Bv + "'";
+      return false;
+    }
+    if (Value > (~0ull - 9) / 10) {
+      Why = "bit-vector value '" + Bv + "' overflows";
+      return false;
+    }
+    Value = Value * 10 + unsigned(C - '0');
+  }
+  if (V.List[2].Atom != std::to_string(Width)) {
+    Why = "value width '" + V.List[2].Atom + "' does not match sort width " +
+          std::to_string(Width);
+    return false;
+  }
+  if (Width < 64 && (Value >> Width) != 0) {
+    Why = "value " + std::to_string(Value) + " does not fit in " +
+          std::to_string(Width) + " bits";
+    return false;
+  }
+  if (Width > 64) {
+    // A decimal literal only reaches 64 bits; wider sorts zero-extend.
+    Bitvector BV(Width - 64);
+    Out = BV.concat(Bitvector::fromUint(Value, 64));
+    return true;
+  }
+  Out = Bitvector::fromUint(Value, Width);
+  return true;
+}
+
+} // namespace
+
+bool smt::parseModelReply(
+    const std::string &Text,
+    std::vector<std::pair<std::string, Bitvector>> &Out,
+    std::string *Error) {
+  auto Fail = [&](const std::string &Why) {
+    if (Error)
+      *Error = Why;
+    return false;
+  };
+  Out.clear();
+  size_t Pos = 0;
+  SExpr Reply;
+  if (!parseSExpr(Text, Pos, Reply))
+    return Fail("not a well-formed s-expression");
+  if (Reply.IsAtom)
+    return Fail("model reply is a bare atom, expected a list");
+  // z3 ≤ 4.8 wraps the define-funs in (model …); the spec and newer
+  // solvers print the bare list. Normalize to the entry span.
+  const std::vector<SExpr> *Entries = &Reply.List;
+  size_t First = 0;
+  if (!Reply.List.empty() && Reply.List[0].IsAtom &&
+      Reply.List[0].Atom == "model")
+    First = 1;
+  for (size_t I = First; I < Entries->size(); ++I) {
+    const SExpr &E = (*Entries)[I];
+    if (E.IsAtom)
+      return Fail("model entry is a bare atom '" + E.Atom + "'");
+    // (define-fun name () sort value); other entry kinds (define-fun
+    // with arguments, forall cardinality info, …) don't occur for QF_BV
+    // consts and are malformed here.
+    if (E.List.size() != 5 || !E.List[0].IsAtom ||
+        E.List[0].Atom != "define-fun")
+      return Fail("model entry is not a 5-element define-fun");
+    if (!E.List[1].IsAtom)
+      return Fail("define-fun name is not a symbol");
+    if (E.List[1].Atom.empty())
+      return Fail("define-fun name is empty");
+    if (E.List[2].IsAtom || !E.List[2].List.empty())
+      return Fail("define-fun for '" + E.List[1].Atom +
+                  "' takes arguments, expected a constant");
+    size_t Width = 0;
+    if (!isBitVecSort(E.List[3], Width))
+      continue; // Bool activation literals etc.: not ours, skip.
+    Bitvector Value;
+    std::string Why;
+    if (!parseBvValue(E.List[4], Width, Value, Why))
+      return Fail("in define-fun for '" + E.List[1].Atom + "': " + Why);
+    Out.emplace_back(E.List[1].Atom, Value);
+  }
+  return true;
 }

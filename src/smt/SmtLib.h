@@ -7,10 +7,13 @@
 ///
 /// \file
 /// Serializes FOL(BV) formulas to SMT-LIB2 (QF_BV), the format the paper's
-/// custom Coq plugin emits for Z3/CVC4/Boolector (§6.3). The in-repo
-/// solver answers queries directly, but the printer lets every query be
-/// exported and cross-checked against an external solver when one is
-/// available, and is exercised by the test suite for syntactic fidelity.
+/// custom Coq plugin emits for Z3/CVC4/Boolector (§6.3), and parses the
+/// replies external solvers send back. The in-repo solver answers queries
+/// directly, but the printer + reply parser are what SmtLibSolver.h speaks
+/// over its solver pipe, and the printer alone lets every query be
+/// exported for offline cross-checking. Everything here is pure
+/// string/AST work — no processes — so the parsing edge cases (malformed
+/// models, overlong literals) are unit-testable without any solver binary.
 ///
 /// Index translation: our bit 0 is the most significant bit, while
 /// SMT-LIB's (_ extract i j) indexes from the least significant bit, so a
@@ -25,6 +28,8 @@
 #include "smt/BvFormula.h"
 
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace leapfrog {
 namespace smt {
@@ -41,9 +46,91 @@ std::string toSmtLibFormula(const BvFormulaRef &F);
 std::string toSmtLibScript(const BvFormulaRef &F, bool GetModel = false);
 
 /// Sanitizes a variable name into a legal SMT-LIB simple symbol (the
-/// ConfRel compiler produces names like "h<mpls" that need quoting rules);
-/// deterministic and injective for the names this project generates.
+/// ConfRel compiler produces names like "h<mpls" that need quoting rules).
+/// Characters outside [A-Za-z0-9_.-] — and a leading digit, which SMT-LIB
+/// forbids — are escaped as !xx hex codes ('!' itself is always escaped,
+/// so every '!' in the output begins an escape). Deterministic and
+/// injective for every input, which is what lets model replies be mapped
+/// back to the original variable names.
 std::string sanitizeSymbol(const std::string &Name);
+
+/// Inverts sanitizeSymbol: decodes !xx hex escapes, recovering the
+/// original variable name. For any name N,
+/// desanitizeSymbol(sanitizeSymbol(N)) == N; malformed escapes (a '!' not
+/// followed by two hex digits) are left verbatim.
+std::string desanitizeSymbol(const std::string &Symbol);
+
+//===----------------------------------------------------------------------===//
+// Reply parsing (the receive side of the solver pipe)
+//===----------------------------------------------------------------------===//
+
+/// Incremental scanner delimiting one SMT-LIB message — a bare atom
+/// ("sat", "success") or one balanced s-expression — in a character
+/// stream, tracking paren depth across "string literals" (doubled-quote
+/// escapes) and |quoted symbols|. Both ends of the solver pipe share it:
+/// ExtProcess::readReply frames solver replies with it, and the SMT-LIB
+/// shim frames incoming commands — one lexical definition, so the two
+/// ends cannot drift apart.
+class SExprScanner {
+public:
+  enum class Step {
+    Skip,       ///< Leading whitespace before the message started.
+    Continue,   ///< Character consumed; message not yet complete.
+    Done,       ///< Character consumed and it completes the message.
+    DoneBefore, ///< The message completed *before* this character (an
+                ///< atom ends at whitespace, which is not part of it).
+  };
+
+  /// Advances the scanner by one character.
+  Step feed(char C);
+
+  /// True while a bare atom is being read — end-of-input then legally
+  /// terminates it (a solver may exit without a trailing newline).
+  bool atomInProgress() const { return Started && IsAtom; }
+
+  void reset() { *this = SExprScanner(); }
+
+private:
+  bool Started = false, IsAtom = false;
+  bool InString = false, InQuotedSym = false;
+  int Depth = 0;
+};
+
+/// A parsed SMT-LIB s-expression: an atom or a list. |quoted symbols| are
+/// atoms with the bars stripped; "string literals" keep their quotes so
+/// consumers can tell them from symbols.
+struct SExpr {
+  bool IsAtom = true;
+  std::string Atom;        ///< Valid when IsAtom.
+  std::vector<SExpr> List; ///< Valid when !IsAtom.
+};
+
+/// Parses one s-expression from \p Text starting at \p Pos (advanced past
+/// the expression on success). Returns false on malformed input —
+/// unbalanced parentheses, an unterminated string/quoted symbol, or
+/// nothing but whitespace.
+bool parseSExpr(const std::string &Text, size_t &Pos, SExpr &Out);
+
+/// Parses a bit-vector literal atom into \p Out: "#b0101" (exact width),
+/// "#x2a" (width 4·digits), or the indexed form handled by
+/// parseModelReply. Returns false for anything else.
+bool parseBvLiteral(const std::string &Atom, Bitvector &Out);
+
+/// Parses a solver's get-model reply into (sanitized-name, value) pairs.
+/// Accepts both reply shapes in the wild — z3's `(model (define-fun …) …)`
+/// and the bare `((define-fun …) …)` of the SMT-LIB spec / cvc5 — and the
+/// three value syntaxes `#b…`, `#x…`, and `(_ bvN w)`. Bit-vector sorts
+/// must agree with their values: a `#b` literal of the wrong width, a
+/// `#x` literal on a width not divisible by four, a decimal value that
+/// needs more than w bits, or a negative decimal all fail the parse.
+/// Entries of non-bit-vector sorts (e.g. the Bool activation literals the
+/// incremental sessions assert) are skipped, not errors. Returns false
+/// and fills \p Error (if non-null) on malformed input; names are
+/// returned exactly as the solver printed them (still sanitized — see
+/// desanitizeSymbol).
+bool parseModelReply(const std::string &Text,
+                     std::vector<std::pair<std::string, Bitvector>> &Out,
+                     std::string *Error = nullptr);
 
 } // namespace smt
 } // namespace leapfrog

@@ -680,4 +680,161 @@ TEST(SmtLib, SanitizesStoreEliminationNames) {
       static_cast<unsigned char>(sanitizeSymbol("0weird")[0])));
 }
 
+TEST(SmtLib, DesanitizeInvertsSanitize) {
+  // The external backend maps model symbols back through this inverse, so
+  // it must hold on exactly the names this project mints: store-
+  // elimination names, fresh-variable counters, session/query prefixes.
+  const std::string Names[] = {"h<mpls", "h>mpls", "buf<",       "buf>",
+                               "x",      "_wp!17", "0weird",     "s3!h<udp",
+                               "q12!y",  "a!b!c",  "weird name", "3cx",
+                               "",       "!",      "v!x"};
+  for (const std::string &Name : Names)
+    EXPECT_EQ(desanitizeSymbol(sanitizeSymbol(Name)), Name) << Name;
+  // Distinct names stay distinct through the round trip (spot-check the
+  // classic guard-collision pair).
+  EXPECT_NE(sanitizeSymbol("3cx"), sanitizeSymbol("v<x"));
+}
+
+//===----------------------------------------------------------------------===//
+// Model-reply parsing (the receive side of the solver pipe)
+//===----------------------------------------------------------------------===//
+
+TEST(SmtLibModel, ParsesZ3AndSpecShapes) {
+  std::vector<std::pair<std::string, Bitvector>> M;
+  // z3's (model …) wrapper.
+  ASSERT_TRUE(parseModelReply("(model\n"
+                              "  (define-fun x () (_ BitVec 4) #b1010)\n"
+                              "  (define-fun y () (_ BitVec 8) #x2a)\n"
+                              ")",
+                              M));
+  ASSERT_EQ(M.size(), 2u);
+  EXPECT_EQ(M[0].first, "x");
+  EXPECT_EQ(M[0].second.str(), "1010");
+  EXPECT_EQ(M[1].second.str(), "00101010");
+  // The bare-list shape (the SMT-LIB standard, cvc5), with the indexed
+  // decimal value form.
+  ASSERT_TRUE(parseModelReply("((define-fun z () (_ BitVec 6) (_ bv5 6)))",
+                              M));
+  ASSERT_EQ(M.size(), 1u);
+  EXPECT_EQ(M[0].second.str(), "000101");
+}
+
+TEST(SmtLibModel, SkipsBoolEntries) {
+  // Sessions multiplex through Bool activation constants; their model
+  // entries are not bit-vectors and must be skipped, not rejected.
+  std::vector<std::pair<std::string, Bitvector>> M;
+  ASSERT_TRUE(parseModelReply("((define-fun act-s0 () Bool true)\n"
+                              " (define-fun x () (_ BitVec 2) #b01))",
+                              M));
+  ASSERT_EQ(M.size(), 1u);
+  EXPECT_EQ(M[0].first, "x");
+}
+
+TEST(SmtLibModel, RejectsMalformedReplies) {
+  std::vector<std::pair<std::string, Bitvector>> M;
+  std::string Err;
+  // Not an s-expression at all.
+  EXPECT_FALSE(parseModelReply("sat", M, &Err));
+  EXPECT_FALSE(Err.empty());
+  // Unbalanced parens.
+  EXPECT_FALSE(parseModelReply("((define-fun x () (_ BitVec 2) #b01)", M));
+  // A bare atom where an entry belongs.
+  EXPECT_FALSE(parseModelReply("(model garbage)", M, &Err));
+  // Wrong arity / not define-fun.
+  EXPECT_FALSE(parseModelReply("((define-fun x (_ BitVec 2) #b01))", M));
+  EXPECT_FALSE(parseModelReply("((definitely-fun x () (_ BitVec 2) #b01))",
+                               M));
+  // Nonzero arity (a function, not a constant).
+  EXPECT_FALSE(parseModelReply(
+      "((define-fun f ((a (_ BitVec 2))) (_ BitVec 2) #b01))", M, &Err));
+  EXPECT_NE(Err.find("arguments"), std::string::npos);
+}
+
+TEST(SmtLibModel, RejectsNegativeAndOverlongLiterals) {
+  std::vector<std::pair<std::string, Bitvector>> M;
+  std::string Err;
+  // Overlong binary literal for the declared sort.
+  EXPECT_FALSE(parseModelReply(
+      "((define-fun x () (_ BitVec 4) #b10100))", M, &Err));
+  EXPECT_NE(Err.find("bits"), std::string::npos);
+  // Too-short binary literal.
+  EXPECT_FALSE(parseModelReply(
+      "((define-fun x () (_ BitVec 4) #b101))", M));
+  // Hex on a width not divisible by four.
+  EXPECT_FALSE(parseModelReply(
+      "((define-fun x () (_ BitVec 6) #x2a))", M));
+  // Negative decimal value.
+  EXPECT_FALSE(parseModelReply(
+      "((define-fun x () (_ BitVec 4) (_ bv-5 4)))", M, &Err));
+  // Decimal value that does not fit the width.
+  EXPECT_FALSE(parseModelReply(
+      "((define-fun x () (_ BitVec 3) (_ bv9 3)))", M));
+  // Decimal value whose own width index disagrees with the sort.
+  EXPECT_FALSE(parseModelReply(
+      "((define-fun x () (_ BitVec 4) (_ bv5 3)))", M));
+  // Garbage literal kinds.
+  EXPECT_FALSE(parseModelReply(
+      "((define-fun x () (_ BitVec 4) #o17))", M));
+  EXPECT_FALSE(parseModelReply(
+      "((define-fun x () (_ BitVec 4) twelve))", M));
+}
+
+TEST(SmtLibModel, DeeplyNestedReplyFailsInsteadOfOverflowing) {
+  // A hostile/corrupt reply nested hundreds of thousands deep must fail
+  // the parse (→ protocol-error fallback in the backend), not blow the
+  // recursion stack.
+  std::string Bomb(500000, '(');
+  Bomb += std::string(500000, ')');
+  std::vector<std::pair<std::string, Bitvector>> M;
+  std::string Err;
+  EXPECT_FALSE(parseModelReply(Bomb, M, &Err));
+}
+
+TEST(SmtLibModel, BvLiteralEdgeCases) {
+  Bitvector BV;
+  ASSERT_TRUE(parseBvLiteral("#b0", BV));
+  EXPECT_EQ(BV.str(), "0");
+  ASSERT_TRUE(parseBvLiteral("#xFf", BV));
+  EXPECT_EQ(BV.str(), "11111111");
+  EXPECT_FALSE(parseBvLiteral("#b", BV));
+  EXPECT_FALSE(parseBvLiteral("#b012", BV));
+  EXPECT_FALSE(parseBvLiteral("#xg", BV));
+  EXPECT_FALSE(parseBvLiteral("1010", BV));
+  EXPECT_FALSE(parseBvLiteral("", BV));
+}
+
+TEST(SmtLibModel, RoundTripCounterexampleRefalsifiesFormula) {
+  // The full export/import pin: print a validity query, let a "solver"
+  // (the in-repo backend standing in for the mock) produce the model,
+  // echo it in SMT-LIB syntax, parse it back, desanitize the names — and
+  // the reconstructed counterexample must re-falsify the original
+  // formula. This is the exact loop SmtLibSolver runs over its pipe.
+  BvTermRef X = var("x", 4);
+  BvTermRef Y = var("y<odd", 4); // Needs sanitization both ways.
+  BvFormulaRef G = BvFormula::mkEq(X, Y); // Not valid.
+  BvFormulaRef Query = BvFormula::mkNot(G);
+  // The printed script must carry the sanitized name.
+  std::string Script = toSmtLibScript(Query, /*GetModel=*/true);
+  EXPECT_NE(Script.find(sanitizeSymbol("y<odd")), std::string::npos);
+  EXPECT_NE(Script.find("(get-model)"), std::string::npos);
+  // "Solver side": solve the query and typeset the model as a reply.
+  BitBlastSolver S;
+  Model SolverModel;
+  ASSERT_EQ(S.checkSat(Query, &SolverModel), SatResult::Sat);
+  std::string Reply = "(model\n";
+  for (const auto &[Name, Value] : SolverModel)
+    Reply += "  (define-fun " + sanitizeSymbol(Name) + " () (_ BitVec " +
+             std::to_string(Value.size()) + ") #b" + Value.str() + ")\n";
+  Reply += ")";
+  // "Checker side": parse, desanitize, and re-evaluate.
+  std::vector<std::pair<std::string, Bitvector>> Parsed;
+  ASSERT_TRUE(parseModelReply(Reply, Parsed));
+  Model Counterexample;
+  for (const auto &[Sym, Value] : Parsed)
+    Counterexample.emplace_back(desanitizeSymbol(Sym), Value);
+  ASSERT_EQ(Counterexample.size(), 2u);
+  EXPECT_TRUE(evalFormula(Query, Counterexample));
+  EXPECT_FALSE(evalFormula(G, Counterexample)); // Re-falsifies ∀x⃗.G.
+}
+
 } // namespace

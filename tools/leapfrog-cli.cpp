@@ -20,11 +20,13 @@
 
 #include "core/Checker.h"
 #include "p4a/Parser.h"
+#include "smt/SmtLibSolver.h"
 #include "smt/Solver.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -46,8 +48,6 @@ void usage() {
       "  --no-leaps         disable multi-step weakest preconditions "
       "(§5.2)\n"
       "  --no-reach         disable template reachability pruning (§5.1)\n"
-      "  --certify-smt      require a DRUP proof for every UNSAT solver\n"
-      "                     answer, replayed by an independent checker\n"
       "  --replay           re-validate the equivalence certificate after\n"
       "                     the search (independent of the search code)\n"
       "  --jobs N           worker threads for the parallel frontier\n"
@@ -55,7 +55,27 @@ void usage() {
       "                     Verdict, certificate and search trace are\n"
       "                     identical for every N; only wall-clock\n"
       "                     changes. Each worker gets its own solver\n"
-      "                     and session set\n"
+      "                     and session set (for external backends, its\n"
+      "                     own solver process)\n"
+      "\n"
+      "backend options (see docs/SOLVERS.md):\n"
+      "  --backend SPEC     solver backend: 'bitblast' (in-repo, the\n"
+      "                     default), 'smtlib:CMD' (external SMT-LIB2\n"
+      "                     process, e.g. 'smtlib:z3 -in'), or\n"
+      "                     'crosscheck[:CMD]' (run both, abort on any\n"
+      "                     sat/unsat divergence; CMD defaults to\n"
+      "                     'z3 -in'). --backend=SPEC also accepted. A\n"
+      "                     missing/failing external binary degrades to\n"
+      "                     bitblast with a warning; external sat answers\n"
+      "                     are model-validated, external unsat answers\n"
+      "                     are trusted unless crosscheck is used (see\n"
+      "                     the docs)\n"
+      "  --ext-timeout N    per-reply deadline for the external solver,\n"
+      "                     seconds (default 60); on expiry the process\n"
+      "                     is killed and the query answered in-repo\n"
+      "  --certify-smt      require a DRUP proof for every UNSAT solver\n"
+      "                     answer, replayed by an independent checker\n"
+      "                     (bitblast backend only)\n"
       "\n"
       "budget options:\n"
       "  --max-iterations N worklist budget (default 1048576)\n"
@@ -124,9 +144,10 @@ int main(int Argc, char **Argv) {
   }
 
   core::CheckOptions Options;
-  smt::BitBlastSolver Solver;
-  Options.Solver = &Solver;
   bool Replay = false, Print = false, Quiet = false, DumpCert = false;
+  bool CertifySmt = false;
+  std::string BackendSpec = "bitblast";
+  int ExtTimeoutSec = 0;
   for (int I = 5; I < Argc; ++I) {
     const char *Arg = Argv[I];
     if (!std::strcmp(Arg, "--no-leaps")) {
@@ -134,7 +155,24 @@ int main(int Argc, char **Argv) {
     } else if (!std::strcmp(Arg, "--no-reach")) {
       Options.UseReachability = false;
     } else if (!std::strcmp(Arg, "--certify-smt")) {
-      Solver.CertifyUnsat = true;
+      CertifySmt = true;
+    } else if (!std::strcmp(Arg, "--backend") && I + 1 < Argc) {
+      BackendSpec = Argv[++I];
+    } else if (!std::strncmp(Arg, "--backend=", 10)) {
+      BackendSpec = Arg + 10;
+    } else if (!std::strcmp(Arg, "--ext-timeout") && I + 1 < Argc) {
+      char *End = nullptr;
+      long Val = std::strtol(Argv[++I], &End, 10);
+      // Strict: a deadline the user typed must apply or the run must not
+      // start. 86400 s also keeps the ms conversion far from overflow.
+      if (!End || *End != '\0' || Val < 1 || Val > 86400) {
+        std::fprintf(stderr,
+                     "leapfrog-cli: --ext-timeout needs a whole number of "
+                     "seconds in [1, 86400], got '%s'\n",
+                     Argv[I]);
+        return 3;
+      }
+      ExtTimeoutSec = int(Val);
     } else if (!std::strcmp(Arg, "--replay")) {
       Replay = true;
     } else if (!std::strcmp(Arg, "--print")) {
@@ -165,6 +203,43 @@ int main(int Argc, char **Argv) {
       usage();
       return 3;
     }
+  }
+
+  // Resolve the backend spec into an owned solver instance. The CLI
+  // resolves eagerly (rather than passing CheckOptions::Backend through)
+  // so a typo in the spec is a usage error, not a silent bitblast run —
+  // and so the post-run stats can interrogate the concrete backend type.
+  std::string BackendErr;
+  std::unique_ptr<smt::SmtSolver> Solver =
+      smt::createSolverBackend(BackendSpec, &BackendErr);
+  if (!Solver) {
+    std::fprintf(stderr, "leapfrog-cli: %s\n", BackendErr.c_str());
+    usage();
+    return 3;
+  }
+  Options.Solver = Solver.get();
+  auto *BitBlast = dynamic_cast<smt::BitBlastSolver *>(Solver.get());
+  auto *External = dynamic_cast<smt::SmtLibSolver *>(Solver.get());
+  auto *Cross = dynamic_cast<smt::CrossCheckSolver *>(Solver.get());
+  if (Cross)
+    External = dynamic_cast<smt::SmtLibSolver *>(&Cross->external());
+  if (CertifySmt) {
+    if (!BitBlast) {
+      std::fprintf(stderr,
+                   "leapfrog-cli: --certify-smt requires the bitblast "
+                   "backend (DRUP proofs come from the in-repo solver)\n");
+      return 3;
+    }
+    BitBlast->CertifyUnsat = true;
+  }
+  if (ExtTimeoutSec > 0) {
+    if (!External) {
+      std::fprintf(stderr, "leapfrog-cli: --ext-timeout needs an external "
+                           "backend (--backend smtlib:... or "
+                           "crosscheck...)\n");
+      return 3;
+    }
+    External->config().QueryTimeoutMs = ExtTimeoutSec * 1000;
   }
 
   LoadedParser Left, Right;
@@ -214,13 +289,29 @@ int main(int Argc, char **Argv) {
         "  iterations %zu, conjuncts %zu, SMT queries %zu (%zu certified "
         "UNSAT), %.2f s\n",
         Res.Stats.Iterations, Res.Stats.FinalConjuncts,
-        Res.Stats.SmtQueries, size_t(Solver.stats().CertifiedUnsat),
+        Res.Stats.SmtQueries, size_t(Solver->stats().CertifiedUnsat),
         double(Res.Stats.WallMicros) / 1e6);
+    if (External) {
+      const smt::SmtLibSolver::ExtStats &E = External->extStats();
+      std::printf("  external solver '%s': %zu queries answered "
+                  "externally, %zu in-repo fallbacks (%zu timeouts, %zu "
+                  "EOFs, %zu protocol errors), %zu process spawns\n",
+                  External->config().Argv.empty()
+                      ? "<none>"
+                      : External->config().Argv[0].c_str(),
+                  size_t(E.ExternalQueries), size_t(E.FallbackQueries),
+                  size_t(E.Timeouts), size_t(E.Eofs),
+                  size_t(E.ProtocolErrors), size_t(E.Spawns));
+    }
+    if (Cross)
+      std::printf("  cross-check: %zu queries compared, %zu divergences\n",
+                  size_t(Cross->crossStats().Checked),
+                  size_t(Cross->crossStats().Divergences));
   }
 
   if (Replay && Res.V == core::Verdict::Equivalent) {
     core::ReplayResult R = core::replayCertificate(
-        Left.Aut, Right.Aut, Res.Certificate, &Solver);
+        Left.Aut, Right.Aut, Res.Certificate, Solver.get());
     if (!Quiet)
       std::printf("  certificate replay: %s (%zu obligations)\n",
                   R.Valid ? "valid" : R.FailureReason.c_str(),

@@ -1,0 +1,451 @@
+//===- smtlib-shim.cpp - SMT-LIB2 REPL over the in-repo solver ------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// A minimal SMT-LIB2 (QF_BV: concat/extract/equality) solver speaking the
+// standard REPL on stdin/stdout, answering with the in-repo bit-blaster.
+// Two jobs:
+//
+//  - It is the *mock external solver* of the test suite: ExtSolverTest
+//    points SmtLibSolver at this binary, so the whole subprocess pipeline
+//    (pipes, handshake, incremental sessions, model parse-back) is
+//    exercised end to end in tier-1 with no external dependency — and
+//    because the answers come from the same CDCL core, any disagreement
+//    the cross-check backend reports against it is a protocol bug, not a
+//    solver bug.
+//
+//  - It is a standalone QF_BV check-sat tool: pipe any script the SmtLib
+//    printer emits (or one z3 would accept, within the fragment) into
+//    `leapfrog-smtlib-shim` and compare answers across solvers in either
+//    direction.
+//
+// Supported commands: set-logic, set-option (:print-success honored, the
+// rest accepted), set-info, declare-const, declare-fun (zero arity),
+// assert, push/pop, check-sat, check-sat-assuming, get-model, get-value,
+// echo, reset, exit. Sorts: (_ BitVec n) and Bool (Bool constants are
+// encoded as width-1 bit-vectors internally — they exist so the
+// activation literals of SmtLibSolver's multiplexed sessions work).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SmtLib.h"
+#include "smt/Solver.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace leapfrog;
+using namespace leapfrog::smt;
+
+namespace {
+
+/// A declared constant: Bool or (_ BitVec Width).
+struct Decl {
+  bool IsBool = false;
+  size_t Width = 1;
+};
+
+/// One push level: the assertions and declarations it owns.
+struct Scope {
+  std::vector<BvFormulaRef> Assertions;
+  std::vector<std::string> Declared;
+};
+
+struct Shim {
+  bool PrintSuccess = false;
+  std::vector<Scope> Stack{Scope()};
+  std::map<std::string, Decl> Decls;
+  /// Last check-sat outcome + model, for get-model/get-value.
+  bool HaveModel = false;
+  Model LastModel;
+
+  void reset() {
+    PrintSuccess = false;
+    Stack.assign(1, Scope());
+    Decls.clear();
+    HaveModel = false;
+    LastModel.clear();
+  }
+};
+
+void reply(const std::string &S) {
+  std::fputs(S.c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+void replyError(const std::string &Msg) {
+  // SMT-LIB escapes '"' in string literals by doubling; our messages
+  // contain none.
+  reply("(error \"" + Msg + "\")");
+}
+
+void replySuccess(const Shim &S) {
+  if (S.PrintSuccess)
+    reply("success");
+}
+
+/// Thrown (as a value) by the term/formula parsers on malformed input.
+struct ParseError {
+  std::string Msg;
+};
+
+size_t parseWidth(const SExpr &E) {
+  if (!E.IsAtom || E.Atom.empty())
+    throw ParseError{"expected a numeral"};
+  size_t W = 0;
+  for (char C : E.Atom) {
+    if (C < '0' || C > '9')
+      throw ParseError{"expected a numeral, got '" + E.Atom + "'"};
+    W = W * 10 + size_t(C - '0');
+    if (W > (1u << 24))
+      throw ParseError{"numeral out of range"};
+  }
+  return W;
+}
+
+BvFormulaRef parseFormula(Shim &S, const SExpr &E);
+
+BvTermRef parseTerm(Shim &S, const SExpr &E) {
+  if (E.IsAtom) {
+    Bitvector BV;
+    if (parseBvLiteral(E.Atom, BV))
+      return BvTerm::mkConst(BV);
+    auto It = S.Decls.find(E.Atom);
+    if (It == S.Decls.end())
+      throw ParseError{"unknown constant '" + E.Atom + "'"};
+    if (It->second.IsBool)
+      throw ParseError{"'" + E.Atom + "' is Bool, expected a bit-vector"};
+    return BvTerm::mkVar(E.Atom, It->second.Width);
+  }
+  if (E.List.empty())
+    throw ParseError{"empty term"};
+  const SExpr &Head = E.List[0];
+  if (Head.IsAtom && Head.Atom == "concat") {
+    if (E.List.size() < 3)
+      throw ParseError{"concat needs at least two operands"};
+    BvTermRef T = parseTerm(S, E.List[1]);
+    for (size_t I = 2; I < E.List.size(); ++I)
+      T = BvTerm::mkConcat(T, parseTerm(S, E.List[I]));
+    return T;
+  }
+  if (Head.IsAtom && Head.Atom == "_") {
+    // (_ bvN w)
+    if (E.List.size() == 3 && E.List[1].IsAtom &&
+        E.List[1].Atom.rfind("bv", 0) == 0) {
+      size_t W = parseWidth(E.List[2]);
+      unsigned long long Value = 0;
+      const std::string &Bv = E.List[1].Atom;
+      if (Bv.size() < 3)
+        throw ParseError{"malformed bit-vector literal"};
+      for (size_t I = 2; I < Bv.size(); ++I) {
+        if (Bv[I] < '0' || Bv[I] > '9')
+          throw ParseError{"malformed bit-vector literal '" + Bv + "'"};
+        Value = Value * 10 + unsigned(Bv[I] - '0');
+      }
+      if (W > 64)
+        throw ParseError{"bv literal wider than 64 unsupported"};
+      return BvTerm::mkConst(Bitvector::fromUint(Value, W));
+    }
+    throw ParseError{"unsupported indexed identifier"};
+  }
+  if (!Head.IsAtom && Head.List.size() == 4 && Head.List[0].IsAtom &&
+      Head.List[0].Atom == "_" && Head.List[1].IsAtom &&
+      Head.List[1].Atom == "extract") {
+    // ((_ extract i j) t): i ≥ j, LSB-indexed inclusive.
+    if (E.List.size() != 2)
+      throw ParseError{"extract takes one operand"};
+    size_t Hi = parseWidth(Head.List[2]); // MSB-side index (LSB-based).
+    size_t Lo = parseWidth(Head.List[3]);
+    BvTermRef Op = parseTerm(S, E.List[1]);
+    size_t W = Op->width();
+    if (Hi < Lo || Hi >= W)
+      throw ParseError{"extract indices out of range"};
+    // SMT-LIB indexes from the LSB; BvTerm from the MSB (bit 0 first).
+    return BvTerm::mkExtract(Op, W - 1 - Hi, W - 1 - Lo);
+  }
+  throw ParseError{"unsupported term"};
+}
+
+BvFormulaRef parseFormula(Shim &S, const SExpr &E) {
+  if (E.IsAtom) {
+    if (E.Atom == "true")
+      return BvFormula::mkTrue();
+    if (E.Atom == "false")
+      return BvFormula::mkFalse();
+    auto It = S.Decls.find(E.Atom);
+    if (It != S.Decls.end() && It->second.IsBool)
+      return BvFormula::mkEq(BvTerm::mkVar(E.Atom, 1),
+                             BvTerm::mkConst(Bitvector::fromUint(1, 1)));
+    throw ParseError{"expected a formula, got '" + E.Atom + "'"};
+  }
+  if (E.List.empty() || !E.List[0].IsAtom)
+    throw ParseError{"expected a formula"};
+  const std::string &Op = E.List[0].Atom;
+  auto Sub = [&](size_t I) { return parseFormula(S, E.List[I]); };
+  if (Op == "=") {
+    if (E.List.size() != 3)
+      throw ParseError{"= takes two operands"};
+    // Equality over Bool operands shows up as (= b true) style scripts;
+    // route atoms that parse as formulas through iff. Otherwise compare
+    // bit-vector terms.
+    bool LhsIsFormula = false;
+    try {
+      (void)parseTerm(S, E.List[1]);
+    } catch (const ParseError &) {
+      LhsIsFormula = true;
+    }
+    if (LhsIsFormula) {
+      BvFormulaRef A = Sub(1), B = Sub(2);
+      return BvFormula::mkAnd(BvFormula::mkImplies(A, B),
+                              BvFormula::mkImplies(B, A));
+    }
+    BvTermRef L = parseTerm(S, E.List[1]);
+    BvTermRef R = parseTerm(S, E.List[2]);
+    if (L->width() != R->width())
+      throw ParseError{"= operand widths differ"};
+    return BvFormula::mkEq(L, R);
+  }
+  if (Op == "not") {
+    if (E.List.size() != 2)
+      throw ParseError{"not takes one operand"};
+    return BvFormula::mkNot(Sub(1));
+  }
+  if (Op == "and" || Op == "or") {
+    if (E.List.size() < 2)
+      throw ParseError{Op + " needs operands"};
+    BvFormulaRef F = Sub(1);
+    for (size_t I = 2; I < E.List.size(); ++I)
+      F = Op == "and" ? BvFormula::mkAnd(F, Sub(I))
+                      : BvFormula::mkOr(F, Sub(I));
+    return F;
+  }
+  if (Op == "=>") {
+    if (E.List.size() < 3)
+      throw ParseError{"=> needs at least two operands"};
+    // Right-associative per SMT-LIB.
+    BvFormulaRef F = Sub(E.List.size() - 1);
+    for (size_t I = E.List.size() - 1; I > 1; --I)
+      F = BvFormula::mkImplies(Sub(I - 1), F);
+    return F;
+  }
+  throw ParseError{"unsupported connective '" + Op + "'"};
+}
+
+/// Parses a declare-const / zero-arity declare-fun sort.
+Decl parseSort(const SExpr &E) {
+  if (E.IsAtom) {
+    if (E.Atom == "Bool")
+      return Decl{true, 1};
+    throw ParseError{"unsupported sort '" + E.Atom + "'"};
+  }
+  if (E.List.size() == 3 && E.List[0].IsAtom && E.List[0].Atom == "_" &&
+      E.List[1].IsAtom && E.List[1].Atom == "BitVec")
+    return Decl{false, parseWidth(E.List[2])};
+  throw ParseError{"unsupported sort"};
+}
+
+void declare(Shim &S, const std::string &Name, const Decl &D) {
+  auto It = S.Decls.find(Name);
+  if (It != S.Decls.end())
+    throw ParseError{"'" + Name + "' already declared"};
+  S.Decls.emplace(Name, D);
+  S.Stack.back().Declared.push_back(Name);
+}
+
+std::string printValue(const Decl &D, const Bitvector &V) {
+  if (D.IsBool)
+    return V.bit(0) ? "true" : "false";
+  return "#b" + V.str();
+}
+
+void doCheckSat(Shim &S, const std::vector<BvFormulaRef> &Assumptions) {
+  BvFormulaRef Conj = BvFormula::mkTrue();
+  for (const Scope &Sc : S.Stack)
+    for (const BvFormulaRef &A : Sc.Assertions)
+      Conj = BvFormula::mkAnd(Conj, A);
+  for (const BvFormulaRef &A : Assumptions)
+    Conj = BvFormula::mkAnd(Conj, A);
+  BitBlastSolver Solver;
+  Model M;
+  SatResult R = Solver.checkSat(Conj, &M);
+  if (R == SatResult::Sat) {
+    S.HaveModel = true;
+    S.LastModel = std::move(M);
+    reply("sat");
+  } else {
+    S.HaveModel = false;
+    S.LastModel.clear();
+    reply("unsat");
+  }
+}
+
+const Bitvector *modelLookup(const Shim &S, const std::string &Name) {
+  for (const auto &[N, V] : S.LastModel)
+    if (N == Name)
+      return &V;
+  return nullptr;
+}
+
+void doGetModel(Shim &S) {
+  if (!S.HaveModel) {
+    replyError("model is not available");
+    return;
+  }
+  std::string Out = "(\n";
+  for (const auto &[Name, D] : S.Decls) {
+    const Bitvector *V = modelLookup(S, Name);
+    Bitvector Zero(D.Width);
+    Out += "  (define-fun " + Name + " () " +
+           (D.IsBool ? std::string("Bool")
+                     : "(_ BitVec " + std::to_string(D.Width) + ")") +
+           " " + printValue(D, V ? *V : Zero) + ")\n";
+  }
+  Out += ")";
+  reply(Out);
+}
+
+void execCommand(Shim &S, const SExpr &Cmd) {
+  if (Cmd.IsAtom || Cmd.List.empty() || !Cmd.List[0].IsAtom) {
+    replyError("expected a command");
+    return;
+  }
+  const std::string &Op = Cmd.List[0].Atom;
+  try {
+    if (Op == "set-logic" || Op == "set-info") {
+      replySuccess(S);
+    } else if (Op == "set-option") {
+      if (Cmd.List.size() == 3 && Cmd.List[1].IsAtom &&
+          Cmd.List[1].Atom == ":print-success" && Cmd.List[2].IsAtom) {
+        S.PrintSuccess = Cmd.List[2].Atom == "true";
+        // Reply under the *new* setting, like z3: enabling it confirms
+        // with the first "success".
+        replySuccess(S);
+      } else {
+        replySuccess(S);
+      }
+    } else if (Op == "declare-const") {
+      if (Cmd.List.size() != 3 || !Cmd.List[1].IsAtom)
+        throw ParseError{"declare-const takes a name and a sort"};
+      declare(S, Cmd.List[1].Atom, parseSort(Cmd.List[2]));
+      replySuccess(S);
+    } else if (Op == "declare-fun") {
+      if (Cmd.List.size() != 4 || !Cmd.List[1].IsAtom ||
+          Cmd.List[2].IsAtom || !Cmd.List[2].List.empty())
+        throw ParseError{"only zero-arity declare-fun is supported"};
+      declare(S, Cmd.List[1].Atom, parseSort(Cmd.List[3]));
+      replySuccess(S);
+    } else if (Op == "assert") {
+      if (Cmd.List.size() != 2)
+        throw ParseError{"assert takes one formula"};
+      S.Stack.back().Assertions.push_back(parseFormula(S, Cmd.List[1]));
+      replySuccess(S);
+    } else if (Op == "push" || Op == "pop") {
+      size_t N = Cmd.List.size() >= 2 ? parseWidth(Cmd.List[1]) : 1;
+      for (size_t I = 0; I < N; ++I) {
+        if (Op == "push") {
+          S.Stack.push_back(Scope());
+        } else {
+          if (S.Stack.size() <= 1)
+            throw ParseError{"pop below the initial level"};
+          for (const std::string &Name : S.Stack.back().Declared)
+            S.Decls.erase(Name);
+          S.Stack.pop_back();
+        }
+      }
+      replySuccess(S);
+    } else if (Op == "check-sat") {
+      doCheckSat(S, {});
+    } else if (Op == "check-sat-assuming") {
+      if (Cmd.List.size() != 2 || Cmd.List[1].IsAtom)
+        throw ParseError{"check-sat-assuming takes a literal list"};
+      std::vector<BvFormulaRef> Assumptions;
+      for (const SExpr &L : Cmd.List[1].List)
+        Assumptions.push_back(parseFormula(S, L));
+      doCheckSat(S, Assumptions);
+    } else if (Op == "get-model") {
+      doGetModel(S);
+    } else if (Op == "get-value") {
+      if (Cmd.List.size() != 2 || Cmd.List[1].IsAtom)
+        throw ParseError{"get-value takes a term list"};
+      if (!S.HaveModel) {
+        replyError("model is not available");
+        return;
+      }
+      std::string Out = "(";
+      for (const SExpr &T : Cmd.List[1].List) {
+        if (!T.IsAtom)
+          throw ParseError{"only constants are supported in get-value"};
+        auto It = S.Decls.find(T.Atom);
+        if (It == S.Decls.end())
+          throw ParseError{"unknown constant '" + T.Atom + "'"};
+        const Bitvector *V = modelLookup(S, T.Atom);
+        Bitvector Zero(It->second.Width);
+        Out += "(" + T.Atom + " " +
+               printValue(It->second, V ? *V : Zero) + ")";
+      }
+      Out += ")";
+      reply(Out);
+    } else if (Op == "echo") {
+      reply(Cmd.List.size() >= 2 && Cmd.List[1].IsAtom ? Cmd.List[1].Atom
+                                                       : "");
+    } else if (Op == "reset") {
+      S.reset();
+      replySuccess(S);
+    } else if (Op == "exit") {
+      std::exit(0);
+    } else {
+      replyError("unsupported command '" + Op + "'");
+    }
+  } catch (const ParseError &E) {
+    replyError(E.Msg);
+  }
+}
+
+/// Reads one command's worth of text from stdin — framed by the same
+/// SExprScanner ExtProcess uses to frame replies, so both ends of the
+/// pipe agree on message boundaries. Returns false on EOF before a
+/// complete command arrived (a trailing atom at EOF is delivered).
+bool readCommandText(std::string &Out) {
+  Out.clear();
+  SExprScanner Scanner;
+  for (;;) {
+    int Ci = std::fgetc(stdin);
+    if (Ci == EOF)
+      return Scanner.atomInProgress() && !Out.empty();
+    switch (Scanner.feed(char(Ci))) {
+    case SExprScanner::Step::Skip:
+      break;
+    case SExprScanner::Step::Continue:
+      Out.push_back(char(Ci));
+      break;
+    case SExprScanner::Step::Done:
+      Out.push_back(char(Ci));
+      return true;
+    case SExprScanner::Step::DoneBefore:
+      return true; // Terminating whitespace is not part of the atom.
+    }
+  }
+}
+
+} // namespace
+
+int main() {
+  Shim S;
+  std::string Text;
+  while (readCommandText(Text)) {
+    SExpr Cmd;
+    size_t Pos = 0;
+    if (!parseSExpr(Text, Pos, Cmd)) {
+      replyError("malformed input");
+      continue;
+    }
+    execCommand(S, Cmd);
+  }
+  return 0;
+}
