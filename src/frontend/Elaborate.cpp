@@ -185,17 +185,22 @@ public:
   StackUnroller(const SurfaceProgram &Program,
                 std::vector<SurfaceState> Input,
                 std::map<std::string, size_t> &HeaderBits,
+                std::vector<std::pair<std::string, size_t>> &HeaderOrder,
                 std::vector<std::string> &Errors)
-      : Program(Program), HeaderBits(HeaderBits), Errors(Errors) {
-    for (SurfaceState &S : Input) {
-      if (!ByName.emplace(S.Name, std::move(S)).second)
-        Errors.push_back("duplicate state name '" + S.Name + "'");
+      : Program(Program), Input(std::move(Input)), Errors(Errors) {
+    for (size_t I = 0; I < this->Input.size(); ++I) {
+      if (!IndexOf.emplace(this->Input[I].Name, I).second)
+        Errors.push_back("duplicate state name '" + this->Input[I].Name +
+                         "'");
     }
     for (const auto &[Name, Decl] : Program.stacks()) {
       StackNames.push_back(Name);
-      for (size_t I = 0; I < Decl.Slots; ++I)
+      for (size_t I = 0; I < Decl.Slots; ++I) {
         HeaderBits[slotHeader(Name, I)] = Decl.Bits;
+        HeaderOrder.emplace_back(slotHeader(Name, I), Decl.Bits);
+      }
       HeaderBits[ovfHeader(Name)] = Decl.Bits;
+      HeaderOrder.emplace_back(ovfHeader(Name), Decl.Bits);
     }
   }
 
@@ -208,16 +213,17 @@ public:
 
   std::vector<SurfaceState> run(std::string &Entry) {
     if (StackNames.empty()) {
-      // No stacks: pass through (but still validate element references).
+      // No stacks: pass through in program order (but still validate
+      // element references). Order preservation keeps state ids stable
+      // across a print→parse→elaborate round trip.
       std::vector<SurfaceState> Out;
-      for (auto &[Name, S] : ByName) {
-        (void)Name;
+      for (const SurfaceState &S : Input) {
         validateNoStackRefs(S);
         Out.push_back(S);
       }
       return Out;
     }
-    if (ByName.find(Entry) == ByName.end()) {
+    if (IndexOf.find(Entry) == IndexOf.end()) {
       Errors.push_back("entry state '" + Entry + "' does not exist");
       return {};
     }
@@ -288,7 +294,7 @@ private:
         Invalid = true;
         return E;
       }
-      size_t Slots = Program.stacks().at(E->name()).Slots;
+      size_t Slots = Program.findStack(E->name())->Slots;
       if (E->stackIndex() >= Slots) {
         Errors.push_back("stack element " + E->name() + "[" +
                          std::to_string(E->stackIndex()) +
@@ -328,7 +334,7 @@ private:
   }
 
   void expand(const std::string &Base, const IndexTuple &InIdx) {
-    const SurfaceState &Orig = ByName.at(Base);
+    const SurfaceState &Orig = Input[IndexOf.at(Base)];
     SurfaceState Copy;
     Copy.Name = copyName(Base, InIdx);
 
@@ -348,7 +354,7 @@ private:
                            O.Target + "', which is not a declared stack");
           return;
         }
-        size_t Slots = Program.stacks().at(O.Target).Slots;
+        size_t Slots = Program.findStack(O.Target)->Slots;
         if (Idx[P] >= Slots) {
           // Overflow: the bits are still consumed (into the scratch
           // overflow header) but the packet is rejected.
@@ -386,7 +392,7 @@ private:
     auto Retarget = [&](const SurfaceTarget &T) -> SurfaceTarget {
       if (T.K != SurfaceTarget::Kind::State)
         return T;
-      if (ByName.find(T.StateName) == ByName.end()) {
+      if (IndexOf.find(T.StateName) == IndexOf.end()) {
         Errors.push_back("unknown state '" + T.StateName + "'");
         return SurfaceTarget::reject();
       }
@@ -413,9 +419,9 @@ private:
   }
 
   const SurfaceProgram &Program;
-  std::map<std::string, size_t> &HeaderBits;
+  std::vector<SurfaceState> Input;
+  std::map<std::string, size_t> IndexOf;
   std::vector<std::string> &Errors;
-  std::map<std::string, SurfaceState> ByName;
   std::vector<std::string> StackNames;
   std::deque<std::pair<std::string, IndexTuple>> Work;
   std::set<std::string> Seen;
@@ -547,9 +553,9 @@ void lowerLookahead(std::vector<SurfaceState> &States,
 
 class Converter {
 public:
-  Converter(const std::map<std::string, size_t> &HeaderBits,
+  Converter(const std::vector<std::pair<std::string, size_t>> &HeaderOrder,
             std::vector<std::string> &Errors)
-      : HeaderBits(HeaderBits), Errors(Errors) {}
+      : HeaderOrder(HeaderOrder), Errors(Errors) {}
 
   p4a::Automaton convert(const std::vector<SurfaceState> &States) {
     p4a::Automaton Aut;
@@ -586,7 +592,9 @@ public:
         for (const SExprRef &D : S.Tz.Discriminants)
           MarkExpr(D, MarkExpr);
     }
-    for (const auto &[Name, Bits] : HeaderBits) {
+    // Declaration order, not name order: ids must match a program whose
+    // declarations were written down in this order (see SurfaceProgram).
+    for (const auto &[Name, Bits] : HeaderOrder) {
       if (!Used.count(Name))
         continue;
       if (Bits == 0) {
@@ -701,7 +709,7 @@ private:
     return nullptr;
   }
 
-  const std::map<std::string, size_t> &HeaderBits;
+  const std::vector<std::pair<std::string, size_t>> &HeaderOrder;
   std::vector<std::string> &Errors;
 };
 
@@ -753,8 +761,12 @@ ElaborationResult frontend::elaborate(const SurfaceProgram &Program) {
 
   std::map<std::string, size_t> HeaderBits(Program.headers().begin(),
                                            Program.headers().end());
+  // Declaration order (program headers, then per-stack slot headers as the
+  // unroller mints them) — the order the Converter declares ids in.
+  std::vector<std::pair<std::string, size_t>> HeaderOrder(
+      Program.headers().begin(), Program.headers().end());
   for (const auto &[Name, Decl] : Program.stacks()) {
-    if (Program.headers().count(Name))
+    if (Program.hasHeader(Name))
       Res.Errors.push_back("'" + Name +
                            "' is declared both as header and stack");
     if (Decl.Slots == 0 || Decl.Bits == 0)
@@ -768,7 +780,8 @@ ElaborationResult frontend::elaborate(const SurfaceProgram &Program) {
       Inliner(Program, Res.Errors).run(Entry);
 
   // Pass 2: unroll header stacks.
-  StackUnroller Unroller(Program, std::move(Flat), HeaderBits, Res.Errors);
+  StackUnroller Unroller(Program, std::move(Flat), HeaderBits, HeaderOrder,
+                         Res.Errors);
   std::vector<SurfaceState> Unrolled = Unroller.run(Entry);
 
   // Pass 3: lower lookahead into reassembly assignments.
@@ -783,7 +796,7 @@ ElaborationResult frontend::elaborate(const SurfaceProgram &Program) {
     Res.Errors.push_back("no states reachable from entry '" + Entry + "'");
     return Res;
   }
-  Res.Aut = Converter(HeaderBits, Res.Errors).convert(Unrolled);
+  Res.Aut = Converter(HeaderOrder, Res.Errors).convert(Unrolled);
   Res.Entry = Entry;
   if (!Res.Errors.empty())
     return Res;

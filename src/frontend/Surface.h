@@ -203,37 +203,73 @@ struct SubParser {
 
 /// A surface program: global header/stack declarations, the main parser's
 /// states, and any subparsers reachable via call targets.
+///
+/// Declarations keep their insertion order, and elaboration declares
+/// automaton headers and states in that order. This is load-bearing for
+/// the textual front-end (frontend/Text.h): a program printed from an
+/// existing p4a::Automaton and re-parsed elaborates to an automaton with
+/// the *same* header and state ids, so the checker's decision stream —
+/// which renders ids — is bit-identical across the round trip.
 class SurfaceProgram {
 public:
-  /// Declares a header named \p Name of \p Bits bits (idempotent;
-  /// conflicting widths are an elaboration error).
+  struct StackDecl {
+    size_t Slots = 0;
+    size_t Bits = 0;
+  };
+
+  /// Declares a header named \p Name of \p Bits bits (idempotent and
+  /// order-preserving; conflicting widths are an elaboration error).
   void addHeader(const std::string &Name, size_t Bits) {
-    Headers[Name] = Bits;
+    auto [It, Inserted] = HeaderIndex.emplace(Name, Headers.size());
+    if (Inserted)
+      Headers.emplace_back(Name, Bits);
+    else
+      Headers[It->second].second = Bits;
   }
 
   /// Declares a stack of \p Slots elements, each \p Bits wide.
   void addStack(const std::string &Name, size_t Slots, size_t Bits) {
-    Stacks[Name] = {Slots, Bits};
+    auto [It, Inserted] = StackIndex.emplace(Name, Stacks.size());
+    if (Inserted)
+      Stacks.emplace_back(Name, StackDecl{Slots, Bits});
+    else
+      Stacks[It->second].second = StackDecl{Slots, Bits};
   }
 
   void addState(SurfaceState S) { Main.push_back(std::move(S)); }
   void addSubParser(SubParser P) { Subs.push_back(std::move(P)); }
   void setEntry(std::string State) { Entry = std::move(State); }
 
-  struct StackDecl {
-    size_t Slots = 0;
-    size_t Bits = 0;
-  };
-
-  const std::map<std::string, size_t> &headers() const { return Headers; }
-  const std::map<std::string, StackDecl> &stacks() const { return Stacks; }
+  /// Header declarations in declaration order.
+  const std::vector<std::pair<std::string, size_t>> &headers() const {
+    return Headers;
+  }
+  /// Stack declarations in declaration order.
+  const std::vector<std::pair<std::string, StackDecl>> &stacks() const {
+    return Stacks;
+  }
+  bool hasHeader(const std::string &Name) const {
+    return HeaderIndex.count(Name) != 0;
+  }
+  std::optional<size_t> headerBits(const std::string &Name) const {
+    auto It = HeaderIndex.find(Name);
+    if (It == HeaderIndex.end())
+      return std::nullopt;
+    return Headers[It->second].second;
+  }
+  const StackDecl *findStack(const std::string &Name) const {
+    auto It = StackIndex.find(Name);
+    return It == StackIndex.end() ? nullptr : &Stacks[It->second].second;
+  }
   const std::vector<SurfaceState> &mainStates() const { return Main; }
   const std::vector<SubParser> &subParsers() const { return Subs; }
   const std::string &entry() const { return Entry; }
 
 private:
-  std::map<std::string, size_t> Headers;
-  std::map<std::string, StackDecl> Stacks;
+  std::vector<std::pair<std::string, size_t>> Headers;
+  std::vector<std::pair<std::string, StackDecl>> Stacks;
+  std::map<std::string, size_t> HeaderIndex;
+  std::map<std::string, size_t> StackIndex;
   std::vector<SurfaceState> Main;
   std::vector<SubParser> Subs;
   std::string Entry;

@@ -1,0 +1,91 @@
+//===- Text.h - Textual front-end for surface parsers -----------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `.lfp` textual syntax for surface parsers (frontend/Surface.h): a
+/// keyword grammar covering the full surface feature set — header stacks,
+/// subparser calls, and lookahead — so parsers become data files instead
+/// of C++ recompiles. The grammar (see docs/FRONTEND.md for the full
+/// reference):
+///
+///   program   := (headerDecl | stackDecl | entryDecl | state | subparser)*
+///   headerDecl:= "header" ident ":" number ";"
+///   stackDecl := "stack" ident "[" number "]" ":" number ";"
+///   entryDecl := "entry" ident ";"
+///   state     := "state" ident "{" op* transition "}"
+///   subparser := "subparser" ident "{" "entry" ident ";" state* "}"
+///   op        := "extract" "(" ident ("." "next")? ")" ";"
+///              | ident ":=" "lookahead" ";"
+///              | ident ":=" expr ";"
+///   transition:= "goto" target ";"
+///              | "select" "(" expr ("," expr)* ")" "{" case* "}"
+///   case      := pattern-tuple "=>" target ";"
+///   target    := "accept" | "reject" | "call" ident ("->" ident)? | ident
+///   expr      := atom ("++" atom)*
+///   atom      := primary ("[" number ":" number "]")*      -- slice
+///   primary   := "(" expr ")" | literal | ident
+///              | ident "." "last" | ident "[" number "]"   -- stack refs
+///
+/// Literals are 0b/0x or bare binary; comments are `//` or `#` to end of
+/// line, as in the p4a DSL. Diagnostics carry "line:col:" positions.
+///
+/// The printer and `surfaceFromP4a` are designed so that printing any
+/// p4a::Automaton and re-parsing the text elaborates to an automaton with
+/// identical header and state *ids* — which makes the checker's verdict,
+/// statistics, and decision stream bit-identical across the round trip
+/// (ids are rendered into the frontier keys; see core/FrontierKey.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_FRONTEND_TEXT_H
+#define LEAPFROG_FRONTEND_TEXT_H
+
+#include "frontend/Surface.h"
+
+#include <string>
+#include <vector>
+
+namespace leapfrog {
+namespace frontend {
+
+/// Outcome of parsing a textual surface program. The program is
+/// meaningful only when ok(); diagnostics are "line:col: message" with
+/// 1-based positions.
+struct TextParseResult {
+  SurfaceProgram Program;
+  std::vector<std::string> Errors;
+
+  bool ok() const { return Errors.empty(); }
+};
+
+/// Parses `.lfp` source into a surface program. Collects diagnostics
+/// instead of throwing; parse-time checks cover unknown headers/stacks,
+/// slice bounds, stack indices past capacity, and subparser call cycles
+/// that grow their continuation chain (which elaboration could only
+/// reject much later, with no source position).
+TextParseResult parseSurface(const std::string &Source);
+
+/// Like parseSurface(), but asserts success, printing diagnostics to
+/// stderr on failure. For tests and examples.
+SurfaceProgram parseSurfaceOrDie(const std::string &Source);
+
+/// Renders \p Program in the `.lfp` syntax. parseSurface(printSurface(P))
+/// reconstructs P with declarations, states, and subparsers in the same
+/// order — the identity the golden round-trip tests pin down.
+std::string printSurface(const SurfaceProgram &Program);
+
+/// Wraps a plain P4 automaton as a surface program whose entry is
+/// \p Entry. Headers and states keep their id order, so elaborating the
+/// wrapper yields an automaton with the same header/state ids as \p Aut
+/// — the cornerstone of the print→parse→elaborate→check round trip.
+SurfaceProgram surfaceFromP4a(const p4a::Automaton &Aut,
+                              const std::string &Entry);
+
+} // namespace frontend
+} // namespace leapfrog
+
+#endif // LEAPFROG_FRONTEND_TEXT_H

@@ -424,6 +424,9 @@ p4a::Automaton randomAutomaton(Rng &R) {
 class RandomAutomataSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(RandomAutomataSweep, AgreesWithOracle) {
+  leapfrog::testing::reportFuzzConfig(
+      "RandomAutomataSweep", leapfrog::testing::fuzzIters(60),
+      uint64_t(GetParam()));
   Rng R{uint64_t(GetParam())};
   p4a::Automaton A = randomAutomaton(R);
   p4a::Automaton B = randomAutomaton(R);

@@ -1,0 +1,187 @@
+//===- CorpusTest.cpp - The examples/corpus .lfp battery ------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Locks down the textual corpus under examples/corpus/ (found via the
+// LEAPFROG_CORPUS_DIR environment variable, which CTest sets):
+//
+//  * The registry twins — corpus-gen's committed output — must parse and
+//    elaborate to automata bit-identical (print, entry, headers, states)
+//    to the C++-built registry parsers, so the .lfp files can never
+//    drift from parsers/Registry.cpp without a test failing.
+//
+//  * The four hand-written protocol studies (IPv6 extension chains,
+//    QinQ VLAN stacking, VXLAN/GRE tunneling, QUIC-style variable
+//    headers) must each decide exactly as documented: the _opt variant
+//    equivalent to the base, the _bug variant refuted with a concrete
+//    counterexample — the same checks `leapfrog-cli --file` performs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Checker.h"
+#include "frontend/Elaborate.h"
+#include "frontend/Text.h"
+#include "parsers/CaseStudies.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace leapfrog;
+using namespace leapfrog::frontend;
+
+namespace {
+
+std::string corpusDir() {
+  const char *Env = std::getenv("LEAPFROG_CORPUS_DIR");
+  return Env && *Env ? Env : "";
+}
+
+#define REQUIRE_CORPUS(DirVar)                                             \
+  std::string DirVar = corpusDir();                                        \
+  if (DirVar.empty())                                                      \
+    GTEST_SKIP() << "LEAPFROG_CORPUS_DIR not set (run under ctest)";
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  Out = Ss.str();
+  return true;
+}
+
+/// Must match tools/corpus-gen.cpp, which names the twin files.
+std::string slugify(const std::string &Name) {
+  std::string Slug;
+  for (char C : Name) {
+    if (std::isalnum(static_cast<unsigned char>(C)))
+      Slug += char(std::tolower(static_cast<unsigned char>(C)));
+    else if (!Slug.empty() && Slug.back() != '_')
+      Slug += '_';
+  }
+  while (!Slug.empty() && Slug.back() == '_')
+    Slug.pop_back();
+  return Slug;
+}
+
+/// Parses and elaborates \p Path, failing loudly on any diagnostic.
+ElaborationResult loadLfp(const std::string &Path) {
+  std::string Source;
+  EXPECT_TRUE(readFile(Path, Source)) << "cannot read " << Path;
+  TextParseResult Parsed = parseSurface(Source);
+  for (const std::string &E : Parsed.Errors)
+    ADD_FAILURE() << Path << ":" << E;
+  ElaborationResult Elab = elaborate(Parsed.Program);
+  for (const std::string &E : Elab.Errors)
+    ADD_FAILURE() << Path << ": " << E;
+  // The pretty-printer normalizes hand-written files; its output must
+  // re-parse to the same text (print-parse fixpoint), so every corpus
+  // file round-trips through tooling losslessly.
+  std::string Printed = printSurface(Parsed.Program);
+  TextParseResult Again = parseSurface(Printed);
+  EXPECT_TRUE(Again.ok()) << Path;
+  if (Again.ok()) {
+    EXPECT_EQ(Printed, printSurface(Again.Program)) << Path;
+  }
+  return Elab;
+}
+
+core::CheckResult check(const ElaborationResult &L,
+                        const ElaborationResult &R) {
+  core::CheckOptions Options;
+  Options.MaxIterations = 20000;
+  return core::checkLanguageEquivalence(
+      L.Aut, p4a::StateRef::normal(*L.Aut.findState(L.Entry)), R.Aut,
+      p4a::StateRef::normal(*R.Aut.findState(R.Entry)), Options);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry twins: committed corpus-gen output == C++-built registry.
+//===----------------------------------------------------------------------===//
+
+class RegistryTwins : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RegistryTwins, FileElaboratesBitIdenticalToRegistry) {
+  REQUIRE_CORPUS(Dir);
+  parsers::CaseStudy Study = parsers::allCaseStudies()[GetParam()];
+  std::string Slug = slugify(Study.Name);
+
+  struct Side {
+    const p4a::Automaton &Aut;
+    const std::string &Start;
+    const char *Suffix;
+  } Sides[] = {{Study.Left, Study.LeftStart, "_left.lfp"},
+               {Study.Right, Study.RightStart, "_right.lfp"}};
+
+  for (const Side &S : Sides) {
+    std::string Path = Dir + "/" + Slug + S.Suffix;
+    ElaborationResult E = loadLfp(Path);
+    ASSERT_TRUE(E.ok()) << Path;
+    // Entry, headers, states, transitions — all bit-identical to the
+    // C++-built parser, so checker verdicts, traces and certificates on
+    // the file are the registry's verbatim.
+    EXPECT_EQ(E.Entry, S.Start) << Path;
+    EXPECT_EQ(E.Aut.print(), S.Aut.print())
+        << Path << " drifted from parsers/Registry.cpp — rerun corpus-gen";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStudies, RegistryTwins,
+    ::testing::Range<size_t>(0, parsers::allCaseStudies().size()),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      return slugify(parsers::allCaseStudies()[Info.param].Name);
+    });
+
+//===----------------------------------------------------------------------===//
+// The hand-written protocol studies.
+//===----------------------------------------------------------------------===//
+
+struct Protocol {
+  const char *Stem;
+};
+
+class ProtocolStudies : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(ProtocolStudies, OptVariantIsEquivalent) {
+  REQUIRE_CORPUS(Dir);
+  std::string Stem = Dir + "/" + GetParam().Stem;
+  ElaborationResult Base = loadLfp(Stem + ".lfp");
+  ElaborationResult Opt = loadLfp(Stem + "_opt.lfp");
+  ASSERT_TRUE(Base.ok() && Opt.ok());
+  core::CheckResult Res = check(Base, Opt);
+  EXPECT_EQ(Res.V, core::Verdict::Equivalent);
+}
+
+TEST_P(ProtocolStudies, BugVariantIsRefutedWithCounterexample) {
+  REQUIRE_CORPUS(Dir);
+  std::string Stem = Dir + "/" + GetParam().Stem;
+  ElaborationResult Base = loadLfp(Stem + ".lfp");
+  ElaborationResult Bug = loadLfp(Stem + "_bug.lfp");
+  ASSERT_TRUE(Base.ok() && Bug.ok());
+  core::CheckResult Res = check(Base, Bug);
+  EXPECT_EQ(Res.V, core::Verdict::NotEquivalent);
+  // The refutation must name the concrete conjunct that failed — the
+  // counterexample leapfrog-cli prints under the verdict.
+  EXPECT_FALSE(Res.FailureReason.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ProtocolStudies,
+                         ::testing::Values(Protocol{"ipv6_chain"},
+                                           Protocol{"vlan_qinq"},
+                                           Protocol{"tunnel"},
+                                           Protocol{"quic_varint"}),
+                         [](const ::testing::TestParamInfo<Protocol> &Info) {
+                           return std::string(Info.param.Stem);
+                         });
+
+} // namespace

@@ -17,7 +17,13 @@
 #ifndef LEAPFROG_TESTS_FUZZSUPPORT_H
 #define LEAPFROG_TESTS_FUZZSUPPORT_H
 
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <set>
+#include <string>
 
 namespace leapfrog {
 namespace testing {
@@ -42,6 +48,28 @@ inline int fuzzIters(int Default) {
   if (Iters > 1000000)
     Iters = 1000000;
   return static_cast<int>(Iters);
+}
+
+/// Surfaces the effective fuzz configuration of the running test: the
+/// seed and iteration count land in the XML/JSON report as test
+/// properties (`fuzz_seed`, `fuzz_iters`), and the first call per suite
+/// prints one stderr line, so a CI log always shows how deep a run
+/// actually went and which seed to replay on failure. Call from the test
+/// body — fuzzIters() alone runs at INSTANTIATE scope, before any
+/// reporting sink exists.
+inline void reportFuzzConfig(const char *Suite, int EffectiveIters,
+                             uint64_t Seed) {
+  ::testing::Test::RecordProperty("fuzz_iters", EffectiveIters);
+  ::testing::Test::RecordProperty("fuzz_seed", std::to_string(Seed));
+  static std::set<std::string> Announced;
+  if (Announced.insert(Suite).second) {
+    const char *Env = std::getenv("LEAPFROG_FUZZ_ITERS");
+    std::fprintf(stderr,
+                 "[fuzz] %s: %d iterations (LEAPFROG_FUZZ_ITERS=%s), first "
+                 "seed %llu\n",
+                 Suite, EffectiveIters, Env && *Env ? Env : "unset",
+                 static_cast<unsigned long long>(Seed));
+  }
 }
 
 } // namespace testing

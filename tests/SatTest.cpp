@@ -642,6 +642,8 @@ struct Rng {
 class SatFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(SatFuzz, MatchesDpllAndModelsCheck) {
+  leapfrog::testing::reportFuzzConfig("SatFuzz", fuzzIters(400),
+                                      uint64_t(GetParam()));
   Rng R{uint64_t(GetParam())};
   int NumVars = 4 + int(R.below(9));
   // Around the 3-SAT phase transition (ratio ~4.3) plus denser instances.
@@ -689,6 +691,8 @@ INSTANTIATE_TEST_SUITE_P(Random, SatFuzz,
 class SatIncrementalFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(SatIncrementalFuzz, MatchesDpllAcrossQuerySequence) {
+  leapfrog::testing::reportFuzzConfig("SatIncrementalFuzz", fuzzIters(200),
+                                      uint64_t(GetParam()) + 12345);
   Rng R{uint64_t(GetParam()) + 12345};
   int NumVars = 5 + int(R.below(8));
   SatSolver S;
@@ -774,6 +778,8 @@ INSTANTIATE_TEST_SUITE_P(Random, SatIncrementalFuzz,
 class SatReduceFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(SatReduceFuzz, ReductionAndPurgeChangeNoAnswer) {
+  leapfrog::testing::reportFuzzConfig("SatReduceFuzz", fuzzIters(200),
+                                      uint64_t(GetParam()) + 424242);
   Rng R{uint64_t(GetParam()) + 424242};
   int NumVars = 6 + int(R.below(8));
   SatSolver Reducing, Plain;

@@ -226,6 +226,8 @@ BvFormulaRef randomFormula(Rng &R, int Depth) {
 class BlastFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(BlastFuzz, AgreesWithEnumeration) {
+  leapfrog::testing::reportFuzzConfig("BlastFuzz", fuzzIters(300),
+                                      uint64_t(GetParam()));
   Rng R{uint64_t(GetParam())};
   BvFormulaRef F = randomFormula(R, 3);
 
@@ -534,6 +536,8 @@ TEST(SessionMemory, AggressiveReductionKeepsAnswers) {
 class SessionFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(SessionFuzz, AgreesWithMonolithicConjunction) {
+  leapfrog::testing::reportFuzzConfig("SessionFuzz", fuzzIters(200),
+                                      uint64_t(GetParam()) + 777);
   Rng R{uint64_t(GetParam()) + 777};
   BitBlastSolver Incremental, Monolithic;
   auto Sess = Incremental.openSession();
@@ -581,6 +585,8 @@ INSTANTIATE_TEST_SUITE_P(Random, SessionFuzz,
 class SessionLimitsFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(SessionLimitsFuzz, AgreesWithMonolithicUnderTinyLimits) {
+  leapfrog::testing::reportFuzzConfig("SessionLimitsFuzz", fuzzIters(100),
+                                      uint64_t(GetParam()) + 31337);
   Rng R{uint64_t(GetParam()) + 31337};
   BitBlastSolver Incremental, Monolithic;
   Incremental.SessionReduce.FirstReduce = 1;

@@ -12,6 +12,13 @@
 // certifying every solver answer with DRUP proofs.
 //
 //   leapfrog-cli left.p4a q1 right.p4a q3 [options]
+//   leapfrog-cli --file left.lfp right.lfp [options]
+//
+// The --file form takes two surface-syntax parsers (docs/FRONTEND.md):
+// each file's `entry` declaration names the start state, and the programs
+// are elaborated (subparser inlining, stack unrolling, lookahead
+// lowering) before the same checker runs. Every option works identically
+// in both forms.
 //
 // Exit codes: 0 equivalent, 1 not equivalent, 2 resource limit, 3 usage or
 // input error.
@@ -19,6 +26,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Checker.h"
+#include "frontend/Elaborate.h"
+#include "frontend/Text.h"
 #include "p4a/Parser.h"
 #include "smt/SmtLibSolver.h"
 #include "smt/Solver.h"
@@ -39,10 +48,15 @@ void usage() {
       stderr,
       "usage: leapfrog-cli <left.p4a> <left-state> <right.p4a> "
       "<right-state> [options]\n"
+      "       leapfrog-cli --file <left.lfp> <right.lfp> [options]\n"
       "\n"
       "Decides whether the two start states accept the same packets for\n"
       "every initial store (paper §4), printing the verdict and search\n"
-      "statistics.\n"
+      "statistics. With --file, both parsers are written in the surface\n"
+      "syntax (docs/FRONTEND.md) — header stacks, subparser calls and\n"
+      "lookahead included — and each file's `entry` declaration names\n"
+      "the start state; the programs are elaborated to plain automata\n"
+      "before the same checker runs.\n"
       "\n"
       "search options:\n"
       "  --no-leaps         disable multi-step weakest preconditions "
@@ -135,20 +149,52 @@ bool load(const char *Path, const char *StateName, LoadedParser &Out) {
   return true;
 }
 
+/// The --file path: parse the surface syntax, elaborate away stacks,
+/// calls and lookahead, and start from the program's `entry` state.
+/// Surface diagnostics carry line:col positions; elaboration
+/// diagnostics are program-level.
+bool loadSurface(const char *Path, LoadedParser &Out) {
+  std::string Source;
+  if (!readFile(Path, Source)) {
+    std::fprintf(stderr, "leapfrog-cli: cannot read '%s'\n", Path);
+    return false;
+  }
+  frontend::TextParseResult Parsed = frontend::parseSurface(Source);
+  if (!Parsed.ok()) {
+    std::fprintf(stderr, "leapfrog-cli: errors in '%s':\n", Path);
+    for (const std::string &E : Parsed.Errors)
+      std::fprintf(stderr, "  %s:%s\n", Path, E.c_str());
+    return false;
+  }
+  frontend::ElaborationResult Elab = frontend::elaborate(Parsed.Program);
+  if (!Elab.ok()) {
+    std::fprintf(stderr, "leapfrog-cli: '%s' does not elaborate:\n", Path);
+    for (const std::string &E : Elab.Errors)
+      std::fprintf(stderr, "  %s\n", E.c_str());
+    return false;
+  }
+  Out.Aut = std::move(Elab.Aut);
+  Out.Start = p4a::StateRef::normal(*Out.Aut.findState(Elab.Entry));
+  return true;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  if (Argc < 5) {
+  const bool FileMode = Argc >= 2 && !std::strcmp(Argv[1], "--file");
+  if (FileMode ? Argc < 4 : Argc < 5) {
     usage();
     return 3;
   }
+  const char *LeftPath = FileMode ? Argv[2] : Argv[1];
+  const char *RightPath = FileMode ? Argv[3] : Argv[3];
 
   core::CheckOptions Options;
   bool Replay = false, Print = false, Quiet = false, DumpCert = false;
   bool CertifySmt = false;
   std::string BackendSpec = "bitblast";
   int ExtTimeoutSec = 0;
-  for (int I = 5; I < Argc; ++I) {
+  for (int I = FileMode ? 4 : 5; I < Argc; ++I) {
     const char *Arg = Argv[I];
     if (!std::strcmp(Arg, "--no-leaps")) {
       Options.UseLeaps = false;
@@ -243,12 +289,20 @@ int main(int Argc, char **Argv) {
   }
 
   LoadedParser Left, Right;
-  if (!load(Argv[1], Argv[2], Left) || !load(Argv[3], Argv[4], Right))
-    return 3;
+  if (FileMode) {
+    if (!loadSurface(LeftPath, Left) || !loadSurface(RightPath, Right))
+      return 3;
+  } else {
+    if (!load(LeftPath, Argv[2], Left) || !load(RightPath, Argv[4], Right))
+      return 3;
+  }
 
   if (Print) {
-    std::printf("-- %s --\n%s\n-- %s --\n%s\n", Argv[1],
-                Left.Aut.print().c_str(), Argv[3],
+    // In file mode this echoes the *elaborated* automata — the parsers
+    // the checker actually compares, with stacks, calls and lookahead
+    // compiled away.
+    std::printf("-- %s --\n%s\n-- %s --\n%s\n", LeftPath,
+                Left.Aut.print().c_str(), RightPath,
                 Right.Aut.print().c_str());
   }
 
