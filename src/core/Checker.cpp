@@ -15,7 +15,6 @@
 #include "smt/SmtLibSolver.h"
 
 #include <chrono>
-#include <cstdio>
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
@@ -44,19 +43,24 @@ CheckResult core::checkWithSpec(const p4a::Automaton &Left,
   assert(p4a::isWellTyped(Right) && "right automaton is ill-typed");
 
   // Backend resolution: a textual spec becomes an owned solver instance
-  // for exactly this invocation. Resolved before the engine dispatch so
-  // the parallel engine sees the constructed backend (and spawns its
-  // per-worker instances from it). An explicit Solver wins — it is
-  // already a resolved backend.
+  // for exactly this invocation — the one-shot inline equivalent of
+  // core::Engine::create, including its failure contract: an unparseable
+  // spec never runs the search and never silently degrades to another
+  // backend; it comes back as a structured BadRequest the caller (CLI
+  // exit code, service error response) can surface. Resolved before the
+  // engine dispatch so the parallel engine sees the constructed backend
+  // (and spawns its per-worker instances from it). An explicit Solver
+  // wins — it is already a resolved backend.
   if (!Options.Backend.empty() && Options.Solver == nullptr) {
     std::string Err;
     std::unique_ptr<smt::SmtSolver> Owned =
         smt::createSolverBackend(Options.Backend, &Err);
     if (!Owned) {
-      std::fprintf(stderr,
-                   "leapfrog: %s; using the in-repo bitblast backend\n",
-                   Err.c_str());
-      Owned = std::make_unique<smt::BitBlastSolver>();
+      CheckResult Rejected;
+      Rejected.V = Verdict::BadRequest;
+      Rejected.FailureReason =
+          "unrecognized solver backend '" + Options.Backend + "': " + Err;
+      return Rejected;
     }
     CheckOptions Resolved = Options;
     Resolved.Backend.clear();

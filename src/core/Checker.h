@@ -60,15 +60,18 @@ struct CheckOptions {
   /// "smtlib:<cmd>" / "crosscheck[:<cmd>]" for an external SMT-LIB2
   /// process / a divergence-hard-failing A/B of both (smt/SmtLibSolver.h).
   /// The constructed backend is owned by the checker invocation and torn
-  /// down (external process included) when it returns; an unparseable
-  /// spec warns on stderr and falls back to "bitblast", and a parseable
-  /// spec whose binary is missing degrades the same way inside
-  /// SmtLibSolver — the Backend knob can change performance and
-  /// cross-checking, never verdicts. Ignored when Solver is set: an
-  /// explicit instance is already a resolved backend. Works with every
-  /// engine, including Jobs > 1 (workers come from
-  /// SmtSolver::spawnWorker on the resolved backend — for external
-  /// backends, one solver process per worker).
+  /// down (external process included) when it returns; an *unparseable*
+  /// spec is rejected — checkWithSpec returns Verdict::BadRequest with
+  /// the resolver's diagnostic in FailureReason, same as
+  /// core::Engine::create failing — while a parseable spec whose binary
+  /// is missing degrades per query inside SmtLibSolver: the Backend knob
+  /// can change performance and cross-checking, never verdicts. Ignored
+  /// when Solver is set: an explicit instance is already a resolved
+  /// backend. Works with every engine, including Jobs > 1 (workers come
+  /// from SmtSolver::spawnWorker on the resolved backend — for external
+  /// backends, one solver process per worker). Long-lived callers should
+  /// resolve once through core::Engine (core/Engine.h) instead of paying
+  /// backend construction per call.
   std::string Backend;
   /// Discharge the worklist entailments ⋀R ⊨ ψ through incremental solver
   /// sessions (one per template pair): each conjunct of R is lowered and
@@ -117,6 +120,10 @@ enum class Verdict {
   Equivalent,    ///< φ entails the weakest symbolic bisimulation.
   NotEquivalent, ///< The final (or an initial) check refuted φ.
   ResourceLimit, ///< MaxIterations hit before the frontier drained.
+  BadRequest,    ///< The request never ran: malformed options (an
+                 ///< unparseable Backend spec) or, at the service layer,
+                 ///< inadmissible input. FailureReason says why; no
+                 ///< property was decided and no certificate exists.
 };
 
 /// One step of the proof-search trace (paper Figure 4's constructors).

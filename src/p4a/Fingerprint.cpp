@@ -1,0 +1,211 @@
+//===- Fingerprint.cpp - Canonical structural fingerprints ----------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "p4a/Fingerprint.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+using namespace leapfrog;
+using namespace leapfrog::p4a;
+
+namespace {
+
+/// The canonical renderer: one BFS over the reachable fragment, assigning
+/// canonical indices to states and headers on first reference. All output
+/// is positional — no names, no original ids — so any id permutation of
+/// the same structure renders identically.
+class Canonicalizer {
+public:
+  explicit Canonicalizer(const Automaton &A) : A(A) {}
+
+  std::string run(StateRef Entry) {
+    std::string Out;
+    if (!Entry.isNormal())
+      return Entry.isAccept() ? "entry accept\n" : "entry reject\n";
+
+    Out += "entry s0\n";
+    stateIndex(Entry.Id); // Seeds the queue with canonical state 0.
+    // Queue order == canonical numbering order == first-reference order:
+    // processing states in index order while referencing successors in
+    // transition order is exactly BFS discovery order.
+    for (size_t Next = 0; Next < Order.size(); ++Next) {
+      StateId Id = Order[Next];
+      const State &S = A.state(Id);
+      Out += "s" + std::to_string(Next) + "{";
+      for (const Op &O : S.Ops) {
+        if (O.K == Op::Kind::Extract) {
+          Out += "x(h" + std::to_string(headerIndex(O.Target)) + ");";
+        } else {
+          Out += "h" + std::to_string(headerIndex(O.Target)) +
+                 ":=" + renderExpr(O.Value) + ";";
+        }
+      }
+      Out += renderTransition(S.Tz);
+      Out += "}\n";
+    }
+    // Header table last: canonical ids are assigned during the traversal
+    // above, widths are what gives extract/assign their semantics.
+    for (size_t I = 0; I < HeaderOrder.size(); ++I)
+      Out += "hdr h" + std::to_string(I) + ":" +
+             std::to_string(A.headerSize(HeaderOrder[I])) + "\n";
+    return Out;
+  }
+
+private:
+  size_t stateIndex(StateId Id) {
+    auto It = StateCanon.find(Id);
+    if (It != StateCanon.end())
+      return It->second;
+    size_t Idx = Order.size();
+    StateCanon.emplace(Id, Idx);
+    Order.push_back(Id);
+    return Idx;
+  }
+
+  size_t headerIndex(HeaderId Id) {
+    auto It = HeaderCanon.find(Id);
+    if (It != HeaderCanon.end())
+      return It->second;
+    size_t Idx = HeaderOrder.size();
+    HeaderCanon.emplace(Id, Idx);
+    HeaderOrder.push_back(Id);
+    return Idx;
+  }
+
+  std::string renderTarget(StateRef R) {
+    if (R.isAccept())
+      return "@A";
+    if (R.isReject())
+      return "@R";
+    return "s" + std::to_string(stateIndex(R.Id));
+  }
+
+  std::string renderExpr(const ExprRef &E) {
+    switch (E->kind()) {
+    case Expr::Kind::Header:
+      return "h" + std::to_string(headerIndex(E->header()));
+    case Expr::Kind::Literal:
+      return "#" + E->literal().str();
+    case Expr::Kind::Slice:
+      return "sl(" + renderExpr(E->sliceOperand()) + "," +
+             std::to_string(E->sliceLo()) + "," +
+             std::to_string(E->sliceHi()) + ")";
+    case Expr::Kind::Concat:
+      return "cat(" + renderExpr(E->concatLhs()) + "," +
+             renderExpr(E->concatRhs()) + ")";
+    }
+    return "?";
+  }
+
+  std::string renderTransition(const Transition &Tz) {
+    if (Tz.IsGoto)
+      return "goto " + renderTarget(Tz.GotoTarget);
+    std::string Out = "sel(";
+    for (size_t I = 0; I < Tz.Discriminants.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += renderExpr(Tz.Discriminants[I]);
+    }
+    Out += "){";
+    for (const SelectCase &C : Tz.Cases) {
+      for (size_t I = 0; I < C.Pats.size(); ++I) {
+        if (I)
+          Out += ",";
+        Out += C.Pats[I].isWildcard() ? "*" : "#" + C.Pats[I].Exact->str();
+      }
+      Out += "=>" + renderTarget(C.Target) + ";";
+    }
+    Out += "}";
+    return Out;
+  }
+
+  const Automaton &A;
+  std::unordered_map<StateId, size_t> StateCanon;
+  std::vector<StateId> Order;
+  std::unordered_map<HeaderId, size_t> HeaderCanon;
+  std::vector<HeaderId> HeaderOrder;
+};
+
+/// FNV-1a-64 over \p S from a caller-chosen basis. Two streams with
+/// independent bases (and a final avalanche) give the 128-bit hash; the
+/// algorithm is fixed here — not std::hash — so fingerprints are stable
+/// across platforms, processes, and library versions, which a durable
+/// cache key must be.
+uint64_t fnv1a(const std::string &S, uint64_t Basis) {
+  uint64_t H = Basis;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  // splitmix64 finalizer: decorrelates the two streams beyond their
+  // differing bases.
+  H += 0x9e3779b97f4a7c15ull;
+  H = (H ^ (H >> 30)) * 0xbf58476d1ce4e5b9ull;
+  H = (H ^ (H >> 27)) * 0x94d049bb133111ebull;
+  return H ^ (H >> 31);
+}
+
+Fingerprint hashCanonical(const std::string &Canonical) {
+  Fingerprint FP;
+  FP.Hi = fnv1a(Canonical, 14695981039346656037ull);
+  FP.Lo = fnv1a(Canonical, 0x6c62272e07bb0142ull);
+  return FP;
+}
+
+} // namespace
+
+std::string Fingerprint::hex() const {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out(32, '0');
+  for (int I = 0; I < 16; ++I)
+    Out[15 - I] = Digits[(Hi >> (4 * I)) & 0xf];
+  for (int I = 0; I < 16; ++I)
+    Out[31 - I] = Digits[(Lo >> (4 * I)) & 0xf];
+  return Out;
+}
+
+std::string p4a::canonicalForm(const Automaton &A, StateRef Entry) {
+  return Canonicalizer(A).run(Entry);
+}
+
+Fingerprint p4a::fingerprint(const Automaton &A, StateRef Entry) {
+  return hashCanonical(canonicalForm(A, Entry));
+}
+
+Fingerprint p4a::fingerprint(const Automaton &A) {
+  // No distinguished root: fingerprint every state's reachable fragment
+  // and fold the sorted multiset, so the result is invariant under any
+  // permutation of state ids. Terminal roots contribute one constant each
+  // (included so the empty automaton still has a defined value).
+  std::vector<Fingerprint> Roots;
+  Roots.reserve(A.numStates() + 1);
+  for (StateId Id = 0; Id < A.numStates(); ++Id)
+    Roots.push_back(fingerprint(A, StateRef::normal(Id)));
+  Roots.push_back(fingerprint(A, StateRef::accept()));
+  std::sort(Roots.begin(), Roots.end());
+  Fingerprint Out = hashCanonical("whole-automaton");
+  for (const Fingerprint &R : Roots)
+    Out = combineFingerprints(Out, R);
+  return Out;
+}
+
+Fingerprint p4a::fingerprintBytes(const std::string &Bytes) {
+  return hashCanonical(Bytes);
+}
+
+Fingerprint p4a::combineFingerprints(const Fingerprint &L,
+                                     const Fingerprint &R) {
+  // An order-sensitive mix (boost::hash_combine-style) in both lanes:
+  // combine(a, b) != combine(b, a), as a left/right pair requires.
+  Fingerprint Out;
+  Out.Hi = L.Hi ^ (R.Hi + 0x9e3779b97f4a7c15ull + (L.Hi << 6) + (L.Hi >> 2));
+  Out.Lo = L.Lo ^ (R.Lo + 0xc2b2ae3d27d4eb4full + (L.Lo << 6) + (L.Lo >> 2));
+  return Out;
+}

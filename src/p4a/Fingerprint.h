@@ -1,0 +1,108 @@
+//===- Fingerprint.h - Canonical structural fingerprints --------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonical structural fingerprints of P4 automata — the cache key of the
+/// equivalence-checking service (serve/): a parser pair resubmitted to
+/// `leapfrog-serve` must map to the same key no matter how its states and
+/// headers happened to be numbered or named, while any semantic change
+/// (a flipped pattern bit, a retargeted transition, a shifted slice) must
+/// change the key.
+///
+/// The construction is a *rooted canonical form*: starting from an entry
+/// state, states are renumbered in BFS discovery order (successor order =
+/// the order targets appear in each transition, which is itself semantic),
+/// headers are renumbered by first occurrence in that traversal, and the
+/// reachable fragment is rendered into a byte string using only canonical
+/// indices — never names, never original ids. Two automata have equal
+/// canonical forms iff their reachable fragments are isomorphic as labeled
+/// transition structures, which implies equal languages from the roots.
+/// States and headers unreachable from the entry are excluded: they cannot
+/// influence any run, so including them would only split cache keys that
+/// answer identically.
+///
+/// fingerprint() hashes the canonical form into 128 bits. A hash equality
+/// is *not* proof of structural equality — the service's result cache
+/// stores the full canonical form next to every entry and compares it on
+/// every probe (serve/Cache.h), the lesson of the PR 3 frontier-dedup
+/// collision bug: never let a hash equality stand in for the equality it
+/// approximates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_P4A_FINGERPRINT_H
+#define LEAPFROG_P4A_FINGERPRINT_H
+
+#include "p4a/Syntax.h"
+
+#include <cstdint>
+#include <string>
+
+namespace leapfrog {
+namespace p4a {
+
+/// A 128-bit structural hash. Value type; compare, hash, or render as 32
+/// hex digits. The width makes *accidental* collisions astronomically
+/// unlikely, but consumers that would be wrong under a collision must
+/// still compare canonical forms (see the file comment).
+struct Fingerprint {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+
+  bool operator==(const Fingerprint &O) const {
+    return Hi == O.Hi && Lo == O.Lo;
+  }
+  bool operator!=(const Fingerprint &O) const { return !(*this == O); }
+  bool operator<(const Fingerprint &O) const {
+    return Hi != O.Hi ? Hi < O.Hi : Lo < O.Lo;
+  }
+
+  /// 32 lowercase hex digits (Hi first) — the service's certificate
+  /// handle and wire representation.
+  std::string hex() const;
+};
+
+/// std::unordered_map-compatible hasher.
+struct FingerprintHasher {
+  size_t operator()(const Fingerprint &FP) const {
+    // The fingerprint is already a high-quality hash; fold the halves.
+    return size_t(FP.Hi ^ (FP.Lo * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+/// Renders the fragment of \p A reachable from \p Entry in canonical
+/// form (see the file comment). Deterministic, name-free, and invariant
+/// under any renumbering of \p A's state and header ids. Terminal entries
+/// render to the one-line forms "entry accept" / "entry reject".
+std::string canonicalForm(const Automaton &A, StateRef Entry);
+
+/// 128-bit hash (two independent FNV-1a streams) of
+/// canonicalForm(A, Entry).
+Fingerprint fingerprint(const Automaton &A, StateRef Entry);
+
+/// Whole-automaton fingerprint: the order-insensitive combination of the
+/// rooted fingerprints of every state (plus accept). Insensitive to state
+/// and header numbering with no distinguished root, at O(states) rooted
+/// traversals — fine for elaborated parsers (tens to hundreds of states);
+/// pair-keyed consumers like the service cache use the rooted form, which
+/// is one traversal per side.
+Fingerprint fingerprint(const Automaton &A);
+
+/// Mixes two fingerprints order-*sensitively* (a left/right parser pair
+/// is ordered; check(L, R) and check(R, L) are different requests).
+Fingerprint combineFingerprints(const Fingerprint &L, const Fingerprint &R);
+
+/// 128-bit hash of an arbitrary byte string — the same two-stream
+/// construction the automaton fingerprints use. For composite keys built
+/// *from* canonical forms (the service cache hashes "canonical pair text
+/// + option rendering" as one string; serve/Cache.h).
+Fingerprint fingerprintBytes(const std::string &Bytes);
+
+} // namespace p4a
+} // namespace leapfrog
+
+#endif // LEAPFROG_P4A_FINGERPRINT_H

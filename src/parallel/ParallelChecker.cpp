@@ -114,7 +114,7 @@ struct TpSessionMap {
 /// the owning worker during epochs (the pool barrier publishes it), read
 /// again by the coordinator after the last epoch for stats absorption.
 struct WorkerState {
-  std::unique_ptr<smt::SmtSolver> Solver;
+  smt::SmtSolver *Solver = nullptr; ///< Owned by the solver store below.
   TpSessionMap Sessions;
 };
 
@@ -124,7 +124,8 @@ CheckResult
 parallel::checkWithSpecParallel(const p4a::Automaton &Left,
                                 const p4a::Automaton &Right,
                                 const InitialSpec &Spec,
-                                const CheckOptions &Options) {
+                                const CheckOptions &Options,
+                                WarmRuntime *Warm) {
   assert(p4a::isWellTyped(Left) && "left automaton is ill-typed");
   assert(p4a::isWellTyped(Right) && "right automaton is ill-typed");
   assert(Options.Jobs >= 2 && "parallel engine needs at least two workers");
@@ -138,15 +139,28 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
   // configuration. A backend that cannot spawn them (custom SmtSolver
   // subclasses) gets the sequential loop instead — it is the only
   // engine that can pose every query to the one provided instance.
-  std::vector<WorkerState> Workers(Options.Jobs);
-  for (WorkerState &W : Workers) {
-    W.Solver = Primary.spawnWorker();
-    if (!W.Solver) {
-      CheckOptions Sequential = Options;
-      Sequential.Jobs = 1;
-      return core::checkWithSpec(Left, Right, Spec, Sequential);
+  // With a WarmRuntime the spawned instances outlive this call (external
+  // backends keep their solver processes running for the next request);
+  // the store is repopulated only when its size disagrees with Jobs.
+  std::vector<std::unique_ptr<smt::SmtSolver>> OwnedSolvers;
+  std::vector<std::unique_ptr<smt::SmtSolver>> &SolverStore =
+      Warm ? Warm->WorkerSolvers : OwnedSolvers;
+  if (SolverStore.size() != Options.Jobs) {
+    SolverStore.clear();
+    for (size_t I = 0; I < Options.Jobs; ++I) {
+      std::unique_ptr<smt::SmtSolver> S = Primary.spawnWorker();
+      if (!S) {
+        SolverStore.clear();
+        CheckOptions Sequential = Options;
+        Sequential.Jobs = 1;
+        return core::checkWithSpec(Left, Right, Spec, Sequential);
+      }
+      SolverStore.push_back(std::move(S));
     }
   }
+  std::vector<WorkerState> Workers(Options.Jobs);
+  for (size_t I = 0; I < Options.Jobs; ++I)
+    Workers[I].Solver = SolverStore[I].get();
 
   CheckResult Result;
   CheckStats &St = Result.Stats;
@@ -194,8 +208,14 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
   // sums solver time *across threads* (it can exceed WallMicros — that
   // surplus is exactly the parallelism).
   auto Finish = [&] {
-    for (WorkerState &W : Workers)
+    for (WorkerState &W : Workers) {
       Primary.absorbStats(W.Solver->stats());
+      // Warm workers survive into the next check; zeroing after
+      // absorption keeps every call's absorption disjoint (no
+      // double-counting). Owned workers are destroyed right after, so
+      // the reset is moot there.
+      W.Solver->resetStats();
+    }
     St.SmtQueries += ParallelQueries.load(std::memory_order_relaxed);
     auto End = std::chrono::steady_clock::now();
     St.WallMicros = uint64_t(
@@ -213,7 +233,17 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
     Finish();
   };
 
-  WorkerPool Pool(Options.Jobs);
+  // The pool parks its threads between epochs — and, warm, between whole
+  // checks, so a service request pays two condvar handshakes instead of
+  // Jobs thread spawns.
+  std::unique_ptr<WorkerPool> OwnedPool;
+  if (Warm) {
+    if (!Warm->Pool || Warm->Pool->workers() != Options.Jobs)
+      Warm->Pool = std::make_unique<WorkerPool>(Options.Jobs);
+  } else {
+    OwnedPool = std::make_unique<WorkerPool>(Options.Jobs);
+  }
+  WorkerPool &Pool = Warm ? *Warm->Pool : *OwnedPool;
   std::vector<EpochTask> Batch;
   std::vector<std::vector<size_t>> Assignments(Pool.workers());
   std::unordered_set<TemplatePair, TemplatePairHasher> ExtendedSinceFreeze;

@@ -27,9 +27,29 @@
 #define LEAPFROG_PARALLEL_PARALLELCHECKER_H
 
 #include "core/Checker.h"
+#include "parallel/WorkerPool.h"
 
 namespace leapfrog {
 namespace parallel {
+
+/// Reusable runtime state the parallel engine can keep warm across
+/// checks: the per-worker backends (for external backends, each owns a
+/// live solver process) and the parked thread pool. A long-lived
+/// core::Engine passes the same instance to every check so request N+1
+/// reuses the processes and threads request N already paid for; one-shot
+/// callers pass nullptr and get the classic spawn-per-call behavior.
+///
+/// Invariants: the worker solvers must all have been spawned (via
+/// SmtSolver::spawnWorker) from the primary backend the accompanying
+/// CheckOptions::Solver points at — the engine repopulates the vector
+/// whenever its size disagrees with Options.Jobs, and resets each
+/// worker's statistics after absorbing them into the primary, so stats
+/// are never double-counted across calls. Not thread-safe: one check at
+/// a time per WarmRuntime, from the thread that owns it.
+struct WarmRuntime {
+  std::vector<std::unique_ptr<smt::SmtSolver>> WorkerSolvers;
+  std::unique_ptr<WorkerPool> Pool;
+};
 
 /// Runs Algorithm 1 for \p Spec with Options.Jobs worker threads (plus
 /// the calling thread, which seeds epochs, merges their results, and
@@ -43,10 +63,15 @@ namespace parallel {
 /// A primary backend whose spawnWorker() cannot yield per-worker
 /// instances is handed back to the sequential loop (Jobs = 1) — the one
 /// engine that can pose every query to a single shared instance.
+///
+/// \p Warm, when non-null, carries worker backends and the thread pool
+/// across calls (see WarmRuntime); nullptr spawns and tears down both
+/// within this call.
 core::CheckResult checkWithSpecParallel(const p4a::Automaton &Left,
                                         const p4a::Automaton &Right,
                                         const core::InitialSpec &Spec,
-                                        const core::CheckOptions &Options);
+                                        const core::CheckOptions &Options,
+                                        WarmRuntime *Warm = nullptr);
 
 } // namespace parallel
 } // namespace leapfrog

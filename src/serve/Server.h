@@ -1,0 +1,88 @@
+//===- Server.h - Line-protocol front end of leapfrog-serve -----*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire layer of leapfrog-serve: newline-delimited JSON, one request
+/// object in, one response object out, over stdin/stdout or an AF_UNIX
+/// socket. The full protocol reference lives in docs/SERVICE.md; the
+/// short form:
+///
+///   {"op":"check","left":"<.lfp text>","right":"<.lfp text>",
+///    "options":{...},"id":"<echoed>"}       -> verdict + stats + handle
+///   {"op":"ping"}                            -> {"ok":true,"pong":true}
+///   {"op":"stats"}                           -> service + cache counters
+///   {"op":"cert","key":"<32 hex digits>"}    -> cached certificate text
+///   {"op":"shutdown"}                        -> ack, then the loop exits
+///
+/// Every response carries "ok"; protocol-level failures (bad JSON, bad
+/// op, unparseable parser text) are {"ok":false,"error":...} — the
+/// connection survives, only the request dies. handleLine() is the whole
+/// protocol as a pure-ish function (string in, string out), which is how
+/// the tests drive it without sockets; runStdio()/runSocket() are thin
+/// transports over it.
+///
+/// Transport notes: the AF_UNIX listener serves each connection on its
+/// own thread (CheckService::submit is thread-safe and does the
+/// single-flight coalescing), so N clients submitting the same pair
+/// compute it once. Socket paths are unlinked on startup and shutdown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_SERVE_SERVER_H
+#define LEAPFROG_SERVE_SERVER_H
+
+#include "serve/Service.h"
+
+#include <atomic>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+namespace leapfrog {
+namespace serve {
+
+class Server {
+public:
+  /// Fails (nullptr + \p Error) only on an unresolvable backend spec —
+  /// the structured rejection the Engine redesign is for.
+  static std::unique_ptr<Server> create(const ServiceConfig &Config,
+                                        std::string *Error);
+
+  ~Server();
+
+  /// Handles one protocol line; returns the serialized response object
+  /// (no trailing newline). Never throws; malformed anything becomes an
+  /// {"ok":false} response. Thread-safe.
+  std::string handleLine(const std::string &Line);
+
+  /// True once a shutdown op has been accepted.
+  bool shutdownRequested() const;
+
+  /// Serves \p In line-by-line until EOF or shutdown, writing one
+  /// response per line to \p Out (flushed per response — the peer is a
+  /// program waiting on a pipe). Returns 0 on clean exit.
+  int runStdio(std::istream &In, std::ostream &Out);
+
+  /// Binds \p Path (AF_UNIX, unlinked first), accepts until shutdown,
+  /// one thread per connection. Returns 0 on clean shutdown, 1 on
+  /// socket-layer failure (diagnostic on stderr).
+  int runSocket(const std::string &Path);
+
+  CheckService &service();
+
+private:
+  explicit Server(std::unique_ptr<CheckService> Svc);
+
+  std::unique_ptr<CheckService> Svc;
+  std::atomic<bool> Shutdown{false};
+  std::atomic<int> ListenFd{-1};
+};
+
+} // namespace serve
+} // namespace leapfrog
+
+#endif // LEAPFROG_SERVE_SERVER_H

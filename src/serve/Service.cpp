@@ -1,0 +1,238 @@
+//===- Service.cpp - The equivalence-checking service ---------------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Service.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+using namespace leapfrog;
+using namespace leapfrog::serve;
+
+namespace {
+
+/// A computation in progress: late arrivals with the same canonical key
+/// park here instead of running their own copy.
+struct InFlight {
+  std::condition_variable CV;
+  bool Finished = false;
+  /// The completed entry (null if the computing thread died without
+  /// finishing — waiters then resubmit is not attempted; they surface a
+  /// rejection, which cannot happen in the current single-process
+  /// lifecycle but keeps the wait loop total).
+  std::shared_ptr<const CacheEntry> Entry;
+};
+
+} // namespace
+
+struct CheckService::Impl {
+  ServiceConfig Config;
+  ResultCache Cache;
+
+  mutable std::mutex M;
+  std::condition_variable LaneCV;
+  /// Lane engines; Busy[i] marks lane i as running a check. Engines are
+  /// only ever driven by the thread that marked their lane busy, which
+  /// is core::Engine's single-threaded contract.
+  std::vector<std::unique_ptr<core::Engine>> Lanes;
+  std::vector<bool> Busy;
+  size_t WaitingForLane = 0;
+  /// Single-flight table, keyed by the full canonical text (not the
+  /// fingerprint — the same never-hash-only discipline as the cache).
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> Running;
+
+  Stats St;
+
+  size_t acquireLaneLocked(std::unique_lock<std::mutex> &Lock) {
+    ++WaitingForLane;
+    for (;;) {
+      for (size_t L = 0; L < Lanes.size(); ++L) {
+        if (!Busy[L]) {
+          Busy[L] = true;
+          --WaitingForLane;
+          return L;
+        }
+      }
+      LaneCV.wait(Lock);
+    }
+  }
+
+  void releaseLane(size_t Lane) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Busy[Lane] = false;
+    }
+    LaneCV.notify_one();
+  }
+};
+
+CheckService::CheckService() : I(std::make_unique<Impl>()) {}
+CheckService::~CheckService() = default;
+
+std::unique_ptr<CheckService> CheckService::create(const ServiceConfig &Config,
+                                                   std::string *Error) {
+  std::unique_ptr<CheckService> S(new CheckService());
+  S->I->Config = Config;
+  if (S->I->Config.Lanes == 0)
+    S->I->Config.Lanes = 1;
+  for (size_t L = 0; L < S->I->Config.Lanes; ++L) {
+    std::unique_ptr<core::Engine> E =
+        core::Engine::create(S->I->Config.Engine, Error);
+    if (!E)
+      return nullptr; // Error already carries the resolver diagnostic.
+    S->I->Lanes.push_back(std::move(E));
+  }
+  S->I->Busy.assign(S->I->Config.Lanes, false);
+  return S;
+}
+
+CheckService::Outcome CheckService::submit(const core::CheckRequest &Req) {
+  auto Start = std::chrono::steady_clock::now();
+  auto finish = [&](Outcome O) {
+    O.TotalMicros = uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                                 std::chrono::steady_clock::now() - Start)
+                                 .count());
+    return O;
+  };
+
+  // 1. Clamp budgets to the service ceilings BEFORE keying: the key must
+  // describe the check that actually runs.
+  const ServiceConfig &C = I->Config;
+  bool ClampIter =
+      C.MaxIterationsCap != 0 && (Req.Options.MaxIterations == 0 ||
+                                  Req.Options.MaxIterations > C.MaxIterationsCap);
+  bool ClampWall =
+      C.MaxWallMicrosCap != 0 && (Req.Options.MaxWallMicros == 0 ||
+                                  Req.Options.MaxWallMicros > C.MaxWallMicrosCap);
+  core::CheckOptions Opts = Req.Options;
+  if (ClampIter)
+    Opts.MaxIterations = C.MaxIterationsCap;
+  if (ClampWall)
+    Opts.MaxWallMicros = C.MaxWallMicrosCap;
+
+  // 2. Key on the effective request (outside any lock; canonicalization
+  // walks both automata). The automaton copies are cheap relative to any
+  // check and keep makeCacheKey's signature simple.
+  CacheKey Key;
+  {
+    core::CheckRequest Probe;
+    Probe.Left = Req.Left;
+    Probe.Right = Req.Right;
+    Probe.LeftStart = Req.LeftStart;
+    Probe.RightStart = Req.RightStart;
+    Probe.Options = Opts;
+    Key = makeCacheKey(Probe);
+  }
+
+  std::shared_ptr<InFlight> Flight;
+  size_t Lane = 0;
+  {
+    std::unique_lock<std::mutex> Lock(I->M);
+    ++I->St.Submitted;
+
+    // 3. Cache probe.
+    if (std::shared_ptr<const CacheEntry> Hit = I->Cache.find(Key)) {
+      Outcome O;
+      O.CacheHit = true;
+      O.FP = Key.FP;
+      O.Result = Hit->Result;
+      O.CertificateText = Hit->CertificateText;
+      return finish(O);
+    }
+
+    // 4. Single-flight: park on a computation already running this key.
+    auto It = I->Running.find(Key.Canonical);
+    if (It != I->Running.end()) {
+      std::shared_ptr<InFlight> F = It->second;
+      ++I->St.Coalesced;
+      F->CV.wait(Lock, [&] { return F->Finished; });
+      Outcome O;
+      O.Shared = true;
+      O.FP = Key.FP;
+      if (F->Entry) {
+        O.Result = F->Entry->Result;
+        O.CertificateText = F->Entry->CertificateText;
+      } else {
+        O.S = Outcome::Status::Rejected;
+        O.Error = "shared computation aborted";
+      }
+      return finish(O);
+    }
+
+    // 5. Admission: bounded waiting room.
+    if (I->WaitingForLane >= I->Config.MaxQueue) {
+      bool LaneFree = false;
+      for (size_t L = 0; L < I->Lanes.size(); ++L)
+        LaneFree = LaneFree || !I->Busy[L];
+      if (!LaneFree) {
+        ++I->St.RejectedQueueFull;
+        Outcome O;
+        O.S = Outcome::Status::Rejected;
+        O.FP = Key.FP;
+        O.Error = "queue full: " + std::to_string(I->WaitingForLane) +
+                  " requests already waiting for " +
+                  std::to_string(I->Lanes.size()) + " lanes";
+        return finish(O);
+      }
+    }
+
+    Flight = std::make_shared<InFlight>();
+    I->Running.emplace(Key.Canonical, Flight);
+    Lane = I->acquireLaneLocked(Lock);
+    ++I->St.Computed;
+  }
+
+  // 6. Compute, outside every lock, on the lane's warm engine.
+  core::CheckResult Result =
+      I->Lanes[Lane]->check(Req.Left, Req.Right, Req.Spec, Opts);
+  I->releaseLane(Lane);
+
+  auto Entry = std::make_shared<CacheEntry>();
+  Entry->Key = Key;
+  Entry->Result = Result;
+  if (Result.V == core::Verdict::Equivalent)
+    Entry->CertificateText =
+        Result.Certificate.str(Req.Left, Req.Right);
+
+  {
+    std::lock_guard<std::mutex> Lock(I->M);
+    // BadRequest means the request never ran — nothing worth caching,
+    // and admitting it to the cache would let a transient misconfig
+    // shadow a later valid run under the same key.
+    if (Result.V != core::Verdict::BadRequest)
+      I->Cache.insert(Entry);
+    Flight->Entry = Entry;
+    Flight->Finished = true;
+    I->Running.erase(Key.Canonical);
+  }
+  Flight->CV.notify_all();
+
+  Outcome O;
+  O.FP = Key.FP;
+  O.Result = std::move(Result);
+  O.CertificateText = Entry->CertificateText;
+  return finish(O);
+}
+
+std::string CheckService::certificateByHex(const std::string &Hex) {
+  std::shared_ptr<const CacheEntry> E = I->Cache.findByHex(Hex);
+  return E ? E->CertificateText : std::string();
+}
+
+CheckService::Stats CheckService::stats() const {
+  std::lock_guard<std::mutex> Lock(I->M);
+  Stats S = I->St;
+  S.Cache = I->Cache.stats();
+  return S;
+}
+
+const ServiceConfig &CheckService::config() const { return I->Config; }
+
+core::Engine &CheckService::laneEngine(size_t Lane) { return *I->Lanes[Lane]; }

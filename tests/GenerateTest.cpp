@@ -125,6 +125,8 @@ const char *verdictName(core::Verdict V) {
     return "NOT_EQUIVALENT";
   case core::Verdict::ResourceLimit:
     return "RESOURCE_LIMIT";
+  case core::Verdict::BadRequest:
+    return "BAD_REQUEST";
   }
   return "?";
 }

@@ -13,7 +13,11 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "frontend/Elaborate.h"
+#include "frontend/Generate.h"
+#include "frontend/Text.h"
 #include "p4a/Concrete.h"
+#include "p4a/Fingerprint.h"
 #include "p4a/Parser.h"
 #include "p4a/Semantics.h"
 #include "p4a/Typing.h"
@@ -393,6 +397,141 @@ TEST(Concrete, AcceptedWordsMatchAccepts) {
     EXPECT_TRUE(accepts(A, StateRef::normal(0), S, W)) << W.str();
   // Count: lengths 2,4,6 contribute 2, 4, 8 words.
   EXPECT_EQ(Words.size(), 2u + 4u + 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical fingerprints (the service cache key; p4a/Fingerprint.h)
+//===----------------------------------------------------------------------===//
+
+// Elaborates a surface program and returns (automaton, rooted entry).
+std::pair<Automaton, StateRef>
+elaborated(const frontend::SurfaceProgram &P) {
+  frontend::ElaborationResult E = frontend::elaborate(P);
+  EXPECT_TRUE(E.Errors.empty())
+      << (E.Errors.empty() ? "" : E.Errors.front());
+  auto Id = E.Aut.findState(E.Entry);
+  EXPECT_TRUE(Id.has_value()) << E.Entry;
+  return {std::move(E.Aut), StateRef::normal(Id.value_or(0))};
+}
+
+TEST(Fingerprint, StableAcrossPrintParseRoundTrips) {
+  // The key property the cache depends on: the same parser resubmitted
+  // as text — printed, reparsed, re-elaborated, any number of times —
+  // keys to the same fingerprint.
+  const Automaton Cases[] = {parsers::mplsReference(),
+                             parsers::mplsVectorized(),
+                             parsers::vlanParser(), parsers::gibbEdge()};
+  for (const Automaton &A : Cases) {
+    ASSERT_GT(A.numStates(), 0u);
+    StateRef Root = StateRef::normal(0);
+    Fingerprint Orig = fingerprint(A, Root);
+
+    frontend::SurfaceProgram P =
+        frontend::surfaceFromP4a(A, A.state(0).Name);
+    auto First = elaborated(frontend::parseSurfaceOrDie(
+        frontend::printSurface(P)));
+    EXPECT_EQ(canonicalForm(First.first, First.second),
+              canonicalForm(A, Root));
+    EXPECT_EQ(fingerprint(First.first, First.second), Orig);
+
+    // And once more around the loop.
+    auto Second = elaborated(frontend::parseSurfaceOrDie(
+        frontend::printSurface(frontend::surfaceFromP4a(
+            First.first, First.first.state(First.second.Id).Name))));
+    EXPECT_EQ(fingerprint(Second.first, Second.second), Orig);
+  }
+}
+
+TEST(Fingerprint, InsensitiveToStateAndHeaderNumbering) {
+  // renameStates() twins elaborate to automata whose states (and, in
+  // elaboration order, headers) are numbered differently — yet they are
+  // the same parser, so they must key identically.
+  for (uint64_t Seed = 1; Seed <= 24; ++Seed) {
+    frontend::SurfaceProgram P = frontend::generateProgram(Seed);
+    frontend::SurfaceProgram Twin = frontend::renameStates(P, "_renamed");
+    auto A = elaborated(P);
+    auto B = elaborated(Twin);
+    EXPECT_EQ(canonicalForm(A.first, A.second),
+              canonicalForm(B.first, B.second))
+        << "seed " << Seed;
+    EXPECT_EQ(fingerprint(A.first, A.second),
+              fingerprint(B.first, B.second))
+        << "seed " << Seed;
+    EXPECT_EQ(fingerprint(A.first), fingerprint(B.first))
+        << "seed " << Seed;
+  }
+}
+
+TEST(Fingerprint, SensitiveToEverySemanticMutation) {
+  // Every mutation kind mutateProgram() can produce (flipped pattern
+  // bits, swapped/dropped cases, retargeted transitions, shifted
+  // slices) must move the fingerprint whenever it moves the canonical
+  // form — a fingerprint that missed a mutation would let the cache
+  // serve a stale verdict for an edited parser.
+  size_t Changed = 0, Checked = 0;
+  for (uint64_t Seed = 1; Seed <= 24; ++Seed) {
+    frontend::SurfaceProgram P = frontend::generateProgram(Seed);
+    auto Base = elaborated(P);
+    std::string BaseForm = canonicalForm(Base.first, Base.second);
+    for (uint64_t M = 1; M <= 8; ++M) {
+      auto Mut = elaborated(frontend::mutateProgram(P, Seed * 1000 + M));
+      std::string MutForm = canonicalForm(Mut.first, Mut.second);
+      ++Checked;
+      if (MutForm == BaseForm) {
+        // The mutation landed in an unreachable fragment (or cancelled
+        // out): equal forms must mean equal fingerprints.
+        EXPECT_EQ(fingerprint(Mut.first, Mut.second),
+                  fingerprint(Base.first, Base.second));
+      } else {
+        ++Changed;
+        EXPECT_NE(fingerprint(Mut.first, Mut.second),
+                  fingerprint(Base.first, Base.second))
+            << "seed " << Seed << " mutation " << M
+            << ": canonical forms differ but fingerprints collide";
+      }
+    }
+  }
+  // The sweep must actually have exercised the sensitive direction.
+  EXPECT_GT(Changed, Checked / 2);
+}
+
+TEST(Fingerprint, TerminalEntriesAndUnreachableStates) {
+  // Terminal roots have canonical forms too (the service accepts
+  // degenerate parsers), and unreachable states never affect the key.
+  Automaton A = parseAutomatonOrDie(R"(
+    state s { extract(h, 1); goto accept }
+    state dead { extract(h, 1); goto reject }
+  )");
+  Automaton B = parseAutomatonOrDie(R"(
+    state s { extract(h, 1); goto accept }
+  )");
+  EXPECT_EQ(fingerprint(A, StateRef::normal(*A.findState("s"))),
+            fingerprint(B, StateRef::normal(0)));
+  EXPECT_EQ(fingerprint(A, StateRef::accept()),
+            fingerprint(B, StateRef::accept()));
+  EXPECT_NE(fingerprint(A, StateRef::accept()),
+            fingerprint(A, StateRef::reject()));
+}
+
+TEST(Fingerprint, CombineIsOrderSensitive) {
+  Fingerprint L = fingerprintBytes("left parser");
+  Fingerprint R = fingerprintBytes("right parser");
+  EXPECT_NE(combineFingerprints(L, R), combineFingerprints(R, L));
+  EXPECT_NE(combineFingerprints(L, R), L);
+  EXPECT_NE(combineFingerprints(L, R), R);
+}
+
+TEST(Fingerprint, BytesAndHex) {
+  Fingerprint A = fingerprintBytes("abc");
+  Fingerprint B = fingerprintBytes("abd");
+  Fingerprint Empty = fingerprintBytes("");
+  EXPECT_NE(A, B);
+  EXPECT_NE(A, Empty);
+  EXPECT_EQ(A, fingerprintBytes("abc"));
+  EXPECT_EQ(A.hex().size(), 32u);
+  EXPECT_EQ(A.hex().find_first_not_of("0123456789abcdef"),
+            std::string::npos);
+  EXPECT_NE(A.hex(), B.hex());
 }
 
 TEST(Concrete, ReachableConfigCountIsFinite) {

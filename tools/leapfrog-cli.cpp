@@ -20,14 +20,18 @@
 // lowering) before the same checker runs. Every option works identically
 // in both forms.
 //
+// Structurally, the tool is a one-shot client of the same API the
+// long-running service (leapfrog-serve) uses: build a core::CheckRequest,
+// run it through a core::Engine. The --file path in particular is
+// byte-for-byte the service's request path — checkRequestFromSurface —
+// so a pair that checks here answers identically over the wire.
+//
 // Exit codes: 0 equivalent, 1 not equivalent, 2 resource limit, 3 usage or
-// input error.
+// input error (including an unresolvable --backend spec).
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Checker.h"
-#include "frontend/Elaborate.h"
-#include "frontend/Text.h"
+#include "core/Engine.h"
 #include "p4a/Parser.h"
 #include "smt/SmtLibSolver.h"
 #include "smt/Solver.h"
@@ -38,6 +42,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace leapfrog;
 
@@ -78,12 +83,14 @@ void usage() {
       "                     process, e.g. 'smtlib:z3 -in'), or\n"
       "                     'crosscheck[:CMD]' (run both, abort on any\n"
       "                     sat/unsat divergence; CMD defaults to\n"
-      "                     'z3 -in'). --backend=SPEC also accepted. A\n"
-      "                     missing/failing external binary degrades to\n"
-      "                     bitblast with a warning; external sat answers\n"
-      "                     are model-validated, external unsat answers\n"
-      "                     are trusted unless crosscheck is used (see\n"
-      "                     the docs)\n"
+      "                     'z3 -in'). --backend=SPEC also accepted. An\n"
+      "                     unrecognized SPEC is a usage error (exit 3);\n"
+      "                     a parseable SPEC whose binary is missing or\n"
+      "                     failing degrades to bitblast per query, with\n"
+      "                     a warning; external sat answers are\n"
+      "                     model-validated, external unsat answers are\n"
+      "                     trusted unless crosscheck is used (see the\n"
+      "                     docs)\n"
       "  --ext-timeout N    per-reply deadline for the external solver,\n"
       "                     seconds (default 60); on expiry the process\n"
       "                     is killed and the query answered in-repo\n"
@@ -120,12 +127,9 @@ bool readFile(const char *Path, std::string &Out) {
   return true;
 }
 
-struct LoadedParser {
-  p4a::Automaton Aut;
-  p4a::StateRef Start;
-};
-
-bool load(const char *Path, const char *StateName, LoadedParser &Out) {
+/// The classic .p4a path: parse the core DSL, resolve the named state.
+bool loadP4a(const char *Path, const char *StateName, p4a::Automaton &Aut,
+             p4a::StateRef &Start) {
   std::string Source;
   if (!readFile(Path, Source)) {
     std::fprintf(stderr, "leapfrog-cli: cannot read '%s'\n", Path);
@@ -138,43 +142,14 @@ bool load(const char *Path, const char *StateName, LoadedParser &Out) {
       std::fprintf(stderr, "  %s\n", E.c_str());
     return false;
   }
-  Out.Aut = std::move(Parsed.Aut);
-  auto Id = Out.Aut.findState(StateName);
+  Aut = std::move(Parsed.Aut);
+  auto Id = Aut.findState(StateName);
   if (!Id) {
     std::fprintf(stderr, "leapfrog-cli: '%s' has no state named '%s'\n",
                  Path, StateName);
     return false;
   }
-  Out.Start = p4a::StateRef::normal(*Id);
-  return true;
-}
-
-/// The --file path: parse the surface syntax, elaborate away stacks,
-/// calls and lookahead, and start from the program's `entry` state.
-/// Surface diagnostics carry line:col positions; elaboration
-/// diagnostics are program-level.
-bool loadSurface(const char *Path, LoadedParser &Out) {
-  std::string Source;
-  if (!readFile(Path, Source)) {
-    std::fprintf(stderr, "leapfrog-cli: cannot read '%s'\n", Path);
-    return false;
-  }
-  frontend::TextParseResult Parsed = frontend::parseSurface(Source);
-  if (!Parsed.ok()) {
-    std::fprintf(stderr, "leapfrog-cli: errors in '%s':\n", Path);
-    for (const std::string &E : Parsed.Errors)
-      std::fprintf(stderr, "  %s:%s\n", Path, E.c_str());
-    return false;
-  }
-  frontend::ElaborationResult Elab = frontend::elaborate(Parsed.Program);
-  if (!Elab.ok()) {
-    std::fprintf(stderr, "leapfrog-cli: '%s' does not elaborate:\n", Path);
-    for (const std::string &E : Elab.Errors)
-      std::fprintf(stderr, "  %s\n", E.c_str());
-    return false;
-  }
-  Out.Aut = std::move(Elab.Aut);
-  Out.Start = p4a::StateRef::normal(*Out.Aut.findState(Elab.Entry));
+  Start = p4a::StateRef::normal(*Id);
   return true;
 }
 
@@ -192,7 +167,7 @@ int main(int Argc, char **Argv) {
   core::CheckOptions Options;
   bool Replay = false, Print = false, Quiet = false, DumpCert = false;
   bool CertifySmt = false;
-  std::string BackendSpec = "bitblast";
+  core::EngineConfig EngineCfg; // Backend spec + jobs: engine-level.
   int ExtTimeoutSec = 0;
   for (int I = FileMode ? 4 : 5; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -203,9 +178,9 @@ int main(int Argc, char **Argv) {
     } else if (!std::strcmp(Arg, "--certify-smt")) {
       CertifySmt = true;
     } else if (!std::strcmp(Arg, "--backend") && I + 1 < Argc) {
-      BackendSpec = Argv[++I];
+      EngineCfg.Backend = Argv[++I];
     } else if (!std::strncmp(Arg, "--backend=", 10)) {
-      BackendSpec = Arg + 10;
+      EngineCfg.Backend = Arg + 10;
     } else if (!std::strcmp(Arg, "--ext-timeout") && I + 1 < Argc) {
       char *End = nullptr;
       long Val = std::strtol(Argv[++I], &End, 10);
@@ -241,9 +216,9 @@ int main(int Argc, char **Argv) {
       Options.Limits.MaxArenaBytes =
           size_t(std::strtoull(Argv[++I], nullptr, 10)) * 1024u * 1024u;
     } else if (!std::strcmp(Arg, "--jobs") && I + 1 < Argc) {
-      Options.Jobs = size_t(std::strtoull(Argv[++I], nullptr, 10));
-      if (Options.Jobs < 1)
-        Options.Jobs = 1;
+      EngineCfg.Jobs = size_t(std::strtoull(Argv[++I], nullptr, 10));
+      if (EngineCfg.Jobs < 1)
+        EngineCfg.Jobs = 1;
     } else {
       std::fprintf(stderr, "leapfrog-cli: unknown option '%s'\n", Arg);
       usage();
@@ -251,22 +226,21 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  // Resolve the backend spec into an owned solver instance. The CLI
-  // resolves eagerly (rather than passing CheckOptions::Backend through)
-  // so a typo in the spec is a usage error, not a silent bitblast run —
-  // and so the post-run stats can interrogate the concrete backend type.
-  std::string BackendErr;
-  std::unique_ptr<smt::SmtSolver> Solver =
-      smt::createSolverBackend(BackendSpec, &BackendErr);
-  if (!Solver) {
-    std::fprintf(stderr, "leapfrog-cli: %s\n", BackendErr.c_str());
+  // Resolve the backend once, through the engine. A typo in the spec is
+  // a usage error here (exit 3), never a silent bitblast run — the same
+  // structured rejection leapfrog-serve hands its clients.
+  std::string EngineErr;
+  std::unique_ptr<core::Engine> Engine =
+      core::Engine::create(EngineCfg, &EngineErr);
+  if (!Engine) {
+    std::fprintf(stderr, "leapfrog-cli: %s\n", EngineErr.c_str());
     usage();
     return 3;
   }
-  Options.Solver = Solver.get();
-  auto *BitBlast = dynamic_cast<smt::BitBlastSolver *>(Solver.get());
-  auto *External = dynamic_cast<smt::SmtLibSolver *>(Solver.get());
-  auto *Cross = dynamic_cast<smt::CrossCheckSolver *>(Solver.get());
+  smt::SmtSolver *Solver = &Engine->solver();
+  auto *BitBlast = dynamic_cast<smt::BitBlastSolver *>(Solver);
+  auto *External = dynamic_cast<smt::SmtLibSolver *>(Solver);
+  auto *Cross = dynamic_cast<smt::CrossCheckSolver *>(Solver);
   if (Cross)
     External = dynamic_cast<smt::SmtLibSolver *>(&Cross->external());
   if (CertifySmt) {
@@ -288,13 +262,37 @@ int main(int Argc, char **Argv) {
     External->config().QueryTimeoutMs = ExtTimeoutSec * 1000;
   }
 
-  LoadedParser Left, Right;
+  // Build the request. The --file path is the exact front door
+  // leapfrog-serve uses for wire requests (checkRequestFromSurface);
+  // the .p4a path assembles the same request struct from the core DSL.
+  core::CheckRequest Req;
   if (FileMode) {
-    if (!loadSurface(LeftPath, Left) || !loadSurface(RightPath, Right))
+    std::string LeftText, RightText;
+    if (!readFile(LeftPath, LeftText)) {
+      std::fprintf(stderr, "leapfrog-cli: cannot read '%s'\n", LeftPath);
       return 3;
+    }
+    if (!readFile(RightPath, RightText)) {
+      std::fprintf(stderr, "leapfrog-cli: cannot read '%s'\n", RightPath);
+      return 3;
+    }
+    std::vector<std::string> Errors;
+    if (!core::checkRequestFromSurface(LeftText, RightText, Options, Req,
+                                       Errors, LeftPath, RightPath)) {
+      std::fprintf(stderr, "leapfrog-cli: input rejected:\n");
+      for (const std::string &E : Errors)
+        std::fprintf(stderr, "  %s\n", E.c_str());
+      return 3;
+    }
   } else {
-    if (!load(LeftPath, Argv[2], Left) || !load(RightPath, Argv[4], Right))
+    p4a::Automaton Left, Right;
+    p4a::StateRef LeftStart = p4a::StateRef::reject();
+    p4a::StateRef RightStart = p4a::StateRef::reject();
+    if (!loadP4a(LeftPath, Argv[2], Left, LeftStart) ||
+        !loadP4a(RightPath, Argv[4], Right, RightStart))
       return 3;
+    Req = core::makeLanguageEquivalenceRequest(
+        std::move(Left), LeftStart, std::move(Right), RightStart, Options);
   }
 
   if (Print) {
@@ -302,12 +300,11 @@ int main(int Argc, char **Argv) {
     // the checker actually compares, with stacks, calls and lookahead
     // compiled away.
     std::printf("-- %s --\n%s\n-- %s --\n%s\n", LeftPath,
-                Left.Aut.print().c_str(), RightPath,
-                Right.Aut.print().c_str());
+                Req.Left.print().c_str(), RightPath,
+                Req.Right.print().c_str());
   }
 
-  core::CheckResult Res = core::checkLanguageEquivalence(
-      Left.Aut, Left.Start, Right.Aut, Right.Start, Options);
+  core::CheckResult Res = Engine->check(Req);
 
   if (Options.RecordTrace) {
     for (const core::TraceStep &T : Res.Trace) {
@@ -316,11 +313,11 @@ int main(int Argc, char **Argv) {
                              ? "extend"
                              : "done";
       std::printf("%-6s %s\n", Kind,
-                  T.Psi.str(Left.Aut, Right.Aut).c_str());
+                  T.Psi.str(Req.Left, Req.Right).c_str());
     }
   }
   if (DumpCert && Res.V == core::Verdict::Equivalent)
-    std::printf("%s", Res.Certificate.str(Left.Aut, Right.Aut).c_str());
+    std::printf("%s", Res.Certificate.str(Req.Left, Req.Right).c_str());
 
   switch (Res.V) {
   case core::Verdict::Equivalent:
@@ -333,6 +330,11 @@ int main(int Argc, char **Argv) {
     break;
   case core::Verdict::ResourceLimit:
     std::printf("RESOURCE LIMIT\n");
+    if (!Quiet)
+      std::printf("  %s\n", Res.FailureReason.c_str());
+    break;
+  case core::Verdict::BadRequest:
+    std::printf("BAD REQUEST\n");
     if (!Quiet)
       std::printf("  %s\n", Res.FailureReason.c_str());
     break;
@@ -365,7 +367,7 @@ int main(int Argc, char **Argv) {
 
   if (Replay && Res.V == core::Verdict::Equivalent) {
     core::ReplayResult R = core::replayCertificate(
-        Left.Aut, Right.Aut, Res.Certificate, Solver.get());
+        Req.Left, Req.Right, Res.Certificate, Solver);
     if (!Quiet)
       std::printf("  certificate replay: %s (%zu obligations)\n",
                   R.Valid ? "valid" : R.FailureReason.c_str(),
@@ -381,6 +383,8 @@ int main(int Argc, char **Argv) {
     return 1;
   case core::Verdict::ResourceLimit:
     return 2;
+  case core::Verdict::BadRequest:
+    return 3;
   }
   return 2;
 }
