@@ -21,9 +21,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/CertificateIo.h"
 #include "core/Checker.h"
 #include "parsers/CaseStudies.h"
 #include "pgen/TranslationValidation.h"
+#include "smt/ProofLog.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -110,9 +112,16 @@ bool Unbounded = false;
 /// keeps the classic table.
 size_t Jobs = 1;
 
+/// --certify: after each sequential row, rerun it with streaming DRUP
+/// certificates on and print the certified-vs-uncertified overhead line
+/// (the docs/EXPERIMENTS.md certified column). Off by default so the
+/// classic table's timings stay comparable across revisions.
+bool CertifyColumn = false;
+
 Row runStudy(const parsers::CaseStudy &Study, const InitialSpec &Spec,
              bool ExpectEquivalent, size_t MaxIterations = 1u << 20,
-             uint64_t MaxWallMicros = 0, size_t RunJobs = 1) {
+             uint64_t MaxWallMicros = 0, size_t RunJobs = 1,
+             bool Certify = false) {
   Row R;
   R.Name = Study.Name;
   R.Category = Study.Category;
@@ -128,9 +137,50 @@ Row runStudy(const parsers::CaseStudy &Study, const InitialSpec &Spec,
   O.MaxIterations = MaxIterations;
   O.MaxWallMicros = MaxWallMicros;
   O.Jobs = RunJobs;
+  O.Certify = Certify;
   R.Result = checkWithSpec(Study.Left, Study.Right, Spec, O);
   R.Solver = Solver.stats();
   return R;
+}
+
+/// The certified line under a sequential row: same study, same budgets,
+/// streaming DRUP slices on. Overhead is certified/uncertified wall; the
+/// decisions check pins that recording proofs never changes the search
+/// (wall-limited rows excepted, same caveat as the scaling line). The
+/// certificate is serialized exactly as --emit-cert/the service store
+/// would, so Cert(MB) is the real artifact size.
+void printCertifiedRow(const parsers::CaseStudy &Study, const Row &Seq,
+                       const Row &Cert) {
+  auto WallLimited = [](const Row &R) {
+    return R.Result.V == Verdict::ResourceLimit &&
+           R.Result.FailureReason.rfind("wall-clock", 0) == 0;
+  };
+  const char *Decisions;
+  if (WallLimited(Seq) || WallLimited(Cert)) {
+    Decisions = "n/a (wall-limited)";
+  } else {
+    bool Identical =
+        Cert.Result.V == Seq.Result.V &&
+        Cert.Result.Stats.FinalConjuncts == Seq.Result.Stats.FinalConjuncts &&
+        Cert.Result.Stats.Iterations == Seq.Result.Stats.Iterations &&
+        Cert.Result.Stats.Extends == Seq.Result.Stats.Extends;
+    Decisions = Identical ? "identical" : "** DIVERGED **";
+  }
+  double Overhead = double(Cert.Result.Stats.WallMicros) /
+                    double(std::max<uint64_t>(Seq.Result.Stats.WallMicros, 1));
+  size_t CertBytes = 0, Streams = 0;
+  if (Cert.Result.V == Verdict::Equivalent && Cert.Result.Proof) {
+    CertBytes = serializeCertificate(Study.Left, Study.Right,
+                                     Cert.Result.Certificate,
+                                     Cert.Result.Proof.get(), "-")
+                    .size();
+    Streams = Cert.Result.Proof->streamCount();
+  }
+  std::printf("%-28s %-14s time=%.2fs overhead=%.2fx cert=%.2fMB "
+              "streams=%zu decisions=%s\n",
+              "", "  (certified)", double(Cert.Result.Stats.WallMicros) / 1e6,
+              Overhead, double(CertBytes) / (1024.0 * 1024.0), Streams,
+              Decisions);
 }
 
 /// The scaling line under a sequential row: same study, same budgets,
@@ -184,6 +234,11 @@ void runAndPrint(const parsers::CaseStudy &Study, const InitialSpec &Spec,
                        MaxWallMicros, Jobs);
     printScalingRow(Seq, Par, Jobs);
   }
+  if (CertifyColumn) {
+    Row Cert = runStudy(Study, Spec, ExpectEquivalent, MaxIterations,
+                        MaxWallMicros, 1, /*Certify=*/true);
+    printCertifiedRow(Study, Seq, Cert);
+  }
 }
 
 InitialSpec plainSpec(const parsers::CaseStudy &Study) {
@@ -214,8 +269,11 @@ int main(int argc, char **argv) {
       Jobs = size_t(std::strtoull(argv[++I], nullptr, 10));
       if (Jobs < 1)
         Jobs = 1;
+    } else if (!std::strcmp(argv[I], "--certify")) {
+      CertifyColumn = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--unbounded] [--jobs N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--unbounded] [--jobs N] [--certify]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -229,6 +287,9 @@ int main(int argc, char **argv) {
     std::printf("[--jobs %zu: each row is followed by a parallel frontier "
                 "engine rerun; speedup is sequential/parallel wall]\n\n",
                 Jobs);
+  if (CertifyColumn)
+    std::printf("[--certify: each row is followed by a streaming-certificate "
+                "rerun; overhead is certified/uncertified wall]\n\n");
   printHeader();
 
   for (parsers::CaseStudy &Study : parsers::allCaseStudies()) {

@@ -1,0 +1,67 @@
+//===- CertFormat.cpp - The LFCERT certificate wire format ----------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cert/CertFormat.h"
+
+using namespace leapfrog;
+
+const char cert::CertMagic[] = "LFCERT 1";
+const char cert::CertEndMark[] = "LFCERT-END";
+
+std::string cert::escapeLine(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '\\')
+      Out += "\\\\";
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out.push_back(C);
+  }
+  return Out;
+}
+
+bool cert::unescapeLine(const std::string &S, std::string &Out) {
+  Out.clear();
+  Out.reserve(S.size());
+  for (size_t I = 0; I < S.size(); ++I) {
+    if (S[I] != '\\') {
+      Out.push_back(S[I]);
+      continue;
+    }
+    if (I + 1 >= S.size())
+      return false;
+    ++I;
+    if (S[I] == '\\')
+      Out.push_back('\\');
+    else if (S[I] == 'n')
+      Out.push_back('\n');
+    else
+      return false;
+  }
+  return true;
+}
+
+uint64_t cert::fnv1a64(const std::string &Bytes, uint64_t Seed) {
+  uint64_t H = Seed;
+  for (char C : Bytes) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string cert::hex64(uint64_t V) {
+  static const char *Digits = "0123456789abcdef";
+  std::string Out(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    Out[I] = Digits[V & 0xf];
+    V >>= 4;
+  }
+  return Out;
+}

@@ -1,0 +1,86 @@
+//===- CertFormat.h - The LFCERT certificate wire format --------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constants and byte-level helpers for the serialized certificate format
+/// shared by the engine-side writer (core/CertificateIo.h) and the
+/// engine-free reader (cert/CertVerify.h, compiled into the standalone
+/// leapfrog-certcheck binary). This header deliberately depends on
+/// nothing but the standard library: it sits inside certcheck's trusted
+/// base, which must not link the solver, the checker, or the logic layer.
+///
+/// A certificate is line-oriented text (optionally wrapped in the LFCZ1
+/// compression container, support/Compress.h):
+///
+///   LFCERT 1
+///   fingerprint <32 hex digits, or "-">
+///   options leaps=<0|1> reach=<0|1>
+///   headers <nLeft> <nRight>
+///   hl <id> <width>                 x nLeft   (left header widths)
+///   hr <id> <width>                 x nRight  (right header widths)
+///   spec <escaped guarded formula>            (phi's guard and premise)
+///   relation <N>
+///   c <escaped guarded formula>     x N       (the conjuncts of R)
+///   relhash <16 hex digits>                   (FNV-1a 64 of the c lines)
+///   streams <M>
+///   stream <index> <nEvents>
+///     g <goalId> <actVar+1 | 0>               (goal opened; 0 = one-shot)
+///     i <dimacs lits> 0                       (input clause)
+///     l <dimacs lits> 0                       (learnt lemma; RUP check)
+///     d <dimacs lits> 0                       (clause deleted)
+///     u <goalId> <dimacs lits> 0              (goal UNSAT, with its core)
+///     e <goalId>                              (goal SAT)
+///     r                                       (solver incarnation reset)
+///   endstream                       x M
+///   trailer <N> <M> <relhash> <fingerprint>
+///   LFCERT-END
+///
+/// The trailer repeats the header-declared counts, the relation hash and
+/// the fingerprint, and LFCERT-END must be the last line — a truncated or
+/// spliced file cannot end well-formed. There is deliberately no
+/// whole-payload checksum: the verifier re-derives every structural and
+/// RUP obligation from the body, so a tampered body must defeat the
+/// semantic checks, not a hash it could simply recompute.
+///
+/// Escaping: formula lines pass through escapeLine/unescapeLine, which
+/// protect backslash and newline so every record stays one line.
+/// Literals are DIMACS: variable v (0-based in the engine) renders as
+/// v+1, negated as -(v+1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_CERT_CERTFORMAT_H
+#define LEAPFROG_CERT_CERTFORMAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace leapfrog {
+namespace cert {
+
+/// First and last line of every certificate.
+extern const char CertMagic[];    // "LFCERT 1"
+extern const char CertEndMark[];  // "LFCERT-END"
+
+/// Escapes backslashes and newlines so \p S fits on one record line.
+std::string escapeLine(const std::string &S);
+
+/// Inverse of escapeLine. Returns false on a dangling escape.
+bool unescapeLine(const std::string &S, std::string &Out);
+
+/// FNV-1a (64-bit) over \p Bytes — the relation-hash primitive. Seeded
+/// calls chain: pass the previous result to hash a sequence of lines.
+uint64_t fnv1a64(const std::string &Bytes,
+                 uint64_t Seed = 14695981039346656037ull);
+
+/// 16 lowercase hex digits of \p V.
+std::string hex64(uint64_t V);
+
+} // namespace cert
+} // namespace leapfrog
+
+#endif // LEAPFROG_CERT_CERTFORMAT_H

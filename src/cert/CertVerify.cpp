@@ -1,0 +1,964 @@
+//===- CertVerify.cpp - Engine-free certificate verification --------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cert/CertVerify.h"
+
+#include "cert/CertFormat.h"
+#include "support/Compress.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace leapfrog;
+using namespace leapfrog::cert;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// An independent deletion-aware RUP checker over DIMACS literals. This is
+// certcheck's own propagation engine — written against the DRUP literature,
+// not shared with smt/ — so a bug in the solver's checker cannot also hide
+// here. Literals are nonzero ints; variable v is |l|, sign is polarity.
+//===----------------------------------------------------------------------===//
+
+class RupDb {
+public:
+  bool RootConflict = false;
+
+  void reset() {
+    Assign.clear();
+    Clauses.clear();
+    Watch.clear();
+    Trail.clear();
+    Head = 0;
+    RootConflict = false;
+    ByKey.clear();
+  }
+
+  /// Adds a clause to the database, propagating to saturation. Units go
+  /// straight to the root trail (they are never deletion targets — the
+  /// solver only deletes stored clauses, which are always binary-plus).
+  void add(const std::vector<int> &C) {
+    if (RootConflict)
+      return;
+    for (int L : C)
+      growTo(std::abs(L));
+    if (C.empty()) {
+      RootConflict = true;
+      return;
+    }
+    if (C.size() == 1) {
+      if (!enqueue(C[0]) || propagate())
+        RootConflict = true;
+      return;
+    }
+    int Id = int(Clauses.size());
+    Clauses.push_back({C, false});
+    std::vector<int> &Stored = Clauses[Id].Lits;
+    // Watch two non-false literals when they exist.
+    size_t W = 0;
+    for (size_t I = 0; I < Stored.size() && W < 2; ++I)
+      if (val(Stored[I]) >= 0)
+        std::swap(Stored[W++], Stored[I]);
+    ByKey[key(C)].push_back(Id);
+    Watch[idx(-Stored[0])].push_back(Id);
+    Watch[idx(-Stored[1])].push_back(Id);
+    if (W < 2) {
+      if (!enqueue(Stored[0]) || propagate())
+        RootConflict = true;
+    }
+  }
+
+  /// True iff the clause is a reverse-unit-propagation consequence of the
+  /// live database. Leaves the root trail unchanged.
+  bool isRup(const std::vector<int> &C) {
+    if (RootConflict)
+      return true;
+    for (int L : C)
+      growTo(std::abs(L));
+    size_t Mark = Trail.size();
+    bool Conflict = false;
+    for (int L : C) {
+      int V = val(L);
+      if (V > 0) { // Satisfied at the root: the clause is implied.
+        Conflict = true;
+        break;
+      }
+      if (V == 0 && !enqueue(-L)) {
+        Conflict = true;
+        break;
+      }
+    }
+    if (!Conflict)
+      Conflict = propagate();
+    for (size_t I = Mark; I < Trail.size(); ++I)
+      Assign[std::abs(Trail[I])] = 0;
+    Trail.resize(Mark);
+    Head = Mark;
+    return Conflict;
+  }
+
+  /// Removes the stored clause matching \p C as a literal multiset.
+  /// Returns false when no live clause matches (the caller skips the
+  /// deletion — keeping a clause only strengthens the database).
+  bool erase(const std::vector<int> &C) {
+    if (C.size() < 2)
+      return false;
+    auto It = ByKey.find(key(C));
+    if (It == ByKey.end() || It->second.empty())
+      return false;
+    int Id = It->second.back();
+    It->second.pop_back();
+    if (It->second.empty())
+      ByKey.erase(It);
+    Clauses[Id].Deleted = true;
+    Clauses[Id].Lits.clear();
+    Clauses[Id].Lits.shrink_to_fit();
+    return true;
+  }
+
+private:
+  struct Cl {
+    std::vector<int> Lits;
+    bool Deleted;
+  };
+
+  static size_t idx(int L) {
+    return size_t(std::abs(L)) * 2 + (L < 0 ? 1 : 0);
+  }
+  static std::string key(const std::vector<int> &C) {
+    std::vector<int> S = C;
+    std::sort(S.begin(), S.end());
+    std::string K;
+    K.reserve(S.size() * 4);
+    for (int L : S) {
+      uint32_t X = uint32_t(L);
+      K.push_back(char(X & 0xff));
+      K.push_back(char((X >> 8) & 0xff));
+      K.push_back(char((X >> 16) & 0xff));
+      K.push_back(char((X >> 24) & 0xff));
+    }
+    return K;
+  }
+
+  void growTo(int Var) {
+    if (int(Assign.size()) <= Var)
+      Assign.resize(size_t(Var) + 1, 0);
+    size_t Need = (size_t(Var) + 1) * 2;
+    if (Watch.size() < Need)
+      Watch.resize(Need);
+  }
+  int val(int L) const {
+    int A = Assign[std::abs(L)];
+    return L > 0 ? A : -A;
+  }
+  bool enqueue(int L) {
+    int V = val(L);
+    if (V < 0)
+      return false;
+    if (V == 0) {
+      Assign[std::abs(L)] = L > 0 ? 1 : -1;
+      Trail.push_back(L);
+    }
+    return true;
+  }
+  /// Unit propagation to fixpoint; true = conflict found.
+  bool propagate() {
+    while (Head < Trail.size()) {
+      int P = Trail[Head++];
+      // Clauses watching literal w register under idx(-w) — the literal
+      // whose enqueue falsifies the watch — so P's arrival visits
+      // Watch[idx(P)].
+      std::vector<int> &WList = Watch[idx(P)];
+      size_t Keep = 0;
+      for (size_t I = 0; I < WList.size(); ++I) {
+        int Id = WList[I];
+        Cl &Cls = Clauses[Id];
+        if (Cls.Deleted)
+          continue; // lazily dropped from the watch list
+        std::vector<int> &C = Cls.Lits;
+        if (C[0] == -P)
+          std::swap(C[0], C[1]);
+        if (val(C[0]) > 0) {
+          WList[Keep++] = Id;
+          continue;
+        }
+        bool Moved = false;
+        for (size_t K = 2; K < C.size(); ++K) {
+          if (val(C[K]) >= 0) {
+            std::swap(C[1], C[K]);
+            Watch[idx(-C[1])].push_back(Id);
+            Moved = true;
+            break;
+          }
+        }
+        if (Moved)
+          continue;
+        WList[Keep++] = Id;
+        if (!enqueue(C[0])) {
+          for (size_t K = I + 1; K < WList.size(); ++K)
+            WList[Keep++] = WList[K];
+          WList.resize(Keep);
+          Head = Trail.size();
+          return true;
+        }
+      }
+      WList.resize(Keep);
+    }
+    return false;
+  }
+
+  std::vector<int> Assign; // indexed by variable; 0/+1/-1
+  std::vector<Cl> Clauses;
+  std::vector<std::vector<int>> Watch; // indexed by idx(trigger literal)
+  std::vector<int> Trail;
+  size_t Head = 0;
+  std::unordered_map<std::string, std::vector<int>> ByKey;
+};
+
+//===----------------------------------------------------------------------===//
+// Formula well-formedness gate: an independent recursive-descent parser
+// for the engine's rendering of guarded formulas (logic/ConfRel.cpp str())
+// plus a zero-environment evaluator. The gate establishes that every
+// conjunct is grammatical and width-consistent under the declared header
+// widths and guard buffer lengths; it does NOT (and cannot, engine-free)
+// re-derive the proof obligations — that is replayCertificate's job.
+//===----------------------------------------------------------------------===//
+
+struct HeaderWidths {
+  std::unordered_map<long, long> Left, Right;
+};
+
+/// A bitvector value under the all-zero environment: Known=false for
+/// subterms whose width the text does not determine (rigid variables have
+/// no width annotation in the rendering; widths unify through equalities).
+struct Val {
+  bool Known = true;
+  std::string Bits; // Bits[i] = bit i, '0'/'1'
+};
+
+class FormulaParser {
+public:
+  FormulaParser(const std::string &Text, const HeaderWidths &HW,
+                long BufLeft, long BufRight)
+      : S(Text), HW(HW), BufL(BufLeft), BufR(BufRight) {}
+
+  /// Parses the whole text as a pure formula; false + Err on failure.
+  bool parseFormula() {
+    bool B;
+    if (!formula(B))
+      return false;
+    skipWs();
+    if (P != S.size())
+      return err("trailing characters after formula");
+    return true;
+  }
+
+  std::string Err;
+
+private:
+  struct Node {
+    bool IsFormula;
+    bool B = false; // formula value under the zero environment
+    Val V;          // expression value
+  };
+
+  bool err(const std::string &Why) {
+    if (Err.empty())
+      Err = Why + " at offset " + std::to_string(P);
+    return false;
+  }
+  void skipWs() {
+    while (P < S.size() && S[P] == ' ')
+      ++P;
+  }
+  bool lit(const char *Tok) {
+    size_t N = std::strlen(Tok);
+    if (S.compare(P, N, Tok) != 0)
+      return false;
+    P += N;
+    return true;
+  }
+  bool number(long &Out) {
+    size_t Start = P;
+    while (P < S.size() && std::isdigit(static_cast<unsigned char>(S[P])))
+      ++P;
+    if (P == Start)
+      return false;
+    Out = std::strtol(S.c_str() + Start, nullptr, 10);
+    return true;
+  }
+
+  bool formula(bool &B) {
+    Node N;
+    if (!node(N))
+      return false;
+    if (!N.IsFormula)
+      return err("expected a formula, found a bitvector expression");
+    B = N.B;
+    return true;
+  }
+
+  bool node(Node &Out) {
+    skipWs();
+    if (P >= S.size())
+      return err("unexpected end of formula");
+    if (lit("true")) {
+      Out = {true, true, {}};
+      return true;
+    }
+    if (lit("false")) {
+      Out = {true, false, {}};
+      return true;
+    }
+    if (lit("!")) {
+      bool B;
+      if (!formula(B))
+        return false;
+      Out = {true, !B, {}};
+      return true;
+    }
+    if (lit("0b")) {
+      Val V;
+      while (P < S.size() && (S[P] == '0' || S[P] == '1'))
+        V.Bits.push_back(S[P++]);
+      Out = {false, false, V};
+      return slices(Out);
+    }
+    if (lit("buf<")) {
+      Out = {false, false, zeros(BufL)};
+      return slices(Out);
+    }
+    if (lit("buf>")) {
+      Out = {false, false, zeros(BufR)};
+      return slices(Out);
+    }
+    if (S[P] == 'h' && P + 1 < S.size() &&
+        std::isdigit(static_cast<unsigned char>(S[P + 1]))) {
+      ++P;
+      long Id;
+      number(Id);
+      bool LeftSide;
+      if (lit("<"))
+        LeftSide = true;
+      else if (lit(">"))
+        LeftSide = false;
+      else
+        return err("header reference missing its side mark");
+      const auto &Map = LeftSide ? HW.Left : HW.Right;
+      auto It = Map.find(Id);
+      if (It == Map.end())
+        return err("header h" + std::to_string(Id) +
+                   (LeftSide ? "<" : ">") + " is not declared");
+      Out = {false, false, zeros(It->second)};
+      return slices(Out);
+    }
+    if (lit("$")) {
+      size_t Start = P;
+      while (P < S.size() &&
+             (std::isalnum(static_cast<unsigned char>(S[P])) ||
+              S[P] == '_' || S[P] == '.'))
+        ++P;
+      if (P == Start)
+        return err("empty rigid-variable name");
+      Out = {false, false, Val{false, {}}};
+      return slices(Out);
+    }
+    if (lit("(")) {
+      Node L;
+      if (!node(L))
+        return false;
+      skipWs();
+      if (lit("= ")) {
+        Node R;
+        if (!node(R))
+          return false;
+        if (L.IsFormula || R.IsFormula)
+          return err("'=' applied to a formula");
+        if (L.V.Known && R.V.Known &&
+            L.V.Bits.size() != R.V.Bits.size())
+          return err("width mismatch in equality (" +
+                     std::to_string(L.V.Bits.size()) + " vs " +
+                     std::to_string(R.V.Bits.size()) + ")");
+        bool B;
+        if (L.V.Known && R.V.Known)
+          B = L.V.Bits == R.V.Bits;
+        else if (L.V.Known)
+          B = allZero(L.V.Bits);
+        else if (R.V.Known)
+          B = allZero(R.V.Bits);
+        else
+          B = true;
+        if (!close())
+          return false;
+        Out = {true, B, {}};
+        return true;
+      }
+      char Op = 0;
+      if (lit("& "))
+        Op = '&';
+      else if (lit("| "))
+        Op = '|';
+      else if (lit("-> "))
+        Op = '>';
+      if (Op != 0) {
+        Node R;
+        if (!node(R))
+          return false;
+        if (!L.IsFormula || !R.IsFormula)
+          return err("boolean connective applied to a bitvector "
+                     "expression");
+        bool B = Op == '&'   ? (L.B && R.B)
+                 : Op == '|' ? (L.B || R.B)
+                             : (!L.B || R.B);
+        if (!close())
+          return false;
+        Out = {true, B, {}};
+        return true;
+      }
+      if (lit("++ ")) {
+        Node R;
+        if (!node(R))
+          return false;
+        if (L.IsFormula || R.IsFormula)
+          return err("'++' applied to a formula");
+        Val V;
+        V.Known = L.V.Known && R.V.Known;
+        if (V.Known)
+          V.Bits = L.V.Bits + R.V.Bits;
+        if (!close())
+          return false;
+        Out = {false, false, V};
+        return slices(Out);
+      }
+      return err("expected '=', '&', '|', '->' or '++'");
+    }
+    return err("unexpected character '" + std::string(1, S[P]) + "'");
+  }
+
+  bool close() {
+    skipWs();
+    if (!lit(")"))
+      return err("expected ')'");
+    return true;
+  }
+
+  /// Clamped inclusive slice suffixes, chainable: expr[lo:hi][lo:hi]...
+  bool slices(Node &N) {
+    while (P < S.size() && S[P] == '[') {
+      ++P;
+      long Lo, Hi;
+      if (!number(Lo) || !lit(":") || !number(Hi) || !lit("]"))
+        return err("malformed slice suffix");
+      if (N.V.Known) {
+        long W = long(N.V.Bits.size());
+        if (W == 0) {
+          N.V.Bits.clear();
+        } else {
+          long CLo = std::min(Lo, W - 1), CHi = std::min(Hi, W - 1);
+          N.V.Bits = CLo > CHi
+                         ? std::string()
+                         : N.V.Bits.substr(size_t(CLo),
+                                           size_t(CHi - CLo + 1));
+        }
+      }
+    }
+    return true;
+  }
+
+  static Val zeros(long W) { return Val{true, std::string(size_t(W), '0')}; }
+  static bool allZero(const std::string &B) {
+    return B.find('1') == std::string::npos;
+  }
+
+  const std::string &S;
+  size_t P = 0;
+  const HeaderWidths &HW;
+  long BufL, BufR;
+};
+
+/// Splits a guarded-formula rendering "[q,n]< & [q,n]> => phi" into its
+/// guard buffer lengths and the pure body.
+bool splitGuarded(const std::string &Text, long &NL, long &NR,
+                  std::string &Body, std::string &Err) {
+  if (Text.empty() || Text[0] != '[') {
+    Err = "guarded formula does not start with '['";
+    return false;
+  }
+  size_t Mid = Text.find("]< & [");
+  if (Mid == std::string::npos) {
+    Err = "guard separator \"]< & [\" not found";
+    return false;
+  }
+  size_t End = Text.find("]> => ", Mid);
+  if (End == std::string::npos) {
+    Err = "guard terminator \"]> => \" not found";
+    return false;
+  }
+  auto GuardN = [&Err](const std::string &Inner, long &N) {
+    size_t Comma = Inner.rfind(',');
+    if (Comma == std::string::npos) {
+      Err = "guard template missing its buffer length";
+      return false;
+    }
+    char *EndP = nullptr;
+    N = std::strtol(Inner.c_str() + Comma + 1, &EndP, 10);
+    if (EndP == Inner.c_str() + Comma + 1 || *EndP != '\0') {
+      Err = "guard buffer length is not a number";
+      return false;
+    }
+    return true;
+  };
+  if (!GuardN(Text.substr(1, Mid - 1), NL))
+    return false;
+  if (!GuardN(Text.substr(Mid + 6, End - Mid - 6), NR))
+    return false;
+  Body = Text.substr(End + 6);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Stream replay: the RUP checker plus the goal-scope discipline that makes
+// per-goal slices sound (see CertVerify.h and docs/CERTIFICATES.md).
+//===----------------------------------------------------------------------===//
+
+struct StreamCheck {
+  RupDb Db;
+  bool GoalOpen = false;
+  long OpenAct = 0; // DIMACS variable of the open goal; 0 = one-shot
+  uint64_t OpenId = 0;
+  uint64_t LastId = 0; // goal ids strictly increase per stream
+  long MaxVarSeen = 0; // since the last restart, for activation freshness
+  std::unordered_set<long> ActVars; // activation variables since restart
+
+  void noteVars(const std::vector<int> &Lits) {
+    for (int L : Lits)
+      MaxVarSeen = std::max(MaxVarSeen, long(std::abs(L)));
+  }
+  void restart() {
+    Db.reset();
+    GoalOpen = false;
+    OpenAct = 0;
+    MaxVarSeen = 0;
+    ActVars.clear();
+    // LastId survives: goal ids are per-stream, not per-incarnation.
+  }
+};
+
+/// Reads "<int>... 0" from \p In into \p Lits; false on malformed input
+/// or a missing terminator.
+bool readClause(std::istringstream &In, std::vector<int> &Lits) {
+  Lits.clear();
+  long L;
+  while (In >> L) {
+    if (L == 0) {
+      std::string Rest;
+      return !(In >> Rest); // nothing after the terminator
+    }
+    if (L > 0x3fffffff || L < -0x3fffffff)
+      return false;
+    Lits.push_back(int(L));
+  }
+  return false; // terminator never seen
+}
+
+} // namespace
+
+VerifyResult cert::verifyCertificate(const std::string &Payload,
+                                     const VerifyOptions &Options) {
+  VerifyResult R;
+
+  std::string Text;
+  if (support::looksCompressed(Payload)) {
+    std::string Err;
+    if (!support::decompress(Payload, Text, &Err)) {
+      R.Diagnostic = "container: " + Err;
+      return R;
+    }
+  } else {
+    Text = Payload;
+  }
+
+  // Split into lines; Line N in diagnostics is 1-based over the raw text.
+  std::vector<std::string> Lines;
+  {
+    size_t Start = 0;
+    while (Start <= Text.size()) {
+      size_t Nl = Text.find('\n', Start);
+      if (Nl == std::string::npos) {
+        if (Start < Text.size())
+          Lines.push_back(Text.substr(Start));
+        break;
+      }
+      Lines.push_back(Text.substr(Start, Nl - Start));
+      Start = Nl + 1;
+    }
+  }
+
+  size_t I = 0; // current line index
+  auto fail = [&](const std::string &Why) {
+    R.Ok = false;
+    R.Diagnostic = "line " + std::to_string(I + 1) + ": " + Why;
+    return R;
+  };
+  auto haveLine = [&]() { return I < Lines.size(); };
+  auto takePrefix = [&](const char *Prefix, std::string &Rest) {
+    if (!haveLine())
+      return false;
+    size_t N = std::strlen(Prefix);
+    if (Lines[I].compare(0, N, Prefix) != 0)
+      return false;
+    Rest = Lines[I].substr(N);
+    ++I;
+    return true;
+  };
+
+  // --- Header ---
+  if (!haveLine() || Lines[I] != CertMagic)
+    return fail(std::string("expected \"") + CertMagic +
+                "\" (not a certificate, or a corrupted container)");
+  ++I;
+
+  std::string Rest;
+  if (!takePrefix("fingerprint ", Rest))
+    return fail("expected the fingerprint line");
+  if (Rest != "-") {
+    if (Rest.size() != 32 ||
+        Rest.find_first_not_of("0123456789abcdef") != std::string::npos)
+      return fail("fingerprint is not 32 lowercase hex digits");
+  }
+  R.FingerprintHex = Rest;
+  if (!Options.ExpectFingerprintHex.empty() &&
+      Rest != Options.ExpectFingerprintHex)
+    return fail("fingerprint mismatch: certificate carries \"" + Rest +
+                "\", expected \"" + Options.ExpectFingerprintHex + "\"");
+
+  if (!takePrefix("options ", Rest))
+    return fail("expected the options line");
+  {
+    std::istringstream In(Rest);
+    std::string LeapsTok, ReachTok, Extra;
+    if (!(In >> LeapsTok >> ReachTok) || (In >> Extra) ||
+        LeapsTok.rfind("leaps=", 0) != 0 || ReachTok.rfind("reach=", 0) != 0)
+      return fail("malformed options line");
+  }
+
+  // --- Header widths ---
+  HeaderWidths HW;
+  if (!takePrefix("headers ", Rest))
+    return fail("expected the headers line");
+  long NHl = 0, NHr = 0;
+  {
+    std::istringstream In(Rest);
+    std::string Extra;
+    if (!(In >> NHl >> NHr) || (In >> Extra) || NHl < 0 || NHr < 0)
+      return fail("malformed headers line");
+  }
+  for (long K = 0; K < NHl + NHr; ++K) {
+    bool LeftSide = K < NHl;
+    if (!takePrefix(LeftSide ? "hl " : "hr ", Rest))
+      return fail(LeftSide ? "expected a left header-width line (hl)"
+                           : "expected a right header-width line (hr)");
+    std::istringstream In(Rest);
+    long Id, W;
+    std::string Extra;
+    if (!(In >> Id >> W) || (In >> Extra) || Id < 0 || W < 0)
+      return fail("malformed header-width line");
+    auto &Map = LeftSide ? HW.Left : HW.Right;
+    if (!Map.emplace(Id, W).second)
+      return fail("duplicate header-width declaration");
+  }
+
+  // --- Spec (phi's guard and premise) ---
+  if (!takePrefix("spec ", Rest))
+    return fail("expected the spec line");
+  {
+    std::string SpecText;
+    if (!unescapeLine(Rest, SpecText))
+      return fail("spec line has a dangling escape");
+    long NL, NR;
+    std::string Body, Err;
+    if (!splitGuarded(SpecText, NL, NR, Body, Err))
+      return fail("spec: " + Err);
+    FormulaParser FP(Body, HW, NL, NR);
+    if (!FP.parseFormula())
+      return fail("spec premise: " + FP.Err);
+  }
+
+  // --- Relation ---
+  if (!takePrefix("relation ", Rest))
+    return fail("expected the relation line");
+  long NRel = 0;
+  {
+    std::istringstream In(Rest);
+    std::string Extra;
+    if (!(In >> NRel) || (In >> Extra) || NRel < 0)
+      return fail("malformed relation count");
+  }
+  uint64_t RelHash = fnv1a64("", 14695981039346656037ull);
+  for (long K = 0; K < NRel; ++K) {
+    if (!takePrefix("c ", Rest))
+      return fail("expected conjunct " + std::to_string(K + 1) + " of " +
+                  std::to_string(NRel) +
+                  " (relation count disagrees with the conjunct lines)");
+    RelHash = fnv1a64(Rest + "\n", RelHash);
+    std::string Conjunct;
+    if (!unescapeLine(Rest, Conjunct))
+      return fail("conjunct line has a dangling escape");
+    long NL, NR;
+    std::string Body, Err;
+    if (!splitGuarded(Conjunct, NL, NR, Body, Err))
+      return fail("conjunct " + std::to_string(K + 1) + ": " + Err);
+    FormulaParser FP(Body, HW, NL, NR);
+    if (!FP.parseFormula())
+      return fail("conjunct " + std::to_string(K + 1) + ": " + FP.Err);
+    ++R.Stats.RelationConjuncts;
+  }
+  if (!takePrefix("relhash ", Rest))
+    return fail("expected the relhash line");
+  if (Rest != hex64(RelHash))
+    return fail("relation hash mismatch: conjuncts hash to " +
+                hex64(RelHash) + ", certificate claims " + Rest);
+
+  // --- Proof streams ---
+  if (!takePrefix("streams ", Rest))
+    return fail("expected the streams line");
+  long NStreams = 0;
+  {
+    std::istringstream In(Rest);
+    std::string Extra;
+    if (!(In >> NStreams) || (In >> Extra) || NStreams < 0)
+      return fail("malformed stream count");
+  }
+  for (long SIdx = 0; SIdx < NStreams; ++SIdx) {
+    if (!takePrefix("stream ", Rest))
+      return fail("expected stream " + std::to_string(SIdx) + " of " +
+                  std::to_string(NStreams));
+    long Declared = -1, NEvents = -1;
+    {
+      std::istringstream In(Rest);
+      std::string Extra;
+      if (!(In >> Declared >> NEvents) || (In >> Extra) || NEvents < 0)
+        return fail("malformed stream header");
+      if (Declared != SIdx)
+        return fail("stream index " + std::to_string(Declared) +
+                    " out of order (expected " + std::to_string(SIdx) + ")");
+    }
+    StreamCheck SC;
+    std::vector<int> Lits;
+    for (long E = 0; E < NEvents; ++E) {
+      if (!haveLine())
+        return fail("stream ends after " + std::to_string(E) + " of " +
+                    std::to_string(NEvents) + " events (truncated?)");
+      const std::string &Line = Lines[I];
+      if (Line.size() < 1)
+        return fail("empty event line");
+      char Kind = Line[0];
+      std::istringstream In(Line.substr(1));
+      switch (Kind) {
+      case 'g': {
+        long Id = -1, Act = -1;
+        std::string Extra;
+        if (!(In >> Id >> Act) || (In >> Extra) || Id < 0 || Act < 0)
+          return fail("malformed goal-begin event");
+        if (SC.GoalOpen)
+          return fail("goal " + std::to_string(Id) + " opened while goal " +
+                      std::to_string(SC.OpenId) + " is still open");
+        if (uint64_t(Id) <= SC.LastId)
+          return fail("goal id " + std::to_string(Id) +
+                      " does not increase (last was " +
+                      std::to_string(SC.LastId) + ")");
+        if (Act > 0) {
+          if (Act <= SC.MaxVarSeen)
+            return fail("activation variable " + std::to_string(Act) +
+                        " of goal " + std::to_string(Id) +
+                        " is not fresh (a variable up to " +
+                        std::to_string(SC.MaxVarSeen) +
+                        " was already mentioned)");
+          SC.ActVars.insert(Act);
+          SC.MaxVarSeen = Act;
+        }
+        SC.GoalOpen = true;
+        SC.OpenAct = Act;
+        SC.OpenId = uint64_t(Id);
+        SC.LastId = uint64_t(Id);
+        ++R.Stats.Goals;
+        break;
+      }
+      case 'i': {
+        if (!readClause(In, Lits))
+          return fail("malformed input clause");
+        SC.noteVars(Lits);
+        // Scope discipline. Globally: activation variables are only ever
+        // assumed, never asserted, so a positive activation literal in
+        // any input is malformed. Inside the scope of an open goal g, an
+        // input is either a goal clause (carries the guard -act_g) or a
+        // lazily-blasted premise (mentions no activation variable at
+        // all) — a clause that mentions act_g without guarding on it, or
+        // drags another goal's activation variable in mid-scope, fits
+        // neither producer shape and is rejected. Retirement units
+        // {-act_h} of *ended* goals are admitted only outside any scope,
+        // where the model-extension argument (docs/CERTIFICATES.md)
+        // makes them harmless.
+        bool HasGuard = false, MentionsAct = false;
+        for (int L : Lits) {
+          int V = L > 0 ? L : -L;
+          if (L > 0 && SC.ActVars.count(V))
+            return fail("input clause contains a positive activation "
+                        "literal " +
+                        std::to_string(L) +
+                        " (activation variables must only be assumed, "
+                        "never asserted)");
+          if (SC.ActVars.count(V)) {
+            MentionsAct = true;
+            if (SC.GoalOpen && SC.OpenAct > 0 && L == -int(SC.OpenAct))
+              HasGuard = true;
+          }
+        }
+        if (SC.GoalOpen && SC.OpenAct > 0 && MentionsAct && !HasGuard)
+          return fail("input clause inside the scope of goal " +
+                      std::to_string(SC.OpenId) +
+                      " mentions an activation variable but is missing "
+                      "the guard literal " +
+                      std::to_string(-SC.OpenAct));
+        SC.Db.add(Lits);
+        ++R.Stats.Inputs;
+        break;
+      }
+      case 'l': {
+        if (!readClause(In, Lits))
+          return fail("malformed lemma clause");
+        SC.noteVars(Lits);
+        ++R.Stats.Lemmas;
+        if (Lits.empty()) {
+          if (!SC.Db.RootConflict && !SC.Db.isRup(Lits))
+            return fail("empty lemma recorded, but the database is not "
+                        "conflicting");
+          SC.Db.add(Lits);
+          break;
+        }
+        if (!SC.Db.isRup(Lits))
+          return fail("lemma is not a reverse-unit-propagation "
+                      "consequence of the live clause database");
+        SC.Db.add(Lits);
+        break;
+      }
+      case 'd': {
+        if (!readClause(In, Lits))
+          return fail("malformed deletion");
+        SC.noteVars(Lits);
+        ++R.Stats.Deletions;
+        if (!SC.Db.erase(Lits))
+          ++R.Stats.DeletionsSkipped; // sound: the clause stays
+        break;
+      }
+      case 'u': {
+        long Id = -1;
+        if (!(In >> Id) || Id < 0)
+          return fail("malformed goal-unsat event");
+        if (!readClause(In, Lits))
+          return fail("malformed goal-unsat core");
+        if (!SC.GoalOpen || SC.OpenId != uint64_t(Id))
+          return fail("goal " + std::to_string(Id) +
+                      " closed unsat, but it is not the open goal");
+        if (SC.OpenAct == 0 && !Lits.empty())
+          return fail("one-shot goal " + std::to_string(Id) +
+                      " closed with a non-empty core");
+        for (int L : Lits)
+          if (L != -int(SC.OpenAct))
+            return fail("unsat core of goal " + std::to_string(Id) +
+                        " contains " + std::to_string(L) +
+                        ", expected only the negated activation literal " +
+                        std::to_string(-SC.OpenAct));
+        if (Lits.empty()) {
+          if (!SC.Db.RootConflict && !SC.Db.isRup(Lits))
+            return fail("goal " + std::to_string(Id) +
+                        " claims root unsatisfiability, but the database "
+                        "is not conflicting");
+        } else if (!SC.Db.isRup(Lits)) {
+          return fail("unsat core of goal " + std::to_string(Id) +
+                      " is not a reverse-unit-propagation consequence of "
+                      "the live clause database");
+        }
+        SC.GoalOpen = false;
+        SC.OpenAct = 0;
+        ++R.Stats.UnsatGoals;
+        break;
+      }
+      case 'e': {
+        long Id = -1;
+        std::string Extra;
+        if (!(In >> Id) || (In >> Extra) || Id < 0)
+          return fail("malformed goal-sat event");
+        if (!SC.GoalOpen || SC.OpenId != uint64_t(Id))
+          return fail("goal " + std::to_string(Id) +
+                      " closed sat, but it is not the open goal");
+        SC.GoalOpen = false;
+        SC.OpenAct = 0;
+        break;
+      }
+      case 'r': {
+        std::string Extra;
+        if (In >> Extra)
+          return fail("malformed restart event");
+        if (SC.GoalOpen)
+          return fail("session restart while goal " +
+                      std::to_string(SC.OpenId) + " is open");
+        SC.restart();
+        break;
+      }
+      default:
+        return fail(std::string("unknown event kind '") + Kind + "'");
+      }
+      ++I;
+    }
+    if (SC.GoalOpen)
+      return fail("stream " + std::to_string(SIdx) + " ends with goal " +
+                  std::to_string(SC.OpenId) + " still open");
+    if (!haveLine() || Lines[I] != "endstream")
+      return fail("expected \"endstream\" after " +
+                  std::to_string(NEvents) + " events");
+    ++I;
+    ++R.Stats.Streams;
+  }
+
+  // --- Trailer ---
+  if (!takePrefix("trailer ", Rest))
+    return fail("expected the trailer line");
+  {
+    std::istringstream In(Rest);
+    long TN = -1, TM = -1;
+    std::string THash, TFp, Extra;
+    if (!(In >> TN >> TM >> THash >> TFp) || (In >> Extra))
+      return fail("malformed trailer");
+    if (TN != NRel || TM != NStreams)
+      return fail("trailer counts (" + std::to_string(TN) + " conjuncts, " +
+                  std::to_string(TM) + " streams) disagree with the body (" +
+                  std::to_string(NRel) + ", " + std::to_string(NStreams) +
+                  ")");
+    if (THash != hex64(RelHash))
+      return fail("trailer relation hash disagrees with the conjuncts");
+    if (TFp != R.FingerprintHex)
+      return fail("trailer fingerprint disagrees with the header");
+  }
+  if (!haveLine() || Lines[I] != CertEndMark)
+    return fail(std::string("expected \"") + CertEndMark +
+                "\" (certificate truncated?)");
+  ++I;
+  for (; I < Lines.size(); ++I)
+    if (!Lines[I].empty())
+      return fail("trailing content after the end mark");
+
+  R.Ok = true;
+  return R;
+}

@@ -1,0 +1,96 @@
+//===- CertVerify.h - Engine-free certificate verification ------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The independent verifier behind the `leapfrog-certcheck` tool — the
+/// analogue of the paper's "check the certificate in the Coq kernel"
+/// step (§6.4). verifyCertificate() replays a serialized certificate
+/// (core/CertificateIo.h format, see cert/CertFormat.h) with NO linkage
+/// against the solver, the checker, the logic layer, or the parallel
+/// engine: its trusted base is this file, CertFormat, the LZSS
+/// decompressor, and the C++ standard library. What it re-derives:
+///
+///  * Container integrity — magic line, section counts, the trailer
+///    repeating counts/relhash/fingerprint, and the LFCERT-END mark
+///    (truncation and splicing surface as structured diagnostics).
+///  * Relation well-formedness — every conjunct line re-parses under the
+///    engine's formula grammar (an independent recursive-descent parser)
+///    and passes a width/zero-evaluation gate against the declared
+///    header widths and guard buffer lengths; the relation hash must
+///    match the recorded one.
+///  * Proof stream validity — every stream replays through an
+///    independent deletion-aware RUP checker: inputs extend the clause
+///    database, every lemma must be RUP when recorded, deletions remove
+///    the matching stored clause (unknown deletions are skipped — that
+///    only strengthens the database), restarts reset it.
+///  * Goal scope discipline — the structural rules that make per-goal
+///    DRUP slices sound under clause deletion and goal retirement
+///    (docs/CERTIFICATES.md): activation variables are fresh at their
+///    GoalBegin (greater than every variable mentioned since the last
+///    restart), at most one goal is open at a time, goal ids strictly
+///    increase, no input anywhere contains a positive activation
+///    literal, every input inside a goal's scope carries that goal's
+///    negated activation literal, and an UNSAT goal's core consists only
+///    of the open goal's negated activation literal (empty cores require
+///    the database to be conflicting at the root; one-shot goals —
+///    activation 0 — only close with empty cores).
+///
+/// What it deliberately does NOT check: that the CNF inside the streams
+/// is a faithful bit-blasting of the relation's entailment obligations.
+/// That binding — lowering, bit-blasting, WP re-derivation — is the
+/// replayer's job (core::replayCertificate) and remains in the engine's
+/// trusted base, exactly as the paper's lowering plugin does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_CERT_CERTVERIFY_H
+#define LEAPFROG_CERT_CERTVERIFY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace leapfrog {
+namespace cert {
+
+struct VerifyOptions {
+  /// When nonempty, the certificate's fingerprint line must equal this
+  /// (lowercase hex) — how a store consumer pins a certificate to the
+  /// request key it was fetched under.
+  std::string ExpectFingerprintHex;
+};
+
+struct VerifyStats {
+  size_t RelationConjuncts = 0;
+  size_t Streams = 0;
+  size_t Goals = 0;
+  size_t UnsatGoals = 0;
+  size_t Inputs = 0;
+  size_t Lemmas = 0;
+  size_t Deletions = 0;
+  size_t DeletionsSkipped = 0;
+};
+
+struct VerifyResult {
+  bool Ok = false;
+  /// Located diagnostic ("line 42: lemma is not RUP: ...") when !Ok.
+  std::string Diagnostic;
+  /// The certificate's own fingerprint line ("-" when it carries none).
+  std::string FingerprintHex;
+  VerifyStats Stats;
+};
+
+/// Verifies \p Payload, which may be raw LFCERT text or an LFCZ1
+/// compression container holding it. Never throws; every failure is a
+/// diagnostic. See the file comment for exactly what is established.
+VerifyResult verifyCertificate(const std::string &Payload,
+                               const VerifyOptions &Options = VerifyOptions());
+
+} // namespace cert
+} // namespace leapfrog
+
+#endif // LEAPFROG_CERT_CERTVERIFY_H

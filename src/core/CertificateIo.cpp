@@ -1,0 +1,119 @@
+//===- CertificateIo.cpp - Serializing certificates for certcheck ---------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CertificateIo.h"
+
+#include "cert/CertFormat.h"
+#include "support/Compress.h"
+
+using namespace leapfrog;
+using namespace leapfrog::core;
+
+namespace {
+
+/// DIMACS rendering: variable v (0-based) is v+1, negated literals are
+/// negative — the convention cert/CertFormat.h fixes.
+void appendClause(std::string &Out, const std::vector<smt::Lit> &C) {
+  for (smt::Lit L : C) {
+    Out += std::to_string(L.negated() ? -(L.var() + 1) : L.var() + 1);
+    Out += ' ';
+  }
+  Out += '0';
+}
+
+void appendStream(std::string &Out, const smt::ProofStream &S,
+                  size_t Index) {
+  Out += "stream " + std::to_string(Index) + " " +
+         std::to_string(S.Events.size()) + "\n";
+  for (const smt::ProofEvent &E : S.Events) {
+    switch (E.K) {
+    case smt::ProofEvent::Kind::Input:
+      Out += "i ";
+      appendClause(Out, E.Lits);
+      break;
+    case smt::ProofEvent::Kind::Lemma:
+      Out += "l ";
+      appendClause(Out, E.Lits);
+      break;
+    case smt::ProofEvent::Kind::Delete:
+      Out += "d ";
+      appendClause(Out, E.Lits);
+      break;
+    case smt::ProofEvent::Kind::GoalBegin:
+      // Activation variables shift to 1-based; -1 (one-shot) becomes 0.
+      Out += "g " + std::to_string(E.GoalId) + " " +
+             std::to_string(E.ActVar + 1);
+      break;
+    case smt::ProofEvent::Kind::GoalEndUnsat:
+      Out += "u " + std::to_string(E.GoalId) + " ";
+      appendClause(Out, E.Lits);
+      break;
+    case smt::ProofEvent::Kind::GoalEndSat:
+      Out += "e " + std::to_string(E.GoalId);
+      break;
+    case smt::ProofEvent::Kind::Restart:
+      Out += "r";
+      break;
+    }
+    Out += '\n';
+  }
+  Out += "endstream\n";
+}
+
+} // namespace
+
+std::string core::serializeCertificate(const p4a::Automaton &Left,
+                                       const p4a::Automaton &Right,
+                                       const EquivalenceCertificate &Cert,
+                                       const smt::ProofLog *Proof,
+                                       const std::string &FingerprintHex) {
+  std::string Out;
+  std::string Fp = FingerprintHex.empty() ? "-" : FingerprintHex;
+
+  Out += std::string(cert::CertMagic) + "\n";
+  Out += "fingerprint " + Fp + "\n";
+  Out += "options leaps=" + std::string(Cert.UseLeaps ? "1" : "0") +
+         " reach=" + std::string(Cert.UseReachability ? "1" : "0") + "\n";
+
+  Out += "headers " + std::to_string(Left.numHeaders()) + " " +
+         std::to_string(Right.numHeaders()) + "\n";
+  for (size_t H = 0; H < Left.numHeaders(); ++H)
+    Out += "hl " + std::to_string(H) + " " +
+           std::to_string(Left.headerSize(p4a::HeaderId(H))) + "\n";
+  for (size_t H = 0; H < Right.numHeaders(); ++H)
+    Out += "hr " + std::to_string(H) + " " +
+           std::to_string(Right.headerSize(p4a::HeaderId(H))) + "\n";
+
+  logic::GuardedFormula SpecG{
+      Cert.Spec.TP,
+      Cert.Spec.Premise ? Cert.Spec.Premise : logic::Pure::mkTrue()};
+  Out += "spec " + cert::escapeLine(SpecG.str(Left, Right)) + "\n";
+
+  Out += "relation " + std::to_string(Cert.Relation.size()) + "\n";
+  uint64_t RelHash = cert::fnv1a64("");
+  for (const logic::GuardedFormula &G : Cert.Relation) {
+    std::string Line = cert::escapeLine(G.str(Left, Right));
+    RelHash = cert::fnv1a64(Line + "\n", RelHash);
+    Out += "c " + Line + "\n";
+  }
+  Out += "relhash " + cert::hex64(RelHash) + "\n";
+
+  size_t NStreams = Proof ? Proof->streamCount() : 0;
+  Out += "streams " + std::to_string(NStreams) + "\n";
+  for (size_t S = 0; S < NStreams; ++S)
+    appendStream(Out, Proof->stream(S), S);
+
+  Out += "trailer " + std::to_string(Cert.Relation.size()) + " " +
+         std::to_string(NStreams) + " " + cert::hex64(RelHash) + " " + Fp +
+         "\n";
+  Out += std::string(cert::CertEndMark) + "\n";
+  return Out;
+}
+
+std::string core::compressCertificate(const std::string &CertText) {
+  return support::compress(CertText);
+}

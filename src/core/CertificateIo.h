@@ -1,0 +1,54 @@
+//===- CertificateIo.h - Serializing certificates for certcheck -*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The writer side of the LFCERT format (cert/CertFormat.h): turns a
+/// completed Equivalent check — its relation certificate plus the proof
+/// streams captured under CheckOptions::Certify — into the textual
+/// artifact that the standalone leapfrog-certcheck verifier replays with
+/// no engine linkage. The serve layer stores the compressed form on disk
+/// keyed by request fingerprint (serve/Service.h); the CLI writes it via
+/// --emit-cert.
+///
+/// The reader (cert/CertVerify.h) is deliberately NOT this file's
+/// inverse-at-the-type-level: it re-parses the text through its own
+/// grammar and replays the streams through its own RUP checker, so the
+/// writer is not part of the verifier's trusted base.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_CORE_CERTIFICATEIO_H
+#define LEAPFROG_CORE_CERTIFICATEIO_H
+
+#include "core/Certificate.h"
+#include "smt/ProofLog.h"
+
+#include <string>
+
+namespace leapfrog {
+namespace core {
+
+/// Renders \p Cert and the captured proof streams \p Proof (may be null:
+/// a relation-only certificate with zero streams) into LFCERT text.
+/// \p FingerprintHex is the request key the artifact is pinned to (the
+/// service's cache-key fingerprint); pass "" for an unpinned certificate
+/// (serialized as "-"). The automata supply the header widths and state
+/// names the rendering mentions.
+std::string serializeCertificate(const p4a::Automaton &Left,
+                                 const p4a::Automaton &Right,
+                                 const EquivalenceCertificate &Cert,
+                                 const smt::ProofLog *Proof,
+                                 const std::string &FingerprintHex);
+
+/// Wraps serialized text in the LFCZ1 compression container — the
+/// on-disk form of the certificate store. verifyCertificate accepts both.
+std::string compressCertificate(const std::string &CertText);
+
+} // namespace core
+} // namespace leapfrog
+
+#endif // LEAPFROG_CORE_CERTIFICATEIO_H

@@ -12,6 +12,7 @@
 #include "logic/Lower.h"
 #include "p4a/Typing.h"
 #include "parallel/ParallelChecker.h"
+#include "smt/ProofLog.h"
 #include "smt/SmtLibSolver.h"
 
 #include <chrono>
@@ -52,9 +53,17 @@ CheckResult core::checkWithSpec(const p4a::Automaton &Left,
   // (and spawns its per-worker instances from it). An explicit Solver
   // wins — it is already a resolved backend.
   if (!Options.Backend.empty() && Options.Solver == nullptr) {
+    std::string BackendSpec = Options.Backend;
+    // Certified checks route external backends through cross-check mode:
+    // an SMT-LIB process exposes no proof we could replay without
+    // get-proof support, but the cross-checking reference leg answers
+    // (and records slices for) every query the external solver is merely
+    // compared against — so the in-repo proof covers the verdict.
+    if (Options.Certify && BackendSpec.rfind("smtlib:", 0) == 0)
+      BackendSpec = "crosscheck:" + BackendSpec.substr(std::string("smtlib:").size());
     std::string Err;
     std::unique_ptr<smt::SmtSolver> Owned =
-        smt::createSolverBackend(Options.Backend, &Err);
+        smt::createSolverBackend(BackendSpec, &Err);
     if (!Owned) {
       CheckResult Rejected;
       Rejected.V = Verdict::BadRequest;
@@ -83,6 +92,33 @@ CheckResult core::checkWithSpec(const p4a::Automaton &Left,
   uint64_t SolverMicrosBefore = Solver.stats().TotalMicros;
 
   CheckResult Result;
+
+  // Proof capture (Options.Certify): attach a log the resolved backend
+  // streams per-goal DRUP slices into — sessions opened below record one
+  // stream each, one-shot queries (early refutation, done checks, the
+  // non-incremental ablation) record one-shot streams. The guard detaches
+  // on every return path; the log itself lives on in Result.Proof.
+  struct CaptureGuard {
+    smt::SmtSolver *S = nullptr;
+    ~CaptureGuard() {
+      if (S)
+        S->detachProofLog();
+    }
+  } Capture;
+  if (Options.Certify) {
+    Result.Proof = std::make_shared<smt::ProofLog>();
+    if (!Solver.attachProofLog(Result.Proof.get())) {
+      Result.Proof.reset();
+      Result.V = Verdict::BadRequest;
+      Result.FailureReason =
+          "certification requested, but the solver backend cannot capture "
+          "proof streams (see smt::SmtSolver::attachProofLog); use the "
+          "bitblast backend, or crosscheck for external solvers";
+      return Result;
+    }
+    Capture.S = &Solver;
+  }
+
   CheckStats &St = Result.Stats;
   St.TemplatesLeft = allTemplates(Left).size();
   St.TemplatesRight = allTemplates(Right).size();

@@ -29,6 +29,7 @@
 #include "logic/ConfRel.h"
 #include "smt/Solver.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -79,10 +80,24 @@ struct CheckOptions {
   /// clauses. Off = re-lower and re-blast the full premise conjunction on
   /// every query (the pre-incremental behavior, kept as an ablation and
   /// as the differential-testing baseline). Both paths answer every
-  /// entailment identically; with a certifying backend the session
-  /// transparently degrades to per-query monolithic solving so DRUP
-  /// proofs stay self-contained.
+  /// entailment identically; certifying backends stream per-goal DRUP
+  /// slices from their sessions (smt/ProofLog.h), so certification and
+  /// incrementality coexist — certified runs report real session stats.
   bool UseIncremental = true;
+  /// Capture a machine-checkable proof artifact for this check: the
+  /// resolved backend records per-goal DRUP slice streams into
+  /// CheckResult::Proof, which core/CertificateIo.h serializes together
+  /// with the relation into a certificate that the standalone
+  /// leapfrog-certcheck verifier replays with no engine linkage. Two
+  /// backend interactions: a "smtlib:<cmd>" Backend spec is transparently
+  /// rewritten to "crosscheck:<cmd>" (external solvers expose no usable
+  /// proofs, so the cross-checking reference leg records them instead),
+  /// and an explicit Solver instance that cannot capture proofs
+  /// (supportsProofCapture() false) makes the check fail with
+  /// Verdict::BadRequest rather than return an uncertified verdict.
+  /// Capture is passive: verdicts, traces and decision streams are
+  /// bit-identical to an uncertified run.
+  bool Certify = false;
   /// Memory bounds for each incremental solver session (0 = unlimited).
   /// Sessions already bound themselves via clause-DB reduction and
   /// retired-goal deletion; these limits add a hard backstop — a session
@@ -158,6 +173,13 @@ struct CheckResult {
   /// On NotEquivalent: which conjunct refuted φ, for diagnostics.
   std::string FailureReason;
   std::vector<TraceStep> Trace; ///< Populated iff RecordTrace.
+  /// Per-goal DRUP slice streams recorded when Options.Certify was set:
+  /// one stream per solver session (workers' streams concatenated in
+  /// worker order by the parallel engine) plus one-shot streams for
+  /// monolithic queries. Together with Certificate this is what
+  /// core/CertificateIo.h serializes for leapfrog-certcheck. Shared
+  /// ownership because results are copied around by caches.
+  std::shared_ptr<smt::ProofLog> Proof;
 
   bool equivalent() const { return V == Verdict::Equivalent; }
 };

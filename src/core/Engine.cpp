@@ -116,6 +116,11 @@ std::unique_ptr<Engine> Engine::create(const EngineConfig &Config,
     return E;
   }
   std::string Spec = Config.Backend.empty() ? "bitblast" : Config.Backend;
+  // A certifying engine cannot run on a bare external backend (no proof
+  // capture there); resolve to the cross-checking pair instead, whose
+  // reference leg records the slices. Mirrors the checkWithSpec rewrite.
+  if (Config.Certify && Spec.rfind("smtlib:", 0) == 0)
+    Spec = "crosscheck:" + Spec.substr(std::string("smtlib:").size());
   std::string Err;
   E->I->OwnedPrimary = smt::createSolverBackend(Spec, &Err);
   if (!E->I->OwnedPrimary) {
@@ -137,6 +142,7 @@ CheckResult Engine::check(const p4a::Automaton &Left,
   O.Solver = I->Primary;
   O.Backend.clear();
   O.Jobs = I->Config.Jobs;
+  O.Certify = Options.Certify || I->Config.Certify;
   if (O.Jobs > 1)
     return parallel::checkWithSpecParallel(Left, Right, Spec, O, &I->Warm);
   return core::checkWithSpec(Left, Right, Spec, O);

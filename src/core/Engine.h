@@ -108,6 +108,14 @@ struct EngineConfig {
   /// A caller-owned, already-resolved backend instance; must outlive the
   /// engine. Overrides Backend.
   smt::SmtSolver *Solver = nullptr;
+  /// Run every check on this engine with proof capture
+  /// (CheckOptions::Certify): Equivalent verdicts come back with
+  /// CheckResult::Proof populated, ready for core/CertificateIo.h. Like
+  /// the per-request flag, this rewrites an "smtlib:<cmd>" Backend spec
+  /// to "crosscheck:<cmd>" at create() time, so external-solver engines
+  /// stay certifiable (the cross-checking reference leg records the
+  /// slices). The service sets this when it runs a certificate store.
+  bool Certify = false;
   /// Worker threads for every check run on this engine (the
   /// CheckOptions::Jobs of old, hoisted to the engine where the warm
   /// per-worker backends live). 1 = the sequential loop.

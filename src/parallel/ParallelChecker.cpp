@@ -52,6 +52,7 @@
 #include "p4a/Typing.h"
 #include "parallel/StripedSet.h"
 #include "parallel/WorkerPool.h"
+#include "smt/ProofLog.h"
 
 #include <atomic>
 #include <cassert>
@@ -163,6 +164,39 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
     Workers[I].Solver = SolverStore[I].get();
 
   CheckResult Result;
+
+  // Proof capture (Options.Certify): one log on the primary for its
+  // one-shot queries (early refutation, done checks) plus one private log
+  // per worker backend, so sessions opened during epochs stream per-goal
+  // DRUP slices with no cross-thread sharing. Finish() — which every
+  // return path below runs — adopts the worker logs into Result.Proof in
+  // worker-index order and detaches everything, re-deriving a sequential
+  // proof artifact: the stream *order* is deterministic, and each stream
+  // is a self-contained slice sequence however stealing moved its goals.
+  std::vector<std::unique_ptr<smt::ProofLog>> WorkerLogs;
+  bool Capturing = false;
+  if (Options.Certify) {
+    Result.Proof = std::make_shared<smt::ProofLog>();
+    bool Attached = Primary.attachProofLog(Result.Proof.get());
+    for (size_t I = 0; Attached && I < Workers.size(); ++I) {
+      WorkerLogs.push_back(std::make_unique<smt::ProofLog>());
+      Attached = Workers[I].Solver->attachProofLog(WorkerLogs.back().get());
+    }
+    if (!Attached) {
+      Primary.detachProofLog();
+      for (WorkerState &W : Workers)
+        W.Solver->detachProofLog();
+      Result.Proof.reset();
+      Result.V = Verdict::BadRequest;
+      Result.FailureReason =
+          "certification requested, but the solver backend cannot capture "
+          "proof streams (see smt::SmtSolver::attachProofLog); use the "
+          "bitblast backend, or crosscheck for external solvers";
+      return Result;
+    }
+    Capturing = true;
+  }
+
   CheckStats &St = Result.Stats;
   St.TemplatesLeft = allTemplates(Left).size();
   St.TemplatesRight = allTemplates(Right).size();
@@ -208,6 +242,13 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
   // sums solver time *across threads* (it can exceed WallMicros — that
   // surplus is exactly the parallelism).
   auto Finish = [&] {
+    if (Capturing) {
+      for (size_t I = 0; I < Workers.size(); ++I) {
+        Result.Proof->adopt(*WorkerLogs[I]);
+        Workers[I].Solver->detachProofLog();
+      }
+      Primary.detachProofLog();
+    }
     for (WorkerState &W : Workers) {
       Primary.absorbStats(W.Solver->stats());
       // Warm workers survive into the next check; zeroing after

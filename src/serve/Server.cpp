@@ -172,6 +172,8 @@ std::string Server::handleLine(const std::string &Line) {
             Json::unsignedInt(Svc->config().MaxIterationsCap));
     Cfg.set("max_wall_micros_cap",
             Json::unsignedInt(Svc->config().MaxWallMicrosCap));
+    Cfg.set("certify", Json::boolean(Svc->config().Engine.Certify));
+    Cfg.set("cert_store", Json::str(Svc->config().CertStoreDir));
     R.set("config", Cfg);
     return R.serialize();
   }

@@ -7,9 +7,16 @@
 
 #include "serve/Service.h"
 
+#include "core/CertificateIo.h"
+#include "support/Compress.h"
+
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
+#include <fstream>
 #include <mutex>
+#include <sstream>
+#include <sys/stat.h>
 #include <unordered_map>
 #include <vector>
 
@@ -17,6 +24,48 @@ using namespace leapfrog;
 using namespace leapfrog::serve;
 
 namespace {
+
+/// Store keys come off the wire; only a canonical fingerprint hex (32
+/// lowercase hex digits, see p4a::Fingerprint::hex) may touch the
+/// filesystem.
+bool isStoreKey(const std::string &Hex) {
+  if (Hex.size() != 32)
+    return false;
+  for (char C : Hex)
+    if (!((C >= '0' && C <= '9') || (C >= 'a' && C <= 'f')))
+      return false;
+  return true;
+}
+
+std::string storePath(const std::string &Dir, const std::string &Hex) {
+  return Dir + "/" + Hex + ".lfc";
+}
+
+bool readFileAll(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+/// tmp + rename so a concurrent reader (or a crash mid-write) never
+/// observes a torn certificate; last write wins, which is fine — every
+/// writer under one key serializes the same check.
+void writeFileAtomic(const std::string &Path, const std::string &Data) {
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return;
+    Out.write(Data.data(), std::streamsize(Data.size()));
+    if (!Out)
+      return;
+  }
+  std::rename(Tmp.c_str(), Path.c_str());
+}
 
 /// A computation in progress: late arrivals with the same canonical key
 /// park here instead of running their own copy.
@@ -82,6 +131,11 @@ std::unique_ptr<CheckService> CheckService::create(const ServiceConfig &Config,
   S->I->Config = Config;
   if (S->I->Config.Lanes == 0)
     S->I->Config.Lanes = 1;
+  if (!S->I->Config.CertStoreDir.empty()) {
+    // A store without certified checks would have nothing to put in it.
+    S->I->Config.Engine.Certify = true;
+    ::mkdir(S->I->Config.CertStoreDir.c_str(), 0755);
+  }
   for (size_t L = 0; L < S->I->Config.Lanes; ++L) {
     std::unique_ptr<core::Engine> E =
         core::Engine::create(S->I->Config.Engine, Error);
@@ -197,9 +251,20 @@ CheckService::Outcome CheckService::submit(const core::CheckRequest &Req) {
   auto Entry = std::make_shared<CacheEntry>();
   Entry->Key = Key;
   Entry->Result = Result;
-  if (Result.V == core::Verdict::Equivalent)
-    Entry->CertificateText =
-        Result.Certificate.str(Req.Left, Req.Right);
+  if (Result.V == core::Verdict::Equivalent) {
+    if (I->Config.Engine.Certify) {
+      // The checkable artifact: full LFCERT text, streams included,
+      // pinned to the cache-key fingerprint the `cert` op looks up.
+      Entry->CertificateText = core::serializeCertificate(
+          Req.Left, Req.Right, Result.Certificate, Result.Proof.get(),
+          Key.FP.hex());
+      if (!I->Config.CertStoreDir.empty())
+        writeFileAtomic(storePath(I->Config.CertStoreDir, Key.FP.hex()),
+                        core::compressCertificate(Entry->CertificateText));
+    } else {
+      Entry->CertificateText = Result.Certificate.str(Req.Left, Req.Right);
+    }
+  }
 
   {
     std::lock_guard<std::mutex> Lock(I->M);
@@ -223,7 +288,21 @@ CheckService::Outcome CheckService::submit(const core::CheckRequest &Req) {
 
 std::string CheckService::certificateByHex(const std::string &Hex) {
   std::shared_ptr<const CacheEntry> E = I->Cache.findByHex(Hex);
-  return E ? E->CertificateText : std::string();
+  if (E && !E->CertificateText.empty())
+    return E->CertificateText;
+  // Disk fallback: a restarted daemon has an empty cache but a full
+  // store. Serve the decompressed text — the wire is always textual.
+  if (!I->Config.CertStoreDir.empty() && isStoreKey(Hex)) {
+    std::string Blob;
+    if (readFileAll(storePath(I->Config.CertStoreDir, Hex), Blob)) {
+      if (!support::looksCompressed(Blob))
+        return Blob;
+      std::string Raw;
+      if (support::decompress(Blob, Raw, nullptr))
+        return Raw;
+    }
+  }
+  return std::string();
 }
 
 CheckService::Stats CheckService::stats() const {

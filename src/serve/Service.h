@@ -65,6 +65,14 @@ struct ServiceConfig {
   /// (excludes the ones running and the ones sharing an in-flight
   /// computation, which hold no lane). 0 = reject unless a lane is free.
   size_t MaxQueue = 64;
+  /// On-disk certificate store. Non-empty implies certified checks
+  /// (Engine.Certify is forced on): every Equivalent verdict is rendered
+  /// to LFCERT text pinned to its cache-key fingerprint, compressed to
+  /// LFCZ1 and written to `<CertStoreDir>/<fphex>.lfc` (tmp + rename, so
+  /// readers never see a torn file). certificateByHex falls back to this
+  /// store when the in-memory cache misses — a restarted daemon serves
+  /// the bit-identical certificate it wrote before going down.
+  std::string CertStoreDir;
 };
 
 class CheckService {
@@ -113,7 +121,10 @@ public:
   Outcome submit(const core::CheckRequest &Req);
 
   /// Certificate text by cache-key fingerprint hex; empty when unknown
-  /// (or the cached verdict carries no certificate).
+  /// (or the cached verdict carries no certificate). With a CertStoreDir
+  /// configured, an in-memory miss falls back to the on-disk store and
+  /// returns the decompressed LFCERT text — the wire always carries the
+  /// textual form; only the store is compressed.
   std::string certificateByHex(const std::string &Hex);
 
   Stats stats() const;

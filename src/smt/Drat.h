@@ -19,8 +19,10 @@
 /// code with SatSolver. Each lemma is validated by *reverse unit
 /// propagation* (RUP): asserting its negation must yield a conflict by
 /// unit propagation over the input clauses and previously accepted lemmas.
-/// Since our solver never deletes clauses, plain DRUP (the deletion-free
-/// fragment of DRAT) suffices.
+/// One-shot solves never delete clauses, so for them plain DRUP (the
+/// deletion-free fragment of DRAT) suffices and this grow-only proof is
+/// the right shape. Incremental sessions do delete (reduceDB, retired-goal
+/// GC); their streaming, deletion-aware counterpart lives in ProofLog.h.
 ///
 //===----------------------------------------------------------------------===//
 

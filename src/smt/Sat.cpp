@@ -8,6 +8,7 @@
 #include "smt/Sat.h"
 
 #include "smt/Drat.h"
+#include "smt/ProofLog.h"
 
 #include <algorithm>
 
@@ -17,11 +18,20 @@ using namespace leapfrog::smt;
 void SatSolver::logInput(const std::vector<Lit> &C) {
   if (Proof)
     Proof->Inputs.push_back(C);
+  if (Sink)
+    Sink->onInput(C);
 }
 
 void SatSolver::logLemma(std::vector<Lit> C) {
+  if (Sink)
+    Sink->onLemma(C);
   if (Proof)
     Proof->Lemmas.push_back(std::move(C));
+}
+
+void SatSolver::logDelete(const std::vector<Lit> &C) {
+  if (Sink)
+    Sink->onDelete(C);
 }
 
 Var SatSolver::newVar() {
@@ -267,6 +277,7 @@ void SatSolver::removeClauses(const std::vector<char> &Del) {
         --LearntCount;
       }
       ArenaBytes -= clauseBytes(Clauses[I]);
+      logDelete(Clauses[I].Lits);
       continue;
     }
     Remap[I] = ClauseRef(Compact.size());

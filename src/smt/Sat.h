@@ -31,6 +31,7 @@ namespace leapfrog {
 namespace smt {
 
 struct DratProof;
+class ProofSink;
 
 /// A propositional variable (0-based).
 using Var = int;
@@ -183,6 +184,19 @@ public:
     Proof = P;
   }
 
+  /// Streams every clause-database event (input, learnt lemma, deletion)
+  /// into \p Snk as it happens (see ProofLog.h). The streaming counterpart
+  /// of setProofLog for long-lived incremental sessions, where clause
+  /// deletion makes the grow-only DratProof unusable: deletions are
+  /// reported too, so a deletion-aware checker can mirror the database.
+  /// Must be attached before the first clause; detaching (nullptr) is
+  /// allowed at any time.
+  void setProofSink(ProofSink *Snk) {
+    assert((Snk == nullptr || (Clauses.empty() && Trail.empty())) &&
+           "proof streaming must start before the first clause");
+    Sink = Snk;
+  }
+
   /// Statistics, reported by the benchmark harness.
   struct Stats {
     uint64_t Conflicts = 0;
@@ -269,9 +283,10 @@ private:
   uint64_t LbdStamp = 0;
 
   /// Proof-log helpers; no-ops when logging is disabled. Defined out of
-  /// line because DratProof is incomplete here.
+  /// line because DratProof/ProofSink are incomplete here.
   void logInput(const std::vector<Lit> &C);
   void logLemma(std::vector<Lit> C);
+  void logDelete(const std::vector<Lit> &C);
 
   std::vector<char> Seen; ///< Scratch for analyze().
   /// Max-heap over variable activity for branching (MiniSat order heap).
@@ -281,6 +296,7 @@ private:
   size_t LearntCount = 0;
   bool Unsat = false;
   DratProof *Proof = nullptr;
+  ProofSink *Sink = nullptr;
   Stats S;
 };
 

@@ -194,6 +194,21 @@ public:
 
   bool AbortOnDivergence = true;
 
+  /// Proof capture routes to the reference backend: every query — session
+  /// or one-shot — is answered by the reference and merely *compared*
+  /// against the external solver, so the reference's per-goal DRUP slices
+  /// cover externally cross-checked verdicts without any get-proof
+  /// support. This is how certified checks use external solvers: the
+  /// checker rewrites "smtlib:<cmd>" to "crosscheck:<cmd>" when
+  /// certification is requested (see core::CheckOptions::Certify).
+  bool attachProofLog(ProofLog *Log) override {
+    return Ref->attachProofLog(Log);
+  }
+  void detachProofLog() override { Ref->detachProofLog(); }
+  bool supportsProofCapture() const override {
+    return Ref->supportsProofCapture();
+  }
+
   struct XStats {
     uint64_t Checked = 0;     ///< Queries posed to both backends.
     uint64_t Divergences = 0; ///< sat/unsat disagreements observed.

@@ -9,6 +9,7 @@
 
 #include "smt/BitBlast.h"
 #include "smt/Drat.h"
+#include "smt/ProofLog.h"
 
 #include <chrono>
 #include <cstdio>
@@ -59,8 +60,8 @@ void SolverStats::merge(const SolverStats &O) {
 
 /// The correct-by-construction fallback: keep the premises as formulas and
 /// re-pose their conjunction through checkSat() on every query. Used for
-/// backends without native incrementality and for BitBlastSolver when
-/// proof certification is on (each query then carries its own DRUP proof).
+/// backends without native incrementality; it inherits whatever per-query
+/// certification or proof capture the backend's checkSat() provides.
 class SmtSolver::MonolithicSession : public SmtSolver::IncrementalSession {
 public:
   explicit MonolithicSession(SmtSolver &Owner) : Owner(Owner) {}
@@ -110,7 +111,16 @@ class BitBlastSolver::Session : public SmtSolver::IncrementalSession {
 public:
   Session(BitBlastSolver &Owner, const SessionLimits &Limits)
       : Owner(Owner), Limits(Limits),
-        HardRetire(Owner.SessionHardRetire) {
+        // Per-goal proof slices are only sound under the activation-guard
+        // discipline — every goal clause must carry ¬act so the slice's
+        // model-extension argument holds — so certification and capture
+        // force hard retirement even when the ablation knob turned it off.
+        HardRetire(Owner.SessionHardRetire || Owner.CertifyUnsat ||
+                   Owner.CaptureLog != nullptr) {
+    if (Owner.CaptureLog)
+      Stream = &Owner.CaptureLog->newStream();
+    else if (Owner.CertifyUnsat)
+      Validator = std::make_unique<StreamingProofChecker>();
     rebuild();
   }
 
@@ -142,6 +152,13 @@ public:
 
     size_t ClausesAtStart = Sat->numClauses();
     Lit Activation = Lit::mk(Sat->newVar(), false);
+    // The goal marker precedes every clause of the goal's scope, so a
+    // checker sees the activation variable declared before any event
+    // mentions it (it is fresh by construction: newVar() indices are
+    // monotone, so no earlier event can reference it).
+    uint64_t GoalId = 0;
+    if (Stream)
+      GoalId = Stream->goalBegin(Activation.var());
     // Guarded blast: every clause the goal contributes carries ¬act and
     // is therefore deletable at retirement. The blaster cache entries
     // created under the guard encode act-conditional definitions and are
@@ -151,6 +168,12 @@ public:
     Lit GoalLit = Blaster->litFor(Goal);
     Sat->addClause(~Activation, GoalLit);
     bool IsSat = Sat->solveUnderAssumptions({Activation});
+    // The goal-end marker must precede the retirement unit below: a
+    // checker validates the UNSAT core against the database as of the
+    // answer, and the retirement unit {¬act} is only sound input *after*
+    // the goal has been closed (it would otherwise trivialize the slice).
+    if (Stream || Validator)
+      finishGoalProof(IsSat, GoalId);
     if (IsSat && M) {
       // Read the model before touching the clause DB again: adding the
       // retirement clause below unwinds the assignment.
@@ -218,6 +241,43 @@ public:
   }
 
 private:
+  /// Closes the current goal in the proof stream (or in the inline
+  /// validator): on UNSAT the core is the negation of the failed
+  /// assumptions — with the session's single activation assumption that
+  /// is {¬act}, or empty when the database itself became unsatisfiable —
+  /// and in validate mode any accumulated stream failure aborts here,
+  /// matching the one-shot CertifyUnsat contract.
+  void finishGoalProof(bool IsSat, uint64_t GoalId) {
+    if (IsSat) {
+      if (Stream)
+        Stream->goalEndSat(GoalId);
+    } else {
+      std::vector<Lit> Core;
+      for (Lit A : Sat->failedAssumptions())
+        Core.push_back(~A);
+      if (Stream)
+        Stream->goalEndUnsat(GoalId, std::move(Core));
+      else
+        Validator->goalEndUnsat(Core);
+    }
+    if (!Validator)
+      return;
+    if (!Validator->ok()) {
+      std::fprintf(stderr,
+                   "leapfrog: session DRUP slice validation failed: %s\n",
+                   Validator->error().c_str());
+      std::abort();
+    }
+    const StreamingProofChecker::Stats &PS = Validator->stats();
+    SolverStats &St = Owner.Stats;
+    St.ProofLemmas += PS.LemmasChecked - HarvestedProofLemmas;
+    St.ProofMicros += PS.Micros - HarvestedProofMicros;
+    HarvestedProofLemmas = PS.LemmasChecked;
+    HarvestedProofMicros = PS.Micros;
+    if (!IsSat)
+      ++St.CertifiedUnsat;
+  }
+
   /// Blasts one premise into the live solver, timing it into TotalMicros:
   /// premise blasting is real solver-side work the monolithic path pays
   /// per query, so the A/B benches must see it (it has no QueryMicros
@@ -239,8 +299,21 @@ private:
   /// clauses (which are consequences, never constraints).
   void rebuild() {
     harvestSatStats();
+    // A rebuild starts a fresh solver incarnation: the stream (and the
+    // inline validator's database) must reset before the re-blasted
+    // premises arrive as new inputs.
+    if (Built) {
+      if (Stream)
+        Stream->restart();
+      if (Validator)
+        Validator->restart();
+    }
     Sat = std::make_unique<SatSolver>();
     Sat->setReducePolicy(Owner.SessionReduce);
+    if (Stream)
+      Sat->setProofSink(Stream);
+    else if (Validator)
+      Sat->setProofSink(Validator.get());
     Blaster = std::make_unique<BitBlaster>(*Sat);
     AssertedKeys.clear();
     PremiseClauses = 0;
@@ -253,6 +326,7 @@ private:
       AssertedKeys.insert(P->str());
       blastPremise(P);
     }
+    Built = true;
   }
 
   /// Folds the live SatSolver's memory counters into the owner's stats:
@@ -308,14 +382,23 @@ private:
   size_t ReportedClauses = 0; ///< TotalSatVars/TotalSatClauses.
   uint64_t HarvestedDeleted = 0;    ///< SAT-stat prefixes already folded
   uint64_t HarvestedReduceRuns = 0; ///< into the owner's SolverStats.
+  /// Proof capture/validation state. At most one of Stream/Validator is
+  /// set: Stream records into the owner's attached ProofLog (offline
+  /// checking, certificate serialization), Validator checks the same
+  /// event stream inline and aborts on the first failure.
+  ProofStream *Stream = nullptr;
+  std::unique_ptr<StreamingProofChecker> Validator;
+  bool Built = false; ///< rebuild() has run at least once (restarts since
+                      ///< then are recorded as stream Restart events).
+  uint64_t HarvestedProofLemmas = 0; ///< Validator-stat prefixes already
+  uint64_t HarvestedProofMicros = 0; ///< folded into the owner's stats.
 };
 
 std::unique_ptr<SmtSolver::IncrementalSession>
 BitBlastSolver::openSession(const SessionLimits &Limits) {
-  // A DRUP proof must cover one self-contained solve to be replayable by
-  // DratChecker, so certification falls back to monolithic queries.
-  if (CertifyUnsat)
-    return SmtSolver::openSession(Limits);
+  // Certification no longer forces the monolithic fallback: the session
+  // streams per-goal DRUP slices (validated inline, or recorded into the
+  // attached proof log), so incremental solving and proofs coexist.
   ++Stats.SessionsOpened;
   return std::make_unique<Session>(*this, Limits);
 }
@@ -330,7 +413,7 @@ SatResult BitBlastSolver::checkSat(const BvFormulaRef &F, Model *M) {
   OneShot.Enabled = false;
   Sat.setReducePolicy(OneShot);
   DratProof Proof;
-  if (CertifyUnsat)
+  if (CertifyUnsat || CaptureLog)
     Sat.setProofLog(&Proof);
   BitBlaster Blaster(Sat);
   Blaster.assertFormula(F);
@@ -355,6 +438,21 @@ SatResult BitBlastSolver::checkSat(const BvFormulaRef &F, Model *M) {
         std::chrono::duration_cast<std::chrono::microseconds>(ProofEnd -
                                                               ProofStart)
             .count());
+  }
+
+  if (!IsSat && CaptureLog) {
+    // Record the whole one-shot solve as a single unguarded goal: inputs
+    // first, then the lemmas (RUP is monotone in the database, so the
+    // lost interleaving with normalization-time lemmas is harmless), and
+    // an empty core — an UNSAT solve always ends by logging the empty
+    // lemma, so the replayed database is conflicting at the root.
+    ProofStream &Str = CaptureLog->newStream();
+    uint64_t Id = Str.goalBegin(/*ActVar=*/-1);
+    for (const std::vector<Lit> &C : Proof.Inputs)
+      Str.onInput(C);
+    for (const std::vector<Lit> &C : Proof.Lemmas)
+      Str.onLemma(C);
+    Str.goalEndUnsat(Id, {});
   }
 
   auto End = std::chrono::steady_clock::now();

@@ -30,6 +30,8 @@
 namespace leapfrog {
 namespace smt {
 
+class ProofLog;
+
 /// Outcome of a satisfiability query.
 enum class SatResult { Sat, Unsat };
 
@@ -183,6 +185,24 @@ public:
   /// parallel engine calls this only after its worker threads joined.
   void absorbStats(const SolverStats &O) { Stats.merge(O); }
 
+  /// Attaches a proof log (see ProofLog.h): sessions opened while a log is
+  /// attached record one per-goal DRUP slice stream each, and one-shot
+  /// UNSAT answers record one-shot streams, so every UNSAT this backend
+  /// reports afterwards is covered by a replayable proof slice in \p Log.
+  /// Returns false when the backend cannot capture proofs (the base
+  /// default; also SmtLibSolver, which has no access to the external
+  /// solver's reasoning — route it through CrossCheckSolver instead, whose
+  /// bit-blasting reference leg records the proof). The log must outlive
+  /// the attachment; detach before destroying it. Attaching does not
+  /// change answers or decision order — capture is passive.
+  virtual bool attachProofLog(ProofLog *Log) {
+    (void)Log;
+    return false;
+  }
+  virtual void detachProofLog() {}
+  /// True when attachProofLog() would succeed on this backend.
+  virtual bool supportsProofCapture() const { return false; }
+
   /// Decides satisfiability of \p F over its free variables; fills \p M
   /// with a witness when satisfiable (pass nullptr to skip).
   ///
@@ -226,10 +246,12 @@ public:
   /// are bit-blasted once (deduplicated by a structural-hash cache) and
   /// goals are guarded by fresh activation literals solved under
   /// assumptions, so learned clauses, watch lists and VSIDS/phase state
-  /// carry over between queries. When CertifyUnsat is set, this returns
-  /// the monolithic fallback instead: a DRUP proof must span one
-  /// self-contained query to be replayable, so certification keeps the
-  /// one-solver-per-query discipline (and its cost).
+  /// carry over between queries. Certification no longer forces the
+  /// monolithic fallback: with CertifyUnsat (or an attached proof log)
+  /// the session emits per-goal DRUP slices under each goal's activation
+  /// scope — deletions are part of the stream, so reduceDB and goal GC
+  /// stay legal — validated in-process by a StreamingProofChecker, or
+  /// recorded into the attached ProofLog for certificate serialization.
   ///
   /// Session memory is bounded, not monotone: every goal's clauses
   /// (guard, Tseitin definitions, and any lemma derived from them) are
@@ -242,14 +264,27 @@ public:
   using SmtSolver::openSession;
 
   /// When set, every UNSAT answer is accompanied by a DRUP proof and
-  /// replayed through DratChecker before being reported (see Drat.h); a
-  /// failed replay aborts. This removes the CDCL solver from the trusted
-  /// base, the "proof reconstruction" step the paper's §6.4 leaves as
-  /// future work. SAT answers need no certification: the checker's callers
-  /// only act on validity (UNSAT of the negation), and SAT answers carry a
-  /// model that is checked against the formula by construction of the
-  /// bit-blaster's variable mapping.
+  /// validated before being reported; a failed validation aborts. One-shot
+  /// queries replay a DratProof through DratChecker (see Drat.h);
+  /// incremental sessions stream per-goal slices through a deletion-aware
+  /// StreamingProofChecker (see ProofLog.h) — and report genuine session
+  /// statistics, instead of the pre-certificate behavior of silently
+  /// degrading to monolithic solving. This removes the CDCL solver from
+  /// the trusted base, the "proof reconstruction" step the paper's §6.4
+  /// leaves as future work. SAT answers need no certification: the
+  /// checker's callers only act on validity (UNSAT of the negation), and
+  /// SAT answers carry a model that is checked against the formula by
+  /// construction of the bit-blaster's variable mapping. When a proof log
+  /// is attached (attachProofLog), streams are recorded for offline
+  /// checking instead of being validated inline.
   bool CertifyUnsat = false;
+
+  bool attachProofLog(ProofLog *Log) override {
+    CaptureLog = Log;
+    return true;
+  }
+  void detachProofLog() override { CaptureLog = nullptr; }
+  bool supportsProofCapture() const override { return true; }
 
   /// Clause-DB reduction policy handed to every session's CDCL solver.
   /// The default geometric schedule is the production setting; tests
@@ -285,6 +320,9 @@ public:
 
 private:
   class Session; ///< The incremental openSession() backend (Solver.cpp).
+  /// Destination for proof streams while attached; sessions opened while
+  /// set record into it, and one-shot UNSAT answers add one-shot streams.
+  ProofLog *CaptureLog = nullptr;
 };
 
 /// Returns the process-wide default solver instance (a BitBlastSolver

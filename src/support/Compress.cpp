@@ -1,0 +1,155 @@
+//===- Compress.cpp - Self-contained LZSS byte compression ----------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Compress.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+using namespace leapfrog;
+
+const char support::CompressMagic[5] = {'L', 'F', 'C', 'Z', '1'};
+
+namespace {
+
+constexpr size_t WindowSize = 4096; // 12-bit distances.
+constexpr size_t MinMatch = 3;
+constexpr size_t MaxMatch = 18; // MinMatch + 4-bit length field.
+
+// Match finder: hash of the 3-byte prefix at each position, chained
+// through Prev within the window. Bounded chain walks keep compression
+// linear-ish; a missed match only costs ratio, never correctness.
+constexpr size_t HashBits = 13;
+constexpr size_t ChainLimit = 64;
+
+inline uint32_t hash3(const unsigned char *P) {
+  uint32_t H = P[0] | (uint32_t(P[1]) << 8) | (uint32_t(P[2]) << 16);
+  return (H * 2654435761u) >> (32 - HashBits);
+}
+
+} // namespace
+
+bool support::looksCompressed(const std::string &Blob) {
+  return Blob.size() >= sizeof(CompressMagic) &&
+         std::memcmp(Blob.data(), CompressMagic, sizeof(CompressMagic)) == 0;
+}
+
+std::string support::compress(const std::string &Raw) {
+  std::string Out(CompressMagic, sizeof(CompressMagic));
+  uint64_t N = Raw.size();
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(char((N >> (8 * I)) & 0xff));
+
+  const unsigned char *Data =
+      reinterpret_cast<const unsigned char *>(Raw.data());
+  std::vector<int32_t> Head(size_t(1) << HashBits, -1);
+  std::vector<int32_t> Prev(Raw.size(), -1);
+
+  size_t Pos = 0;
+  while (Pos < Raw.size()) {
+    size_t FlagAt = Out.size();
+    Out.push_back('\0');
+    unsigned char Flags = 0;
+    for (int Bit = 0; Bit < 8 && Pos < Raw.size(); ++Bit) {
+      size_t BestLen = 0, BestDist = 0;
+      if (Pos + MinMatch <= Raw.size()) {
+        uint32_t H = hash3(Data + Pos);
+        int32_t Cand = Head[H];
+        size_t Chain = ChainLimit;
+        size_t Limit = std::min(MaxMatch, Raw.size() - Pos);
+        while (Cand >= 0 && Chain-- > 0 &&
+               Pos - size_t(Cand) <= WindowSize) {
+          size_t Len = 0;
+          while (Len < Limit && Data[Cand + Len] == Data[Pos + Len])
+            ++Len;
+          if (Len > BestLen) {
+            BestLen = Len;
+            BestDist = Pos - size_t(Cand);
+            if (Len == Limit)
+              break;
+          }
+          Cand = Prev[Cand];
+        }
+      }
+      auto Insert = [&](size_t At) {
+        if (At + MinMatch <= Raw.size()) {
+          uint32_t H = hash3(Data + At);
+          Prev[At] = Head[H];
+          Head[H] = int32_t(At);
+        }
+      };
+      if (BestLen >= MinMatch) {
+        Flags |= 1u << Bit;
+        Out.push_back(char(BestDist & 0xff));
+        Out.push_back(char(((BestLen - MinMatch) & 0x0f) |
+                           (((BestDist >> 8) & 0x0f) << 4)));
+        for (size_t K = 0; K < BestLen; ++K)
+          Insert(Pos + K);
+        Pos += BestLen;
+      } else {
+        Out.push_back(char(Data[Pos]));
+        Insert(Pos);
+        ++Pos;
+      }
+    }
+    Out[FlagAt] = char(Flags);
+  }
+  return Out;
+}
+
+bool support::decompress(const std::string &Blob, std::string &Raw,
+                         std::string *Error) {
+  Raw.clear();
+  auto Fail = [&](const char *Why) {
+    if (Error)
+      *Error = Why;
+    Raw.clear();
+    return false;
+  };
+  if (!looksCompressed(Blob))
+    return Fail("not an LFCZ1 container (bad magic)");
+  size_t P = sizeof(CompressMagic);
+  if (Blob.size() < P + 8)
+    return Fail("truncated LFCZ1 header");
+  uint64_t N = 0;
+  for (int I = 0; I < 8; ++I)
+    N |= uint64_t(static_cast<unsigned char>(Blob[P + I])) << (8 * I);
+  P += 8;
+  Raw.reserve(size_t(N));
+
+  while (Raw.size() < N) {
+    if (P >= Blob.size())
+      return Fail("truncated LFCZ1 stream (missing flag byte)");
+    unsigned char Flags = static_cast<unsigned char>(Blob[P++]);
+    for (int Bit = 0; Bit < 8 && Raw.size() < N; ++Bit) {
+      if (Flags & (1u << Bit)) {
+        if (P + 2 > Blob.size())
+          return Fail("truncated LFCZ1 stream (partial back-reference)");
+        size_t Dist = static_cast<unsigned char>(Blob[P]) |
+                      ((static_cast<unsigned char>(Blob[P + 1]) >> 4) << 8);
+        size_t Len = (static_cast<unsigned char>(Blob[P + 1]) & 0x0f) +
+                     MinMatch;
+        P += 2;
+        if (Dist == 0 || Dist > Raw.size())
+          return Fail("LFCZ1 back-reference before start of output");
+        if (Raw.size() + Len > N)
+          return Fail("LFCZ1 stream overruns declared size");
+        size_t From = Raw.size() - Dist;
+        for (size_t K = 0; K < Len; ++K)
+          Raw.push_back(Raw[From + K]);
+      } else {
+        if (P >= Blob.size())
+          return Fail("truncated LFCZ1 stream (missing literal)");
+        Raw.push_back(Blob[P++]);
+      }
+    }
+  }
+  if (Raw.size() != N)
+    return Fail("LFCZ1 stream shorter than declared size");
+  return true;
+}

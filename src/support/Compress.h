@@ -1,0 +1,67 @@
+//===- Compress.h - Self-contained LZSS byte compression --------*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free byte compressor for on-disk artifacts — most
+/// importantly the certificate store behind leapfrog-serve's `cert` op
+/// (serve/Service.h) and the `--emit-cert` CLI output. Certificates are
+/// line-oriented text full of repeated DIMACS literals and formula
+/// fragments, which classic LZSS (a 4 KiB sliding window, 3..18-byte
+/// back-references, flag-byte framing) compresses to a fraction of raw
+/// size without pulling zlib into the build or into leapfrog-certcheck's
+/// trusted base.
+///
+/// Container format, also decoded by the standalone verifier:
+///
+///   "LFCZ1"                         5-byte magic
+///   rawsize                         uint64, little-endian
+///   payload                         LZSS token stream
+///
+/// The token stream is groups of one flag byte followed by eight items,
+/// LSB first: flag bit 0 = one literal byte; flag bit 1 = a two-byte
+/// back-reference, 12-bit distance D (1-based, little-endian packed as
+/// low byte then [len-3 : D>>8] nibbles) copying len in 3..18 bytes from
+/// `out.size() - D`. Overlapping copies are well-defined (byte-at-a-time),
+/// which is what makes runs compress. decompress() rejects anything
+/// malformed — bad magic, truncated tokens, references before the start
+/// of output, or a payload that does not reproduce exactly rawsize bytes —
+/// so a corrupted store file surfaces as a structured error, never as
+/// garbage handed to the certificate parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_SUPPORT_COMPRESS_H
+#define LEAPFROG_SUPPORT_COMPRESS_H
+
+#include <string>
+
+namespace leapfrog {
+namespace support {
+
+/// The 5-byte container magic ("LFCZ1").
+extern const char CompressMagic[5];
+
+/// True when \p Blob starts with the container magic (cheap sniff used to
+/// accept both raw and compressed certificate payloads).
+bool looksCompressed(const std::string &Blob);
+
+/// Compresses \p Raw into a self-describing container (see file comment).
+/// Never fails; incompressible input grows by at most 1/8 plus the header.
+std::string compress(const std::string &Raw);
+
+/// Decompresses a container produced by compress() into \p Raw. Returns
+/// false (with a diagnostic in \p Error when given) on bad magic, a
+/// truncated stream, an out-of-range back-reference, or a size mismatch
+/// against the header. \p Raw is cleared first and is complete only when
+/// the call returns true.
+bool decompress(const std::string &Blob, std::string &Raw,
+                std::string *Error = nullptr);
+
+} // namespace support
+} // namespace leapfrog
+
+#endif // LEAPFROG_SUPPORT_COMPRESS_H

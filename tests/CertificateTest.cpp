@@ -16,12 +16,26 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Certificate.h"
+#include "core/CertificateIo.h"
 #include "core/Checker.h"
+#include "core/Engine.h"
 
+#include "cert/CertVerify.h"
 #include "p4a/Parser.h"
 #include "parsers/CaseStudies.h"
+#include "smt/ProofLog.h"
+#include "support/Compress.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <sys/wait.h>
+#include <vector>
 
 using namespace leapfrog;
 using namespace leapfrog::core;
@@ -185,6 +199,481 @@ TEST(Certificate, RendersHumanReadably) {
   EXPECT_NE(S.find("certificate for phi"), std::string::npos);
   EXPECT_NE(S.find("parse_ip"), std::string::npos);
   EXPECT_NE(S.find("conjuncts"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming certificates: LFCERT emission, the independent verifier, the
+// adversarial tamper battery, and the differential acceptance sweep.
+//===----------------------------------------------------------------------===//
+
+std::string corpusDir() {
+  const char *Env = std::getenv("LEAPFROG_CORPUS_DIR");
+  return Env && *Env ? Env : "";
+}
+
+std::string shimPath() {
+  const char *Env = std::getenv("LEAPFROG_SMTLIB_SHIM");
+  return Env && *Env ? Env : "";
+}
+
+std::string certcheckPath() {
+  const char *Env = std::getenv("LEAPFROG_CERTCHECK");
+  return Env && *Env ? Env : "";
+}
+
+bool readFileAll(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  Out = Ss.str();
+  return true;
+}
+
+/// Runs a certified check (any jobs count, any backend spec) through the
+/// same engine API the CLI and service use, and returns the result plus
+/// the serialized LFCERT text for Equivalent verdicts.
+struct CertifiedRun {
+  CheckResult Res;
+  std::string CertText;
+  std::string FingerprintHex;
+};
+
+CertifiedRun runCertified(const CheckRequest &Req, size_t Jobs,
+                          const std::string &Backend) {
+  EngineConfig Cfg;
+  Cfg.Backend = Backend;
+  Cfg.Jobs = Jobs;
+  Cfg.Certify = true;
+  std::string Err;
+  std::unique_ptr<Engine> E = Engine::create(Cfg, &Err);
+  EXPECT_NE(E, nullptr) << Err;
+  CertifiedRun Run;
+  if (!E)
+    return Run;
+  Run.Res = E->check(Req);
+  Run.FingerprintHex = requestFingerprint(Req).hex();
+  if (Run.Res.V == Verdict::Equivalent) {
+    EXPECT_NE(Run.Res.Proof, nullptr)
+        << "certified Equivalent verdict without a proof log";
+    Run.CertText = serializeCertificate(Req.Left, Req.Right,
+                                        Run.Res.Certificate,
+                                        Run.Res.Proof.get(),
+                                        Run.FingerprintHex);
+  }
+  return Run;
+}
+
+CheckRequest registryRequest(const parsers::CaseStudy &Study,
+                             CheckOptions Options) {
+  // CaseStudy holds the automata by value; copy so the request owns its
+  // own pair (the study vector is rebuilt per call anyway).
+  return makeLanguageEquivalenceRequest(
+      Study.Left, p4a::StateRef::normal(*Study.Left.findState(Study.LeftStart)),
+      Study.Right,
+      p4a::StateRef::normal(*Study.Right.findState(Study.RightStart)),
+      std::move(Options));
+}
+
+/// Pipes \p CertText through the leapfrog-certcheck binary (when CTest
+/// exported its path) and returns its exit status, or -1 when the binary
+/// is unavailable. The binary shares no code with this test's linkage of
+/// the engine — that independence is what the exercise pins.
+int runCertcheckBinary(const std::string &CertText,
+                       const std::string &ExpectFp = "") {
+  std::string Bin = certcheckPath();
+  if (Bin.empty())
+    return -1;
+  std::string TmpFile = ::testing::TempDir() + "certcheck_input.lfc";
+  {
+    std::ofstream Out(TmpFile, std::ios::binary | std::ios::trunc);
+    Out.write(CertText.data(), std::streamsize(CertText.size()));
+  }
+  std::string Cmd = Bin + " --quiet";
+  if (!ExpectFp.empty())
+    Cmd += " --fingerprint " + ExpectFp;
+  Cmd += " " + TmpFile + " 2>/dev/null";
+  int Status = std::system(Cmd.c_str());
+  std::remove(TmpFile.c_str());
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : 127;
+}
+
+TEST(CertStream, EmitsVerifiableCertificate) {
+  p4a::Automaton L = parsers::mplsReference();
+  p4a::Automaton R = parsers::mplsVectorized();
+  CheckRequest Req = makeLanguageEquivalenceRequest(
+      L, p4a::StateRef::normal(*L.findState("q1")), R,
+      p4a::StateRef::normal(*R.findState("q3")), {});
+  CertifiedRun Run = runCertified(Req, 1, "bitblast");
+  ASSERT_TRUE(Run.Res.equivalent()) << Run.Res.FailureReason;
+  ASSERT_FALSE(Run.CertText.empty());
+
+  cert::VerifyResult V = cert::verifyCertificate(Run.CertText, {});
+  EXPECT_TRUE(V.Ok) << V.Diagnostic;
+  EXPECT_EQ(V.FingerprintHex, Run.FingerprintHex);
+  EXPECT_GT(V.Stats.Streams, 0u);
+  EXPECT_GT(V.Stats.UnsatGoals, 0u);
+  EXPECT_EQ(V.Stats.RelationConjuncts, Run.Res.Certificate.Relation.size());
+
+  // Fingerprint pinning: the right pin passes, a foreign pin fails.
+  cert::VerifyOptions Pin;
+  Pin.ExpectFingerprintHex = Run.FingerprintHex;
+  EXPECT_TRUE(cert::verifyCertificate(Run.CertText, Pin).Ok);
+  Pin.ExpectFingerprintHex = std::string(32, '0');
+  EXPECT_FALSE(cert::verifyCertificate(Run.CertText, Pin).Ok);
+
+  // The compressed (on-disk store) form verifies identically.
+  cert::VerifyResult VC =
+      cert::verifyCertificate(compressCertificate(Run.CertText), {});
+  EXPECT_TRUE(VC.Ok) << VC.Diagnostic;
+  EXPECT_EQ(VC.Stats.Inputs, V.Stats.Inputs);
+}
+
+//===----------------------------------------------------------------------===//
+// The adversarial tamper battery: seven distinct corruptions, each of
+// which the verifier must reject with a diagnostic locating the damage.
+// Zero acceptances allowed.
+//===----------------------------------------------------------------------===//
+
+/// Replaces the first line matching \p Pred with \p replace(line); returns
+/// false if no line matched (the corruption could not be applied).
+bool editFirstLine(std::string &Text,
+                   const std::function<bool(const std::string &)> &Pred,
+                   const std::function<std::string(const std::string &)>
+                       &Replace) {
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Text.size();
+    std::string Line = Text.substr(Pos, Eol - Pos);
+    if (Pred(Line)) {
+      Text = Text.substr(0, Pos) + Replace(Line) + Text.substr(Eol);
+      return true;
+    }
+    Pos = Eol + 1;
+  }
+  return false;
+}
+
+TEST(CertStream, TamperBatteryRejectsEveryCorruption) {
+  p4a::Automaton L = parsers::mplsReference();
+  p4a::Automaton R = parsers::mplsVectorized();
+  CheckRequest Req = makeLanguageEquivalenceRequest(
+      L, p4a::StateRef::normal(*L.findState("q1")), R,
+      p4a::StateRef::normal(*R.findState("q3")), {});
+  CertifiedRun Run = runCertified(Req, 1, "bitblast");
+  ASSERT_TRUE(Run.Res.equivalent());
+  const std::string &Good = Run.CertText;
+  ASSERT_TRUE(cert::verifyCertificate(Good, {}).Ok);
+
+  struct Tamper {
+    const char *Name;
+    std::function<bool(std::string &)> Apply;
+  };
+
+  auto startsWith = [](const std::string &S, const char *P) {
+    return S.rfind(P, 0) == 0;
+  };
+
+  std::vector<Tamper> Battery;
+  // 1. Drop a relation conjunct: the count (and the chained relation
+  // hash) no longer match.
+  Battery.push_back({"drop-relation-conjunct", [&](std::string &T) {
+                       size_t C = T.find("\nc ");
+                       if (C == std::string::npos)
+                         return false;
+                       size_t Eol = T.find('\n', C + 1);
+                       T.erase(C, Eol - C);
+                       return true;
+                     }});
+  // 2. Edit a lemma in a DRUP slice: flip its first literal, so the
+  // clause stops being a unit-propagation consequence.
+  Battery.push_back({"edit-drup-lemma", [&](std::string &T) {
+                       return editFirstLine(
+                           T,
+                           [&](const std::string &Ln) {
+                             return startsWith(Ln, "l ") && Ln.size() > 4;
+                           },
+                           [](const std::string &Ln) {
+                             std::string Out = "l ";
+                             size_t P = 2;
+                             if (Ln[P] == '-')
+                               ++P; // negate: drop the sign …
+                             else
+                               Out += '-'; // … or add it
+                             Out += Ln.substr(P);
+                             return Out;
+                           });
+                     }});
+  // 3. Truncate the artifact: everything after the last stream header is
+  // cut, so the end mark never arrives.
+  Battery.push_back({"truncate-tail", [&](std::string &T) {
+                       size_t S = T.rfind("\nstream ");
+                       if (S == std::string::npos)
+                         return false;
+                       T.resize(S + 1);
+                       return true;
+                     }});
+  // 4. Reorder a DRUP slice: move a goal's first event after its end,
+  // here by swapping the 'g' open with the line that follows it.
+  Battery.push_back({"reorder-slice", [&](std::string &T) {
+                       size_t G = T.find("\ng ");
+                       if (G == std::string::npos)
+                         return false;
+                       size_t GEnd = T.find('\n', G + 1);
+                       size_t NEnd = T.find('\n', GEnd + 1);
+                       if (GEnd == std::string::npos ||
+                           NEnd == std::string::npos)
+                         return false;
+                       std::string GoalLn = T.substr(G + 1, GEnd - G - 1);
+                       std::string NextLn =
+                           T.substr(GEnd + 1, NEnd - GEnd - 1);
+                       T = T.substr(0, G + 1) + NextLn + "\n" + GoalLn +
+                           T.substr(NEnd);
+                       return true;
+                     }});
+  // 5. Swap goal ids: rewrite a later goal's id to an id already used,
+  // breaking the strictly-increasing discipline restarts rely on.
+  Battery.push_back({"swap-goal-ids", [&](std::string &T) {
+                       size_t First = T.find("\ng ");
+                       if (First == std::string::npos)
+                         return false;
+                       size_t Second = T.find("\ng ", First + 1);
+                       if (Second == std::string::npos)
+                         return false;
+                       size_t IdEnd = T.find(' ', Second + 3);
+                       T = T.substr(0, Second + 3) + "1" + T.substr(IdEnd);
+                       return true;
+                     }});
+  // 6. Flip a literal in an UNSAT core: the core must contain exactly
+  // the goal's negated activation literal.
+  Battery.push_back({"flip-core-literal", [&](std::string &T) {
+                       return editFirstLine(
+                           T,
+                           [&](const std::string &Ln) {
+                             return startsWith(Ln, "u ") &&
+                                    Ln.find(" -") != std::string::npos;
+                           },
+                           [](const std::string &Ln) {
+                             std::string Out = Ln;
+                             size_t Neg = Out.find(" -");
+                             Out.erase(Neg + 1, 1); // "-N" -> "N"
+                             return Out;
+                           });
+                     }});
+  // 7. Stale fingerprint: the header claims a different request key than
+  // the trailer (the shape a stale store entry would have).
+  Battery.push_back({"stale-fingerprint", [&](std::string &T) {
+                       return editFirstLine(
+                           T,
+                           [&](const std::string &Ln) {
+                             return startsWith(Ln, "fingerprint ");
+                           },
+                           [](const std::string &) {
+                             return std::string("fingerprint ") +
+                                    std::string(32, 'f');
+                           });
+                     }});
+
+  size_t Accepted = 0;
+  for (const Tamper &Tm : Battery) {
+    std::string Bad = Good;
+    ASSERT_TRUE(Tm.Apply(Bad)) << Tm.Name << ": corruption not applicable";
+    ASSERT_NE(Bad, Good) << Tm.Name;
+    cert::VerifyResult V = cert::verifyCertificate(Bad, {});
+    if (V.Ok)
+      ++Accepted;
+    EXPECT_FALSE(V.Ok) << Tm.Name << " was accepted";
+    // Located diagnostic: every rejection names the damaged line.
+    EXPECT_NE(V.Diagnostic.find("line "), std::string::npos)
+        << Tm.Name << ": diagnostic carries no location: " << V.Diagnostic;
+
+    // The standalone binary agrees (exit 1 = rejected), when available.
+    int Exit = runCertcheckBinary(Bad);
+    if (Exit >= 0) {
+      EXPECT_EQ(Exit, 1) << Tm.Name << " through leapfrog-certcheck";
+    }
+  }
+  EXPECT_EQ(Accepted, 0u);
+
+  // And the untampered artifact still passes the binary (exit 0), pinned.
+  int Exit = runCertcheckBinary(Good, Run.FingerprintHex);
+  if (Exit >= 0) {
+    EXPECT_EQ(Exit, 0);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Differential acceptance sweep: registry studies + the corpus pairs,
+// across jobs x backend. Every Equivalent verdict must carry a
+// certcheck-accepted certificate, and the certified decision stream must
+// be bit-identical to the uncertified one.
+//===----------------------------------------------------------------------===//
+
+struct SweepConfig {
+  size_t Jobs;
+  bool Shim; ///< false = bitblast, true = smtlib:<shim> (certify promotes
+             ///< it to crosscheck around the same shim).
+};
+
+void expectDecisionIdentical(const CheckRequest &Req, const CheckResult &A,
+                             const CheckResult &B, const std::string &Label) {
+  EXPECT_EQ(A.V, B.V) << Label;
+  EXPECT_EQ(A.FailureReason, B.FailureReason) << Label;
+  EXPECT_EQ(A.Stats.Iterations, B.Stats.Iterations) << Label;
+  EXPECT_EQ(A.Stats.Extends, B.Stats.Extends) << Label;
+  EXPECT_EQ(A.Stats.Skips, B.Stats.Skips) << Label;
+  EXPECT_EQ(A.Stats.FinalConjuncts, B.Stats.FinalConjuncts) << Label;
+  if (A.V == Verdict::Equivalent) {
+    EXPECT_EQ(A.Certificate.str(Req.Left, Req.Right),
+              B.Certificate.str(Req.Left, Req.Right))
+        << Label;
+  }
+}
+
+/// Runs every sweep configuration (jobs {1,2} x backend {bitblast,
+/// smtlib:shim}) over \p Req, asserting that certified decisions are
+/// bit-identical to the uncertified baseline and that every Equivalent
+/// verdict yields a verifying certificate. \p ShimCap, when nonzero,
+/// caps MaxIterations for the shim legs (and their baselines): the
+/// external pipe re-solves the whole multiplexed assertion set per
+/// query, so search-heavy pairs would take minutes per leg there while
+/// a deterministic ResourceLimit exercises the same certified pipeline.
+void sweepOnePair(const std::string &Label, const CheckRequest &Req,
+                  size_t ShimCap, size_t &Equivalents) {
+  const SweepConfig Configs[] = {
+      {1, false}, {2, false}, {1, true}, {2, true}};
+  std::string Shim = shimPath();
+
+  CheckRequest ShimReq = Req;
+  if (ShimCap)
+    ShimReq.Options.MaxIterations = ShimCap;
+
+  // The uncertified baselines, per jobs level and budget (backend never
+  // changes decisions; crosscheck asserts that internally per query).
+  CheckResult Baseline[3], ShimBaseline[3];
+  for (size_t J : {size_t(1), size_t(2)}) {
+    EngineConfig Cfg;
+    Cfg.Jobs = J;
+    std::string Err;
+    std::unique_ptr<Engine> E = Engine::create(Cfg, &Err);
+    ASSERT_NE(E, nullptr) << Err;
+    Baseline[J] = E->check(Req);
+    ShimBaseline[J] = ShimCap ? E->check(ShimReq) : Baseline[J];
+  }
+  expectDecisionIdentical(Req, Baseline[1], Baseline[2],
+                          Label + " jobs 1 vs 2, uncertified");
+
+  for (const SweepConfig &C : Configs) {
+    if (C.Shim && Shim.empty())
+      continue; // the shim leg needs the binary CTest exports
+    std::string Backend = C.Shim ? "smtlib:" + Shim : "bitblast";
+    std::string CfgLabel = Label + " [jobs=" + std::to_string(C.Jobs) +
+                           " backend=" + (C.Shim ? "smtlib:shim" : "bitblast") +
+                           "]";
+    if (std::getenv("LEAPFROG_SWEEP_TRACE"))
+      std::fprintf(stderr, "sweep: %s\n", CfgLabel.c_str());
+    const CheckRequest &CfgReq = C.Shim ? ShimReq : Req;
+    CertifiedRun Run = runCertified(CfgReq, C.Jobs, Backend);
+
+    // Certified decisions == uncertified decisions, bit for bit.
+    expectDecisionIdentical(CfgReq, Run.Res,
+                            C.Shim ? ShimBaseline[C.Jobs] : Baseline[C.Jobs],
+                            CfgLabel);
+
+    if (Run.Res.V != Verdict::Equivalent)
+      continue;
+    ++Equivalents;
+    ASSERT_FALSE(Run.CertText.empty()) << CfgLabel;
+    cert::VerifyOptions Pin;
+    Pin.ExpectFingerprintHex = Run.FingerprintHex;
+    cert::VerifyResult V = cert::verifyCertificate(Run.CertText, Pin);
+    EXPECT_TRUE(V.Ok) << CfgLabel << ": " << V.Diagnostic;
+    EXPECT_GT(V.Stats.Goals, 0u) << CfgLabel;
+  }
+}
+
+TEST(CertStream, AcceptanceSweepRegistryStudies) {
+  size_t Equivalents = 0;
+  for (const parsers::CaseStudy &Study : parsers::allCaseStudies()) {
+    CheckOptions Options;
+    // The big Applicability self-pairs get the ServeTest sweep's tiny
+    // budget: a deterministic ResourceLimit exercises the certified
+    // pipeline's bit-identity just as well, in a fraction of the time.
+    Options.MaxIterations = Study.Category == "Applicability" ? 300 : 20000;
+    // Variable-length parsing needs ~6600 queries — fine in-process,
+    // minutes through the external pipe, hence the shim-leg cap.
+    size_t ShimCap = Study.Name == "Variable-length parsing" ? 300 : 0;
+    sweepOnePair(Study.Name, registryRequest(Study, Options), ShimCap,
+                 Equivalents);
+  }
+  // The sweep must not be vacuous: the Utility studies decide Equivalent
+  // under every configuration.
+  EXPECT_GE(Equivalents, 8u);
+}
+
+TEST(CertStream, AcceptanceSweepCorpusPairs) {
+  std::string Dir = corpusDir();
+  if (Dir.empty())
+    GTEST_SKIP() << "LEAPFROG_CORPUS_DIR not set (run under ctest)";
+
+  struct Pair {
+    const char *Label, *L, *R;
+    bool Budgeted;
+    size_t ShimCap;
+  };
+  // The 18-pair bench_corpus table (see tests/ServeTest.cpp): registry
+  // twins plus the hand-written protocol studies' opt/bug variants.
+  const Pair Pairs[] = {
+      {"state_rearrangement", "state_rearrangement_left.lfp",
+       "state_rearrangement_right.lfp", false, 0},
+      {"variable_length_parsing", "variable_length_parsing_left.lfp",
+       "variable_length_parsing_right.lfp", false, 300},
+      {"header_initialization", "header_initialization_left.lfp",
+       "header_initialization_right.lfp", false, 0},
+      {"speculative_loop", "speculative_loop_left.lfp",
+       "speculative_loop_right.lfp", false, 0},
+      {"relational_verification", "relational_verification_left.lfp",
+       "relational_verification_right.lfp", true, 0},
+      {"external_filtering", "external_filtering_left.lfp",
+       "external_filtering_right.lfp", true, 0},
+      {"edge", "edge_left.lfp", "edge_right.lfp", true, 0},
+      {"service_provider", "service_provider_left.lfp",
+       "service_provider_right.lfp", true, 0},
+      {"datacenter", "datacenter_left.lfp", "datacenter_right.lfp", true, 0},
+      {"enterprise", "enterprise_left.lfp", "enterprise_right.lfp", true, 0},
+      {"ipv6_chain vs opt", "ipv6_chain.lfp", "ipv6_chain_opt.lfp", false, 0},
+      {"ipv6_chain vs bug", "ipv6_chain.lfp", "ipv6_chain_bug.lfp", false, 0},
+      {"vlan_qinq vs opt", "vlan_qinq.lfp", "vlan_qinq_opt.lfp", false, 0},
+      {"vlan_qinq vs bug", "vlan_qinq.lfp", "vlan_qinq_bug.lfp", false, 0},
+      {"tunnel vs opt", "tunnel.lfp", "tunnel_opt.lfp", false, 0},
+      {"tunnel vs bug", "tunnel.lfp", "tunnel_bug.lfp", false, 0},
+      {"quic_varint vs opt", "quic_varint.lfp", "quic_varint_opt.lfp", false,
+       0},
+      {"quic_varint vs bug", "quic_varint.lfp", "quic_varint_bug.lfp", false,
+       0},
+  };
+
+  size_t Equivalents = 0;
+  for (const Pair &P : Pairs) {
+    std::string LText, RText;
+    ASSERT_TRUE(readFileAll(Dir + "/" + P.L, LText)) << P.Label;
+    ASSERT_TRUE(readFileAll(Dir + "/" + P.R, RText)) << P.Label;
+    CheckOptions Options;
+    Options.MaxIterations = P.Budgeted ? 300 : 20000;
+    CheckRequest Req;
+    std::vector<std::string> Errors;
+    ASSERT_TRUE(core::checkRequestFromSurface(LText, RText, Options, Req,
+                                              Errors, P.L, P.R))
+        << P.Label << ": " << (Errors.empty() ? "?" : Errors.front());
+    sweepOnePair(P.Label, Req, P.ShimCap, Equivalents);
+  }
+  // Every equivalent corpus pair, under every configuration, produced a
+  // verified certificate; the refuted/budgeted ones exercised the
+  // no-certificate path.
+  EXPECT_GE(Equivalents, 16u);
 }
 
 } // namespace

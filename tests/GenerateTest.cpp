@@ -28,6 +28,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cert/CertVerify.h"
+#include "core/CertificateIo.h"
 #include "core/Checker.h"
 #include "frontend/Elaborate.h"
 #include "frontend/Generate.h"
@@ -106,15 +108,34 @@ std::string dumpProgram(const SurfaceProgram &Program,
 core::CheckResult runCheck(const ElaborationResult &L,
                            const ElaborationResult &R, size_t Jobs,
                            const std::string &Backend,
-                           size_t MaxIterations = 2000) {
+                           size_t MaxIterations = 2000,
+                           bool Certify = false) {
   core::CheckOptions Options;
   Options.MaxIterations = MaxIterations;
   Options.Jobs = Jobs;
   Options.Backend = Backend;
   Options.RecordTrace = true;
+  Options.Certify = Certify;
   return core::checkLanguageEquivalence(
       L.Aut, p4a::StateRef::normal(*L.Aut.findState(L.Entry)), R.Aut,
       p4a::StateRef::normal(*R.Aut.findState(R.Entry)), Options);
+}
+
+/// Serializes an Equivalent certified result to LFCERT and runs the
+/// engine-free verifier over it; any rejection fails the calling test
+/// with the seed and the verifier's located diagnostic.
+void expectCertificateVerifies(const ElaborationResult &L,
+                               const ElaborationResult &R,
+                               const core::CheckResult &Res, uint64_t Seed) {
+  ASSERT_EQ(Res.V, core::Verdict::Equivalent);
+  ASSERT_NE(Res.Proof, nullptr) << "seed " << Seed << ": certified run "
+                                << "produced no proof log";
+  std::string Text = core::serializeCertificate(L.Aut, R.Aut, Res.Certificate,
+                                                Res.Proof.get(), "-");
+  cert::VerifyResult V = cert::verifyCertificate(Text, {});
+  EXPECT_TRUE(V.Ok) << "seed " << Seed << ": " << V.Diagnostic;
+  EXPECT_EQ(V.Stats.RelationConjuncts, Res.Certificate.Relation.size())
+      << "seed " << Seed;
 }
 
 const char *verdictName(core::Verdict V) {
@@ -186,9 +207,24 @@ TEST_P(RenamedTwinSweep, RenamedTwinIsEquivalent) {
   ASSERT_TRUE(L.ok() && R.ok());
 
   core::CheckResult Res = runCheck(L, R, 1, "bitblast", 50000);
-  EXPECT_EQ(Res.V, core::Verdict::Equivalent)
+  ASSERT_EQ(Res.V, core::Verdict::Equivalent)
       << "seed " << Seed << " verdict " << verdictName(Res.V) << "\n"
       << printSurface(P);
+
+  // The certified re-run must make the same decisions bit for bit and
+  // stream a certificate the engine-free verifier accepts — every
+  // generated Equivalent pair carries its proof, nightly depth included.
+  core::CheckResult Certified =
+      runCheck(L, R, 1, "bitblast", 50000, /*Certify=*/true);
+  EXPECT_EQ(Certified.V, Res.V) << "seed " << Seed;
+  EXPECT_EQ(Certified.Stats.Iterations, Res.Stats.Iterations)
+      << "seed " << Seed;
+  EXPECT_EQ(Certified.Stats.Extends, Res.Stats.Extends) << "seed " << Seed;
+  EXPECT_EQ(Certified.Stats.Skips, Res.Stats.Skips) << "seed " << Seed;
+  EXPECT_EQ(Certified.Certificate.str(L.Aut, R.Aut),
+            Res.Certificate.str(L.Aut, R.Aut))
+      << "seed " << Seed;
+  expectCertificateVerifies(L, R, Certified, Seed);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RenamedTwinSweep,
@@ -255,6 +291,18 @@ TEST_P(DifferentialFuzz, AllConfigurationsAgreeOnMutantPairs) {
                     << RightPath;
     }
   }
+
+  // The certified leg: recording DRUP slices must not perturb a single
+  // decision, and when the mutant happens to be equivalent the streamed
+  // certificate must survive the engine-free verifier.
+  core::CheckResult Certified =
+      runCheck(L, R, 1, "bitblast", 2000, /*Certify=*/true);
+  EXPECT_EQ(Certified.V, Ref.V) << "seed " << Seed;
+  EXPECT_EQ(Certified.Stats.Iterations, Ref.Stats.Iterations)
+      << "seed " << Seed;
+  EXPECT_EQ(Certified.FailureReason, Ref.FailureReason) << "seed " << Seed;
+  if (Certified.V == core::Verdict::Equivalent)
+    expectCertificateVerifies(L, R, Certified, Seed);
 
   // Skipping the shim leg silently would make a green nightly claim more
   // coverage than it ran; say so once per process.

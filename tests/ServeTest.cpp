@@ -26,6 +26,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cert/CertVerify.h"
 #include "core/Engine.h"
 #include "frontend/Elaborate.h"
 #include "frontend/Text.h"
@@ -34,11 +35,13 @@
 #include "serve/Server.h"
 #include "serve/Service.h"
 #include "smt/SmtLibSolver.h"
+#include "support/Compress.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -50,6 +53,7 @@
 
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 using namespace leapfrog;
@@ -842,6 +846,178 @@ TEST(CorpusSweep, EveryPairHitsWarmWithIdenticalResults) {
   EXPECT_EQ(S.Computed, Pairs - Duplicates);
   EXPECT_EQ(S.Cache.Hits, Pairs + Duplicates);
   EXPECT_EQ(S.Cache.Collisions, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming certificates through the service: the `cert` op end to end
+// over a real socket, structured misses, and the on-disk store surviving
+// a daemon restart.
+//===----------------------------------------------------------------------===//
+
+std::string certcheckPath() {
+  const char *Env = std::getenv("LEAPFROG_CERTCHECK");
+  return Env && *Env ? Env : "";
+}
+
+/// Pipes \p CertText through the standalone leapfrog-certcheck binary,
+/// pinned to \p ExpectFp; returns its exit status or -1 when CTest did
+/// not export the binary's path.
+int pipeThroughCertcheck(const std::string &CertText,
+                         const std::string &ExpectFp) {
+  std::string Bin = certcheckPath();
+  if (Bin.empty())
+    return -1;
+  std::string TmpFile = ::testing::TempDir() + "servetest_cert.lfc";
+  {
+    std::ofstream Out(TmpFile, std::ios::binary | std::ios::trunc);
+    Out.write(CertText.data(), std::streamsize(CertText.size()));
+  }
+  std::string Cmd =
+      Bin + " --quiet --fingerprint " + ExpectFp + " " + TmpFile +
+      " 2>/dev/null";
+  int Status = std::system(Cmd.c_str());
+  std::remove(TmpFile.c_str());
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : 127;
+}
+
+TEST(Server, CertifiedCheckServesVerifiableCertificateOverSocket) {
+  serve::ServiceConfig Cfg = basicConfig();
+  Cfg.Engine.Certify = true;
+  std::string Err;
+  auto S = serve::Server::create(Cfg, &Err);
+  ASSERT_NE(S, nullptr) << Err;
+
+  const std::string Path = "servetest-cert.sock";
+  std::thread ServerThread([&] { EXPECT_EQ(S->runSocket(Path), 0); });
+
+  int Fd = -1;
+  for (int Attempt = 0; Attempt < 200; ++Attempt) {
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(Fd, 0);
+    sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) == 0)
+      break;
+    ::close(Fd);
+    Fd = -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(Fd, 0) << "could not connect to " << Path;
+
+  auto roundTrip = [&](const std::string &Line) {
+    std::string Out = Line + "\n";
+    EXPECT_EQ(::write(Fd, Out.data(), Out.size()), ssize_t(Out.size()));
+    std::string Buf;
+    char C;
+    while (::read(Fd, &C, 1) == 1 && C != '\n')
+      Buf += C;
+    serve::Json R;
+    std::string ParseErr;
+    EXPECT_TRUE(serve::Json::parse(Buf, R, &ParseErr)) << ParseErr;
+    return R;
+  };
+
+  serve::Json Check = roundTrip(checkRequestLine(LfpA, LfpB).serialize());
+  ASSERT_TRUE(Check.getBool("ok", false)) << Check.serialize();
+  EXPECT_EQ(Check.getString("verdict"), "equivalent");
+  std::string Key = Check.getString("certificate_key");
+  ASSERT_EQ(Key.size(), 32u);
+
+  // Fetch the certificate over the same connection; the wire carries the
+  // raw LFCERT text, which the engine-free verifier must accept pinned
+  // to the key it was fetched under.
+  serve::Json Cert = roundTrip("{\"op\":\"cert\",\"key\":\"" + Key + "\"}");
+  ASSERT_TRUE(Cert.getBool("ok", false)) << Cert.serialize();
+  std::string Text = Cert.getString("certificate");
+  ASSERT_FALSE(Text.empty());
+  EXPECT_EQ(Text.compare(0, 7, "LFCERT "), 0);
+  cert::VerifyOptions Pin;
+  Pin.ExpectFingerprintHex = Key;
+  cert::VerifyResult V = cert::verifyCertificate(Text, Pin);
+  EXPECT_TRUE(V.Ok) << V.Diagnostic;
+  EXPECT_GT(V.Stats.Goals, 0u);
+
+  // And through the standalone binary, when CTest exported it.
+  int Exit = pipeThroughCertcheck(Text, Key);
+  if (Exit >= 0) {
+    EXPECT_EQ(Exit, 0) << "leapfrog-certcheck rejected the served cert";
+  }
+
+  // Structured misses keep the connection alive: an unknown key and a
+  // refuted pair (which caches a result but never a certificate).
+  serve::Json Unknown = roundTrip(
+      "{\"op\":\"cert\",\"key\":\"00000000000000000000000000000000\"}");
+  EXPECT_FALSE(Unknown.getBool("ok", true));
+  EXPECT_NE(Unknown.getString("error").find("no certificate cached"),
+            std::string::npos);
+
+  serve::Json Refuted = roundTrip(checkRequestLine(LfpA, LfpBug).serialize());
+  ASSERT_TRUE(Refuted.getBool("ok", false));
+  EXPECT_EQ(Refuted.getString("verdict"), "not_equivalent");
+  EXPECT_FALSE(Refuted.has("certificate_key"));
+  std::string RefutedFp = Refuted.getString("fingerprint");
+  ASSERT_EQ(RefutedFp.size(), 32u);
+  serve::Json RefutedCert =
+      roundTrip("{\"op\":\"cert\",\"key\":\"" + RefutedFp + "\"}");
+  EXPECT_FALSE(RefutedCert.getBool("ok", true));
+  EXPECT_NE(RefutedCert.getString("error").find("no certificate cached"),
+            std::string::npos);
+
+  serve::Json Bye = roundTrip("{\"op\":\"shutdown\"}");
+  EXPECT_TRUE(Bye.getBool("bye", false));
+  ::close(Fd);
+  ServerThread.join();
+}
+
+TEST(CheckService, RestartedServiceServesStoredCertificate) {
+  std::string StoreDir = ::testing::TempDir() + "servetest-certstore";
+  serve::ServiceConfig Cfg = basicConfig();
+  Cfg.CertStoreDir = StoreDir;
+
+  core::CheckRequest Req = requestFor(LfpA, LfpB);
+  std::string FpHex, FirstText;
+  {
+    std::string Err;
+    auto Svc = serve::CheckService::create(Cfg, &Err);
+    ASSERT_NE(Svc, nullptr) << Err;
+    serve::CheckService::Outcome O = Svc->submit(Req);
+    ASSERT_FALSE(O.rejected()) << O.Error;
+    ASSERT_EQ(O.Result.V, core::Verdict::Equivalent);
+    // A store dir implies certified checks even with Engine.Certify
+    // left off in the config.
+    ASSERT_FALSE(O.CertificateText.empty());
+    FpHex = O.FP.hex();
+    FirstText = Svc->certificateByHex(FpHex);
+    ASSERT_EQ(FirstText, O.CertificateText);
+
+    // The store holds the LFCZ1-compressed form under <fp>.lfc.
+    std::string OnDisk;
+    ASSERT_TRUE(readFile(StoreDir + "/" + FpHex + ".lfc", OnDisk));
+    EXPECT_TRUE(support::looksCompressed(OnDisk));
+    EXPECT_LT(OnDisk.size(), FirstText.size());
+  } // daemon goes down; only the store survives
+
+  std::string Err;
+  auto Restarted = serve::CheckService::create(Cfg, &Err);
+  ASSERT_NE(Restarted, nullptr) << Err;
+  // No check ran in this incarnation — the certificate comes off disk,
+  // decompressed, bit-identical to what the first daemon served.
+  std::string SecondText = Restarted->certificateByHex(FpHex);
+  ASSERT_FALSE(SecondText.empty());
+  EXPECT_EQ(SecondText, FirstText);
+
+  cert::VerifyOptions Pin;
+  Pin.ExpectFingerprintHex = FpHex;
+  cert::VerifyResult V = cert::verifyCertificate(SecondText, Pin);
+  EXPECT_TRUE(V.Ok) << V.Diagnostic;
+
+  // Unknown keys miss the store too (and never touch the filesystem
+  // with anything but a 32-hex-digit name).
+  EXPECT_TRUE(
+      Restarted->certificateByHex(std::string(32, '0')).empty());
+  EXPECT_TRUE(Restarted->certificateByHex("../../etc/passwd").empty());
 }
 
 } // namespace

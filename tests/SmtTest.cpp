@@ -479,27 +479,27 @@ TEST(SessionMemory, StatsMonotoneAcrossQueriesAndRestarts) {
   EXPECT_GT(Restarts, 0u);
 }
 
-TEST(SessionMemory, MonolithicFallbackReportsZero) {
-  // Both monolithic flavors — the base-class session and the certifying
-  // BitBlastSolver degradation — hold no cross-query solver state, so
-  // every memory counter stays zero even with limits set.
+TEST(SessionMemory, CertifyingSessionsStayIncremental) {
+  // Regression: CertifyUnsat used to force openSession onto the
+  // stateless monolithic fallback, silently discarding every session
+  // benefit the moment certification was requested. A certifying
+  // session must be a *real* session — session counters move, arena
+  // state exists — while every UNSAT answer is still proof-validated.
   BitBlastSolver Certifying;
   Certifying.CertifyUnsat = true;
-  SessionLimits Tight;
-  Tight.MaxLearnts = 1;
-  Tight.MaxArenaBytes = 1;
-  auto Sess = Certifying.openSession(Tight);
+  auto Sess = Certifying.openSession();
   BvTermRef X = var("x", 4);
   Sess->assertPremise(BvFormula::mkEq(X, lit("1010")));
   EXPECT_TRUE(Sess->isEntailed(BvFormula::mkEq(X, lit("1010"))));
   EXPECT_FALSE(Sess->isEntailed(BvFormula::mkEq(var("y", 4), lit("1010"))));
   const SolverStats &St = Certifying.stats();
-  EXPECT_EQ(St.ClausesDeleted, 0u);
-  EXPECT_EQ(St.ReduceDbRuns, 0u);
-  EXPECT_EQ(St.ArenaBytesPeak, 0u);
-  EXPECT_EQ(St.PeakLearnts, 0u);
-  EXPECT_EQ(St.SessionRestarts, 0u);
-  EXPECT_EQ(St.PremisesGcd, 0u);
+  EXPECT_EQ(St.SessionsOpened, 1u);
+  EXPECT_EQ(St.SessionQueries, 2u);
+  EXPECT_GT(St.SessionPremises, 0u);
+  EXPECT_GT(St.ArenaBytesPeak, 0u);
+  // isEntailed(goal) asks UNSAT(premises & !goal); the entailed goal's
+  // UNSAT answer must have been replayed through the validator.
+  EXPECT_GT(St.CertifiedUnsat, 0u);
 }
 
 TEST(SessionMemory, AggressiveReductionKeepsAnswers) {

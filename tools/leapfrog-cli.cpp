@@ -31,6 +31,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/CertificateIo.h"
 #include "core/Engine.h"
 #include "p4a/Parser.h"
 #include "smt/SmtLibSolver.h"
@@ -95,8 +96,11 @@ void usage() {
       "                     seconds (default 60); on expiry the process\n"
       "                     is killed and the query answered in-repo\n"
       "  --certify-smt      require a DRUP proof for every UNSAT solver\n"
-      "                     answer, replayed by an independent checker\n"
-      "                     (bitblast backend only)\n"
+      "                     answer, replayed by an independent checker.\n"
+      "                     With an smtlib backend the run is promoted to\n"
+      "                     crosscheck so the in-repo reference leg\n"
+      "                     produces the proofs the external solver\n"
+      "                     cannot\n"
       "\n"
       "budget options:\n"
       "  --max-iterations N worklist budget (default 1048576)\n"
@@ -112,6 +116,12 @@ void usage() {
       "  --print            echo both parsers back (parsed form)\n"
       "  --dump-cert        print the certificate (the conjuncts of the\n"
       "                     symbolic bisimulation) on success\n"
+      "  --emit-cert FILE   run with proof capture and write a complete\n"
+      "                     LFCERT certificate (relation + per-goal DRUP\n"
+      "                     slices, pinned to the pair fingerprint) to\n"
+      "                     FILE on an equivalent verdict; verify it with\n"
+      "                     leapfrog-certcheck, which shares no code with\n"
+      "                     the checker ('-' writes to stdout)\n"
       "  --trace            print every Skip/Extend step of the search\n"
       "                     (the paper's Figure 4 derivation)\n"
       "  --quiet            verdict only\n");
@@ -167,6 +177,7 @@ int main(int Argc, char **Argv) {
   core::CheckOptions Options;
   bool Replay = false, Print = false, Quiet = false, DumpCert = false;
   bool CertifySmt = false;
+  const char *EmitCertPath = nullptr;
   core::EngineConfig EngineCfg; // Backend spec + jobs: engine-level.
   int ExtTimeoutSec = 0;
   for (int I = FileMode ? 4 : 5; I < Argc; ++I) {
@@ -200,6 +211,9 @@ int main(int Argc, char **Argv) {
       Print = true;
     } else if (!std::strcmp(Arg, "--dump-cert")) {
       DumpCert = true;
+    } else if (!std::strcmp(Arg, "--emit-cert") && I + 1 < Argc) {
+      EmitCertPath = Argv[++I];
+      Options.Certify = true;
     } else if (!std::strcmp(Arg, "--trace")) {
       Options.RecordTrace = true;
     } else if (!std::strcmp(Arg, "--quiet")) {
@@ -226,6 +240,13 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // DRUP certification needs the in-repo solver in the loop: a bare
+  // external backend is promoted to the cross-checking pair, whose
+  // reference leg produces (and replays) the proofs.
+  if (CertifySmt && !EngineCfg.Backend.compare(0, 7, "smtlib:"))
+    EngineCfg.Backend = "crosscheck:" + EngineCfg.Backend.substr(7);
+  EngineCfg.Certify = Options.Certify;
+
   // Resolve the backend once, through the engine. A typo in the spec is
   // a usage error here (exit 3), never a silent bitblast run — the same
   // structured rejection leapfrog-serve hands its clients.
@@ -241,13 +262,19 @@ int main(int Argc, char **Argv) {
   auto *BitBlast = dynamic_cast<smt::BitBlastSolver *>(Solver);
   auto *External = dynamic_cast<smt::SmtLibSolver *>(Solver);
   auto *Cross = dynamic_cast<smt::CrossCheckSolver *>(Solver);
-  if (Cross)
+  if (Cross) {
     External = dynamic_cast<smt::SmtLibSolver *>(&Cross->external());
+    if (!BitBlast)
+      BitBlast = dynamic_cast<smt::BitBlastSolver *>(&Cross->reference());
+  }
   if (CertifySmt) {
     if (!BitBlast) {
+      // Unreachable through the spec grammar (every crosscheck reference
+      // leg is bitblast), but a caller-supplied exotic backend should
+      // fail loudly rather than run uncertified.
       std::fprintf(stderr,
-                   "leapfrog-cli: --certify-smt requires the bitblast "
-                   "backend (DRUP proofs come from the in-repo solver)\n");
+                   "leapfrog-cli: --certify-smt found no in-repo solver to "
+                   "produce DRUP proofs\n");
       return 3;
     }
     BitBlast->CertifyUnsat = true;
@@ -319,6 +346,28 @@ int main(int Argc, char **Argv) {
   if (DumpCert && Res.V == core::Verdict::Equivalent)
     std::printf("%s", Res.Certificate.str(Req.Left, Req.Right).c_str());
 
+  if (EmitCertPath && Res.V == core::Verdict::Equivalent) {
+    std::string CertText = core::serializeCertificate(
+        Req.Left, Req.Right, Res.Certificate, Res.Proof.get(),
+        core::requestFingerprint(Req).hex());
+    if (!std::strcmp(EmitCertPath, "-")) {
+      std::fwrite(CertText.data(), 1, CertText.size(), stdout);
+    } else {
+      std::ofstream CertOut(EmitCertPath,
+                            std::ios::binary | std::ios::trunc);
+      CertOut.write(CertText.data(), std::streamsize(CertText.size()));
+      if (!CertOut) {
+        std::fprintf(stderr, "leapfrog-cli: cannot write '%s'\n",
+                     EmitCertPath);
+        return 3;
+      }
+      if (!Quiet)
+        std::printf("  certificate: %s (%zu bytes, %zu proof streams)\n",
+                    EmitCertPath, CertText.size(),
+                    Res.Proof ? Res.Proof->streamCount() : size_t(0));
+    }
+  }
+
   switch (Res.V) {
   case core::Verdict::Equivalent:
     std::printf("EQUIVALENT\n");
@@ -345,7 +394,11 @@ int main(int Argc, char **Argv) {
         "  iterations %zu, conjuncts %zu, SMT queries %zu (%zu certified "
         "UNSAT), %.2f s\n",
         Res.Stats.Iterations, Res.Stats.FinalConjuncts,
-        Res.Stats.SmtQueries, size_t(Solver->stats().CertifiedUnsat),
+        Res.Stats.SmtQueries,
+        // DRUP certification lives in the in-repo solver; behind
+        // crosscheck that is the reference leg, not the facade.
+        size_t((BitBlast ? BitBlast->stats() : Solver->stats())
+                   .CertifiedUnsat),
         double(Res.Stats.WallMicros) / 1e6);
     if (External) {
       const smt::SmtLibSolver::ExtStats &E = External->extStats();

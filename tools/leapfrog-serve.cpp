@@ -58,6 +58,16 @@ void usage() {
       "  --lanes N          concurrent checks (default 1); total warm\n"
       "                     solver processes = lanes x jobs\n"
       "\n"
+      "certificates:\n"
+      "  --certify          run every check with proof capture; the cert\n"
+      "                     op then serves full LFCERT certificates that\n"
+      "                     leapfrog-certcheck verifies independently\n"
+      "                     (an smtlib backend is cross-checked so the\n"
+      "                     in-process proof covers its verdicts)\n"
+      "  --cert-store DIR   persist compressed certificates to DIR keyed\n"
+      "                     by fingerprint (implies --certify); a\n"
+      "                     restarted server serves them from disk\n"
+      "\n"
       "admission control:\n"
       "  --max-queue N      submissions allowed to wait for a lane before\n"
       "                     new ones are rejected (default 64)\n"
@@ -100,6 +110,10 @@ int main(int Argc, char **Argv) {
     } else if (!std::strcmp(Arg, "--lanes") && I + 1 < Argc &&
                parseCount(Argv[++I], N)) {
       Config.Lanes = size_t(N ? N : 1);
+    } else if (!std::strcmp(Arg, "--certify")) {
+      Config.Engine.Certify = true;
+    } else if (!std::strcmp(Arg, "--cert-store") && I + 1 < Argc) {
+      Config.CertStoreDir = Argv[++I];
     } else if (!std::strcmp(Arg, "--max-queue") && I + 1 < Argc &&
                parseCount(Argv[++I], N)) {
       Config.MaxQueue = size_t(N);
