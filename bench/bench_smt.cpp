@@ -22,6 +22,7 @@
 
 #include "core/Checker.h"
 #include "logic/Lower.h"
+#include "obs/Metrics.h"
 #include "parsers/CaseStudies.h"
 #include "smt/SmtLib.h"
 #include "smt/SmtLibSolver.h"
@@ -61,13 +62,17 @@ struct JsonRecord {
   uint64_t ClausesDeleted = 0, ReduceDbRuns = 0, SessionRestarts = 0;
 };
 
+/// Writes `{"records": [...], "metrics": <snapshot>}`: the per-study
+/// records CI archives plus the process-wide obs::Metrics snapshot, whose
+/// smt.solve_micros histogram p95 tools/check_perf_baseline.py gates on
+/// (the script still accepts the older bare-array form for old baselines).
 void writeJson(const char *Path, const std::vector<JsonRecord> &Records) {
   std::FILE *F = std::fopen(Path, "w");
   if (!F) {
     std::fprintf(stderr, "bench_smt: cannot open %s for writing\n", Path);
     return;
   }
-  std::fprintf(F, "[\n");
+  std::fprintf(F, "{\"records\": [\n");
   for (size_t I = 0; I < Records.size(); ++I) {
     const JsonRecord &R = Records[I];
     std::fprintf(F,
@@ -87,7 +92,8 @@ void writeJson(const char *Path, const std::vector<JsonRecord> &Records) {
                  size_t(R.SessionRestarts),
                  I + 1 < Records.size() ? "," : "");
   }
-  std::fprintf(F, "]\n");
+  std::fprintf(F, "],\n\"metrics\": %s}\n",
+               obs::metrics().snapshot().toJson().c_str());
   std::fclose(F);
 }
 

@@ -23,6 +23,7 @@
 
 #include "core/CertificateIo.h"
 #include "core/Checker.h"
+#include "obs/Trace.h"
 #include "parsers/CaseStudies.h"
 #include "pgen/TranslationValidation.h"
 #include "smt/ProofLog.h"
@@ -31,6 +32,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <sys/resource.h>
 
 using namespace leapfrog;
@@ -117,6 +119,10 @@ size_t Jobs = 1;
 /// (the docs/EXPERIMENTS.md certified column). Off by default so the
 /// classic table's timings stay comparable across revisions.
 bool CertifyColumn = false;
+
+/// --trace-out FILE: record every instrumented span of the whole table
+/// run and write Chrome trace_event JSON at exit (docs/OBSERVABILITY.md).
+const char *TraceOutPath = nullptr;
 
 Row runStudy(const parsers::CaseStudy &Study, const InitialSpec &Spec,
              bool ExpectEquivalent, size_t MaxIterations = 1u << 20,
@@ -271,11 +277,24 @@ int main(int argc, char **argv) {
         Jobs = 1;
     } else if (!std::strcmp(argv[I], "--certify")) {
       CertifyColumn = true;
+    } else if (!std::strcmp(argv[I], "--trace-out") && I + 1 < argc) {
+      TraceOutPath = argv[++I];
     } else {
-      std::fprintf(stderr, "usage: %s [--unbounded] [--jobs N] [--certify]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--unbounded] [--jobs N] [--certify] "
+                   "[--trace-out FILE]\n",
                    argv[0]);
       return 2;
     }
+  }
+  // Perfetto timeline of the whole table (docs/OBSERVABILITY.md):
+  // sequential studies on the main track, parallel reruns on worker
+  // tracks. Passive — the rows print identically with or without it.
+  std::unique_ptr<obs::TraceSink> Trace;
+  if (TraceOutPath) {
+    Trace = std::make_unique<obs::TraceSink>();
+    obs::setTraceSink(Trace.get());
+    obs::nameCurrentThread("bench-main");
   }
   std::setvbuf(stdout, nullptr, _IOLBF, 0);
   std::printf("Table 2 reproduction (paper §7; see docs/EXPERIMENTS.md for "
@@ -371,5 +390,16 @@ int main(int argc, char **argv) {
 
   std::printf("\nNote: RSS is the process max so far (monotone across "
               "rows); Reach counts template pairs after §5.1 pruning.\n");
+  if (Trace) {
+    obs::setTraceSink(nullptr);
+    std::string Err;
+    if (!Trace->writeChromeJson(TraceOutPath, &Err)) {
+      std::fprintf(stderr, "bench_table2: %s\n", Err.c_str());
+      return 2;
+    }
+    std::printf("trace written to %s (%zu events); open in "
+                "ui.perfetto.dev or summarize with leapfrog-trace\n",
+                TraceOutPath, Trace->eventCount());
+  }
   return 0;
 }

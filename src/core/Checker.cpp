@@ -8,6 +8,9 @@
 #include "core/Checker.h"
 
 #include "core/FrontierKey.h"
+#include "obs/Clock.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "core/WeakestPrecondition.h"
 #include "logic/Lower.h"
 #include "p4a/Typing.h"
@@ -15,7 +18,6 @@
 #include "smt/ProofLog.h"
 #include "smt/SmtLibSolver.h"
 
-#include <chrono>
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
@@ -86,7 +88,8 @@ CheckResult core::checkWithSpec(const p4a::Automaton &Left,
   if (Options.Jobs > 1)
     return parallel::checkWithSpecParallel(Left, Right, Spec, Options);
 
-  auto Start = std::chrono::steady_clock::now();
+  obs::ScopedSpan CheckSpan("check.run", "check");
+  obs::StopWatch Watch;
   smt::SmtSolver &Solver =
       Options.Solver ? *Options.Solver : smt::defaultSolver();
   uint64_t SolverMicrosBefore = Solver.stats().TotalMicros;
@@ -120,6 +123,25 @@ CheckResult core::checkWithSpec(const p4a::Automaton &Left,
   }
 
   CheckStats &St = Result.Stats;
+  // Bulk-flush the run's decision counters into the process registry on
+  // every exit path (including budget stops and refutations): one relaxed
+  // add per counter per check, nothing on the per-iteration path.
+  struct MetricsFlush {
+    CheckStats &St;
+    ~MetricsFlush() {
+      obs::Registry &M = obs::metrics();
+      static obs::Counter &Runs = M.counter("check.runs");
+      static obs::Counter &Iterations = M.counter("check.iterations");
+      static obs::Counter &Extends = M.counter("check.extends");
+      static obs::Counter &Skips = M.counter("check.skips");
+      static obs::Counter &Queries = M.counter("check.smt_queries");
+      Runs.add();
+      Iterations.add(St.Iterations);
+      Extends.add(St.Extends);
+      Skips.add(St.Skips);
+      Queries.add(St.SmtQueries);
+    }
+  } Flush{St};
   St.TemplatesLeft = allTemplates(Left).size();
   St.TemplatesRight = allTemplates(Right).size();
 
@@ -180,10 +202,7 @@ CheckResult core::checkWithSpec(const p4a::Automaton &Left,
                            std::to_string(T.size()) +
                            " frontier conjuncts outstanding";
     St.FinalConjuncts = R.size();
-    auto Now = std::chrono::steady_clock::now();
-    St.WallMicros = uint64_t(
-        std::chrono::duration_cast<std::chrono::microseconds>(Now - Start)
-            .count());
+    St.WallMicros = Watch.elapsedMicros();
     St.SolverMicros = Solver.stats().TotalMicros - SolverMicrosBefore;
   };
 
@@ -192,14 +211,10 @@ CheckResult core::checkWithSpec(const p4a::Automaton &Left,
       OverBudget("iteration");
       return Result;
     }
-    if (Options.MaxWallMicros != 0 && (St.Iterations & 0xf) == 0) {
-      auto Now = std::chrono::steady_clock::now();
-      if (uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
-                       Now - Start)
-                       .count()) > Options.MaxWallMicros) {
-        OverBudget("wall-clock");
-        return Result;
-      }
+    if (Options.MaxWallMicros != 0 && (St.Iterations & 0xf) == 0 &&
+        Watch.elapsedMicros() > Options.MaxWallMicros) {
+      OverBudget("wall-clock");
+      return Result;
     }
     GuardedFormula Psi = std::move(T.front());
     T.pop_front();
@@ -271,11 +286,7 @@ CheckResult core::checkWithSpec(const p4a::Automaton &Left,
         Result.FailureReason = "refuted: phi does not entail conjunct " +
                                Psi.str(Left, Right);
         St.FinalConjuncts = R.size();
-        auto EndRefuted = std::chrono::steady_clock::now();
-        St.WallMicros =
-            uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
-                         EndRefuted - Start)
-                         .count());
+        St.WallMicros = Watch.elapsedMicros();
         St.SolverMicros = Solver.stats().TotalMicros - SolverMicrosBefore;
         return Result;
       }
@@ -334,10 +345,7 @@ CheckResult core::checkWithSpec(const p4a::Automaton &Left,
     Cert.UseReachability = Options.UseReachability;
   }
 
-  auto End = std::chrono::steady_clock::now();
-  St.WallMicros = uint64_t(
-      std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
-          .count());
+  St.WallMicros = Watch.elapsedMicros();
   St.SolverMicros = Solver.stats().TotalMicros - SolverMicrosBefore;
   return Result;
 }

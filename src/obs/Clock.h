@@ -1,0 +1,86 @@
+//===- obs/Clock.h - One clock abstraction for all timing -----------------===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+//
+// Every *Micros stat field in the engine is fed from this header instead of
+// ad-hoc std::chrono calls: obs::Clock wraps the steady clock, StopWatch is
+// the start/elapsed idiom, and ScopedMicros accumulates a scope's duration
+// into a caller-owned counter on destruction. Keeping the clock in one place
+// is what lets the trace layer (Trace.h) share a single epoch with the stats
+// the checker already reports, and keeps timing out of any decision path:
+// nothing in here feeds back into the search.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_OBS_CLOCK_H
+#define LEAPFROG_OBS_CLOCK_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace leapfrog {
+namespace obs {
+
+/// The engine-wide monotonic clock. All durations are microseconds.
+struct Clock {
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  static TimePoint now() { return std::chrono::steady_clock::now(); }
+
+  static uint64_t microsBetween(TimePoint Start, TimePoint End) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+            .count());
+  }
+
+  static uint64_t microsSince(TimePoint Start) {
+    return microsBetween(Start, now());
+  }
+};
+
+/// Start/elapsed in one object: the pattern behind every WallMicros field.
+class StopWatch {
+public:
+  StopWatch() : Start(Clock::now()) {}
+
+  uint64_t elapsedMicros() const { return Clock::microsSince(Start); }
+
+  Clock::TimePoint startedAt() const { return Start; }
+
+private:
+  Clock::TimePoint Start;
+};
+
+/// Adds the scope's duration to *Total (and maxes *Peak when given) on
+/// destruction — the accumulate-into-a-stat-field idiom used by the solver
+/// and checker timing sites.
+class ScopedMicros {
+public:
+  explicit ScopedMicros(uint64_t &Total, uint64_t *Peak = nullptr)
+      : Total(Total), Peak(Peak) {}
+
+  ~ScopedMicros() {
+    uint64_t Micros = Watch.elapsedMicros();
+    Total += Micros;
+    if (Peak && Micros > *Peak)
+      *Peak = Micros;
+  }
+
+  ScopedMicros(const ScopedMicros &) = delete;
+  ScopedMicros &operator=(const ScopedMicros &) = delete;
+
+  uint64_t elapsedMicros() const { return Watch.elapsedMicros(); }
+
+private:
+  StopWatch Watch;
+  uint64_t &Total;
+  uint64_t *Peak;
+};
+
+} // namespace obs
+} // namespace leapfrog
+
+#endif // LEAPFROG_OBS_CLOCK_H

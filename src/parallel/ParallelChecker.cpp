@@ -49,6 +49,9 @@
 #include "core/FrontierKey.h"
 #include "core/WeakestPrecondition.h"
 #include "logic/Lower.h"
+#include "obs/Clock.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "p4a/Typing.h"
 #include "parallel/StripedSet.h"
 #include "parallel/WorkerPool.h"
@@ -56,7 +59,6 @@
 
 #include <atomic>
 #include <cassert>
-#include <chrono>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -131,7 +133,9 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
   assert(p4a::isWellTyped(Right) && "right automaton is ill-typed");
   assert(Options.Jobs >= 2 && "parallel engine needs at least two workers");
 
-  auto Start = std::chrono::steady_clock::now();
+  obs::ScopedSpan CheckSpan("check.run", "parallel",
+                            obs::TraceArgs().add("jobs", Options.Jobs));
+  obs::StopWatch Watch;
   smt::SmtSolver &Primary =
       Options.Solver ? *Options.Solver : smt::defaultSolver();
   uint64_t SolverMicrosBefore = Primary.stats().TotalMicros;
@@ -258,10 +262,7 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
       W.Solver->resetStats();
     }
     St.SmtQueries += ParallelQueries.load(std::memory_order_relaxed);
-    auto End = std::chrono::steady_clock::now();
-    St.WallMicros = uint64_t(
-        std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
-            .count());
+    St.WallMicros = Watch.elapsedMicros();
     St.SolverMicros = Primary.stats().TotalMicros - SolverMicrosBefore;
   };
   auto OverBudget = [&](const char *What) {
@@ -287,6 +288,38 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
   WorkerPool &Pool = Warm ? *Warm->Pool : *OwnedPool;
   std::vector<EpochTask> Batch;
   std::vector<std::vector<size_t>> Assignments(Pool.workers());
+
+  // Epoch-pipeline metrics, flushed once per check on every exit path.
+  // MergeStallMicros is the merge drain: sequential replay time during
+  // which every worker idles at the barrier — the number the ROADMAP's
+  // skip-ahead merge item wants driven to zero.
+  uint64_t MergeStallMicros = 0;
+  uint64_t EpochCount = 0;
+  struct ParallelMetricsFlush {
+    const CheckStats &St;
+    uint64_t &MergeStallMicros;
+    uint64_t &EpochCount;
+    ~ParallelMetricsFlush() {
+      obs::Registry &M = obs::metrics();
+      // The shared check.* family (the sequential loop flushes the same
+      // names), so dashboards see one counter set whatever the engine.
+      static obs::Counter &Runs = M.counter("check.runs");
+      static obs::Counter &Iterations = M.counter("check.iterations");
+      static obs::Counter &Extends = M.counter("check.extends");
+      static obs::Counter &Skips = M.counter("check.skips");
+      static obs::Counter &Queries = M.counter("check.smt_queries");
+      Runs.add(1);
+      Iterations.add(St.Iterations);
+      Extends.add(St.Extends);
+      Skips.add(St.Skips);
+      Queries.add(St.SmtQueries);
+      static obs::Counter &Stall =
+          M.counter("parallel.merge_stall_micros");
+      static obs::Counter &Epochs = M.counter("parallel.epochs");
+      Stall.add(MergeStallMicros);
+      Epochs.add(EpochCount);
+    }
+  } MetricsFlush{St, MergeStallMicros, EpochCount};
   std::unordered_set<TemplatePair, TemplatePairHasher> ExtendedSinceFreeze;
 
   // Each frontier generation is processed in *chunks* of a few epochs
@@ -299,7 +332,10 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
   // handful of tasks per epoch even after uneven stealing.
   const size_t ChunkSize = std::max<size_t>(32, Options.Jobs * 8);
 
+  static obs::Histogram &GenerationSize =
+      obs::metrics().histogram("parallel.generation_size");
   while (!NextT.empty()) {
+    GenerationSize.observe(NextT.size());
     Batch.clear();
     Batch.reserve(NextT.size());
     for (GuardedFormula &G : NextT)
@@ -321,15 +357,11 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
       // (the differential battery budgets by iterations, which stay
       // exact), so tripping a few items earlier than the sequential loop
       // would is fine — blowing the budget by a chunk is not.
-      if (Options.MaxWallMicros != 0) {
-        auto Now = std::chrono::steady_clock::now();
-        if (uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
-                         Now - Start)
-                         .count()) > Options.MaxWallMicros) {
-          RemainingInBatch = Batch.size() - ChunkStart;
-          OverBudget("wall-clock");
-          return Result;
-        }
+      if (Options.MaxWallMicros != 0 &&
+          Watch.elapsedMicros() > Options.MaxWallMicros) {
+        RemainingInBatch = Batch.size() - ChunkStart;
+        OverBudget("wall-clock");
+        return Result;
       }
 
       // Deal the chunk with guard affinity: every task whose goal is
@@ -352,7 +384,23 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
       // reads of R[0..FrozenR) race with nothing; each task writes only
       // its own Batch element; the pool's epoch barrier publishes all of
       // it back.
-      Pool.runEpoch(Assignments, [&](size_t WorkerId, size_t TaskIdx) {
+      ++EpochCount;
+      {
+        obs::ScopedSpan EpochSpan(
+            "epoch.parallel", "parallel",
+            obs::TraceArgs()
+                .add("tasks", uint64_t(ChunkEnd - ChunkStart))
+                .add("frozen_premises", uint64_t(FrozenR)));
+        Pool.runEpoch(Assignments, [&](size_t WorkerId, size_t TaskIdx) {
+        // Name each pool thread's Perfetto track once; solver.query spans
+        // recorded on this thread then land on the worker's own track.
+        if (obs::traceSink()) {
+          static thread_local bool TrackNamed = false;
+          if (!TrackNamed) {
+            obs::nameCurrentThread("worker-" + std::to_string(WorkerId));
+            TrackNamed = true;
+          }
+        }
         EpochTask &T = Batch[TaskIdx];
         T.Goal = lowerPure(Left, Right, T.Psi.TP, T.Psi.Phi);
         if (T.Goal->kind() == smt::BvFormula::Kind::True) {
@@ -366,9 +414,12 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
         ParallelQueries.fetch_add(1, std::memory_order_relaxed);
         T.A = S.isEntailed(T.Goal) ? EpochTask::Answer::Entailed
                                    : EpochTask::Answer::NotEntailed;
-      });
+        });
+      }
 
       // Merge phase: sequential replay in frontier order.
+      obs::ScopedSpan MergeSpan("epoch.merge", "parallel");
+      obs::ScopedMicros MergeTimer(MergeStallMicros);
       ExtendedSinceFreeze.clear();
       for (size_t I = ChunkStart; I < ChunkEnd; ++I) {
         // The sequential loop trips its budgets *before* popping, so the
@@ -379,14 +430,10 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
           OverBudget("iteration");
           return Result;
         }
-        if (Options.MaxWallMicros != 0 && (St.Iterations & 0xf) == 0) {
-          auto Now = std::chrono::steady_clock::now();
-          if (uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
-                           Now - Start)
-                           .count()) > Options.MaxWallMicros) {
-            OverBudget("wall-clock");
-            return Result;
-          }
+        if (Options.MaxWallMicros != 0 && (St.Iterations & 0xf) == 0 &&
+            Watch.elapsedMicros() > Options.MaxWallMicros) {
+          OverBudget("wall-clock");
+          return Result;
         }
         RemainingInBatch = Batch.size() - I - 1;
         EpochTask &T = Batch[I];

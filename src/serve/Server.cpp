@@ -7,6 +7,7 @@
 
 #include "serve/Server.h"
 
+#include "obs/Metrics.h"
 #include "serve/Json.h"
 
 #include <cstdio>
@@ -178,6 +179,25 @@ std::string Server::handleLine(const std::string &Line) {
     return R.serialize();
   }
 
+  if (Op == "metrics") {
+    // The full process-wide registry, in both machine forms: the JSON
+    // snapshot (obs::MetricsSnapshot::toJson is itself valid JSON, so it
+    // is re-parsed and embedded structurally — a client sees real nested
+    // objects, not a quoted blob) and the Prometheus text exposition for
+    // scrapers that want to relay it verbatim.
+    obs::MetricsSnapshot Snap = obs::metrics().snapshot();
+    Json Registry;
+    std::string SnapErr;
+    if (!Json::parse(Snap.toJson(), Registry, &SnapErr))
+      return errorResponse("metrics snapshot failed to serialize: " +
+                           SnapErr)
+          .serialize();
+    R.set("ok", Json::boolean(true));
+    R.set("metrics", Registry);
+    R.set("prometheus", Json::str(Snap.toPrometheus()));
+    return R.serialize();
+  }
+
   if (Op == "cert") {
     const std::string Hex = Req.getString("key");
     if (Hex.empty())
@@ -195,7 +215,7 @@ std::string Server::handleLine(const std::string &Line) {
 
   if (Op != "check")
     return errorResponse("unknown op '" + Op +
-                         "' (expected check|ping|stats|cert|shutdown)")
+                         "' (expected check|ping|stats|metrics|cert|shutdown)")
         .serialize();
 
   if (!Req.get("left").isString() || !Req.get("right").isString())

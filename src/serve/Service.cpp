@@ -8,12 +8,16 @@
 #include "serve/Service.h"
 
 #include "core/CertificateIo.h"
+#include "obs/Clock.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "serve/Json.h"
 #include "support/Compress.h"
 
-#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <mutex>
 #include <sstream>
 #include <sys/stat.h>
@@ -93,6 +97,8 @@ struct CheckService::Impl {
   std::vector<std::unique_ptr<core::Engine>> Lanes;
   std::vector<bool> Busy;
   size_t WaitingForLane = 0;
+  /// Serializes slow-query log lines (never nested with M).
+  std::mutex SlowLogM;
   /// Single-flight table, keyed by the full canonical text (not the
   /// fingerprint — the same never-hash-only discipline as the cache).
   std::unordered_map<std::string, std::shared_ptr<InFlight>> Running;
@@ -100,12 +106,16 @@ struct CheckService::Impl {
   Stats St;
 
   size_t acquireLaneLocked(std::unique_lock<std::mutex> &Lock) {
+    static obs::Gauge &QueueDepth =
+        obs::metrics().gauge("serve.lane_queue_depth");
     ++WaitingForLane;
+    QueueDepth.set(int64_t(WaitingForLane));
     for (;;) {
       for (size_t L = 0; L < Lanes.size(); ++L) {
         if (!Busy[L]) {
           Busy[L] = true;
           --WaitingForLane;
+          QueueDepth.set(int64_t(WaitingForLane));
           return L;
         }
       }
@@ -148,11 +158,11 @@ std::unique_ptr<CheckService> CheckService::create(const ServiceConfig &Config,
 }
 
 CheckService::Outcome CheckService::submit(const core::CheckRequest &Req) {
-  auto Start = std::chrono::steady_clock::now();
+  obs::ScopedSpan Span("serve.request", "serve");
+  obs::StopWatch Watch;
   auto finish = [&](Outcome O) {
-    O.TotalMicros = uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
-                                 std::chrono::steady_clock::now() - Start)
-                                 .count());
+    O.TotalMicros = Watch.elapsedMicros();
+    recordOutcome(O);
     return O;
   };
 
@@ -284,6 +294,69 @@ CheckService::Outcome CheckService::submit(const core::CheckRequest &Req) {
   O.Result = std::move(Result);
   O.CertificateText = Entry->CertificateText;
   return finish(O);
+}
+
+void CheckService::recordOutcome(const Outcome &O) {
+  obs::Registry &M = obs::metrics();
+  static obs::Histogram &RequestLatency =
+      M.histogram("serve.request_micros");
+  static obs::Counter &CacheHits = M.counter("serve.cache_hits");
+  static obs::Counter &CacheMisses = M.counter("serve.cache_misses");
+  static obs::Counter &Coalesced = M.counter("serve.coalesced");
+  static obs::Counter &Rejected = M.counter("serve.rejected");
+  static obs::Counter &SlowQueries = M.counter("serve.slow_queries");
+  RequestLatency.observe(O.TotalMicros);
+  if (O.rejected())
+    Rejected.add();
+  else if (O.CacheHit)
+    CacheHits.add();
+  else if (O.Shared)
+    Coalesced.add();
+  else
+    CacheMisses.add();
+
+  if (I->Config.SlowMicros == 0 || O.TotalMicros < I->Config.SlowMicros)
+    return;
+  SlowQueries.add();
+  // One structured line per slow submission (docs/SERVICE.md). The write
+  // is serialized under its own mutex (finish() runs with the service
+  // mutex held on the cache-hit and coalesced paths) so concurrent lanes
+  // cannot interleave bytes within a line.
+  Json Line = Json::object();
+  Line.set("slow_query", Json::boolean(true));
+  Line.set("micros", Json::unsignedInt(O.TotalMicros));
+  Line.set("threshold_micros", Json::unsignedInt(I->Config.SlowMicros));
+  Line.set("source", Json::str(O.rejected()   ? "rejected"
+                               : O.CacheHit   ? "cache_hit"
+                               : O.Shared     ? "coalesced"
+                                              : "computed"));
+  Line.set("fingerprint", Json::str(O.FP.hex()));
+  if (!O.rejected()) {
+    const char *V = "bad_request";
+    switch (O.Result.V) {
+    case core::Verdict::Equivalent:
+      V = "equivalent";
+      break;
+    case core::Verdict::NotEquivalent:
+      V = "not_equivalent";
+      break;
+    case core::Verdict::ResourceLimit:
+      V = "resource_limit";
+      break;
+    case core::Verdict::BadRequest:
+      V = "bad_request";
+      break;
+    }
+    Line.set("verdict", Json::str(V));
+    Line.set("iterations", Json::unsignedInt(O.Result.Stats.Iterations));
+    Line.set("smt_queries", Json::unsignedInt(O.Result.Stats.SmtQueries));
+  } else {
+    Line.set("error", Json::str(O.Error));
+  }
+  std::ostream &Out = I->Config.SlowLog ? *I->Config.SlowLog : std::cerr;
+  std::lock_guard<std::mutex> Lock(I->SlowLogM);
+  Out << Line.serialize() << "\n";
+  Out.flush();
 }
 
 std::string CheckService::certificateByHex(const std::string &Hex) {

@@ -43,6 +43,7 @@
 #include "core/Engine.h"
 #include "serve/Cache.h"
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -65,6 +66,13 @@ struct ServiceConfig {
   /// (excludes the ones running and the ones sharing an in-flight
   /// computation, which hold no lane). 0 = reject unless a lane is free.
   size_t MaxQueue = 64;
+  /// Slow-query log threshold: a submit() whose end-to-end wall time
+  /// reaches this many microseconds is reported as one structured JSON
+  /// line (docs/SERVICE.md). 0 disables the log entirely.
+  uint64_t SlowMicros = 0;
+  /// Where slow-query lines go; nullptr means stderr. Tests point this
+  /// at a string stream to pin the line format deterministically.
+  std::ostream *SlowLog = nullptr;
   /// On-disk certificate store. Non-empty implies certified checks
   /// (Engine.Certify is forced on): every Equivalent verdict is rendered
   /// to LFCERT text pinned to its cache-key fingerprint, compressed to
@@ -135,6 +143,9 @@ public:
 
 private:
   CheckService();
+  /// Metrics + slow-query log for one finished submission (every submit
+  /// exit path funnels through here). Purely observational.
+  void recordOutcome(const Outcome &O);
   struct Impl;
   std::unique_ptr<Impl> I;
 };

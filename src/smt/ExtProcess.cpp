@@ -7,10 +7,10 @@
 
 #include "smt/ExtProcess.h"
 
+#include "obs/Clock.h"
 #include "smt/SmtLib.h"
 
 #include <cerrno>
-#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <mutex>
@@ -25,10 +25,11 @@ using namespace leapfrog::smt;
 
 namespace {
 
+// Deadline arithmetic is purely relative, so any fixed epoch works; pinning
+// one here keeps the values small and the clock source in obs::Clock.
 long long nowMs() {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+  static const obs::Clock::TimePoint Epoch = obs::Clock::now();
+  return static_cast<long long>(obs::Clock::microsSince(Epoch) / 1000);
 }
 
 /// A solver that exits mid-query turns our next write into SIGPIPE, which

@@ -7,6 +7,7 @@
 
 #include "smt/Sat.h"
 
+#include "obs/Metrics.h"
 #include "smt/Drat.h"
 #include "smt/ProofLog.h"
 
@@ -556,6 +557,9 @@ bool SatSolver::solveUnderAssumptions(const std::vector<Lit> &Assumptions) {
     }
     if (ConflictsSinceRestart >= RestartConflicts) {
       ++S.Restarts;
+      static obs::Counter &RestartMetric =
+          obs::metrics().counter("sat.restarts");
+      RestartMetric.add();
       ++LocalRestarts;
       ConflictsSinceRestart = 0;
       RestartConflicts = RestartBase * luby(LocalRestarts);

@@ -7,10 +7,12 @@
 
 #include "smt/SmtLibSolver.h"
 
+#include "obs/Clock.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "smt/SmtLib.h"
 
 #include <cassert>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -21,10 +23,17 @@ using namespace leapfrog::smt;
 
 namespace {
 
-uint64_t microsSince(std::chrono::steady_clock::time_point Start) {
-  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
-                      std::chrono::steady_clock::now() - Start)
-                      .count());
+// Per-query round-trip latency through the external pipe (its fallback
+// included: the caller sees one number either way), plus the two failure-mode
+// counters the SOLVERS.md doc tells operators to watch.
+obs::Histogram &extRoundTripMetric() {
+  static obs::Histogram &H = obs::metrics().histogram("ext.roundtrip_micros");
+  return H;
+}
+
+obs::Counter &extFallbackMetric() {
+  static obs::Counter &C = obs::metrics().counter("ext.fallback_queries");
+  return C;
 }
 
 /// Rebuilds \p T with every variable renamed to Prefix+Name. Memoized on
@@ -218,6 +227,8 @@ bool SmtLibSolver::ensureProcess() {
     return false;
   }
   ++Ext.Spawns;
+  static obs::Counter &SpawnMetric = obs::metrics().counter("ext.spawns");
+  SpawnMetric.add();
   ++Epoch;
   Declared.clear();
   // Handshake. print-success first so every later command is confirmed
@@ -354,16 +365,19 @@ bool SmtLibSolver::tryExternalCheckSat(const BvFormulaRef &F, Model *M,
 }
 
 SatResult SmtLibSolver::checkSat(const BvFormulaRef &F, Model *M) {
-  auto Start = std::chrono::steady_clock::now();
+  obs::ScopedSpan Span("ext.query", "ext");
+  obs::StopWatch Watch;
   SatResult R = SatResult::Unsat;
   if (tryExternalCheckSat(F, M, R)) {
     ++Ext.ExternalQueries;
   } else {
     ++Ext.FallbackQueries;
+    extFallbackMetric().add();
     warnFallback("see counters");
     R = Fallback.checkSat(F, M);
   }
-  uint64_t Micros = microsSince(Start);
+  uint64_t Micros = Watch.elapsedMicros();
+  extRoundTripMetric().observe(Micros);
   ++Stats.Queries;
   Stats.TotalMicros += Micros;
   Stats.MaxMicros = std::max(Stats.MaxMicros, Micros);
@@ -408,17 +422,20 @@ public:
 
   SatResult checkSatUnderPremises(const BvFormulaRef &Goal,
                                   Model *M) override {
-    auto Start = std::chrono::steady_clock::now();
+    obs::ScopedSpan Span("ext.query", "ext");
+    obs::StopWatch Watch;
     ++Owner.Stats.SessionQueries;
     SatResult R = SatResult::Unsat;
     if (tryExternal(Goal, M, R)) {
       ++Owner.Ext.ExternalQueries;
     } else {
       ++Owner.Ext.FallbackQueries;
+      extFallbackMetric().add();
       Owner.warnFallback("see counters");
       R = FbSession->checkSatUnderPremises(Goal, M);
     }
-    uint64_t Micros = microsSince(Start);
+    uint64_t Micros = Watch.elapsedMicros();
+    extRoundTripMetric().observe(Micros);
     SolverStats &St = Owner.Stats;
     ++St.Queries;
     St.TotalMicros += Micros;
@@ -548,13 +565,13 @@ void CrossCheckSolver::diverged(const BvFormulaRef &Query, SatResult RefR,
 }
 
 SatResult CrossCheckSolver::checkSat(const BvFormulaRef &F, Model *M) {
-  auto Start = std::chrono::steady_clock::now();
+  obs::StopWatch Watch;
   SatResult RefR = Ref->checkSat(F, M);
   SatResult ExtR = Extern->checkSat(F, nullptr);
   ++X.Checked;
   if (RefR != ExtR)
     diverged(F, RefR, ExtR);
-  uint64_t Micros = microsSince(Start);
+  uint64_t Micros = Watch.elapsedMicros();
   ++Stats.Queries;
   Stats.TotalMicros += Micros;
   Stats.MaxMicros = std::max(Stats.MaxMicros, Micros);
@@ -584,7 +601,7 @@ public:
 
   SatResult checkSatUnderPremises(const BvFormulaRef &Goal,
                                   Model *M) override {
-    auto Start = std::chrono::steady_clock::now();
+    obs::StopWatch Watch;
     ++Owner.Stats.SessionQueries;
     SatResult RefR = RefSess->checkSatUnderPremises(Goal, M);
     SatResult ExtR = ExtSess->checkSatUnderPremises(Goal, nullptr);
@@ -597,7 +614,7 @@ public:
         Conj = BvFormula::mkAnd(Premises[I - 1], Conj);
       Owner.diverged(Conj, RefR, ExtR);
     }
-    uint64_t Micros = microsSince(Start);
+    uint64_t Micros = Watch.elapsedMicros();
     SolverStats &St = Owner.Stats;
     ++St.Queries;
     St.TotalMicros += Micros;

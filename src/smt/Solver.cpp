@@ -7,11 +7,13 @@
 
 #include "smt/Solver.h"
 
+#include "obs/Clock.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "smt/BitBlast.h"
 #include "smt/Drat.h"
 #include "smt/ProofLog.h"
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -142,7 +144,8 @@ public:
 
   SatResult checkSatUnderPremises(const BvFormulaRef &Goal,
                                   Model *M) override {
-    auto Start = std::chrono::steady_clock::now();
+    obs::ScopedSpan Span("solver.query", "solver");
+    obs::StopWatch Watch;
     ++Owner.Stats.SessionQueries;
     // Clauses a monolithic solver would have to rebuild for this query:
     // the premise CNF plus everything learned so far. Retired goals'
@@ -210,10 +213,10 @@ public:
       Blaster->popGuardAndEvict();
     }
 
-    auto End = std::chrono::steady_clock::now();
-    uint64_t Micros = uint64_t(
-        std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
-            .count());
+    uint64_t Micros = Watch.elapsedMicros();
+    static obs::Histogram &SolveLatency =
+        obs::metrics().histogram("smt.solve_micros");
+    SolveLatency.observe(Micros);
     SolverStats &St = Owner.Stats;
     ++St.Queries;
     St.TotalMicros += Micros;
@@ -283,14 +286,11 @@ private:
   /// per query, so the A/B benches must see it (it has no QueryMicros
   /// entry — it belongs to no single query, which is the whole point).
   void blastPremise(const BvFormulaRef &F) {
-    auto Start = std::chrono::steady_clock::now();
+    obs::ScopedSpan Span("solver.blast_premise", "solver");
+    obs::ScopedMicros Timer(Owner.Stats.TotalMicros);
     size_t Before = Sat->numClauses();
     Blaster->assertFormula(F);
     PremiseClauses += Sat->numClauses() - Before;
-    auto End = std::chrono::steady_clock::now();
-    Owner.Stats.TotalMicros += uint64_t(
-        std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
-            .count());
   }
 
   /// (Re)creates the solver + blaster and re-blasts every cached premise.
@@ -404,7 +404,8 @@ BitBlastSolver::openSession(const SessionLimits &Limits) {
 }
 
 SatResult BitBlastSolver::checkSat(const BvFormulaRef &F, Model *M) {
-  auto Start = std::chrono::steady_clock::now();
+  obs::ScopedSpan Span("solver.query", "solver");
+  obs::StopWatch Watch;
 
   SatSolver Sat;
   // One-shot solve: clause-DB reduction is a long-session tool, and with
@@ -420,7 +421,7 @@ SatResult BitBlastSolver::checkSat(const BvFormulaRef &F, Model *M) {
   bool IsSat = Sat.solve();
 
   if (!IsSat && CertifyUnsat) {
-    auto ProofStart = std::chrono::steady_clock::now();
+    obs::StopWatch ProofWatch;
     DratChecker Checker;
     std::string Error;
     if (!Checker.check(Proof, &Error)) {
@@ -431,13 +432,9 @@ SatResult BitBlastSolver::checkSat(const BvFormulaRef &F, Model *M) {
                    Error.c_str());
       std::abort();
     }
-    auto ProofEnd = std::chrono::steady_clock::now();
     ++Stats.CertifiedUnsat;
     Stats.ProofLemmas += Proof.Lemmas.size();
-    Stats.ProofMicros += uint64_t(
-        std::chrono::duration_cast<std::chrono::microseconds>(ProofEnd -
-                                                              ProofStart)
-            .count());
+    Stats.ProofMicros += ProofWatch.elapsedMicros();
   }
 
   if (!IsSat && CaptureLog) {
@@ -455,10 +452,10 @@ SatResult BitBlastSolver::checkSat(const BvFormulaRef &F, Model *M) {
     Str.goalEndUnsat(Id, {});
   }
 
-  auto End = std::chrono::steady_clock::now();
-  uint64_t Micros = uint64_t(
-      std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
-          .count());
+  uint64_t Micros = Watch.elapsedMicros();
+  static obs::Histogram &SolveLatency =
+      obs::metrics().histogram("smt.solve_micros");
+  SolveLatency.observe(Micros);
   ++Stats.Queries;
   Stats.TotalMicros += Micros;
   Stats.MaxMicros = std::max(Stats.MaxMicros, Micros);

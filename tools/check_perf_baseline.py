@@ -1,18 +1,34 @@
 #!/usr/bin/env python3
 """Gate bench_smt's perf-smoke output against the committed baseline.
 
-Usage: check_perf_baseline.py [--tolerance X] CURRENT.json BASELINE.json
+Usage: check_perf_baseline.py [--tolerance X] [--latency-tolerance Y]
+                              CURRENT.json BASELINE.json
 
-Both files are bench_smt --json outputs (a list of per-(study, mode)
-records). The gate is deliberately narrow: for every incremental record
-present in both files, the smoke workload's peak learned-clause count
-(`peak_learnts`) must not exceed `--tolerance` times the committed
-baseline (default 2.0). Peak clause counts are a property of the solver's
-clause-DB management, not of runner speed, so — unlike latency — they are
-stable enough on shared CI runners to gate on. Everything else in the
-JSON is archived for bisection, not gated, but on failure the full
-per-metric diff of the offending record is printed so the regression can
-be read straight off the CI log.
+Both files are bench_smt --json outputs. The current format is an object
+`{"records": [...], "metrics": {...}}` where `records` holds the
+per-(study, mode) measurements and `metrics` is the obs::Metrics
+process snapshot (docs/OBSERVABILITY.md); the older bare-array form is
+still accepted so historical baselines keep working.
+
+Two gates run, both deliberately narrow:
+
+ 1. Clause DB: for every incremental record present in both files, the
+    smoke workload's peak learned-clause count (`peak_learnts`) must not
+    exceed `--tolerance` times the committed baseline (default 2.0).
+    Peak clause counts are a property of the solver's clause-DB
+    management, not of runner speed, so they are stable enough on shared
+    CI runners to gate on.
+ 2. Solve latency: when both files carry a metrics snapshot, the p95 of
+    the `smt.solve_micros` histogram must not exceed `--latency-tolerance`
+    times the baseline p95 (default 5.0), with an absolute slack of
+    +2000us so microsecond-scale baselines never gate on scheduler
+    noise. The wide multiplier is intentional — this catches order-of-
+    magnitude latency regressions (an accidental O(n^2) in the hot
+    path), not runner jitter.
+
+Everything else in the JSON is archived for bisection, not gated, but on
+failure the full per-metric diff of the offending record is printed so
+the regression can be read straight off the CI log.
 
 A study present only in the current output (new workload) or only in the
 baseline (retired workload) is reported but does not fail the gate; the
@@ -38,9 +54,31 @@ DIFF_METRICS = [
     "queries",
 ]
 
+# The histogram the latency gate reads from the metrics snapshot.
+LATENCY_HISTOGRAM = "smt.solve_micros"
+
 
 def key(record):
     return (record["study"], record["mode"])
+
+
+def load(path):
+    """Returns (records, metrics-or-None) from either JSON form."""
+    with open(path) as f:
+        doc = json.load(f)
+    if isinstance(doc, list):  # pre-metrics bare-array form
+        return doc, None
+    return doc["records"], doc.get("metrics")
+
+
+def solve_p95(metrics):
+    """p95 upper bound of the solve-latency histogram, or None."""
+    if not metrics:
+        return None
+    hist = metrics.get("histograms", {}).get(LATENCY_HISTOGRAM)
+    if not hist or not hist.get("count"):
+        return None
+    return hist["p95"]
 
 
 def print_metric_diff(cur, base):
@@ -71,17 +109,27 @@ def main():
         "(default: 2.0); an absolute slack of +8 clauses always applies "
         "so near-zero baselines don't gate on noise",
     )
+    parser.add_argument(
+        "--latency-tolerance",
+        type=float,
+        default=5.0,
+        help="allowed smt.solve_micros p95 growth factor over the "
+        "baseline (default: 5.0); an absolute slack of +2000us always "
+        "applies so microsecond-scale baselines don't gate on noise",
+    )
     parser.add_argument("current", help="bench_smt --json output to check")
     parser.add_argument("baseline", help="committed baseline JSON")
     args = parser.parse_args()
 
     if args.tolerance <= 0:
         parser.error("--tolerance must be positive")
+    if args.latency_tolerance <= 0:
+        parser.error("--latency-tolerance must be positive")
 
-    with open(args.current) as f:
-        current = {key(r): r for r in json.load(f)}
-    with open(args.baseline) as f:
-        baseline = {key(r): r for r in json.load(f)}
+    current_records, current_metrics = load(args.current)
+    baseline_records, baseline_metrics = load(args.baseline)
+    current = {key(r): r for r in current_records}
+    baseline = {key(r): r for r in baseline_records}
 
     failures = []
     for k, cur in sorted(current.items()):
@@ -106,13 +154,31 @@ def main():
         if baseline[k]["mode"] == "incremental":
             print(f"NOTE: {k[0]} only in baseline (retired workload?)")
 
+    cur_p95 = solve_p95(current_metrics)
+    base_p95 = solve_p95(baseline_metrics)
+    if cur_p95 is not None and base_p95 is not None:
+        limit = max(base_p95 * args.latency_tolerance, base_p95 + 2000)
+        status = "ok" if cur_p95 <= limit else "REGRESSION"
+        print(
+            f"{'(all smoke queries)':<28} solve p95us {base_p95:>6} -> "
+            f"{cur_p95:>6} (limit {limit:.0f})  [{status}]"
+        )
+        if cur_p95 > limit:
+            failures.append("solve-latency p95")
+    elif cur_p95 is None:
+        print("NOTE: current output has no metrics snapshot; latency gate skipped")
+    else:
+        print("NOTE: baseline has no metrics snapshot; latency gate skipped")
+
     if failures:
         print(
-            f"FAIL: peak learned-clause count regressed >"
-            f"{args.tolerance}x on: {', '.join(failures)}"
+            f"FAIL: regressed beyond tolerance on: {', '.join(failures)}"
         )
         return 1
-    print(f"perf baseline check passed (tolerance {args.tolerance}x)")
+    print(
+        f"perf baseline check passed (tolerance {args.tolerance}x, "
+        f"latency {args.latency_tolerance}x)"
+    )
     return 0
 
 

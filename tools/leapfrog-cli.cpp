@@ -33,7 +33,10 @@
 
 #include "core/CertificateIo.h"
 #include "core/Engine.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "p4a/Parser.h"
+#include "serve/Json.h"
 #include "smt/SmtLibSolver.h"
 #include "smt/Solver.h"
 
@@ -124,6 +127,17 @@ void usage() {
       "                     the checker ('-' writes to stdout)\n"
       "  --trace            print every Skip/Extend step of the search\n"
       "                     (the paper's Figure 4 derivation)\n"
+      "  --json             print one machine-readable JSON object on\n"
+      "                     stdout (verdict, exit code, stats, metrics\n"
+      "                     snapshot) instead of the human-format block;\n"
+      "                     the exit code is unchanged\n"
+      "  --trace-out FILE   record a Chrome/Perfetto trace_event timeline\n"
+      "                     of the run (checker phases, per-worker solver\n"
+      "                     queries, epoch barriers) and write it to FILE;\n"
+      "                     open it at https://ui.perfetto.dev or summarize\n"
+      "                     it with leapfrog-trace. Purely observational:\n"
+      "                     verdict, stats and certificate bytes are\n"
+      "                     identical with or without it\n"
       "  --quiet            verdict only\n");
 }
 
@@ -163,6 +177,67 @@ bool loadP4a(const char *Path, const char *StateName, p4a::Automaton &Aut,
   return true;
 }
 
+const char *verdictName(core::Verdict V) {
+  switch (V) {
+  case core::Verdict::Equivalent:
+    return "equivalent";
+  case core::Verdict::NotEquivalent:
+    return "not_equivalent";
+  case core::Verdict::ResourceLimit:
+    return "resource_limit";
+  case core::Verdict::BadRequest:
+    return "bad_request";
+  }
+  return "bad_request";
+}
+
+/// The --json result block: verdict + exit code, the full CheckStats
+/// (field names match the serve protocol's stats object, so a script can
+/// consume either source with one decoder), the metrics-registry
+/// snapshot, and the replay outcome when --replay ran.
+std::string resultJson(const core::CheckResult &Res, int ExitCode,
+                       bool ReplayRan, bool ReplayValid,
+                       size_t ReplayObligations,
+                       const std::string &ReplayFailure) {
+  serve::Json J = serve::Json::object();
+  J.set("verdict", serve::Json::str(verdictName(Res.V)));
+  J.set("exit_code", serve::Json::integer(ExitCode));
+  if (!Res.FailureReason.empty())
+    J.set("failure_reason", serve::Json::str(Res.FailureReason));
+
+  const core::CheckStats &S = Res.Stats;
+  serve::Json Stats = serve::Json::object();
+  Stats.set("iterations", serve::Json::unsignedInt(S.Iterations));
+  Stats.set("extends", serve::Json::unsignedInt(S.Extends));
+  Stats.set("skips", serve::Json::unsignedInt(S.Skips));
+  Stats.set("smt_queries", serve::Json::unsignedInt(S.SmtQueries));
+  Stats.set("reach_pairs", serve::Json::unsignedInt(S.ReachPairs));
+  Stats.set("templates_left", serve::Json::unsignedInt(S.TemplatesLeft));
+  Stats.set("templates_right", serve::Json::unsignedInt(S.TemplatesRight));
+  Stats.set("final_conjuncts", serve::Json::unsignedInt(S.FinalConjuncts));
+  Stats.set("peak_frontier", serve::Json::unsignedInt(S.PeakFrontier));
+  Stats.set("formula_nodes", serve::Json::unsignedInt(S.FormulaNodes));
+  Stats.set("wall_micros", serve::Json::unsignedInt(S.WallMicros));
+  Stats.set("solver_micros", serve::Json::unsignedInt(S.SolverMicros));
+  J.set("stats", Stats);
+
+  serve::Json Metrics;
+  std::string SnapErr;
+  if (serve::Json::parse(obs::metrics().snapshot().toJson(), Metrics,
+                         &SnapErr))
+    J.set("metrics", Metrics);
+
+  if (ReplayRan) {
+    serve::Json R = serve::Json::object();
+    R.set("valid", serve::Json::boolean(ReplayValid));
+    R.set("obligations", serve::Json::unsignedInt(ReplayObligations));
+    if (!ReplayValid)
+      R.set("failure_reason", serve::Json::str(ReplayFailure));
+    J.set("replay", R);
+  }
+  return J.serialize();
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -177,7 +252,9 @@ int main(int Argc, char **Argv) {
   core::CheckOptions Options;
   bool Replay = false, Print = false, Quiet = false, DumpCert = false;
   bool CertifySmt = false;
+  bool JsonOut = false;
   const char *EmitCertPath = nullptr;
+  const char *TraceOutPath = nullptr;
   core::EngineConfig EngineCfg; // Backend spec + jobs: engine-level.
   int ExtTimeoutSec = 0;
   for (int I = FileMode ? 4 : 5; I < Argc; ++I) {
@@ -216,6 +293,10 @@ int main(int Argc, char **Argv) {
       Options.Certify = true;
     } else if (!std::strcmp(Arg, "--trace")) {
       Options.RecordTrace = true;
+    } else if (!std::strcmp(Arg, "--json")) {
+      JsonOut = true;
+    } else if (!std::strcmp(Arg, "--trace-out") && I + 1 < Argc) {
+      TraceOutPath = Argv[++I];
     } else if (!std::strcmp(Arg, "--quiet")) {
       Quiet = true;
     } else if (!std::strcmp(Arg, "--max-iterations") && I + 1 < Argc) {
@@ -331,6 +412,17 @@ int main(int Argc, char **Argv) {
                 Req.Right.print().c_str());
   }
 
+  // Tracing is installed just around the check (and the optional replay
+  // below): the timeline answers "where did this run spend its time",
+  // not "what did main() do". Decisions are unaffected — the sink only
+  // records.
+  std::unique_ptr<obs::TraceSink> Trace;
+  if (TraceOutPath) {
+    Trace = std::make_unique<obs::TraceSink>();
+    obs::setTraceSink(Trace.get());
+    obs::nameCurrentThread("main");
+  }
+
   core::CheckResult Res = Engine->check(Req);
 
   if (Options.RecordTrace) {
@@ -368,28 +460,30 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  switch (Res.V) {
-  case core::Verdict::Equivalent:
-    std::printf("EQUIVALENT\n");
-    break;
-  case core::Verdict::NotEquivalent:
-    std::printf("NOT EQUIVALENT\n");
-    if (!Quiet)
-      std::printf("  %s\n", Res.FailureReason.c_str());
-    break;
-  case core::Verdict::ResourceLimit:
-    std::printf("RESOURCE LIMIT\n");
-    if (!Quiet)
-      std::printf("  %s\n", Res.FailureReason.c_str());
-    break;
-  case core::Verdict::BadRequest:
-    std::printf("BAD REQUEST\n");
-    if (!Quiet)
-      std::printf("  %s\n", Res.FailureReason.c_str());
-    break;
+  if (!JsonOut) {
+    switch (Res.V) {
+    case core::Verdict::Equivalent:
+      std::printf("EQUIVALENT\n");
+      break;
+    case core::Verdict::NotEquivalent:
+      std::printf("NOT EQUIVALENT\n");
+      if (!Quiet)
+        std::printf("  %s\n", Res.FailureReason.c_str());
+      break;
+    case core::Verdict::ResourceLimit:
+      std::printf("RESOURCE LIMIT\n");
+      if (!Quiet)
+        std::printf("  %s\n", Res.FailureReason.c_str());
+      break;
+    case core::Verdict::BadRequest:
+      std::printf("BAD REQUEST\n");
+      if (!Quiet)
+        std::printf("  %s\n", Res.FailureReason.c_str());
+      break;
+    }
   }
 
-  if (!Quiet) {
+  if (!Quiet && !JsonOut) {
     std::printf(
         "  iterations %zu, conjuncts %zu, SMT queries %zu (%zu certified "
         "UNSAT), %.2f s\n",
@@ -418,26 +512,54 @@ int main(int Argc, char **Argv) {
                   size_t(Cross->crossStats().Divergences));
   }
 
+  bool ReplayRan = false, ReplayValid = true;
+  size_t ReplayObligations = 0;
+  std::string ReplayFailure;
   if (Replay && Res.V == core::Verdict::Equivalent) {
     core::ReplayResult R = core::replayCertificate(
         Req.Left, Req.Right, Res.Certificate, Solver);
-    if (!Quiet)
+    ReplayRan = true;
+    ReplayValid = R.Valid;
+    ReplayObligations = R.ObligationsChecked;
+    ReplayFailure = R.FailureReason;
+    if (!Quiet && !JsonOut)
       std::printf("  certificate replay: %s (%zu obligations)\n",
                   R.Valid ? "valid" : R.FailureReason.c_str(),
                   R.ObligationsChecked);
-    if (!R.Valid)
-      return 2;
   }
 
+  if (Trace) {
+    obs::setTraceSink(nullptr);
+    std::string TraceErr;
+    if (!Trace->writeChromeJson(TraceOutPath, &TraceErr)) {
+      std::fprintf(stderr, "leapfrog-cli: %s\n", TraceErr.c_str());
+      return 3;
+    }
+  }
+
+  int ExitCode = 2;
   switch (Res.V) {
   case core::Verdict::Equivalent:
-    return 0;
+    ExitCode = 0;
+    break;
   case core::Verdict::NotEquivalent:
-    return 1;
+    ExitCode = 1;
+    break;
   case core::Verdict::ResourceLimit:
-    return 2;
+    ExitCode = 2;
+    break;
   case core::Verdict::BadRequest:
-    return 3;
+    ExitCode = 3;
+    break;
   }
-  return 2;
+  if (!ReplayValid)
+    ExitCode = 2;
+
+  if (JsonOut)
+    std::printf("%s\n",
+                resultJson(Res, ExitCode, ReplayRan, ReplayValid,
+                           ReplayObligations, ReplayFailure)
+                    .c_str());
+
+  return ExitCode;
 }

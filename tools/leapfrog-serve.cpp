@@ -21,11 +21,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Trace.h"
 #include "serve/Server.h"
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 using namespace leapfrog;
@@ -74,7 +76,18 @@ void usage() {
       "  --cap-iterations N ceiling on per-request worklist budgets\n"
       "                     (default: none); larger requests are clamped\n"
       "  --cap-seconds N    ceiling on per-request wall budgets, seconds\n"
-      "                     (default: none); larger requests are clamped\n");
+      "                     (default: none); larger requests are clamped\n"
+      "\n"
+      "observability (docs/OBSERVABILITY.md):\n"
+      "  --slow-ms N        log every submission whose end-to-end wall\n"
+      "                     time reaches N milliseconds as one structured\n"
+      "                     JSON line on stderr (0 = off, the default)\n"
+      "  --trace-out FILE   record a Chrome/Perfetto trace_event timeline\n"
+      "                     of the server's lifetime (requests, checker\n"
+      "                     phases, per-worker solver queries) and write\n"
+      "                     it to FILE on clean shutdown; the metrics op\n"
+      "                     is independent of this flag and always\n"
+      "                     available\n");
 }
 
 bool parseCount(const char *Text, uint64_t &Out) {
@@ -92,6 +105,7 @@ int main(int Argc, char **Argv) {
   serve::ServiceConfig Config;
   bool Stdio = false;
   std::string SocketPath;
+  std::string TraceOutPath;
 
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
@@ -123,6 +137,11 @@ int main(int Argc, char **Argv) {
     } else if (!std::strcmp(Arg, "--cap-seconds") && I + 1 < Argc &&
                parseCount(Argv[++I], N)) {
       Config.MaxWallMicrosCap = N * 1000000u;
+    } else if (!std::strcmp(Arg, "--slow-ms") && I + 1 < Argc &&
+               parseCount(Argv[++I], N)) {
+      Config.SlowMicros = N * 1000u;
+    } else if (!std::strcmp(Arg, "--trace-out") && I + 1 < Argc) {
+      TraceOutPath = Argv[++I];
     } else {
       std::fprintf(stderr, "leapfrog-serve: bad or incomplete option '%s'\n",
                    Arg);
@@ -146,7 +165,25 @@ int main(int Argc, char **Argv) {
     return 3;
   }
 
-  if (Stdio)
-    return Server->runStdio(std::cin, std::cout);
-  return Server->runSocket(SocketPath);
+  // Tracing covers the server's whole lifetime; the file is written once,
+  // after the transport loop drains, so a crash loses the trace but never
+  // a response. Tracing is passive: answers are bit-identical with or
+  // without it.
+  std::unique_ptr<obs::TraceSink> Trace;
+  if (!TraceOutPath.empty()) {
+    Trace = std::make_unique<obs::TraceSink>();
+    obs::setTraceSink(Trace.get());
+    obs::nameCurrentThread("serve-main");
+  }
+
+  int Rc = Stdio ? Server->runStdio(std::cin, std::cout)
+                 : Server->runSocket(SocketPath);
+
+  if (Trace) {
+    obs::setTraceSink(nullptr);
+    std::string TraceErr;
+    if (!Trace->writeChromeJson(TraceOutPath, &TraceErr))
+      std::fprintf(stderr, "leapfrog-serve: %s\n", TraceErr.c_str());
+  }
+  return Rc;
 }
