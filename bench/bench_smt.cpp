@@ -60,6 +60,11 @@ struct JsonRecord {
   /// baseline (bench/baselines/bench_smt_smoke.json).
   uint64_t PeakLearnts = 0, ArenaPeakBytes = 0;
   uint64_t ClausesDeleted = 0, ReduceDbRuns = 0, SessionRestarts = 0;
+  /// Physical check-sat round-trips. Deterministic (answers decide the
+  /// refinement layers, and answers are schedule-independent), so the
+  /// perf gate checks the batched mode's value exactly: round_trips <
+  /// queries is the whole point of --goal-batch (docs/SOLVERS.md).
+  uint64_t RoundTrips = 0;
 };
 
 /// Writes `{"records": [...], "metrics": <snapshot>}`: the per-study
@@ -82,14 +87,14 @@ void writeJson(const char *Path, const std::vector<JsonRecord> &Records) {
                  "\"premise_cache_hits\": %zu, \"reused_clauses\": %zu, "
                  "\"peak_learnts\": %zu, \"arena_peak_bytes\": %zu, "
                  "\"clauses_deleted\": %zu, \"reduce_db_runs\": %zu, "
-                 "\"session_restarts\": %zu}%s\n",
+                 "\"session_restarts\": %zu, \"round_trips\": %zu}%s\n",
                  R.Study.c_str(), R.Mode.c_str(), size_t(R.Queries),
                  size_t(R.P50), size_t(R.P99), size_t(R.Max),
                  size_t(R.TotalMicros), size_t(R.SessionPremises),
                  size_t(R.PremiseCacheHits), size_t(R.ReusedClauses),
                  size_t(R.PeakLearnts), size_t(R.ArenaPeakBytes),
                  size_t(R.ClausesDeleted), size_t(R.ReduceDbRuns),
-                 size_t(R.SessionRestarts),
+                 size_t(R.SessionRestarts), size_t(R.RoundTrips),
                  I + 1 < Records.size() ? "," : "");
   }
   std::fprintf(F, "],\n\"metrics\": %s}\n",
@@ -169,10 +174,17 @@ int main(int argc, char **argv) {
     const char *Name;
     bool Incremental;
     size_t Jobs;
-    const char *Backend; ///< Factory spec; "" = in-repo bitblast.
+    const char *Backend;     ///< Factory spec; "" = in-repo bitblast.
+    size_t GoalBatch = 1;    ///< CheckOptions::GoalBatch for the mode.
   };
+  // "batched" is the --goal-batch economics row: same incremental
+  // sessions, up to 8 same-guard goals per physical round-trip. Its
+  // round_trips column is what tools/check_perf_baseline.py gates —
+  // deterministic, so a lost batch (round_trips creeping back toward
+  // queries) is a hard CI failure, not noise.
   std::vector<ModeSpec> Modes = {{"incremental", true, 1, ""},
-                                 {"monolithic", false, 1, ""}};
+                                 {"monolithic", false, 1, ""},
+                                 {"batched", true, 1, "", 8}};
   std::string ParallelName;
   if (Jobs > 1) {
     ParallelName = "parallel-j" + std::to_string(Jobs);
@@ -206,12 +218,14 @@ int main(int argc, char **argv) {
       O.Solver = &Solver;
       O.UseIncremental = M.Incremental;
       O.Jobs = M.Jobs;
+      O.GoalBatch = M.GoalBatch;
       CheckResult Res =
           checkLanguageEquivalence(Study.L, Study.QL, Study.R, Study.QR, O);
       (void)Res;
       std::vector<uint64_t> Micros = Solver.stats().QueryMicros;
       std::sort(Micros.begin(), Micros.end());
-      bool Incremental = M.Incremental && M.Jobs == 1 && !*M.Backend;
+      bool Incremental =
+          M.Incremental && M.Jobs == 1 && !*M.Backend && M.GoalBatch == 1;
       if (Incremental)
         All.insert(All.end(), Micros.begin(), Micros.end());
       double N = double(std::max<uint64_t>(Solver.stats().Queries, 1));
@@ -233,7 +247,16 @@ int main(int argc, char **argv) {
           Solver.stats().SessionPremises, Solver.stats().PremiseCacheHits,
           Solver.stats().ReusedClauses, Solver.stats().PeakLearnts,
           Solver.stats().ArenaBytesPeak, Solver.stats().ClausesDeleted,
-          Solver.stats().ReduceDbRuns, Solver.stats().SessionRestarts});
+          Solver.stats().ReduceDbRuns, Solver.stats().SessionRestarts,
+          Solver.stats().RoundTrips});
+      if (M.GoalBatch > 1) {
+        // The batching economics line: logical queries vs physical
+        // round-trips under --goal-batch (see docs/SOLVERS.md).
+        std::printf("%-26s %-12s round-trips=%zu/%zu queries "
+                    "(goal-batch %zu)\n",
+                    "", "", size_t(Solver.stats().RoundTrips),
+                    size_t(Solver.stats().Queries), M.GoalBatch);
+      }
       if (*M.Backend) {
         // The external A/B line: how much of the mode's wall went to the
         // external process vs in-repo fallbacks, and — in crosscheck —

@@ -120,6 +120,13 @@ size_t Jobs = 1;
 /// classic table's timings stay comparable across revisions.
 bool CertifyColumn = false;
 
+/// --goal-batch N: share one solver round-trip across up to N same-guard
+/// entailment goals in every row (CheckOptions::GoalBatch; see
+/// docs/SOLVERS.md). Decisions are identical at any N; the round-trip
+/// column of the stats line is what moves. Default 1 so the classic
+/// table's query accounting stays comparable across revisions.
+size_t GoalBatch = 1;
+
 /// --trace-out FILE: record every instrumented span of the whole table
 /// run and write Chrome trace_event JSON at exit (docs/OBSERVABILITY.md).
 const char *TraceOutPath = nullptr;
@@ -144,6 +151,7 @@ Row runStudy(const parsers::CaseStudy &Study, const InitialSpec &Spec,
   O.MaxWallMicros = MaxWallMicros;
   O.Jobs = RunJobs;
   O.Certify = Certify;
+  O.GoalBatch = GoalBatch;
   R.Result = checkWithSpec(Study.Left, Study.Right, Spec, O);
   R.Solver = Solver.stats();
   return R;
@@ -279,10 +287,14 @@ int main(int argc, char **argv) {
       CertifyColumn = true;
     } else if (!std::strcmp(argv[I], "--trace-out") && I + 1 < argc) {
       TraceOutPath = argv[++I];
+    } else if (!std::strcmp(argv[I], "--goal-batch") && I + 1 < argc) {
+      GoalBatch = size_t(std::strtoull(argv[++I], nullptr, 10));
+      if (GoalBatch < 1)
+        GoalBatch = 1;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--unbounded] [--jobs N] [--certify] "
-                   "[--trace-out FILE]\n",
+                   "[--goal-batch N] [--trace-out FILE]\n",
                    argv[0]);
       return 2;
     }

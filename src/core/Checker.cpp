@@ -18,6 +18,7 @@
 #include "smt/ProofLog.h"
 #include "smt/SmtLibSolver.h"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
@@ -206,60 +207,29 @@ CheckResult core::checkWithSpec(const p4a::Automaton &Left,
     St.SolverMicros = Solver.stats().TotalMicros - SolverMicrosBefore;
   };
 
-  while (!T.empty()) {
-    if (++St.Iterations > Options.MaxIterations) {
-      OverBudget("iteration");
-      return Result;
+  // Feeds \p TS every conjunct of R[0..UpTo) guarded by \p TP that it has
+  // not consumed yet (NextConjunct is the session's global prefix pointer
+  // into R, advanced past non-matching guards as well).
+  auto Prime = [&](TpSession &TS, const TemplatePair &TP, size_t UpTo) {
+    for (; TS.NextConjunct < UpTo; ++TS.NextConjunct) {
+      const GuardedFormula &P = R[TS.NextConjunct];
+      if (P.TP != TP)
+        continue;
+      TS.Session->assertPremise(lowerPure(Left, Right, TP, P.Phi));
     }
-    if (Options.MaxWallMicros != 0 && (St.Iterations & 0xf) == 0 &&
-        Watch.elapsedMicros() > Options.MaxWallMicros) {
-      OverBudget("wall-clock");
-      return Result;
-    }
-    GuardedFormula Psi = std::move(T.front());
-    T.pop_front();
+  };
 
-    // Entailment ⋀R ⊨ ψ, lowered through the Figure 6 chain. The smart
-    // constructors may already have collapsed the query to a constant.
-    bool Entailed;
-    if (Options.UseIncremental) {
-      // Incremental path: lower the goal alone (store-eliminated names
-      // depend only on (automata, guard), so per-conjunct lowering agrees
-      // with lowering the whole implication — see logic/Lower.h), feed
-      // the session any conjuncts of R it has not seen, and pose ψ as a
-      // goal query. An UNSAT premise set entails everything, which the
-      // session also answers correctly (UNSAT stays UNSAT under ¬ψ).
-      smt::BvFormulaRef Goal = lowerPure(Left, Right, Psi.TP, Psi.Phi);
-      if (Goal->kind() == smt::BvFormula::Kind::True) {
-        Entailed = true;
-      } else {
-        TpSession &TS = SessionFor(Psi.TP);
-        for (; TS.NextConjunct < R.size(); ++TS.NextConjunct) {
-          const GuardedFormula &P = R[TS.NextConjunct];
-          if (P.TP != Psi.TP)
-            continue;
-          TS.Session->assertPremise(lowerPure(Left, Right, Psi.TP, P.Phi));
-        }
-        ++St.SmtQueries;
-        Entailed = TS.Session->isEntailed(Goal);
-      }
-    } else {
-      LowerResult Lowered = lowerEntailment(Left, Right, R, Psi);
-      if (Lowered.Query->kind() == smt::BvFormula::Kind::True) {
-        Entailed = true;
-      } else if (Lowered.Query->kind() == smt::BvFormula::Kind::False) {
-        Entailed = false;
-      } else {
-        ++St.SmtQueries;
-        Entailed = Solver.isValid(Lowered.Query);
-      }
-    }
-
+  // Applies one decided frontier entry — the tail of a worklist iteration:
+  // Skip bookkeeping, or Extend with early refutation and precondition
+  // expansion. Returns false when the run is over (the refutation path
+  // filled Result). Shared between the classic one-at-a-time loop and the
+  // batched window loop below, so the two paths cannot drift.
+  auto Apply = [&](GuardedFormula Psi, bool Entailed) -> bool {
     if (Entailed) {
       ++St.Skips;
       if (Options.RecordTrace)
         Result.Trace.push_back(TraceStep{TraceStep::Kind::Skip, Psi, 0});
-      continue;
+      return true;
     }
 
     // Extend: ψ is a novel restriction; its preconditions join the
@@ -288,7 +258,7 @@ CheckResult core::checkWithSpec(const p4a::Automaton &Left,
         St.FinalConjuncts = R.size();
         St.WallMicros = Watch.elapsedMicros();
         St.SolverMicros = Solver.stats().TotalMicros - SolverMicrosBefore;
-        return Result;
+        return false;
       }
     }
 
@@ -299,6 +269,174 @@ CheckResult core::checkWithSpec(const p4a::Automaton &Left,
           TraceStep{TraceStep::Kind::Extend, Psi, Wp.size()});
     for (GuardedFormula &G : Wp)
       Push(std::move(G));
+    return true;
+  };
+
+  if (Options.GoalBatch > 1 && Options.UseIncremental) {
+    // Batched window mode (CheckOptions::GoalBatch): decide frontier
+    // entries one window at a time, posing goals *lazily* — at their
+    // replay turn, against the live premise set — and gathering upcoming
+    // same-guard window entries into the same checkSatBatch call when the
+    // guard's batching gate is open. The gate is the run's own history: a
+    // guard batches while its most recent decision was a Skip, and poses
+    // one goal at a time after an Extend. Skip-heavy stretches (the
+    // common case on equivalent parsers past the warm-up extends) then
+    // share one physical round-trip across up to GoalBatch entailed
+    // goals, while extend-heavy stretches degrade to *exactly* the
+    // classic one-query-per-goal cost — speculatively pre-posing a window
+    // against frozen premises loses on those, because most answers go
+    // stale before their replay turn.
+    //
+    // Answer reuse is governed by the freeze rules the parallel engine
+    // relies on (parallel/ParallelChecker.cpp): an Unsat (entailed)
+    // answer never goes stale — entailment is monotone in premises, and
+    // a query consults only same-guard premises (lowerEntailment
+    // stage 2) — while a Sat answer is stale iff a same-guard conjunct
+    // extended after it was posed (LastExtendR tracks the bound); stale
+    // answers are re-posed at their turn. Decisions, trace and relation
+    // are therefore bit-identical to GoalBatch == 1; only
+    // SolverStats::RoundTrips (and the posed-query count) change. Window
+    // entries stay in T until their replay turn so frontier size —
+    // PeakFrontier, budget messages — is exactly classic.
+    const size_t Window = Options.Chunk ? Options.Chunk : 32;
+    // Per-guard batching gate, persistent across windows: true while the
+    // guard's last decision this run was a Skip.
+    std::unordered_map<TemplatePair, bool, logic::TemplatePairHasher>
+        Batchable;
+    while (!T.empty()) {
+      size_t W = std::min(Window, T.size());
+
+      struct WindowGoal {
+        smt::BvFormulaRef Goal;
+        bool Trivial = false; ///< Lowered to constant True: no query.
+        bool Posed = false;
+        smt::SatResult Answer = smt::SatResult::Sat;
+        size_t PosedAtR = 0; ///< R.size() the answer was computed against.
+      };
+      std::vector<WindowGoal> Goals(W);
+      std::unordered_map<TemplatePair, std::vector<size_t>,
+                         logic::TemplatePairHasher>
+          Groups;
+      for (size_t I = 0; I < W; ++I) {
+        const GuardedFormula &Psi = T[I];
+        Goals[I].Goal = lowerPure(Left, Right, Psi.TP, Psi.Phi);
+        if (Goals[I].Goal->kind() == smt::BvFormula::Kind::True) {
+          Goals[I].Trivial = true; // Classic short-circuit: no query.
+          continue;
+        }
+        Groups[Psi.TP].push_back(I);
+      }
+
+      // Within-window extend bound per guard: a Sat answer posed at
+      // PosedAtR is stale iff PosedAtR < LastExtendR[guard]. Extends in
+      // earlier windows need no tracking — every answer this window is
+      // posed at the live R of its turn, which already includes them.
+      std::unordered_map<TemplatePair, size_t, logic::TemplatePairHasher>
+          LastExtendR;
+      for (size_t I = 0; I < W; ++I) {
+        if (++St.Iterations > Options.MaxIterations) {
+          OverBudget("iteration");
+          return Result;
+        }
+        if (Options.MaxWallMicros != 0 && (St.Iterations & 0xf) == 0 &&
+            Watch.elapsedMicros() > Options.MaxWallMicros) {
+          OverBudget("wall-clock");
+          return Result;
+        }
+        GuardedFormula Psi = std::move(T.front());
+        T.pop_front();
+
+        bool Entailed;
+        if (Goals[I].Trivial) {
+          Entailed = true;
+        } else {
+          auto Bound = LastExtendR.find(Psi.TP);
+          bool Stale = Goals[I].Posed &&
+                       Goals[I].Answer == smt::SatResult::Sat &&
+                       Bound != LastExtendR.end() &&
+                       Goals[I].PosedAtR < Bound->second;
+          if (!Goals[I].Posed || Stale) {
+            TpSession &TS = SessionFor(Psi.TP);
+            Prime(TS, Psi.TP, R.size());
+            // This goal must be decided now; pull upcoming unposed
+            // same-guard window entries into the same physical call
+            // while the gate is open.
+            std::vector<size_t> Members{I};
+            if (Batchable[Psi.TP])
+              for (size_t J : Groups[Psi.TP])
+                if (J > I && !Goals[J].Posed &&
+                    Members.size() < Options.GoalBatch)
+                  Members.push_back(J);
+            std::vector<smt::BvFormulaRef> Batch;
+            Batch.reserve(Members.size());
+            for (size_t M : Members)
+              Batch.push_back(smt::BvFormula::mkNot(Goals[M].Goal));
+            std::vector<smt::SatResult> Out;
+            TS.Session->checkSatBatch(Batch, Out);
+            St.SmtQueries += Batch.size();
+            for (size_t K = 0; K < Members.size(); ++K) {
+              Goals[Members[K]].Posed = true;
+              Goals[Members[K]].Answer = Out[K];
+              Goals[Members[K]].PosedAtR = R.size();
+            }
+          }
+          Entailed = Goals[I].Answer == smt::SatResult::Unsat;
+          Batchable[Psi.TP] = Entailed;
+        }
+        if (!Entailed)
+          LastExtendR[Psi.TP] = R.size() + 1; // Apply pushes Psi onto R.
+        if (!Apply(std::move(Psi), Entailed))
+          return Result;
+      }
+    }
+  } else {
+    while (!T.empty()) {
+      if (++St.Iterations > Options.MaxIterations) {
+        OverBudget("iteration");
+        return Result;
+      }
+      if (Options.MaxWallMicros != 0 && (St.Iterations & 0xf) == 0 &&
+          Watch.elapsedMicros() > Options.MaxWallMicros) {
+        OverBudget("wall-clock");
+        return Result;
+      }
+      GuardedFormula Psi = std::move(T.front());
+      T.pop_front();
+
+      // Entailment ⋀R ⊨ ψ, lowered through the Figure 6 chain. The smart
+      // constructors may already have collapsed the query to a constant.
+      bool Entailed;
+      if (Options.UseIncremental) {
+        // Incremental path: lower the goal alone (store-eliminated names
+        // depend only on (automata, guard), so per-conjunct lowering
+        // agrees with lowering the whole implication — see logic/Lower.h),
+        // feed the session any conjuncts of R it has not seen, and pose ψ
+        // as a goal query. An UNSAT premise set entails everything, which
+        // the session also answers correctly (UNSAT stays UNSAT under ¬ψ).
+        smt::BvFormulaRef Goal = lowerPure(Left, Right, Psi.TP, Psi.Phi);
+        if (Goal->kind() == smt::BvFormula::Kind::True) {
+          Entailed = true;
+        } else {
+          TpSession &TS = SessionFor(Psi.TP);
+          Prime(TS, Psi.TP, R.size());
+          ++St.SmtQueries;
+          Entailed = TS.Session->isEntailed(Goal);
+        }
+      } else {
+        LowerResult Lowered = lowerEntailment(Left, Right, R, Psi);
+        if (Lowered.Query->kind() == smt::BvFormula::Kind::True) {
+          Entailed = true;
+        } else if (Lowered.Query->kind() == smt::BvFormula::Kind::False) {
+          Entailed = false;
+        } else {
+          ++St.SmtQueries;
+          Entailed = Solver.isValid(Lowered.Query);
+        }
+      }
+
+      if (!Apply(std::move(Psi), Entailed))
+        return Result;
+    }
   }
 
   // Done: check φ ⊨ ⋀R. Conjuncts guarded by other template pairs hold

@@ -121,6 +121,33 @@ struct CheckOptions {
   /// always solves through per-worker sessions; UseIncremental selects
   /// the lowering path of the sequential engine only.
   size_t Jobs = 1;
+  /// Entailment-query batching: pop up to GoalBatch adjacent frontier
+  /// entries of one template pair and decide them against the same
+  /// frozen premise set in shared solver round-trips
+  /// (IncrementalSession::checkSatBatch) — per-goal answers are
+  /// recovered from the round's model or failed-assumption core, so
+  /// verdict, decision stream and certificate stay bit-identical to
+  /// GoalBatch == 1; only the physical round-trip count
+  /// (SolverStats::RoundTrips) drops. 1 (the default) is the classic
+  /// one-query-per-goal loop. Requires UseIncremental; ignored
+  /// otherwise. Batching degrades to per-goal solving under proof
+  /// capture (Certify), which needs one proof slice per goal.
+  size_t GoalBatch = 1;
+  /// Pipelined epochs (Jobs > 1 only): start the next generation's
+  /// parallel decide phase while the current generation's sequential
+  /// merge drains, instead of idling every worker behind the merge
+  /// barrier. The merge re-derives the exact sequential Skip/Extend
+  /// stream (speculative entries whose same-pair premises grew since
+  /// their freeze point are re-queried — the same freeze protocol as the
+  /// barrier engine), so all deterministic outputs stay bit-identical to
+  /// Jobs == 1. Certification forces barrier mode: per-goal proof
+  /// streams are adopted in worker order at epoch boundaries, and
+  /// overlapped epochs would interleave them.
+  bool Pipeline = true;
+  /// Tasks per parallel epoch (0 = auto: max(32, Jobs * 8)). Exposed so
+  /// the scheduler-adversarial tests can perturb epoch boundaries —
+  /// every chunking must produce bit-identical results.
+  size_t Chunk = 0;
   /// Record one TraceStep per loop iteration (costs memory on big runs).
   bool RecordTrace = false;
 };

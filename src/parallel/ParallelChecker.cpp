@@ -17,6 +17,10 @@
 //      backend (SmtSolver::spawnWorker) and one incremental session per
 //      template pair (SessionLimits applied per worker), so no solver
 //      state is shared across threads — the Solver.h ownership contract.
+//      With CheckOptions::GoalBatch > 1, same-guard goals travel as one
+//      task unit and share a single activation scope through
+//      IncrementalSession::checkSatBatch — fewer physical round-trips,
+//      identical per-goal answers (the batch contract).
 //
 //   2. Merge phase — replay the batch in frontier order on the calling
 //      thread and re-derive the sequential decisions:
@@ -24,9 +28,10 @@
 //          pop is a superset of the frozen one, and entailment is
 //          monotone in premises, so the sequential decision is Skip too;
 //        - parallel answer "not entailed" and no same-guard conjunct was
-//          extended earlier in this epoch: the premise sets *relevant to
-//          ψ* (entailment only consults premises sharing ψ's guard — see
-//          logic/Lower.h stage 2) are equal, so the decision is Extend;
+//          extended since this chunk's freeze: the premise sets *relevant
+//          to ψ* (entailment only consults premises sharing ψ's guard —
+//          see logic/Lower.h stage 2) are equal, so the decision is
+//          Extend;
 //        - otherwise the relevant premise set grew since the freeze and
 //          the frozen answer proves nothing: re-derive against the live
 //          R through a merge-side session. Only this case re-queries.
@@ -35,12 +40,31 @@
 //      variable minting, frontier deduplication and the recorded trace
 //      evolve exactly as in core::checkWithSpec.
 //
+// Skip-ahead merge (CheckOptions::Pipeline, the default): the merge of
+// chunk N runs *concurrently* with the parallel decide of chunk N+1,
+// whose premises were frozen before the merge started appending. The
+// merge rules above never assumed the freeze point was the merge start —
+// only that a frozen answer is trusted iff no same-guard conjunct was
+// extended at or after the freeze — so the replay stays exact; the
+// staleness test just compares against the chunk's own freeze point
+// (LastExtendIdx below). Three mechanics make the overlap sound:
+//   - R is a PremiseLog: appends never move the published prefix, so
+//     workers read R[0..FrozenR) while the merge appends past it; the
+//     pool's launch handshake publishes everything below FrozenR.
+//   - Merge-side re-queries run on sessions owned by the *calling*
+//     thread against the primary backend — the affinity worker's session
+//     may be busy deciding chunk N+1.
+//   - Proof capture forces barrier mode: adopting worker streams requires
+//     quiescent workers at every refutation exit, and pipelining buys
+//     nothing when every UNSAT must also stream a proof slice.
+//
 // The answers themselves are schedule-independent because the solver is
 // sound and complete: which worker answers a query, and what learned
 // clauses its session happens to hold, can change the *time* to an
 // answer, never the answer. Hence: bit-identical Skip/Extend streams,
-// relation, verdict and certificate for any job count — the property the
-// ParallelTest differential battery locks in over the whole registry.
+// relation, verdict and certificate for any job count, chunk size,
+// batching factor or pipelining mode — the property the ParallelTest and
+// SchedulerTest differential batteries lock in over the whole registry.
 //
 //===----------------------------------------------------------------------===//
 
@@ -53,6 +77,7 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "p4a/Typing.h"
+#include "parallel/PremiseLog.h"
 #include "parallel/StripedSet.h"
 #include "parallel/WorkerPool.h"
 #include "smt/ProofLog.h"
@@ -71,7 +96,7 @@ namespace {
 
 /// One frontier conjunct of the current epoch, annotated by the parallel
 /// phase. Workers write disjoint elements (each task index is executed
-/// exactly once); the merge reads them after the epoch barrier.
+/// exactly once); the merge reads them after waiting out their epoch.
 struct EpochTask {
   GuardedFormula Psi;
   smt::BvFormulaRef Goal; ///< Lowered by the worker, reused by the merge.
@@ -83,8 +108,8 @@ struct EpochTask {
 };
 
 /// One incremental session per template pair, lazily opened; NextConjunct
-/// is the prefix of R already fed to it. Used both per worker (parallel
-/// phase, frozen R prefix) and on the merge side (live R, re-checks).
+/// is the prefix of R already fed to it. Used per worker (parallel phase,
+/// frozen R prefix) and on the merge side (live R, re-checks).
 struct TpSessionMap {
   struct Entry {
     std::unique_ptr<smt::SmtSolver::IncrementalSession> Session;
@@ -97,8 +122,7 @@ struct TpSessionMap {
   smt::SmtSolver::IncrementalSession &
   primed(smt::SmtSolver &Backend, const smt::SessionLimits &Limits,
          const p4a::Automaton &Left, const p4a::Automaton &Right,
-         const std::vector<GuardedFormula> &R, size_t UpTo,
-         const TemplatePair &TP) {
+         const PremiseLog &R, size_t UpTo, const TemplatePair &TP) {
     Entry &E = Map[TP];
     if (!E.Session)
       E.Session = Backend.openSession(Limits);
@@ -114,8 +138,9 @@ struct TpSessionMap {
 
 /// A worker thread's private solving state: an independent backend plus
 /// its session set. Constructed on the coordinating thread, used only by
-/// the owning worker during epochs (the pool barrier publishes it), read
-/// again by the coordinator after the last epoch for stats absorption.
+/// the owning worker during epochs (the pool handshake publishes it),
+/// read again by the coordinator after the last epoch for stats
+/// absorption — and, in barrier mode only, borrowed for merge re-checks.
 struct WorkerState {
   smt::SmtSolver *Solver = nullptr; ///< Owned by the solver store below.
   TpSessionMap Sessions;
@@ -211,7 +236,9 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
           : allPairs(Left, Right);
   St.ReachPairs = Pairs.size();
 
-  std::vector<GuardedFormula> R;
+  // R as an append-only log: stable prefixes are what let a pipelined
+  // epoch read frozen premises while the merge appends (see PremiseLog.h).
+  PremiseLog R;
   size_t FreshCounter = 0;
   PureRef Premise = Spec.Premise ? Spec.Premise : Pure::mkTrue();
 
@@ -238,14 +265,19 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
 
   // Entailment queries posed by the parallel phase; folded into
   // Stats.SmtQueries once at the end. Relaxed is enough — the value is
-  // only read after the pool barrier.
+  // only read after the pool's epoch completion.
   std::atomic<uint64_t> ParallelQueries{0};
 
   // Every return path reports aggregate stats: the workers' backend
   // stats are absorbed into the primary's, and SolverMicros therefore
   // sums solver time *across threads* (it can exceed WallMicros — that
-  // surplus is exactly the parallelism).
+  // surplus is exactly the parallelism). An epoch still in flight (early
+  // returns out of a pipelined merge) is waited out first — its tasks
+  // reference this frame, and its stats belong to this check.
+  WorkerPool *PoolPtr = nullptr;
   auto Finish = [&] {
+    if (PoolPtr)
+      PoolPtr->wait();
     if (Capturing) {
       for (size_t I = 0; I < Workers.size(); ++I) {
         Result.Proof->adopt(*WorkerLogs[I]);
@@ -286,18 +318,27 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
     OwnedPool = std::make_unique<WorkerPool>(Options.Jobs);
   }
   WorkerPool &Pool = Warm ? *Warm->Pool : *OwnedPool;
+  PoolPtr = &Pool;
   std::vector<EpochTask> Batch;
   std::vector<std::vector<size_t>> Assignments(Pool.workers());
 
   // Epoch-pipeline metrics, flushed once per check on every exit path.
-  // MergeStallMicros is the merge drain: sequential replay time during
-  // which every worker idles at the barrier — the number the ROADMAP's
-  // skip-ahead merge item wants driven to zero.
+  // MergeStallMicros is merge time during which no epoch was in flight —
+  // every worker idling at the barrier; OverlapMicros is merge time that
+  // ran under a live epoch, i.e. the stall the skip-ahead merge bought
+  // back; EpochWaitMicros is coordinator time blocked on epoch
+  // completion. Stall + overlap = total merge time, so
+  // overlap / (stall + overlap) is the pipelining effectiveness ratio
+  // leapfrog-trace reports.
   uint64_t MergeStallMicros = 0;
+  uint64_t OverlapMicros = 0;
+  uint64_t EpochWaitMicros = 0;
   uint64_t EpochCount = 0;
   struct ParallelMetricsFlush {
     const CheckStats &St;
     uint64_t &MergeStallMicros;
+    uint64_t &OverlapMicros;
+    uint64_t &EpochWaitMicros;
     uint64_t &EpochCount;
     ~ParallelMetricsFlush() {
       obs::Registry &M = obs::metrics();
@@ -315,22 +356,260 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
       Queries.add(St.SmtQueries);
       static obs::Counter &Stall =
           M.counter("parallel.merge_stall_micros");
+      static obs::Counter &Overlap = M.counter("parallel.overlap_micros");
+      static obs::Counter &EpochWait =
+          M.counter("parallel.epoch_wait_micros");
       static obs::Counter &Epochs = M.counter("parallel.epochs");
       Stall.add(MergeStallMicros);
+      Overlap.add(OverlapMicros);
+      EpochWait.add(EpochWaitMicros);
       Epochs.add(EpochCount);
     }
-  } MetricsFlush{St, MergeStallMicros, EpochCount};
-  std::unordered_set<TemplatePair, TemplatePairHasher> ExtendedSinceFreeze;
+  } MetricsFlush{St, MergeStallMicros, OverlapMicros, EpochWaitMicros,
+                 EpochCount};
+
+  // R-index of the most recent Extend per guard, across the whole run.
+  // A chunk's frozen NotEntailed answer is stale exactly when the guard
+  // extended at or after that chunk's freeze point — in barrier mode the
+  // freeze is the merge start (this degenerates to the old "extended
+  // earlier in this epoch" set), in pipelined mode it is one merge
+  // earlier.
+  std::unordered_map<TemplatePair, size_t, TemplatePairHasher>
+      LastExtendIdx;
+  // Merge-side sessions against the primary backend, used for re-checks
+  // while workers may be busy with the next chunk (pipelined mode).
+  TpSessionMap MergeSessions;
 
   // Each frontier generation is processed in *chunks* of a few epochs
   // rather than as one giant epoch: the premise freeze then lags the
-  // live R by at most one chunk, so far fewer merge items see a
-  // same-guard extension between freeze and replay — the only case that
-  // must re-query. Chunks change how often the barrier runs, never what
-  // is decided: each chunk is its own freeze/decide/merge cycle with the
-  // exactness argument applied verbatim. Sized so every worker gets a
-  // handful of tasks per epoch even after uneven stealing.
-  const size_t ChunkSize = std::max<size_t>(32, Options.Jobs * 8);
+  // live R by at most one chunk (two when pipelined), so far fewer merge
+  // items see a same-guard extension between freeze and replay — the
+  // only case that must re-query. Chunks change how often the barrier
+  // runs, never what is decided: each chunk is its own
+  // freeze/decide/merge cycle with the exactness argument applied
+  // verbatim. Sized so every worker gets a handful of tasks per epoch
+  // even after uneven stealing; CheckOptions::Chunk overrides for
+  // scheduler-adversarial testing.
+  const size_t ChunkSize =
+      Options.Chunk ? Options.Chunk
+                    : std::max<size_t>(32, Options.Jobs * 8);
+
+  // Skip-ahead merge on/off. Proof capture forces barrier mode (see the
+  // file prologue); everything else defaults to pipelined.
+  const bool Pipelined = Options.Pipeline && !Capturing;
+
+  // Task units for the in-flight epoch: each unit is a same-guard run of
+  // Batch indices, at most GoalBatch long; the pool's task index selects
+  // a unit. Rebuilt by every launch — legal because launches only happen
+  // with no epoch in flight.
+  std::vector<std::vector<size_t>> Units;
+  const size_t GoalBatch = std::max<size_t>(1, Options.GoalBatch);
+
+  // Seeds the pool with [Start, End): groups the chunk's tasks by guard
+  // in first-appearance order, splits each group into units of at most
+  // GoalBatch, and deals every unit to its guard's affinity worker —
+  // worker hash(TP) mod P, every epoch of the run. Entailment consults
+  // only same-guard premises, so affinity means one worker's session —
+  // not all of them — pays the bit-blast of each guard's premise set,
+  // and that session's learned clauses stay hot for the guard's whole
+  // conjunct stream. Stealing can still move a unit (and force the thief
+  // to prime the guard's premises too); that is load balance bought at
+  // the price of one extra premise copy, and it never changes an answer.
+  auto LaunchChunk = [&](size_t Start, size_t End, size_t FrozenR) {
+    Units.clear();
+    {
+      std::unordered_map<TemplatePair, size_t, TemplatePairHasher> Open;
+      for (size_t T = Start; T < End; ++T) {
+        const TemplatePair &TP = Batch[T].Psi.TP;
+        auto It = Open.find(TP);
+        if (It == Open.end() || Units[It->second].size() >= GoalBatch) {
+          Units.emplace_back();
+          Open[TP] = Units.size() - 1;
+          It = Open.find(TP);
+        }
+        Units[It->second].push_back(T);
+      }
+    }
+    for (auto &A : Assignments)
+      A.clear();
+    for (size_t U = 0; U < Units.size(); ++U)
+      Assignments[TemplatePairHasher()(Batch[Units[U].front()].Psi.TP) %
+                  Pool.workers()]
+          .push_back(U);
+
+    // Parallel phase. Premises below FrozenR are immutable and published
+    // by the launch handshake; each task writes only its own Batch
+    // elements; waiting out the epoch publishes all of it back.
+    ++EpochCount;
+    Pool.launchEpoch(Assignments, [&, FrozenR](size_t WorkerId,
+                                               size_t UnitIdx) {
+      // Name each pool thread's Perfetto track once; solver.query spans
+      // recorded on this thread then land on the worker's own track.
+      if (obs::traceSink()) {
+        static thread_local bool TrackNamed = false;
+        if (!TrackNamed) {
+          obs::nameCurrentThread("worker-" + std::to_string(WorkerId));
+          TrackNamed = true;
+        }
+      }
+      const std::vector<size_t> &Unit = Units[UnitIdx];
+      std::vector<size_t> Need;
+      Need.reserve(Unit.size());
+      for (size_t TaskIdx : Unit) {
+        EpochTask &T = Batch[TaskIdx];
+        T.Goal = lowerPure(Left, Right, T.Psi.TP, T.Psi.Phi);
+        if (T.Goal->kind() == smt::BvFormula::Kind::True)
+          T.A = EpochTask::Answer::TriviallyTrue;
+        else
+          Need.push_back(TaskIdx);
+      }
+      if (Need.empty())
+        return;
+      WorkerState &W = Workers[WorkerId];
+      smt::SmtSolver::IncrementalSession &S =
+          W.Sessions.primed(*W.Solver, Options.Limits, Left, Right, R,
+                            FrozenR, Batch[Need.front()].Psi.TP);
+      ParallelQueries.fetch_add(Need.size(), std::memory_order_relaxed);
+      if (Need.size() == 1) {
+        EpochTask &T = Batch[Need.front()];
+        T.A = S.isEntailed(T.Goal) ? EpochTask::Answer::Entailed
+                                   : EpochTask::Answer::NotEntailed;
+        return;
+      }
+      // Same-guard unit: one activation scope, several goals per
+      // round-trip. The batch contract (Solver.h) pins each answer to
+      // what the individual query would have said.
+      std::vector<smt::BvFormulaRef> Negated;
+      Negated.reserve(Need.size());
+      for (size_t TaskIdx : Need)
+        Negated.push_back(smt::BvFormula::mkNot(Batch[TaskIdx].Goal));
+      std::vector<smt::SatResult> Out;
+      S.checkSatBatch(Negated, Out);
+      for (size_t K = 0; K < Need.size(); ++K)
+        Batch[Need[K]].A = Out[K] == smt::SatResult::Unsat
+                               ? EpochTask::Answer::Entailed
+                               : EpochTask::Answer::NotEntailed;
+    });
+  };
+
+  // Merge phase: sequential replay of [Start, End) in frontier order.
+  // Returns false when the run ended inside (budget trip or refutation;
+  // Result and stats are already filled, Finish already ran).
+  auto MergeChunk = [&](size_t Start, size_t End, size_t FrozenR) -> bool {
+    obs::ScopedSpan MergeSpan("epoch.merge", "parallel");
+    for (size_t I = Start; I < End; ++I) {
+      // The sequential loop trips its budgets *before* popping, so the
+      // current conjunct still counts as outstanding in the budget
+      // message; it leaves the frontier once the checks pass.
+      RemainingInBatch = Batch.size() - I;
+      if (++St.Iterations > Options.MaxIterations) {
+        OverBudget("iteration");
+        return false;
+      }
+      if (Options.MaxWallMicros != 0 && (St.Iterations & 0xf) == 0 &&
+          Watch.elapsedMicros() > Options.MaxWallMicros) {
+        OverBudget("wall-clock");
+        return false;
+      }
+      RemainingInBatch = Batch.size() - I - 1;
+      EpochTask &T = Batch[I];
+
+      bool Entailed;
+      auto LastExtend = LastExtendIdx.find(T.Psi.TP);
+      if (T.A != EpochTask::Answer::NotEntailed) {
+        // Trivially true, or entailed by the frozen generation — a
+        // subset of the premises the sequential checker would consult,
+        // so Skip is its decision too (entailment is monotone).
+        Entailed = true;
+      } else if (LastExtend == LastExtendIdx.end() ||
+                 LastExtend->second < FrozenR) {
+        // No same-guard premise appeared since this chunk's freeze: the
+        // frozen answer *is* the sequential answer.
+        Entailed = false;
+      } else if (Pipelined) {
+        // The relevant premise set grew since the freeze; re-derive
+        // against the live R. The affinity worker may be deciding the
+        // next chunk right now, so the re-check runs on this thread's
+        // own session against the primary backend — same premises, same
+        // answer, no shared solver state.
+        ++St.SmtQueries;
+        Entailed = MergeSessions
+                       .primed(Primary, Options.Limits, Left, Right, R,
+                               R.size(), T.Psi.TP)
+                       .isEntailed(T.Goal);
+      } else {
+        // Barrier mode: borrow the guard's affinity owner — the worker
+        // whose session already holds this guard's premise CNF and
+        // lemmas. Sound because the epoch barrier made that worker's
+        // state coherent to this thread and no worker is running; and
+        // advancing its session to the live R cannot overshoot a future
+        // epoch, since R only grows between freezes, so every later
+        // freeze point is at or beyond the live end and the session
+        // keeps consuming exact premise prefixes.
+        WorkerState &Owner =
+            Workers[TemplatePairHasher()(T.Psi.TP) % Workers.size()];
+        ++St.SmtQueries;
+        Entailed = Owner.Sessions
+                       .primed(*Owner.Solver, Options.Limits, Left,
+                               Right, R, R.size(), T.Psi.TP)
+                       .isEntailed(T.Goal);
+      }
+
+      if (Entailed) {
+        ++St.Skips;
+        if (Options.RecordTrace)
+          Result.Trace.push_back(
+              TraceStep{TraceStep::Kind::Skip, T.Psi, 0});
+        continue;
+      }
+
+      ++St.Extends;
+      LastExtendIdx[T.Psi.TP] = R.size();
+      R.push_back(T.Psi, [&] { Pool.wait(); });
+
+      // Early refutation, exactly as in the sequential loop (see
+      // core/Checker.cpp for why this keeps the checker total).
+      if (T.Psi.TP == Spec.TP) {
+        smt::BvFormulaRef Query = lowerPure(
+            Left, Right, Spec.TP, Pure::mkImplies(Premise, T.Psi.Phi));
+        bool Valid = Query->kind() == smt::BvFormula::Kind::True;
+        if (!Valid && Query->kind() != smt::BvFormula::Kind::False) {
+          ++St.SmtQueries;
+          Valid = Primary.isValid(Query);
+        }
+        if (!Valid) {
+          Result.V = Verdict::NotEquivalent;
+          Result.FailureReason = "refuted: phi does not entail conjunct " +
+                                 T.Psi.str(Left, Right);
+          St.FinalConjuncts = R.size();
+          Finish();
+          return false;
+        }
+      }
+
+      std::vector<GuardedFormula> Wp = weakestPrecondition(
+          Left, Right, T.Psi, Pairs, Options.UseLeaps, FreshCounter);
+      if (Options.RecordTrace)
+        Result.Trace.push_back(
+            TraceStep{TraceStep::Kind::Extend, T.Psi, Wp.size()});
+      for (GuardedFormula &G : Wp)
+        Push(std::move(G));
+    }
+    return true;
+  };
+
+  // Wall budget, checked before committing a whole chunk of solver work:
+  // the merge loop re-checks every 16 iterations exactly like the
+  // sequential engine, but that alone would let a chunk's parallel phase
+  // launch unmetered and overshoot the valve by up to ChunkSize queries.
+  // Wall trips are inherently timing-dependent (the differential battery
+  // budgets by iterations, which stay exact), so tripping a few items
+  // earlier than the sequential loop would is fine — blowing the budget
+  // by a chunk is not.
+  auto WallTripped = [&] {
+    return Options.MaxWallMicros != 0 &&
+           Watch.elapsedMicros() > Options.MaxWallMicros;
+  };
 
   static obs::Histogram &GenerationSize =
       obs::metrics().histogram("parallel.generation_size");
@@ -343,171 +622,105 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
                                 EpochTask::Answer::NotEntailed});
     NextT.clear();
 
-    for (size_t ChunkStart = 0; ChunkStart < Batch.size();
-         ChunkStart += ChunkSize) {
-      const size_t ChunkEnd =
-          std::min(ChunkStart + ChunkSize, Batch.size());
-      const size_t FrozenR = R.size(); // This epoch's premise generation.
-
-      // Wall budget, checked before committing a whole chunk of solver
-      // work: the merge loop below re-checks every 16 iterations exactly
-      // like the sequential engine, but that alone would let a chunk's
-      // parallel phase launch unmetered and overshoot the valve by up to
-      // ChunkSize queries. Wall trips are inherently timing-dependent
-      // (the differential battery budgets by iterations, which stay
-      // exact), so tripping a few items earlier than the sequential loop
-      // would is fine — blowing the budget by a chunk is not.
-      if (Options.MaxWallMicros != 0 &&
-          Watch.elapsedMicros() > Options.MaxWallMicros) {
-        RemainingInBatch = Batch.size() - ChunkStart;
-        OverBudget("wall-clock");
-        return Result;
-      }
-
-      // Deal the chunk with guard affinity: every task whose goal is
-      // guarded by template pair TP goes to worker hash(TP) mod P, every
-      // epoch of the run. Entailment consults only same-guard premises,
-      // so affinity means one worker's session — not all of them — pays
-      // the bit-blast of each guard's premise set, and that session's
-      // learned clauses stay hot for the guard's whole conjunct stream.
-      // Stealing can still move a task (and force the thief to prime the
-      // guard's premises too); that is load balance bought at the price
-      // of one extra premise copy, and it never changes an answer.
-      for (auto &A : Assignments)
-        A.clear();
-      for (size_t T = ChunkStart; T < ChunkEnd; ++T)
-        Assignments[TemplatePairHasher()(Batch[T].Psi.TP) %
-                    Pool.workers()]
-            .push_back(T);
-
-      // Parallel phase. R is frozen until the merge below, so worker
-      // reads of R[0..FrozenR) race with nothing; each task writes only
-      // its own Batch element; the pool's epoch barrier publishes all of
-      // it back.
-      ++EpochCount;
-      {
-        obs::ScopedSpan EpochSpan(
-            "epoch.parallel", "parallel",
-            obs::TraceArgs()
-                .add("tasks", uint64_t(ChunkEnd - ChunkStart))
-                .add("frozen_premises", uint64_t(FrozenR)));
-        Pool.runEpoch(Assignments, [&](size_t WorkerId, size_t TaskIdx) {
-        // Name each pool thread's Perfetto track once; solver.query spans
-        // recorded on this thread then land on the worker's own track.
-        if (obs::traceSink()) {
-          static thread_local bool TrackNamed = false;
-          if (!TrackNamed) {
-            obs::nameCurrentThread("worker-" + std::to_string(WorkerId));
-            TrackNamed = true;
-          }
-        }
-        EpochTask &T = Batch[TaskIdx];
-        T.Goal = lowerPure(Left, Right, T.Psi.TP, T.Psi.Phi);
-        if (T.Goal->kind() == smt::BvFormula::Kind::True) {
-          T.A = EpochTask::Answer::TriviallyTrue;
-          return;
-        }
-        WorkerState &W = Workers[WorkerId];
-        smt::SmtSolver::IncrementalSession &S =
-            W.Sessions.primed(*W.Solver, Options.Limits, Left, Right, R,
-                              FrozenR, T.Psi.TP);
-        ParallelQueries.fetch_add(1, std::memory_order_relaxed);
-        T.A = S.isEntailed(T.Goal) ? EpochTask::Answer::Entailed
-                                   : EpochTask::Answer::NotEntailed;
-        });
-      }
-
-      // Merge phase: sequential replay in frontier order.
-      obs::ScopedSpan MergeSpan("epoch.merge", "parallel");
-      obs::ScopedMicros MergeTimer(MergeStallMicros);
-      ExtendedSinceFreeze.clear();
-      for (size_t I = ChunkStart; I < ChunkEnd; ++I) {
-        // The sequential loop trips its budgets *before* popping, so the
-        // current conjunct still counts as outstanding in the budget
-        // message; it leaves the frontier once the checks pass.
-        RemainingInBatch = Batch.size() - I;
-        if (++St.Iterations > Options.MaxIterations) {
-          OverBudget("iteration");
-          return Result;
-        }
-        if (Options.MaxWallMicros != 0 && (St.Iterations & 0xf) == 0 &&
-            Watch.elapsedMicros() > Options.MaxWallMicros) {
+    if (!Pipelined) {
+      // Barrier mode: launch, wait, merge — one cycle per chunk, workers
+      // idle during every merge.
+      for (size_t ChunkStart = 0; ChunkStart < Batch.size();
+           ChunkStart += ChunkSize) {
+        const size_t ChunkEnd =
+            std::min(ChunkStart + ChunkSize, Batch.size());
+        if (WallTripped()) {
+          RemainingInBatch = Batch.size() - ChunkStart;
           OverBudget("wall-clock");
           return Result;
         }
-        RemainingInBatch = Batch.size() - I - 1;
-        EpochTask &T = Batch[I];
-
-        bool Entailed;
-        if (T.A != EpochTask::Answer::NotEntailed) {
-          // Trivially true, or entailed by the frozen generation — a
-          // subset of the premises the sequential checker would consult,
-          // so Skip is its decision too (entailment is monotone).
-          Entailed = true;
-        } else if (!ExtendedSinceFreeze.count(T.Psi.TP)) {
-          // No same-guard premise appeared since the freeze: the frozen
-          // answer *is* the sequential answer.
-          Entailed = false;
-        } else {
-          // The relevant premise set grew since the freeze; re-derive
-          // against the live R. This is the only merge-side entailment
-          // query. It borrows the guard's affinity owner — the worker
-          // whose session already holds this guard's premise CNF and
-          // lemmas. Sound because the epoch barrier made that worker's
-          // state coherent to this thread and no worker is running; and
-          // advancing its session to the live R cannot overshoot a
-          // future epoch, since R only grows between freezes, so every
-          // later freeze point is at or beyond the live end and the
-          // session keeps consuming exact premise prefixes.
-          WorkerState &Owner =
-              Workers[TemplatePairHasher()(T.Psi.TP) % Workers.size()];
-          ++St.SmtQueries;
-          Entailed = Owner.Sessions
-                         .primed(*Owner.Solver, Options.Limits, Left,
-                                 Right, R, R.size(), T.Psi.TP)
-                         .isEntailed(T.Goal);
+        const size_t FrozenR = R.size();
+        {
+          obs::ScopedSpan EpochSpan(
+              "epoch.parallel", "parallel",
+              obs::TraceArgs()
+                  .add("tasks", uint64_t(ChunkEnd - ChunkStart))
+                  .add("frozen_premises", uint64_t(FrozenR)));
+          LaunchChunk(ChunkStart, ChunkEnd, FrozenR);
+          Pool.wait();
+        }
+        obs::StopWatch MergeWatch;
+        bool Ok = MergeChunk(ChunkStart, ChunkEnd, FrozenR);
+        MergeStallMicros += MergeWatch.elapsedMicros();
+        if (!Ok)
+          return Result;
+      }
+    } else {
+      // Pipelined mode: once chunk N's decide completes, chunk N+1 is
+      // launched *before* chunk N's merge runs, so the workers decide
+      // N+1 against the pre-merge freeze while this thread drains N.
+      size_t CurStart = 0;
+      size_t CurEnd = std::min(ChunkSize, Batch.size());
+      if (WallTripped()) {
+        RemainingInBatch = Batch.size();
+        OverBudget("wall-clock");
+        return Result;
+      }
+      size_t CurFrozen = R.size();
+      LaunchChunk(CurStart, CurEnd, CurFrozen);
+      for (;;) {
+        {
+          obs::ScopedSpan WaitSpan(
+              "epoch.wait", "parallel",
+              obs::TraceArgs().add("tasks",
+                                   uint64_t(CurEnd - CurStart)));
+          obs::ScopedMicros WaitTimer(EpochWaitMicros);
+          Pool.wait();
         }
 
-        if (Entailed) {
-          ++St.Skips;
-          if (Options.RecordTrace)
-            Result.Trace.push_back(
-                TraceStep{TraceStep::Kind::Skip, T.Psi, 0});
-          continue;
+        // Skip-ahead launch: freeze at the *pre-merge* R. The wall valve
+        // may veto the launch; the post-merge check below then surfaces
+        // the stop exactly where barrier mode would have.
+        const size_t NextStart = CurEnd;
+        const size_t NextEnd =
+            std::min(NextStart + ChunkSize, Batch.size());
+        size_t NextFrozen = 0;
+        bool NextLaunched = false;
+        if (NextStart < Batch.size() && !WallTripped()) {
+          NextFrozen = R.size();
+          LaunchChunk(NextStart, NextEnd, NextFrozen);
+          NextLaunched = true;
         }
 
-        ++St.Extends;
-        R.push_back(T.Psi);
-        ExtendedSinceFreeze.insert(T.Psi.TP);
-
-        // Early refutation, exactly as in the sequential loop (see
-        // core/Checker.cpp for why this keeps the checker total).
-        if (T.Psi.TP == Spec.TP) {
-          smt::BvFormulaRef Query = lowerPure(
-              Left, Right, Spec.TP, Pure::mkImplies(Premise, T.Psi.Phi));
-          bool Valid = Query->kind() == smt::BvFormula::Kind::True;
-          if (!Valid && Query->kind() != smt::BvFormula::Kind::False) {
-            ++St.SmtQueries;
-            Valid = Primary.isValid(Query);
+        // Merge the current chunk, attributing its duration to overlap
+        // (a live epoch was computing meanwhile — stall the pipeline
+        // saved) or stall (workers sat idle, as in barrier mode).
+        obs::Clock::TimePoint M0 = obs::Clock::now();
+        bool Ok = MergeChunk(CurStart, CurEnd, CurFrozen);
+        obs::Clock::TimePoint M1 = obs::Clock::now();
+        uint64_t MergeMicros = obs::Clock::microsBetween(M0, M1);
+        uint64_t Overlap = 0;
+        if (NextLaunched) {
+          if (Pool.epochInFlight()) {
+            Overlap = MergeMicros;
+          } else {
+            obs::Clock::TimePoint E = Pool.lastEpochEnd();
+            if (E > M0)
+              Overlap = std::min(
+                  obs::Clock::microsBetween(M0, E < M1 ? E : M1),
+                  MergeMicros);
           }
-          if (!Valid) {
-            Result.V = Verdict::NotEquivalent;
-            Result.FailureReason =
-                "refuted: phi does not entail conjunct " +
-                T.Psi.str(Left, Right);
-            St.FinalConjuncts = R.size();
-            Finish();
-            return Result;
-          }
         }
+        OverlapMicros += Overlap;
+        MergeStallMicros += MergeMicros - Overlap;
+        if (!Ok)
+          return Result;
 
-        std::vector<GuardedFormula> Wp = weakestPrecondition(
-            Left, Right, T.Psi, Pairs, Options.UseLeaps, FreshCounter);
-        if (Options.RecordTrace)
-          Result.Trace.push_back(
-              TraceStep{TraceStep::Kind::Extend, T.Psi, Wp.size()});
-        for (GuardedFormula &G : Wp)
-          Push(std::move(G));
+        if (NextStart >= Batch.size())
+          break;
+        if (!NextLaunched) {
+          RemainingInBatch = Batch.size() - NextStart;
+          OverBudget("wall-clock");
+          return Result;
+        }
+        CurStart = NextStart;
+        CurEnd = NextEnd;
+        CurFrozen = NextFrozen;
       }
     }
     RemainingInBatch = 0;
@@ -515,7 +728,8 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
 
   // Done: check φ ⊨ ⋀R (identical to the sequential epilogue).
   Result.V = Verdict::Equivalent;
-  for (const GuardedFormula &Conjunct : R) {
+  for (size_t CIdx = 0; CIdx < R.size(); ++CIdx) {
+    const GuardedFormula &Conjunct = R[CIdx];
     if (Conjunct.TP != Spec.TP)
       continue;
     smt::BvFormulaRef Query = lowerPure(
@@ -543,14 +757,14 @@ parallel::checkWithSpecParallel(const p4a::Automaton &Left,
                   GuardedFormula{Spec.TP, Pure::mkTrue()}, 0});
 
   St.FinalConjuncts = R.size();
-  for (const GuardedFormula &G : R)
-    St.FormulaNodes += G.Phi->size();
+  for (size_t CIdx = 0; CIdx < R.size(); ++CIdx)
+    St.FormulaNodes += R[CIdx].Phi->size();
 
   if (Result.V == Verdict::Equivalent) {
     EquivalenceCertificate &Cert = Result.Certificate;
     Cert.Spec = Spec;
     Cert.Spec.Premise = Premise;
-    Cert.Relation = R;
+    Cert.Relation = R.snapshot();
     Cert.UseLeaps = Options.UseLeaps;
     Cert.UseReachability = Options.UseReachability;
   }

@@ -1,0 +1,102 @@
+//===- PremiseLog.h - Append-only premise store for pipelined epochs -*- C++ -*-===//
+//
+// Part of leapfrog-cc, a C++ reproduction of "Leapfrog: Certified Equivalence
+// for Protocol Parsers" (PLDI 2022).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The relation R as an append-only log whose published prefix is safe to
+/// read from worker threads while the merge thread appends to the tail.
+/// This is the data structure that makes pipelined epochs possible: with
+/// skip-ahead merge enabled, epoch N+1's parallel decide reads premises
+/// R[0..FrozenR) concurrently with epoch N's merge pushing new conjuncts,
+/// and a plain std::vector would relocate the prefix out from under the
+/// readers on growth.
+///
+/// Layout: fixed-capacity blocks that never reallocate once created, plus
+/// a block table reserved far beyond any realistic run. Appends touch only
+/// the tail block's free slot (and, every BlockSize appends, push one
+/// pointer into the table's spare capacity) — no byte an earlier index
+/// resolves to is ever written again, so readers of indices below a
+/// published bound race with nothing.
+///
+/// Publication protocol (the caller's obligation): a reader thread may
+/// access only indices below a bound it received through a
+/// synchronizes-with edge ordered after the writes — in the engine, the
+/// WorkerPool's epoch-launch mutex handshake publishes everything below
+/// the chunk's FrozenR. The quiesce callback passed to push_back() runs
+/// before the one structural mutation readers could observe (a block-table
+/// reallocation); the engine passes "wait out the in-flight epoch", and at
+/// BlockSize * table-capacity = half a million conjuncts it is a
+/// correctness backstop, not a path any benchmark reaches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LEAPFROG_PARALLEL_PREMISELOG_H
+#define LEAPFROG_PARALLEL_PREMISELOG_H
+
+#include "logic/ConfRel.h"
+
+#include <memory>
+#include <vector>
+
+namespace leapfrog {
+namespace parallel {
+
+/// Append-only, stable-prefix store of guarded conjuncts; see file comment.
+class PremiseLog {
+public:
+  /// Conjuncts per block. Blocks reserve exactly this much up front and
+  /// never grow past it, so no element relocates after construction.
+  static constexpr size_t BlockSize = 512;
+  /// Block-table slots reserved at construction; appending block number
+  /// TableReserve + 1 is what forces a quiesce.
+  static constexpr size_t TableReserve = 1024;
+
+  PremiseLog() { Blocks.reserve(TableReserve); }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  const logic::GuardedFormula &operator[](size_t I) const {
+    return (*Blocks[I / BlockSize])[I % BlockSize];
+  }
+
+  /// Appends \p G. \p Quiesce is invoked (possibly zero times) before any
+  /// mutation concurrent readers could observe — the caller must make it
+  /// drain every reader thread (and re-publish before they resume).
+  template <typename QuiesceFn>
+  void push_back(logic::GuardedFormula G, QuiesceFn &&Quiesce) {
+    if (Count == Blocks.size() * BlockSize) {
+      if (Blocks.size() == Blocks.capacity())
+        Quiesce();
+      Blocks.push_back(
+          std::make_unique<std::vector<logic::GuardedFormula>>());
+      Blocks.back()->reserve(BlockSize);
+    }
+    Blocks[Count / BlockSize]->push_back(std::move(G));
+    ++Count;
+  }
+
+  /// Copies the log out as a contiguous vector (certificate relation,
+  /// stats epilogues). Caller-side only; not safe concurrent with appends.
+  std::vector<logic::GuardedFormula> snapshot() const {
+    std::vector<logic::GuardedFormula> Out;
+    Out.reserve(Count);
+    for (size_t I = 0; I < Count; ++I)
+      Out.push_back((*this)[I]);
+    return Out;
+  }
+
+private:
+  /// unique_ptr per block: the table may grow (within its reservation, or
+  /// past it after a quiesce) without moving a single conjunct.
+  std::vector<std::unique_ptr<std::vector<logic::GuardedFormula>>> Blocks;
+  size_t Count = 0;
+};
+
+} // namespace parallel
+} // namespace leapfrog
+
+#endif // LEAPFROG_PARALLEL_PREMISELOG_H

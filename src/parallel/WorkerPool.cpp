@@ -22,6 +22,9 @@ WorkerPool::WorkerPool(size_t Workers) {
 }
 
 WorkerPool::~WorkerPool() {
+  // A launched-but-unwaited epoch (an early return out of the pipelined
+  // merge) must drain before teardown — its tasks reference caller state.
+  wait();
   {
     std::lock_guard<std::mutex> Lock(M);
     Stop = true;
@@ -34,6 +37,7 @@ WorkerPool::~WorkerPool() {
 void WorkerPool::runEpoch(size_t NumTasks, const TaskFn &TaskBody) {
   if (NumTasks == 0)
     return;
+  assert(!Launched && "epoch already in flight");
   // Deal contiguous blocks: worker W owns [W*N/P, (W+1)*N/P). No worker
   // is running here — the previous epoch's barrier completed — so the
   // deques are safe to fill without observing steals.
@@ -43,13 +47,22 @@ void WorkerPool::runEpoch(size_t NumTasks, const TaskFn &TaskBody) {
     for (size_t T = Lo; T < Hi; ++T)
       Deques[W].push(T);
   }
-  runSeededEpoch(TaskBody);
+  Fn = TaskBody;
+  postSeededEpoch();
+  wait();
 }
 
 void WorkerPool::runEpoch(const std::vector<std::vector<size_t>> &Assigned,
                           const TaskFn &TaskBody) {
+  launchEpoch(Assigned, TaskBody);
+  wait();
+}
+
+void WorkerPool::launchEpoch(const std::vector<std::vector<size_t>> &Assigned,
+                             TaskFn TaskBody) {
   assert(Assigned.size() == Threads.size() &&
          "one task list per worker (may be empty)");
+  assert(!Launched && "epoch already in flight");
   size_t Total = 0;
   for (size_t W = 0; W < Assigned.size() && W < Threads.size(); ++W) {
     Total += Assigned[W].size();
@@ -58,21 +71,40 @@ void WorkerPool::runEpoch(const std::vector<std::vector<size_t>> &Assigned,
   }
   if (Total == 0)
     return;
-  runSeededEpoch(TaskBody);
+  Fn = std::move(TaskBody);
+  postSeededEpoch();
 }
 
-void WorkerPool::runSeededEpoch(const TaskFn &TaskBody) {
+void WorkerPool::postSeededEpoch() {
   {
     std::lock_guard<std::mutex> Lock(M);
     assert(DoneCount == Threads.size() || Epoch == 0);
-    Fn = &TaskBody;
     DoneCount = 0;
     ++Epoch;
+    Launched = true;
   }
   CvStart.notify_all();
-  std::unique_lock<std::mutex> Lock(M);
-  CvDone.wait(Lock, [&] { return DoneCount == Threads.size(); });
+}
+
+bool WorkerPool::epochInFlight() {
+  std::lock_guard<std::mutex> Lock(M);
+  return Launched && DoneCount != Threads.size();
+}
+
+void WorkerPool::wait() {
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    if (!Launched)
+      return;
+    CvDone.wait(Lock, [&] { return DoneCount == Threads.size(); });
+    Launched = false;
+  }
   Fn = nullptr;
+}
+
+std::chrono::steady_clock::time_point WorkerPool::lastEpochEnd() {
+  std::lock_guard<std::mutex> Lock(M);
+  return EpochEnd;
 }
 
 void WorkerPool::workerMain(size_t Id) {
@@ -88,20 +120,22 @@ void WorkerPool::workerMain(size_t Id) {
     runTasks(Id);
     {
       std::lock_guard<std::mutex> Lock(M);
-      if (++DoneCount == Threads.size())
+      if (++DoneCount == Threads.size()) {
+        EpochEnd = std::chrono::steady_clock::now();
         CvDone.notify_one();
+      }
     }
   }
 }
 
 void WorkerPool::runTasks(size_t Id) {
-  // The Fn pointer is stable for the whole epoch (the main thread only
-  // clears it after the barrier), so one unsynchronized read per task
-  // sweep is fine — the acquire in workerMain ordered it.
+  // The Fn member is stable for the whole epoch (the main thread only
+  // reassigns it outside one), so one unsynchronized read per task sweep
+  // is fine — the acquire in workerMain ordered it.
   size_t Task;
   for (;;) {
     if (Deques[Id].pop(Task)) {
-      (*Fn)(Id, Task);
+      Fn(Id, Task);
       continue;
     }
     bool Found = false;
@@ -109,7 +143,7 @@ void WorkerPool::runTasks(size_t Id) {
       size_t Victim = (Id + K) % Deques.size();
       if (Deques[Victim].steal(Task)) {
         Found = true;
-        (*Fn)(Id, Task);
+        Fn(Id, Task);
       }
     }
     if (!Found)

@@ -14,6 +14,13 @@
 /// mutually independent and must not enqueue further tasks; new work is
 /// what the *next* epoch is for.
 ///
+/// Epochs may also be launched asynchronously (launchEpoch/wait): the
+/// caller seeds the next epoch and keeps running — the skip-ahead merge of
+/// the parallel engine, which decides generation N+1 while it drains
+/// generation N's merge. At most one epoch is in flight at a time; the
+/// launch handshake (the pool mutex) is the synchronizes-with edge that
+/// publishes everything the caller wrote before launching to every worker.
+///
 /// Threads are created once and parked between epochs, so per-epoch cost
 /// is two condition-variable handshakes, not thread churn. WorkerId is a
 /// stable index in [0, workers()): each worker thread always reports the
@@ -27,6 +34,7 @@
 
 #include "parallel/WorkStealingDeque.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -69,9 +77,29 @@ public:
   void runEpoch(const std::vector<std::vector<size_t>> &Assigned,
                 const TaskFn &Fn);
 
+  /// Asynchronous epoch: seeds the deques from \p Assigned, posts the
+  /// epoch, and returns while the workers run. The pool keeps an owned
+  /// copy of \p Fn alive until wait(); everything \p Fn captures by
+  /// reference must outlive the epoch. Precondition: no epoch in flight
+  /// (wait() first). A launch with zero total tasks is a no-op.
+  void launchEpoch(const std::vector<std::vector<size_t>> &Assigned,
+                   TaskFn Fn);
+
+  /// Blocks until the launched epoch drains; no-op when none is in
+  /// flight. Only after wait() returns may the caller launch again, read
+  /// task results, or touch worker-owned state.
+  bool epochInFlight();
+  void wait();
+
+  /// Steady-clock stamp recorded by the last worker of the most recently
+  /// completed epoch — the overlap metric of the pipelined merge compares
+  /// it against the merge interval. Meaningful only after at least one
+  /// epoch completed.
+  std::chrono::steady_clock::time_point lastEpochEnd();
+
 private:
-  /// Posts the epoch (deques already seeded) and blocks on the barrier.
-  void runSeededEpoch(const TaskFn &Fn);
+  /// Posts the epoch (deques already seeded); Fn was already stored.
+  void postSeededEpoch();
   void workerMain(size_t Id);
   /// Drains this worker's deque, then steals from siblings; returns when
   /// every deque has been observed empty (tasks never spawn tasks, so an
@@ -86,10 +114,12 @@ private:
   std::mutex M;
   std::condition_variable CvStart; ///< Main → workers: epoch posted.
   std::condition_variable CvDone;  ///< Last worker → main: epoch drained.
-  const TaskFn *Fn = nullptr;      ///< Valid for the duration of an epoch.
+  TaskFn Fn;                       ///< Owned for the duration of an epoch.
   uint64_t Epoch = 0;
   size_t DoneCount = 0;
+  bool Launched = false; ///< Epoch posted and not yet wait()ed out.
   bool Stop = false;
+  std::chrono::steady_clock::time_point EpochEnd{};
 };
 
 } // namespace parallel

@@ -10,6 +10,7 @@
 #include "obs/Clock.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "smt/Portfolio.h"
 #include "smt/SmtLib.h"
 
 #include <cassert>
@@ -162,10 +163,24 @@ void SmtLibSolver::processFailure(const char *What) {
     Permanent = true;
 }
 
+void SmtLibSolver::interruptedTeardown() {
+  // A cancelled exchange leaves the dialogue desynced mid-query, so the
+  // process cannot be reused — but unlike processFailure this charges no
+  // failure budget and prints no warning: the portfolio cancelling a
+  // losing leg is the mechanism working, not the solver misbehaving. The
+  // next query respawns (ensureProcess bumps the epoch) and every session
+  // replays its premises through the normal resync path.
+  Proc.kill();
+  Declared.clear();
+}
+
 bool SmtLibSolver::exchange(const std::string &Line, std::string &Reply) {
   switch (Proc.writeLine(Line, Config.QueryTimeoutMs)) {
   case ExtProcess::IoResult::Ok:
     break;
+  case ExtProcess::IoResult::Interrupted:
+    interruptedTeardown();
+    return false;
   case ExtProcess::IoResult::Timeout:
     ++Ext.Timeouts;
     processFailure("write timeout (solver stopped reading stdin)");
@@ -178,6 +193,9 @@ bool SmtLibSolver::exchange(const std::string &Line, std::string &Reply) {
   switch (Proc.readReply(Reply, Config.QueryTimeoutMs)) {
   case ExtProcess::IoResult::Ok:
     return true;
+  case ExtProcess::IoResult::Interrupted:
+    interruptedTeardown();
+    return false;
   case ExtProcess::IoResult::Timeout:
     ++Ext.Timeouts;
     processFailure("reply timeout");
@@ -270,8 +288,9 @@ bool SmtLibSolver::declareVars(
 // SmtLibSolver: one-shot queries
 //===----------------------------------------------------------------------===//
 
-bool SmtLibSolver::readModel(const std::vector<BvFormulaRef> &Originals,
-                             const std::string &Prefix, Model *M) {
+bool SmtLibSolver::readModelRaw(const std::vector<BvFormulaRef> &Scope,
+                                const std::string &Prefix, Model *M) {
+  const std::vector<BvFormulaRef> &Originals = Scope;
   std::string Reply;
   if (!exchange("(get-model)", Reply))
     return false;
@@ -306,6 +325,13 @@ bool SmtLibSolver::readModel(const std::vector<BvFormulaRef> &Originals,
       M->emplace_back(Name, *It->second);
     }
   }
+  return true;
+}
+
+bool SmtLibSolver::readModel(const std::vector<BvFormulaRef> &Originals,
+                             const std::string &Prefix, Model *M) {
+  if (!readModelRaw(Originals, Prefix, M))
+    return false;
   // Sat answers are checkable, so check them: the model (total over the
   // scope's variables by construction above) must satisfy every formula
   // whose conjunction the solver claimed satisfiable. A failing check
@@ -342,6 +368,7 @@ bool SmtLibSolver::tryExternalCheckSat(const BvFormulaRef &F, Model *M,
   std::string Reply;
   if (!exchange("(check-sat)", Reply))
     return false;
+  ++Stats.RoundTrips; // One completed check-sat wire exchange.
   if (Reply == "sat") {
     if (M || Config.ValidateModels) {
       Model Local;
@@ -375,6 +402,7 @@ SatResult SmtLibSolver::checkSat(const BvFormulaRef &F, Model *M) {
     extFallbackMetric().add();
     warnFallback("see counters");
     R = Fallback.checkSat(F, M);
+    ++Stats.RoundTrips; // The fallback's physical solve.
   }
   uint64_t Micros = Watch.elapsedMicros();
   extRoundTripMetric().observe(Micros);
@@ -433,6 +461,7 @@ public:
       extFallbackMetric().add();
       Owner.warnFallback("see counters");
       R = FbSession->checkSatUnderPremises(Goal, M);
+      ++Owner.Stats.RoundTrips; // The fallback's physical solve.
     }
     uint64_t Micros = Watch.elapsedMicros();
     extRoundTripMetric().observe(Micros);
@@ -446,6 +475,75 @@ public:
     else
       ++St.UnsatAnswers;
     return R;
+  }
+
+  /// Batched goals share one premise resync and are resolved by the same
+  /// disjunctive refinement loop as the bit-blast session (Solver.cpp):
+  /// each goal gets a selector Boolean d_i with (=> d_i G_i) asserted in
+  /// an outer push scope, and each physical round asserts (or d_pending…)
+  /// in an inner scope and poses ONE (check-sat-assuming (act)). An unsat
+  /// round — the failed assumption being the session activation itself,
+  /// i.e. premises ∧ ⋁d_i has no model — attributes Unsat to every
+  /// pending goal in a single wire round-trip; a sat round's model is
+  /// fetched once and evaluated against each pending goal (evalFormula,
+  /// no Boolean model parsing needed), resolving every goal it satisfies
+  /// as Sat. Externally unresolved goals (process death, cancellation,
+  /// protocol error) fall back to the mirrored in-repo session — batched
+  /// there too.
+  void checkSatBatch(const std::vector<BvFormulaRef> &Goals,
+                     std::vector<SatResult> &Out) override {
+    if (Goals.size() < 2) {
+      Out.assign(Goals.size(), SatResult::Sat);
+      for (size_t I = 0; I < Goals.size(); ++I)
+        Out[I] = checkSatUnderPremises(Goals[I], nullptr);
+      return;
+    }
+    obs::ScopedSpan Span("ext.batch", "ext");
+    obs::StopWatch Watch;
+    SolverStats &St = Owner.Stats;
+    St.SessionQueries += Goals.size();
+    Out.assign(Goals.size(), SatResult::Sat);
+    std::vector<char> Resolved(Goals.size(), 0);
+    tryExternalBatch(Goals, Out, Resolved);
+    size_t External = 0;
+    std::vector<size_t> Unresolved;
+    for (size_t I = 0; I < Goals.size(); ++I) {
+      if (Resolved[I])
+        ++External;
+      else
+        Unresolved.push_back(I);
+    }
+    Owner.Ext.ExternalQueries += External;
+    if (!Unresolved.empty()) {
+      Owner.Ext.FallbackQueries += Unresolved.size();
+      extFallbackMetric().add(Unresolved.size());
+      Owner.warnFallback("see counters");
+      std::vector<BvFormulaRef> FbGoals;
+      for (size_t I : Unresolved)
+        FbGoals.push_back(Goals[I]);
+      // The mirror session batches natively; fold its physical solves
+      // into this backend's round-trip count (its own stats record is
+      // internal and never reported).
+      uint64_t FbBefore = Owner.Fallback.stats().RoundTrips;
+      std::vector<SatResult> FbOut;
+      FbSession->checkSatBatch(FbGoals, FbOut);
+      St.RoundTrips += Owner.Fallback.stats().RoundTrips - FbBefore;
+      for (size_t K = 0; K < Unresolved.size(); ++K)
+        Out[Unresolved[K]] = FbOut[K];
+    }
+    uint64_t Micros = Watch.elapsedMicros();
+    extRoundTripMetric().observe(Micros);
+    St.Queries += Goals.size();
+    St.TotalMicros += Micros;
+    St.MaxMicros = std::max(St.MaxMicros, Micros);
+    uint64_t Share = Micros / Goals.size();
+    for (size_t I = 0; I < Goals.size(); ++I) {
+      St.QueryMicros.push_back(Share);
+      if (Out[I] == SatResult::Sat)
+        ++St.SatAnswers;
+      else
+        ++St.UnsatAnswers;
+    }
   }
 
 private:
@@ -491,6 +589,7 @@ private:
     std::string Reply;
     if (!Owner.exchange("(check-sat-assuming (" + ActSym + "))", Reply))
       return false;
+    ++Owner.Stats.RoundTrips; // One completed check-sat wire exchange.
     if (Reply == "sat") {
       if (M || Owner.Config.ValidateModels) {
         std::vector<BvFormulaRef> Scope;
@@ -510,6 +609,111 @@ private:
     }
     Owner.command("(pop 1)"); // Failure costs the process, not the answer.
     return true;
+  }
+
+  /// The external half of checkSatBatch: marks every goal it managed to
+  /// resolve in \p Resolved and writes its answer into \p Out. Returns
+  /// with some goals unresolved on any transport/protocol failure; the
+  /// caller falls back for exactly those.
+  void tryExternalBatch(const std::vector<BvFormulaRef> &Goals,
+                        std::vector<SatResult> &Out,
+                        std::vector<char> &Resolved) {
+    if (!sync())
+      return;
+    // Goal variables live at the base level (as in tryExternal) so later
+    // premises/goals of the session can reuse them; renamed images are
+    // rebuilt per goal for the selector assertions below.
+    std::vector<BvFormulaRef> RGs(Goals.size());
+    for (size_t I = 0; I < Goals.size(); ++I) {
+      VarRenamer Renamer(Prefix);
+      RGs[I] = Renamer.formula(Goals[I]);
+      if (!Owner.declareVars(sanitizedVars(RGs[I]), /*Record=*/true))
+        return;
+    }
+    // Outer scope: one selector Boolean per goal, popped with the scope
+    // when the batch ends (so selector names can be reused next batch).
+    if (!Owner.command("(push 1)"))
+      return;
+    std::vector<std::string> Sels(Goals.size());
+    for (size_t I = 0; I < Goals.size(); ++I) {
+      Sels[I] = ActSym + "-d" + std::to_string(I);
+      if (!Owner.command("(declare-const " + Sels[I] + " Bool)") ||
+          !Owner.command("(assert (=> " + Sels[I] + " " +
+                         toSmtLibFormula(RGs[I]) + "))"))
+        return;
+    }
+    size_t Pending = Goals.size();
+    while (Pending > 0) {
+      // Inner scope: this round's pending disjunction only.
+      if (!Owner.command("(push 1)"))
+        return;
+      std::string Disj = "(assert (or";
+      for (size_t I = 0; I < Goals.size(); ++I)
+        if (!Resolved[I])
+          Disj += " " + Sels[I];
+      Disj += "))";
+      if (!Owner.command(Disj))
+        return;
+      std::string Reply;
+      if (!Owner.exchange("(check-sat-assuming (" + ActSym + "))", Reply))
+        return;
+      ++Owner.Stats.RoundTrips; // One wire exchange for all pending goals.
+      if (Reply == "unsat") {
+        // premises ∧ ⋁(pending goals) is unsatisfiable — the shared
+        // failed assumption is the session activation itself — so every
+        // pending goal is individually unsat with the premises.
+        for (size_t I = 0; I < Goals.size(); ++I)
+          if (!Resolved[I]) {
+            Resolved[I] = 1;
+            Out[I] = SatResult::Unsat;
+          }
+        Pending = 0;
+        Owner.command("(pop 1)");
+        break;
+      }
+      if (Reply != "sat") {
+        ++Owner.Ext.ProtocolErrors;
+        Owner.processFailure("unusable check-sat-assuming reply");
+        return;
+      }
+      // One get-model resolves every pending goal the model satisfies.
+      // The scope is disjunctive, so only the premises are *required* to
+      // hold; each pending goal is evaluated individually and at least
+      // one must come out true, or the solver's sat was a lie.
+      std::vector<BvFormulaRef> Scope;
+      for (size_t I = 0; I < Goals.size(); ++I)
+        if (!Resolved[I])
+          Scope.push_back(Goals[I]);
+      Scope.insert(Scope.end(), Premises.begin(), Premises.end());
+      Model M;
+      if (!Owner.readModelRaw(Scope, Prefix, &M))
+        return;
+      if (Owner.Config.ValidateModels) {
+        for (const BvFormulaRef &P : Premises)
+          if (!evalFormula(P, M)) {
+            ++Owner.Ext.ProtocolErrors;
+            Owner.processFailure("external model violates a premise");
+            return;
+          }
+      }
+      size_t Newly = 0;
+      for (size_t I = 0; I < Goals.size(); ++I)
+        if (!Resolved[I] && evalFormula(Goals[I], M)) {
+          Resolved[I] = 1;
+          Out[I] = SatResult::Sat;
+          ++Newly;
+          --Pending;
+        }
+      if (Newly == 0) {
+        ++Owner.Ext.ProtocolErrors;
+        Owner.processFailure("external model satisfies no pending goal");
+        return;
+      }
+      if (!Owner.command("(pop 1)"))
+        return;
+    }
+    Owner.command("(pop 1)"); // Outer scope; failure costs the process
+                              // only — every answer is already in hand.
   }
 
   SmtLibSolver &Owner;
@@ -569,7 +773,9 @@ SatResult CrossCheckSolver::checkSat(const BvFormulaRef &F, Model *M) {
   SatResult RefR = Ref->checkSat(F, M);
   SatResult ExtR = Extern->checkSat(F, nullptr);
   ++X.Checked;
-  if (RefR != ExtR)
+  // A cancelled leg answers garbage by contract; comparing it would turn
+  // every lost portfolio race into a spurious divergence abort.
+  if (RefR != ExtR && !interrupted())
     diverged(F, RefR, ExtR);
   uint64_t Micros = Watch.elapsedMicros();
   ++Stats.Queries;
@@ -606,7 +812,8 @@ public:
     SatResult RefR = RefSess->checkSatUnderPremises(Goal, M);
     SatResult ExtR = ExtSess->checkSatUnderPremises(Goal, nullptr);
     ++Owner.X.Checked;
-    if (RefR != ExtR) {
+    // Cancelled legs answer garbage (see CrossCheckSolver::checkSat).
+    if (RefR != ExtR && !Owner.interrupted()) {
       // Fold the premises into the dumped query so the script reproduces
       // the disagreement standalone.
       BvFormulaRef Conj = Goal;
@@ -682,6 +889,41 @@ smt::createSolverBackend(const std::string &Spec, std::string *Error) {
     return std::make_unique<CrossCheckSolver>(
         std::make_unique<BitBlastSolver>(), MakeExternal(Cmd));
   }
+  if (Spec.rfind("portfolio:", 0) == 0) {
+    // Legs are comma-separated backend specs, resolved recursively. The
+    // split is a naive top-level comma scan — none of the accepted leg
+    // specs (bitblast, smtlib:<cmd>, crosscheck[:<cmd>]) can legally
+    // contain a comma, and nesting a portfolio inside a portfolio is
+    // rejected outright (racing races buys nothing but thread soup).
+    std::string Body = Spec.substr(10);
+    std::vector<std::string> LegSpecs;
+    size_t Pos = 0;
+    while (Pos <= Body.size()) {
+      size_t Comma = Body.find(',', Pos);
+      if (Comma == std::string::npos)
+        Comma = Body.size();
+      LegSpecs.push_back(Body.substr(Pos, Comma - Pos));
+      Pos = Comma + 1;
+    }
+    std::vector<std::unique_ptr<SmtSolver>> LegSolvers;
+    for (const std::string &LegSpec : LegSpecs) {
+      if (LegSpec.empty())
+        return Fail("portfolio: empty leg spec in '" + Spec + "'");
+      if (LegSpec.rfind("portfolio", 0) == 0)
+        return Fail("portfolio: legs cannot be portfolios themselves");
+      std::string LegErr;
+      std::unique_ptr<SmtSolver> LegSolver =
+          createSolverBackend(LegSpec, &LegErr);
+      if (!LegSolver)
+        return Fail("portfolio: bad leg '" + LegSpec + "': " + LegErr);
+      LegSolvers.push_back(std::move(LegSolver));
+    }
+    if (LegSolvers.empty())
+      return Fail("portfolio: needs at least one leg, e.g. "
+                  "portfolio:bitblast,smtlib:z3 -in");
+    return std::make_unique<PortfolioSolver>(std::move(LegSolvers));
+  }
   return Fail("unknown backend '" + Spec +
-              "' (expected bitblast, smtlib:<cmd>, or crosscheck[:<cmd>])");
+              "' (expected bitblast, smtlib:<cmd>, crosscheck[:<cmd>], or "
+              "portfolio:<leg>,<leg>,…)");
 }

@@ -31,6 +31,7 @@ void SolverStats::merge(const SolverStats &O) {
   Queries += O.Queries;
   SatAnswers += O.SatAnswers;
   UnsatAnswers += O.UnsatAnswers;
+  RoundTrips += O.RoundTrips;
   TotalSatVars += O.TotalSatVars;
   TotalSatClauses += O.TotalSatClauses;
   TotalMicros += O.TotalMicros;
@@ -171,11 +172,19 @@ public:
     Lit GoalLit = Blaster->litFor(Goal);
     Sat->addClause(~Activation, GoalLit);
     bool IsSat = Sat->solveUnderAssumptions({Activation});
+    ++Owner.Stats.RoundTrips;
+    // An interrupted solve derived nothing: its false is an abandonment,
+    // not an UNSAT, so closing a proof slice from it would be unsound.
+    // Interruption is a portfolio-race mechanism and the portfolio
+    // backend refuses proof capture, so the two never legitimately meet.
+    bool WasInterrupted = Sat->interrupted();
+    assert(!(WasInterrupted && (Stream || Validator)) &&
+           "interrupted solve under proof capture");
     // The goal-end marker must precede the retirement unit below: a
     // checker validates the UNSAT core against the database as of the
     // answer, and the retirement unit {¬act} is only sound input *after*
     // the goal has been closed (it would otherwise trivialize the slice).
-    if (Stream || Validator)
+    if ((Stream || Validator) && !WasInterrupted)
       finishGoalProof(IsSat, GoalId);
     if (IsSat && M) {
       // Read the model before touching the clause DB again: adding the
@@ -241,6 +250,136 @@ public:
       ++St.UnsatAnswers;
     maybeRestart();
     return Result;
+  }
+
+  /// Batched goals share the live premise CNF and are resolved by a
+  /// *disjunctive refinement loop*: each goal gets its own activation
+  /// literal a_i with a_i ⇒ g_i, and each physical round solves under one
+  /// fresh selector B asserting B ⇒ ⋁(pending a_i). An UNSAT round's
+  /// failed-assumption core (⊆ {B}, or empty when the premises themselves
+  /// conflict) proves premises ∧ ⋁a_i unsatisfiable — and since a_i only
+  /// *enables* its goal (any model of premises ∧ g_i extends to one with
+  /// a_i true and the others false), that attributes Unsat to every
+  /// pending goal in a single round-trip. A SAT round's model has a_i
+  /// true for at least one pending goal, and every such a_i forces g_i,
+  /// so all of them are Sat; they retire and the loop refines on the
+  /// rest. Worst case is one round per goal (exactly the unbatched cost);
+  /// the checker's entailment-heavy workload — most goals Unsat — is one
+  /// round total.
+  void checkSatBatch(const std::vector<BvFormulaRef> &Goals,
+                     std::vector<SatResult> &Out) override {
+    // Per-goal proof slices need one activation scope per goal, and the
+    // soft-retirement ablation has no guards at all — both degrade to the
+    // per-goal path so answers, certificates and retirement behavior stay
+    // byte-identical to unbatched solving.
+    if (Goals.size() < 2 || Stream || Validator || !HardRetire) {
+      Out.assign(Goals.size(), SatResult::Sat);
+      for (size_t I = 0; I < Goals.size(); ++I)
+        Out[I] = checkSatUnderPremises(Goals[I], nullptr);
+      return;
+    }
+    obs::ScopedSpan Span("solver.batch", "solver");
+    obs::StopWatch Watch;
+    SolverStats &St = Owner.Stats;
+    Out.assign(Goals.size(), SatResult::Sat);
+    size_t ClausesAtStart = Sat->numClauses();
+    // Each goal is still one logical query reusing the same live state a
+    // monolithic solver would rebuild.
+    St.SessionQueries += Goals.size();
+    St.ReusedClauses +=
+        Goals.size() * (PremiseClauses + Sat->numLearntClauses());
+    // Blast every goal under its own (non-nesting) guard scope: the
+    // emitted clauses persist beyond the pop — only blaster cache entries
+    // are evicted — and all of them carry ¬a_i, so retirement below
+    // deletes them exactly as in the per-goal path.
+    std::vector<Lit> Acts(Goals.size());
+    for (size_t I = 0; I < Goals.size(); ++I) {
+      Acts[I] = Lit::mk(Sat->newVar(), false);
+      Blaster->pushGuard(Acts[I]);
+      Lit GoalLit = Blaster->litFor(Goals[I]);
+      Sat->addClause(~Acts[I], GoalLit);
+      Blaster->popGuardAndEvict();
+    }
+    std::vector<char> Resolved(Goals.size(), 0);
+    std::vector<Lit> Selectors;
+    size_t Pending = Goals.size();
+    while (Pending > 0) {
+      Lit B = Lit::mk(Sat->newVar(), false);
+      Selectors.push_back(B);
+      std::vector<Lit> Disj;
+      Disj.push_back(~B);
+      for (size_t I = 0; I < Goals.size(); ++I)
+        if (!Resolved[I])
+          Disj.push_back(Acts[I]);
+      Sat->addClause(std::move(Disj));
+      bool RoundSat = Sat->solveUnderAssumptions({B});
+      ++St.RoundTrips;
+      if (Sat->interrupted())
+        break; // Abandoned race: every remaining answer is garbage and
+               // the caller (the portfolio loser) discards the batch.
+      if (!RoundSat) {
+        for (size_t I = 0; I < Goals.size(); ++I)
+          if (!Resolved[I]) {
+            Resolved[I] = 1;
+            Out[I] = SatResult::Unsat;
+            ++St.UnsatAnswers;
+          }
+        Pending = 0;
+        break;
+      }
+      // Read the whole model before touching the clause DB: retirement
+      // units unwind the assignment.
+      std::vector<size_t> Newly;
+      for (size_t I = 0; I < Goals.size(); ++I)
+        if (!Resolved[I] && Sat->modelValue(Acts[I].var()))
+          Newly.push_back(I);
+      assert(!Newly.empty() && "SAT round must satisfy a pending selector");
+      for (size_t I : Newly) {
+        Resolved[I] = 1;
+        Out[I] = SatResult::Sat;
+        ++St.SatAnswers;
+        Sat->addClause(~Acts[I]);
+        --Pending;
+      }
+    }
+    // Retire everything the batch allocated: unsat-attributed goals'
+    // activations and every round selector become level-0 facts whose
+    // guarded clauses the next batched simplify() physically deletes.
+    for (size_t I = 0; I < Goals.size(); ++I)
+      if (!Resolved[I] || Out[I] == SatResult::Unsat)
+        Sat->addClause(~Acts[I]);
+    for (Lit B : Selectors)
+      Sat->addClause(~B);
+    PendingDead +=
+        Sat->numClauses() - std::min(Sat->numClauses(), ClausesAtStart);
+    size_t LiveEstimate =
+        Sat->numClauses() - std::min(PendingDead, Sat->numClauses());
+    if (PendingDead >= std::max(Owner.SessionPurgeBatch, LiveEstimate / 4)) {
+      Sat->simplify();
+      PendingDead = 0;
+    }
+
+    uint64_t Micros = Watch.elapsedMicros();
+    static obs::Histogram &SolveLatency =
+        obs::metrics().histogram("smt.solve_micros");
+    SolveLatency.observe(Micros);
+    St.Queries += Goals.size();
+    St.TotalMicros += Micros;
+    // The batch is one physical solve covering N queries: its full
+    // latency is the honest MaxMicros candidate, while QueryMicros gets
+    // each goal's amortized share so percentile math stays per-goal.
+    St.MaxMicros = std::max(St.MaxMicros, Micros);
+    uint64_t Share = Micros / Goals.size();
+    for (size_t I = 0; I < Goals.size(); ++I)
+      St.QueryMicros.push_back(Share);
+    if (Sat->numVars() > ReportedVars)
+      St.TotalSatVars += Sat->numVars() - ReportedVars;
+    if (Sat->numClauses() > ReportedClauses)
+      St.TotalSatClauses += Sat->numClauses() - ReportedClauses;
+    ReportedVars = Sat->numVars();
+    ReportedClauses = Sat->numClauses();
+    harvestSatStats();
+    maybeRestart();
   }
 
 private:
@@ -310,6 +449,9 @@ private:
     }
     Sat = std::make_unique<SatSolver>();
     Sat->setReducePolicy(Owner.SessionReduce);
+    // Portfolio cancellation: the owner's Stop flag reaches every CDCL
+    // incarnation this session ever builds.
+    Sat->setInterruptFlag(&Owner.Stop);
     if (Stream)
       Sat->setProofSink(Stream);
     else if (Validator)
@@ -413,14 +555,21 @@ SatResult BitBlastSolver::checkSat(const BvFormulaRef &F, Model *M) {
   SatSolver::ReducePolicy OneShot;
   OneShot.Enabled = false;
   Sat.setReducePolicy(OneShot);
+  Sat.setInterruptFlag(&Stop);
   DratProof Proof;
   if (CertifyUnsat || CaptureLog)
     Sat.setProofLog(&Proof);
   BitBlaster Blaster(Sat);
   Blaster.assertFormula(F);
   bool IsSat = Sat.solve();
+  ++Stats.RoundTrips;
+  // An interrupted false is an abandonment, not an UNSAT: certifying or
+  // capturing it would validate a claim the solver never made. The
+  // answer itself is garbage; the interrupting caller (portfolio)
+  // discards it after checking interrupted().
+  bool WasInterrupted = Sat.interrupted();
 
-  if (!IsSat && CertifyUnsat) {
+  if (!IsSat && CertifyUnsat && !WasInterrupted) {
     obs::StopWatch ProofWatch;
     DratChecker Checker;
     std::string Error;
@@ -437,7 +586,7 @@ SatResult BitBlastSolver::checkSat(const BvFormulaRef &F, Model *M) {
     Stats.ProofMicros += ProofWatch.elapsedMicros();
   }
 
-  if (!IsSat && CaptureLog) {
+  if (!IsSat && CaptureLog && !WasInterrupted) {
     // Record the whole one-shot solve as a single unguarded goal: inputs
     // first, then the lemmas (RUP is monotone in the database, so the
     // lost interleaving with normalization-time lemmas is harmless), and

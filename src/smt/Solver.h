@@ -44,6 +44,13 @@ struct SolverStats {
   uint64_t Queries = 0;
   uint64_t SatAnswers = 0;
   uint64_t UnsatAnswers = 0;
+  /// Physical solver round-trips: actual CDCL solve calls, or — for the
+  /// external backend — check-sat wire exchanges with the child process.
+  /// Equals Queries for unbatched solving; batched sessions
+  /// (IncrementalSession::checkSatBatch) answer several goals per
+  /// round-trip, so RoundTrips < Queries is the direct measure of the
+  /// batching win (check_perf_baseline.py gates on it).
+  uint64_t RoundTrips = 0;
   uint64_t TotalSatVars = 0;
   uint64_t TotalSatClauses = 0;
   uint64_t TotalMicros = 0;
@@ -145,6 +152,24 @@ public:
     virtual SatResult checkSatUnderPremises(const BvFormulaRef &Goal,
                                             Model *M) = 0;
 
+    /// Batched form: decides every goal independently against the same
+    /// premise set, resizing \p Out so Out[i] equals what
+    /// checkSatUnderPremises(Goals[i], nullptr) would have answered. No
+    /// models are produced. The base implementation loops the per-goal
+    /// query (correct for any backend); session backends override it to
+    /// share one activation scope and answer several goals per physical
+    /// round-trip — a SAT round's model resolves every goal it satisfies,
+    /// and an UNSAT round's failed-assumption core licenses attributing
+    /// Unsat to all goals still pending, so the worst case is one
+    /// round-trip per goal and the entailment-heavy typical case is one
+    /// round-trip total. Answers must not depend on batch composition.
+    virtual void checkSatBatch(const std::vector<BvFormulaRef> &Goals,
+                               std::vector<SatResult> &Out) {
+      Out.resize(Goals.size(), SatResult::Sat);
+      for (size_t I = 0; I < Goals.size(); ++I)
+        Out[I] = checkSatUnderPremises(Goals[I], nullptr);
+    }
+
     /// Entailment of \p F by the asserted premises, decided as
     /// UNSAT(premises ∧ ¬F) — the session analogue of isValid().
     bool isEntailed(const BvFormulaRef &F) {
@@ -202,6 +227,19 @@ public:
   virtual void detachProofLog() {}
   /// True when attachProofLog() would succeed on this backend.
   virtual bool supportsProofCapture() const { return false; }
+
+  /// Cooperative cancellation, used by the portfolio backend to stop the
+  /// losing leg once a race is decided. interrupt() may be called from
+  /// any thread and requests that the solve in flight (if any) abandon
+  /// its search as soon as practical; an abandoned query's answer is
+  /// garbage and interrupted() — polled from the solving thread — reports
+  /// that. clearInterrupt() re-arms the backend for the next query. The
+  /// base implementations are no-ops: a backend that cannot be
+  /// interrupted simply runs its query to completion and never reports
+  /// interrupted(), which is always sound, just slower to cancel.
+  virtual void interrupt() {}
+  virtual bool interrupted() const { return false; }
+  virtual void clearInterrupt() {}
 
   /// Decides satisfiability of \p F over its free variables; fills \p M
   /// with a witness when satisfiable (pass nullptr to skip).
@@ -318,8 +356,22 @@ public:
   /// parallel frontier engine.
   std::unique_ptr<SmtSolver> spawnWorker() override;
 
+  /// Cooperative cancellation: the interrupt flag is wired into every
+  /// CDCL instance this backend creates (session solvers at build time,
+  /// one-shot solvers per query), which poll it once per search
+  /// iteration. See SmtSolver::interrupt().
+  void interrupt() override { Stop.store(true, std::memory_order_relaxed); }
+  bool interrupted() const override {
+    return Stop.load(std::memory_order_relaxed);
+  }
+  void clearInterrupt() override {
+    Stop.store(false, std::memory_order_relaxed);
+  }
+
 private:
   class Session; ///< The incremental openSession() backend (Solver.cpp).
+  /// Cancellation flag polled by this backend's CDCL instances.
+  std::atomic<bool> Stop{false};
   /// Destination for proof streams while attached; sessions opened while
   /// set record into it, and one-shot UNSAT answers add one-shot streams.
   ProofLog *CaptureLog = nullptr;

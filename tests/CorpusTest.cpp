@@ -179,7 +179,8 @@ INSTANTIATE_TEST_SUITE_P(Corpus, ProtocolStudies,
                          ::testing::Values(Protocol{"ipv6_chain"},
                                            Protocol{"vlan_qinq"},
                                            Protocol{"tunnel"},
-                                           Protocol{"quic_varint"}),
+                                           Protocol{"quic_varint"},
+                                           Protocol{"tlv_fanin"}),
                          [](const ::testing::TestParamInfo<Protocol> &Info) {
                            return std::string(Info.param.Stem);
                          });

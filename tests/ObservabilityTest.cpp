@@ -124,11 +124,15 @@ struct CertifiedRun {
 
 /// One certified engine check; serializes the certificate on Equivalent so
 /// bit-identity is pinned over the full artifact, proof log included.
-CertifiedRun runCertified(const CheckRequest &Req, size_t Jobs) {
+/// Certify = false runs the same check without proof capture — the only
+/// mode in which the parallel engine pipelines (capture forces the
+/// barrier), so the pipelined-knob test needs it.
+CertifiedRun runCertified(const CheckRequest &Req, size_t Jobs,
+                          bool Certify = true) {
   EngineConfig Cfg;
   Cfg.Backend = "bitblast";
   Cfg.Jobs = Jobs;
-  Cfg.Certify = true;
+  Cfg.Certify = Certify;
   std::string Err;
   std::unique_ptr<Engine> E = Engine::create(Cfg, &Err);
   EXPECT_NE(E, nullptr) << Err;
@@ -136,7 +140,7 @@ CertifiedRun runCertified(const CheckRequest &Req, size_t Jobs) {
   if (!E)
     return Run;
   Run.Res = E->check(Req);
-  if (Run.Res.V == Verdict::Equivalent) {
+  if (Certify && Run.Res.V == Verdict::Equivalent) {
     EXPECT_NE(Run.Res.Proof, nullptr);
     Run.CertText = serializeCertificate(Req.Left, Req.Right,
                                         Run.Res.Certificate,
@@ -271,6 +275,74 @@ TEST(Observability, TracingIsPassiveAcrossRegistryStudies) {
       ++WorkerTracks;
   }
   EXPECT_GE(WorkerTracks, 1u);
+  std::remove(Path.c_str());
+}
+
+// Passivity at the scheduling knobs the trace exists to explain: the
+// pipelined merge (epoch.wait/epoch.merge spans) and the batched
+// entailment window (solver.batch spans) run extra instrumentation on
+// their hot paths, so each gets its own traced-vs-untraced pin rather
+// than inheriting the default-knob test above. Small chunks force many
+// epochs (maximum span traffic); GoalBatch = 8 exercises the windowed
+// session sharing.
+TEST(Observability, TracingIsPassiveAtPipelinedBatchedKnobs) {
+  obs::TraceSink Sink;
+  for (const parsers::CaseStudy &Study : parsers::allCaseStudies()) {
+    // The cheap registry rows only: this test is about knob coverage,
+    // not corpus breadth (the study sweep above owns that). The budget
+    // keeps the big rows affordable — a deterministic budget trip is as
+    // good a decision stream to pin as a full run.
+    if (Study.Category == "Applicability")
+      continue;
+    CheckOptions Options;
+    Options.MaxIterations = 2000;
+    Options.RecordTrace = true;
+    Options.GoalBatch = 8;
+    Options.Chunk = 8;
+    EXPECT_TRUE(Options.Pipeline); // pipelining is the default
+    CheckRequest Req = registryRequest(Study, Options);
+
+    // Certified legs run the barrier scheduler (proof capture forces
+    // it); the uncertified pair is the one that actually pipelines.
+    CertifiedRun Baseline = runCertified(Req, 1);
+    CertifiedRun Plain = runCertified(Req, 1, /*Certify=*/false);
+    {
+      SinkGuard Guard(&Sink);
+      CertifiedRun Traced1 = runCertified(Req, 1);
+      expectDecisionIdentical(Study.Name + " batched jobs=1", Baseline,
+                              Traced1, /*Sequential=*/true);
+      CertifiedRun Traced2 = runCertified(Req, 2);
+      expectDecisionIdentical(Study.Name + " batched barrier jobs=2",
+                              Baseline, Traced2, /*Sequential=*/false);
+      CertifiedRun TracedP = runCertified(Req, 2, /*Certify=*/false);
+      expectDecisionIdentical(Study.Name + " pipelined+batched jobs=2",
+                              Plain, TracedP, /*Sequential=*/false);
+    }
+  }
+  ASSERT_GT(Sink.eventCount(), 0u);
+
+  // The pipelined epochs must actually have hit the trace (the spans
+  // leapfrog-trace's pipelining report reads), and the accumulated file
+  // must stay structurally valid.
+  std::string Path = ::testing::TempDir() + "obs_pipelined_trace.json";
+  std::string Err;
+  ASSERT_TRUE(Sink.writeChromeJson(Path, &Err)) << Err;
+  std::ifstream In(Path, std::ios::binary);
+  ASSERT_TRUE(In.good());
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  serve::Json Doc = parseBalancedTrace(Ss.str());
+  size_t WaitSpans = 0, MergeSpans = 0;
+  for (const serve::Json &E : Doc.get("traceEvents").items()) {
+    if (E.getString("ph") != "B")
+      continue;
+    if (E.getString("name") == "epoch.wait")
+      ++WaitSpans;
+    else if (E.getString("name") == "epoch.merge")
+      ++MergeSpans;
+  }
+  EXPECT_GT(WaitSpans, 0u);
+  EXPECT_GT(MergeSpans, 0u);
   std::remove(Path.c_str());
 }
 

@@ -308,6 +308,121 @@ TEST(Session, UnsatPremisesEntailEverything) {
   EXPECT_TRUE(Sess->isEntailed(BvFormula::mkFalse()));
 }
 
+//===----------------------------------------------------------------------===//
+// Batched goals (IncrementalSession::checkSatBatch)
+//===----------------------------------------------------------------------===//
+
+TEST(SessionBatch, AnswersMatchPerGoalQueries) {
+  // The contract: Out[i] == checkSatUnderPremises(Goals[i], nullptr),
+  // independent of batch composition. Pose the same goals to a batched
+  // and an unbatched session over identical premises and compare.
+  BvTermRef X = var("x", 4);
+  std::vector<BvFormulaRef> Goals = {
+      BvFormula::mkNot(BvFormula::mkEq(X, lit("1010"))), // Unsat (entailed)
+      BvFormula::mkNot(
+          BvFormula::mkEq(BvTerm::mkExtract(X, 0, 1), lit("10"))), // Unsat
+      BvFormula::mkEq(var("y", 4), lit("0001")),                   // Sat
+      BvFormula::mkNot(
+          BvFormula::mkEq(BvTerm::mkExtract(X, 2, 3), lit("10"))), // Unsat
+  };
+  BitBlastSolver Batched, PerGoal;
+  auto BS = Batched.openSession();
+  auto PS = PerGoal.openSession();
+  BS->assertPremise(BvFormula::mkEq(X, lit("1010")));
+  PS->assertPremise(BvFormula::mkEq(X, lit("1010")));
+  std::vector<SatResult> Out;
+  BS->checkSatBatch(Goals, Out);
+  ASSERT_EQ(Out.size(), Goals.size());
+  for (size_t I = 0; I < Goals.size(); ++I)
+    EXPECT_EQ(Out[I], PS->checkSatUnderPremises(Goals[I], nullptr))
+        << "batched answer diverges at goal " << I;
+  // Three entailed goals and one satisfiable one: the batch needs at
+  // most one SAT refinement round plus one closing UNSAT round, strictly
+  // fewer than the four physical solves the per-goal session paid.
+  EXPECT_LT(Batched.stats().RoundTrips, PerGoal.stats().RoundTrips);
+}
+
+TEST(SessionBatch, AllEntailedGoalsShareOneRoundTrip) {
+  BvTermRef X = var("x", 4);
+  BitBlastSolver S;
+  auto Sess = S.openSession();
+  Sess->assertPremise(BvFormula::mkEq(X, lit("1010")));
+  uint64_t Before = S.stats().RoundTrips;
+  std::vector<BvFormulaRef> Goals;
+  for (size_t Lo = 0; Lo < 4; ++Lo)
+    Goals.push_back(BvFormula::mkNot(BvFormula::mkEq(
+        BvTerm::mkExtract(X, Lo, Lo), lit(Lo % 2 ? "0" : "1"))));
+  std::vector<SatResult> Out;
+  Sess->checkSatBatch(Goals, Out);
+  for (size_t I = 0; I < Goals.size(); ++I)
+    EXPECT_EQ(Out[I], SatResult::Unsat) << "goal " << I;
+  // One failed-assumption round attributes Unsat to all four goals.
+  EXPECT_EQ(S.stats().RoundTrips - Before, 1u);
+}
+
+TEST(SessionBatch, GoalsFailingForDifferentPremiseSubsetsAttributeRight) {
+  // Two batched goals each refuted by a *different* premise (and one
+  // satisfiable bystander): attribution must be per-goal, not whichever
+  // core the shared round happens to surface.
+  BvTermRef A = var("a", 2), B = var("b", 2);
+  BitBlastSolver S;
+  auto Sess = S.openSession();
+  Sess->assertPremise(BvFormula::mkEq(A, lit("01")));
+  Sess->assertPremise(BvFormula::mkEq(B, lit("10")));
+  std::vector<BvFormulaRef> Goals = {
+      BvFormula::mkNot(BvFormula::mkEq(A, lit("01"))), // needs premise 1
+      BvFormula::mkEq(var("c", 2), lit("11")),         // Sat bystander
+      BvFormula::mkNot(BvFormula::mkEq(B, lit("10"))), // needs premise 2
+  };
+  std::vector<SatResult> Out;
+  Sess->checkSatBatch(Goals, Out);
+  EXPECT_EQ(Out[0], SatResult::Unsat);
+  EXPECT_EQ(Out[1], SatResult::Sat);
+  EXPECT_EQ(Out[2], SatResult::Unsat);
+}
+
+TEST(SessionBatch, AnswersAreOrderIndependent) {
+  BvTermRef X = var("x", 4);
+  std::vector<BvFormulaRef> Goals = {
+      BvFormula::mkNot(BvFormula::mkEq(X, lit("1010"))),
+      BvFormula::mkEq(var("y", 4), lit("0001")),
+      BvFormula::mkNot(BvFormula::mkEq(BvTerm::mkExtract(X, 0, 1), lit("11"))),
+      BvFormula::mkEq(var("z", 2), lit("10")),
+  };
+  std::vector<size_t> Perm = {2, 0, 3, 1};
+  BitBlastSolver SA, SB;
+  auto SessA = SA.openSession();
+  auto SessB = SB.openSession();
+  SessA->assertPremise(BvFormula::mkEq(X, lit("1010")));
+  SessB->assertPremise(BvFormula::mkEq(X, lit("1010")));
+  std::vector<SatResult> OutA;
+  SessA->checkSatBatch(Goals, OutA);
+  std::vector<BvFormulaRef> Permuted;
+  for (size_t I : Perm)
+    Permuted.push_back(Goals[I]);
+  std::vector<SatResult> OutB;
+  SessB->checkSatBatch(Permuted, OutB);
+  for (size_t K = 0; K < Perm.size(); ++K)
+    EXPECT_EQ(OutB[K], OutA[Perm[K]])
+        << "permuted batch diverges at position " << K;
+}
+
+TEST(SessionBatch, SingletonBatchMatchesDirectQuery) {
+  BvTermRef X = var("x", 4);
+  BitBlastSolver S;
+  auto Sess = S.openSession();
+  Sess->assertPremise(BvFormula::mkEq(X, lit("1010")));
+  std::vector<BvFormulaRef> One = {
+      BvFormula::mkNot(BvFormula::mkEq(X, lit("1010")))};
+  std::vector<SatResult> Out;
+  Sess->checkSatBatch(One, Out);
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0], SatResult::Unsat);
+  // A size-1 batch degrades to the plain per-goal path: exactly one
+  // physical solve, no selector machinery.
+  EXPECT_EQ(S.stats().RoundTrips, 1u);
+}
+
 TEST(Session, ModelCoversPremiseAndGoalVariables) {
   BitBlastSolver S;
   auto Sess = S.openSession();

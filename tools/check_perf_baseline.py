@@ -10,7 +10,7 @@ per-(study, mode) measurements and `metrics` is the obs::Metrics
 process snapshot (docs/OBSERVABILITY.md); the older bare-array form is
 still accepted so historical baselines keep working.
 
-Two gates run, both deliberately narrow:
+Three gates run, all deliberately narrow:
 
  1. Clause DB: for every incremental record present in both files, the
     smoke workload's peak learned-clause count (`peak_learnts`) must not
@@ -25,6 +25,13 @@ Two gates run, both deliberately narrow:
     noise. The wide multiplier is intentional — this catches order-of-
     magnitude latency regressions (an accidental O(n^2) in the hot
     path), not runner jitter.
+ 3. Batched round-trips: for every `batched`-mode record present in
+    both files, the physical check-sat round-trip count (`round_trips`)
+    must not exceed `--tolerance` times the baseline. Round-trips are
+    fully deterministic (answers decide the batch refinement layers,
+    and answers are schedule-independent), so a creep back toward the
+    query count means the --goal-batch machinery silently stopped
+    sharing rounds — exactly the regression this gate exists to catch.
 
 Everything else in the JSON is archived for bisection, not gated, but on
 failure the full per-metric diff of the offending record is printed so
@@ -52,6 +59,7 @@ DIFF_METRICS = [
     "session_premises",
     "premise_cache_hits",
     "queries",
+    "round_trips",
 ]
 
 # The histogram the latency gate reads from the metrics snapshot.
@@ -131,28 +139,43 @@ def main():
     current = {key(r): r for r in current_records}
     baseline = {key(r): r for r in baseline_records}
 
+    # (mode, gated metric, absolute slack): the per-record gates. The
+    # slack keeps near-zero baselines from gating on noise; round_trips
+    # gets a smaller one because it is deterministic.
+    RECORD_GATES = {
+        "incremental": ("peak_learnts", 8),
+        "batched": ("round_trips", 4),
+    }
     failures = []
     for k, cur in sorted(current.items()):
-        if cur["mode"] != "incremental":
+        gate = RECORD_GATES.get(cur["mode"])
+        if gate is None:
             continue
+        metric, slack = gate
         base = baseline.get(k)
         if base is None:
-            print(f"NOTE: {k[0]} has no baseline entry (new workload?)")
+            print(f"NOTE: {k[0]}/{cur['mode']} has no baseline entry "
+                  f"(new workload?)")
             continue
-        cur_peak = cur["peak_learnts"]
-        base_peak = base["peak_learnts"]
-        limit = max(base_peak * args.tolerance, base_peak + 8)
-        status = "ok" if cur_peak <= limit else "REGRESSION"
+        if metric not in base:
+            print(f"NOTE: {k[0]}/{cur['mode']} baseline predates the "
+                  f"{metric} gate; refresh the baseline")
+            continue
+        cur_val = cur[metric]
+        base_val = base[metric]
+        limit = max(base_val * args.tolerance, base_val + slack)
+        status = "ok" if cur_val <= limit else "REGRESSION"
         print(
-            f"{k[0]:<28} peak_learnts {base_peak:>6} -> {cur_peak:>6} "
+            f"{k[0]:<28} {metric} {base_val:>6} -> {cur_val:>6} "
             f"(limit {limit:.0f})  [{status}]"
         )
-        if cur_peak > limit:
-            failures.append(k[0])
+        if cur_val > limit:
+            failures.append(f"{k[0]} {metric}")
             print_metric_diff(cur, base)
     for k in sorted(baseline.keys() - current.keys()):
-        if baseline[k]["mode"] == "incremental":
-            print(f"NOTE: {k[0]} only in baseline (retired workload?)")
+        if baseline[k]["mode"] in RECORD_GATES:
+            print(f"NOTE: {k[0]}/{baseline[k]['mode']} only in baseline "
+                  f"(retired workload?)")
 
     cur_p95 = solve_p95(current_metrics)
     base_p95 = solve_p95(baseline_metrics)

@@ -80,6 +80,19 @@ void usage() {
       "                     changes. Each worker gets its own solver\n"
       "                     and session set (for external backends, its\n"
       "                     own solver process)\n"
+      "  --no-pipeline      disable the skip-ahead merge: with --jobs,\n"
+      "                     the next chunk's parallel decide normally\n"
+      "                     overlaps the current chunk's sequential\n"
+      "                     merge; this restores the strict barrier.\n"
+      "                     Decisions are identical either way\n"
+      "  --goal-batch N     share one solver round-trip across up to N\n"
+      "                     same-guard entailment goals (default 1 =\n"
+      "                     one query per goal). Answers are identical;\n"
+      "                     only the round-trip count drops — see the\n"
+      "                     round_trips stat and docs/SOLVERS.md\n"
+      "  --chunk N          conjuncts decided per epoch (default auto:\n"
+      "                     max(32, jobs*8)); exposed for scheduling\n"
+      "                     experiments, decisions do not depend on it\n"
       "\n"
       "backend options (see docs/SOLVERS.md):\n"
       "  --backend SPEC     solver backend: 'bitblast' (in-repo, the\n"
@@ -87,7 +100,11 @@ void usage() {
       "                     process, e.g. 'smtlib:z3 -in'), or\n"
       "                     'crosscheck[:CMD]' (run both, abort on any\n"
       "                     sat/unsat divergence; CMD defaults to\n"
-      "                     'z3 -in'). --backend=SPEC also accepted. An\n"
+      "                     'z3 -in'), or 'portfolio:LEG,LEG[,...]'\n"
+      "                     (race the legs per query, first answer wins,\n"
+      "                     losers cancelled; e.g.\n"
+      "                     'portfolio:bitblast,smtlib:z3 -in').\n"
+      "                     --backend=SPEC also accepted. An\n"
       "                     unrecognized SPEC is a usage error (exit 3);\n"
       "                     a parseable SPEC whose binary is missing or\n"
       "                     failing degrades to bitblast per query, with\n"
@@ -314,6 +331,14 @@ int main(int Argc, char **Argv) {
       EngineCfg.Jobs = size_t(std::strtoull(Argv[++I], nullptr, 10));
       if (EngineCfg.Jobs < 1)
         EngineCfg.Jobs = 1;
+    } else if (!std::strcmp(Arg, "--no-pipeline")) {
+      Options.Pipeline = false;
+    } else if (!std::strcmp(Arg, "--goal-batch") && I + 1 < Argc) {
+      Options.GoalBatch = size_t(std::strtoull(Argv[++I], nullptr, 10));
+      if (Options.GoalBatch < 1)
+        Options.GoalBatch = 1;
+    } else if (!std::strcmp(Arg, "--chunk") && I + 1 < Argc) {
+      Options.Chunk = size_t(std::strtoull(Argv[++I], nullptr, 10));
     } else {
       std::fprintf(stderr, "leapfrog-cli: unknown option '%s'\n", Arg);
       usage();
@@ -486,13 +511,14 @@ int main(int Argc, char **Argv) {
   if (!Quiet && !JsonOut) {
     std::printf(
         "  iterations %zu, conjuncts %zu, SMT queries %zu (%zu certified "
-        "UNSAT), %.2f s\n",
+        "UNSAT, %zu solver round-trips), %.2f s\n",
         Res.Stats.Iterations, Res.Stats.FinalConjuncts,
         Res.Stats.SmtQueries,
         // DRUP certification lives in the in-repo solver; behind
         // crosscheck that is the reference leg, not the facade.
         size_t((BitBlast ? BitBlast->stats() : Solver->stats())
                    .CertifiedUnsat),
+        size_t(Solver->stats().RoundTrips),
         double(Res.Stats.WallMicros) / 1e6);
     if (External) {
       const smt::SmtLibSolver::ExtStats &E = External->extStats();
